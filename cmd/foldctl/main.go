@@ -1,0 +1,125 @@
+// Command foldctl analyzes a trace file end-to-end: burst extraction,
+// structure detection, folding, piece-wise linear regression, and phase
+// characterization, printing the analyst-facing report.
+//
+// Usage:
+//
+//	foldctl -i cg.pft
+//	foldctl -i trace.pftxt -refine -bins 200
+//	foldctl -i cg.pft -csv phases.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "", "input trace file (required)")
+		format   = flag.String("format", "", "input format: binary or text (default: by extension, .pftxt = text)")
+		refine   = flag.Bool("refine", false, "use Aggregative Cluster Refinement instead of DBSCAN")
+		eps      = flag.Float64("eps", 0.05, "DBSCAN neighbourhood radius (normalized)")
+		minPts   = flag.Int("minpts", 4, "DBSCAN core-point threshold")
+		bins     = flag.Int("bins", 120, "PWL regression bins")
+		maxSeg   = flag.Int("max-segments", 8, "maximum PWL segments per region")
+		minBurst = flag.Duration("min-burst", 20*time.Microsecond, "minimum burst duration")
+		csvOut   = flag.String("csv", "", "also write the phase table as CSV to this file")
+		timeline = flag.Bool("timeline", false, "render the per-rank cluster timeline")
+		plots    = flag.Bool("plot", false, "render the folded cloud + fit per cluster")
+		profile  = flag.Bool("profile", false, "render the per-phase source profile per cluster")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if *format == "text" || (*format == "" && strings.HasSuffix(*in, ".pftxt")) {
+		tr, err = trace.DecodeText(f)
+	} else {
+		tr, err = trace.Decode(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.UseRefinement = *refine
+	opt.DBSCAN.Eps = *eps
+	opt.DBSCAN.MinPts = *minPts
+	opt.PWL.Bins = *bins
+	opt.PWL.MaxSegments = *maxSeg
+	opt.MinBurstDuration = sim.Duration(*minBurst)
+
+	model, err := core.Analyze(tr, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := model.WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *timeline {
+		fmt.Println()
+		if err := model.Timeline(tr.NumRanks()).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *plots {
+		for _, ca := range model.Clusters {
+			if ca.Fit == nil {
+				continue
+			}
+			fmt.Println()
+			if err := ca.FoldedPlot(counters.Instructions).Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *profile {
+		for _, ca := range model.Clusters {
+			if ca.Fit == nil {
+				continue
+			}
+			fmt.Println()
+			if err := ca.SourceProfileTable(tr.Symbols).Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer cf.Close()
+		for _, ca := range model.Clusters {
+			if ca.Fit == nil {
+				continue
+			}
+			if err := ca.PhaseTable().CSV(cf); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nwrote %s\n", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "foldctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command phasereport regenerates the evaluation's tables and figures (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// output).
+//
+// Usage:
+//
+//	phasereport               # run every experiment
+//	phasereport -exp F1,T4    # run selected experiments
+//	phasereport -list
+//	phasereport -csv out/     # also dump each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"phasefold/internal/experiments"
+)
+
+func main() {
+	var (
+		expIDs = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-3s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	var runners []experiments.Runner
+	if *expIDs == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expIDs, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			runners = append(runners, r)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, r := range runners {
+		res, err := r.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.ID, err))
+		}
+		fmt.Printf("######## %s: %s ########\n\n", res.ID, res.Title)
+		for ti, tb := range res.Tables {
+			if err := tb.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_table%d.csv", res.ID, ti))
+				f, err := os.Create(name)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tb.CSV(f); err != nil {
+					fatal(err)
+				}
+				f.Close()
+			}
+		}
+		for _, p := range res.Plots {
+			if err := p.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if len(res.Metrics) > 0 {
+			keys := make([]string, 0, len(res.Metrics))
+			for k := range res.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("headline metrics:")
+			for _, k := range keys {
+				fmt.Printf("  %-28s %.4g\n", k, res.Metrics[k])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phasereport:", err)
+	os.Exit(1)
+}

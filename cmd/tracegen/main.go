@@ -1,0 +1,88 @@
+// Command tracegen runs one of the bundled simulated applications under the
+// tracing runtime (minimal instrumentation + coarse sampling) and writes the
+// resulting trace to a file, in the binary or text container format.
+//
+// Usage:
+//
+//	tracegen -app cg -ranks 8 -iters 300 -period 1ms -o cg.pft
+//	tracegen -app multiphase -format text -o trace.pftxt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "multiphase", "application to simulate (see -list)")
+		ranks     = flag.Int("ranks", 4, "number of SPMD ranks")
+		iters     = flag.Int("iters", 200, "main-loop iterations")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		freq      = flag.Float64("freq", 2.0, "core frequency in GHz")
+		period    = flag.Duration("period", time.Millisecond, "sampling period (0 disables sampling)")
+		jitter    = flag.Float64("jitter", 0.3, "sampling jitter fraction")
+		noStacks  = flag.Bool("no-stacks", false, "disable call-stack capture")
+		mux       = flag.Bool("mux", false, "rotate counter multiplex groups instead of native PMU")
+		probeCost = flag.Duration("probe-cost", 0, "virtual time consumed by each probe")
+		out       = flag.String("o", "trace.pft", "output file")
+		format    = flag.String("format", "", "output format: binary or text (default: by extension, .pftxt = text)")
+		list      = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(simapp.AppNames(), "\n"))
+		return
+	}
+	app, err := simapp.NewApp(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.SamplingPeriod = sim.Duration(*period)
+	opt.SamplingJitter = *jitter
+	opt.CaptureStacks = !*noStacks
+	opt.ProbeCost = sim.Duration(*probeCost)
+	if *mux {
+		opt.Schedule = counters.NewSchedule(counters.DefaultGroups())
+	}
+	cfg := simapp.Config{Ranks: *ranks, Iterations: *iters, Seed: *seed, FreqGHz: *freq}
+	run, err := core.RunApp(app, cfg, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	text := *format == "text" || (*format == "" && strings.HasSuffix(*out, ".pftxt"))
+	if text {
+		err = trace.EncodeText(f, run.Trace)
+	} else {
+		err = trace.Encode(f, run.Trace)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: app=%s ranks=%d events=%d samples=%d span=%s\n",
+		*out, run.Trace.AppName, run.Trace.NumRanks(), run.Trace.NumEvents(),
+		run.Trace.NumSamples(), run.Trace.EndTime())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Markerless example: what can be said about an application from samples
+// alone — no iteration markers, no region probes consulted.
+//
+// The spectral stage builds the instruction-rate signal from the samples,
+// detects the iteration period by autocorrelation, and selects the most
+// self-similar stretch of the timeline. That alone answers "is this code
+// iterative, with what period, and where is a clean window to study" — the
+// triage questions that normally require instrumentation.
+//
+// Run with: go run ./examples/markerless
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasefold"
+)
+
+func main() {
+	app, err := phasefold.NewApp("stencil")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := phasefold.DefaultConfig()
+	cfg.Ranks = 1
+	cfg.Iterations = 120
+	opt := phasefold.DefaultOptions()
+	opt.SamplingPeriod = 100 * phasefold.Microsecond
+
+	run, err := phasefold.RunApp(app, cfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d samples; pretending the %d instrumentation events do not exist\n\n",
+		run.Trace.NumSamples(), run.Trace.NumEvents())
+
+	sig, err := phasefold.BuildSignal(run.Trace, 0, phasefold.Instructions, 50*phasefold.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rate signal: %d cells of %s\n", len(sig.Values), sig.Step)
+
+	p, err := phasefold.DetectPeriod(sig, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected iteration period: %s (autocorrelation %.2f)\n", p.Duration, p.Strength)
+
+	w, err := phasefold.SelectRepresentative(sig, p, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("representative window: [%s, %s], self-similarity %.2f\n\n", w.Start, w.End, w.Score)
+
+	// Ground truth for comparison (uses the markers we pretended away).
+	var first, last phasefold.Time
+	n := 0
+	for _, e := range run.Trace.Ranks[0].Events {
+		if e.Type == phasefold.IterBegin {
+			if n == 0 {
+				first = e.Time
+			}
+			last = e.Time
+			n++
+		}
+	}
+	trueIter := (last - first) / phasefold.Duration(n-1)
+	fmt.Printf("(truth: mean iteration %s -> detection error %.1f%%)\n",
+		trueIter, 100*abs(float64(p.Duration)-float64(trueIter))/float64(trueIter))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module phasefold
+
+go 1.22

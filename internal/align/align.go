@@ -1,0 +1,224 @@
+// Package align scores the quality of a structure detection by sequence
+// alignment, following the evaluation method of González et al. (PDCAT
+// 2009): under the SPMD paradigm every rank executes the same sequence of
+// computation regions, so if clustering recovered the true structure, the
+// per-rank sequences of cluster labels must align almost perfectly. The
+// package implements Needleman-Wunsch pairwise global alignment and a
+// star-shaped progressive multiple alignment, from which it derives an
+// SPMD-ness score in [0,1].
+package align
+
+import "fmt"
+
+// Gap is the symbol used for alignment gaps.
+const Gap = -1
+
+// Scoring holds the alignment scores. Defaults follow the usual unit-cost
+// global alignment.
+type Scoring struct {
+	Match    int
+	Mismatch int
+	GapOpen  int
+}
+
+// DefaultScoring returns match +2, mismatch -1, gap -2.
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, GapOpen: -2} }
+
+// Pairwise computes the Needleman-Wunsch global alignment of a and b,
+// returning the two gapped sequences (equal length, Gap where a gap was
+// inserted) and the alignment score.
+func Pairwise(a, b []int, sc Scoring) (ga, gb []int, score int) {
+	n, m := len(a), len(b)
+	// dp[i][j]: best score aligning a[:i] with b[:j]; flattened.
+	w := m + 1
+	dp := make([]int, (n+1)*w)
+	for j := 1; j <= m; j++ {
+		dp[j] = j * sc.GapOpen
+	}
+	for i := 1; i <= n; i++ {
+		dp[i*w] = i * sc.GapOpen
+		for j := 1; j <= m; j++ {
+			sub := dp[(i-1)*w+j-1]
+			if a[i-1] == b[j-1] {
+				sub += sc.Match
+			} else {
+				sub += sc.Mismatch
+			}
+			del := dp[(i-1)*w+j] + sc.GapOpen
+			ins := dp[i*w+j-1] + sc.GapOpen
+			best := sub
+			if del > best {
+				best = del
+			}
+			if ins > best {
+				best = ins
+			}
+			dp[i*w+j] = best
+		}
+	}
+	// Traceback.
+	i, j := n, m
+	var ra, rb []int
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i*w+j] == dp[(i-1)*w+j-1]+matchScore(a[i-1], b[j-1], sc):
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case i > 0 && dp[i*w+j] == dp[(i-1)*w+j]+sc.GapOpen:
+			ra = append(ra, a[i-1])
+			rb = append(rb, Gap)
+			i--
+		default:
+			ra = append(ra, Gap)
+			rb = append(rb, b[j-1])
+			j--
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return ra, rb, dp[n*w+m]
+}
+
+func matchScore(x, y int, sc Scoring) int {
+	if x == y {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// MSA is a multiple sequence alignment: rows of equal length over symbols
+// and Gap.
+type MSA struct {
+	Rows [][]int
+}
+
+// Width returns the alignment length (0 for an empty MSA).
+func (m *MSA) Width() int {
+	if len(m.Rows) == 0 {
+		return 0
+	}
+	return len(m.Rows[0])
+}
+
+// Progressive builds a star-shaped multiple alignment: the longest sequence
+// is the initial center; every other sequence is aligned against the current
+// consensus, with "once a gap, always a gap" column insertion.
+func Progressive(seqs [][]int, sc Scoring) (*MSA, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("align: no sequences")
+	}
+	// Pick the longest sequence as the center (stable on ties).
+	center := 0
+	for i, s := range seqs {
+		if len(s) > len(seqs[center]) {
+			center = i
+		}
+	}
+	msa := &MSA{Rows: [][]int{append([]int(nil), seqs[center]...)}}
+	order := make([]int, 0, len(seqs)-1)
+	for i := range seqs {
+		if i != center {
+			order = append(order, i)
+		}
+	}
+	rowOf := map[int]int{center: 0}
+	for _, si := range order {
+		cons := msa.consensus()
+		gc, gs, _ := Pairwise(cons, seqs[si], sc)
+		// gc tells where the existing alignment needs new gap columns.
+		msa.insertAligned(gc, gs)
+		rowOf[si] = len(msa.Rows) - 1
+	}
+	// Restore original sequence order in the rows.
+	ordered := make([][]int, len(seqs))
+	for si, row := range rowOf {
+		ordered[si] = msa.Rows[row]
+	}
+	return &MSA{Rows: ordered}, nil
+}
+
+// consensus returns, per column, the most frequent non-gap symbol (ties
+// break toward the smaller symbol), or Gap for all-gap columns.
+func (m *MSA) consensus() []int {
+	w := m.Width()
+	out := make([]int, w)
+	for c := 0; c < w; c++ {
+		counts := make(map[int]int)
+		for _, row := range m.Rows {
+			if row[c] != Gap {
+				counts[row[c]]++
+			}
+		}
+		best, bestN := Gap, 0
+		for sym, n := range counts {
+			if n > bestN || (n == bestN && best != Gap && sym < best) {
+				best, bestN = sym, n
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// insertAligned extends the MSA with the new gapped sequence gs, where gc is
+// the gapped form of the previous consensus: a Gap in gc at column k means
+// every existing row needs a gap column inserted at k.
+func (m *MSA) insertAligned(gc, gs []int) {
+	oldW := m.Width()
+	newRows := make([][]int, len(m.Rows)+1)
+	for r := range m.Rows {
+		row := make([]int, 0, len(gc))
+		oi := 0
+		for k := range gc {
+			if gc[k] == Gap {
+				row = append(row, Gap)
+				continue
+			}
+			if oi < oldW {
+				row = append(row, m.Rows[r][oi])
+				oi++
+			} else {
+				row = append(row, Gap)
+			}
+		}
+		newRows[r] = row
+	}
+	newRows[len(m.Rows)] = append([]int(nil), gs...)
+	m.Rows = newRows
+}
+
+// SPMDScore measures how SPMD-consistent the alignment is: the fraction of
+// (row, column) cells that carry the column's consensus symbol, over all
+// non-empty columns. A perfect structure detection on a true SPMD code
+// scores 1.
+func (m *MSA) SPMDScore() float64 {
+	w := m.Width()
+	if w == 0 || len(m.Rows) == 0 {
+		return 0
+	}
+	cons := m.consensus()
+	agree, total := 0, 0
+	for c := 0; c < w; c++ {
+		if cons[c] == Gap {
+			continue
+		}
+		for _, row := range m.Rows {
+			total++
+			if row[c] == cons[c] {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(agree) / float64(total)
+}

@@ -1,0 +1,96 @@
+package align
+
+import (
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+// bruteBestScore enumerates every global alignment of a and b recursively
+// and returns the maximum score — the reference for Needleman-Wunsch.
+func bruteBestScore(a, b []int, sc Scoring) int {
+	var rec func(i, j int) int
+	memo := make(map[[2]int]int)
+	rec = func(i, j int) int {
+		if i == len(a) {
+			return (len(b) - j) * sc.GapOpen
+		}
+		if j == len(b) {
+			return (len(a) - i) * sc.GapOpen
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		sub := rec(i+1, j+1)
+		if a[i] == b[j] {
+			sub += sc.Match
+		} else {
+			sub += sc.Mismatch
+		}
+		del := rec(i+1, j) + sc.GapOpen
+		ins := rec(i, j+1) + sc.GapOpen
+		best := sub
+		if del > best {
+			best = del
+		}
+		if ins > best {
+			best = ins
+		}
+		memo[key] = best
+		return best
+	}
+	return rec(0, 0)
+}
+
+func TestPairwiseIsOptimal(t *testing.T) {
+	rng := sim.NewRNG(41)
+	sc := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		la, lb := rng.Intn(8), rng.Intn(8)
+		a := make([]int, la)
+		b := make([]int, lb)
+		for i := range a {
+			a[i] = rng.Intn(4)
+		}
+		for i := range b {
+			b[i] = rng.Intn(4)
+		}
+		_, _, got := Pairwise(a, b, sc)
+		want := bruteBestScore(a, b, sc)
+		if got != want {
+			t.Fatalf("trial %d: NW score %d, brute force %d (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+func TestPairwiseGappedScoreMatches(t *testing.T) {
+	// Rescoring the gapped output must reproduce the reported score.
+	rng := sim.NewRNG(43)
+	sc := DefaultScoring()
+	for trial := 0; trial < 30; trial++ {
+		a := make([]int, 2+rng.Intn(6))
+		b := make([]int, 2+rng.Intn(6))
+		for i := range a {
+			a[i] = rng.Intn(3)
+		}
+		for i := range b {
+			b[i] = rng.Intn(3)
+		}
+		ga, gb, score := Pairwise(a, b, sc)
+		got := 0
+		for i := range ga {
+			switch {
+			case ga[i] == Gap || gb[i] == Gap:
+				got += sc.GapOpen
+			case ga[i] == gb[i]:
+				got += sc.Match
+			default:
+				got += sc.Mismatch
+			}
+		}
+		if got != score {
+			t.Fatalf("trial %d: gapped rescoring %d vs reported %d", trial, got, score)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package callstack models the application's syntactical structure the way a
+// sampling profiler sees it: a table of routines with source coordinates
+// (file, line range), call-stack snapshots referencing those routines, and an
+// interning scheme so that millions of samples can share stack storage.
+//
+// The folding mechanism uses these snapshots to attribute each detected
+// performance phase to the source construct that was executing during the
+// phase's normalized-time interval.
+package callstack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RoutineID indexes a routine in a SymbolTable.
+type RoutineID int32
+
+// NoRoutine marks an unresolved frame (sample taken outside known code).
+const NoRoutine RoutineID = -1
+
+// Routine describes one function in the (simulated) application binary.
+type Routine struct {
+	Name      string // fully qualified routine name, e.g. "cg.SpMV"
+	File      string // source file, e.g. "cg/spmv.c"
+	StartLine int    // first source line of the routine body
+	EndLine   int    // last source line of the routine body
+}
+
+// Frame is one call-stack entry: a routine plus the source line that was
+// executing (for the leaf) or the call site (for callers).
+type Frame struct {
+	Routine RoutineID
+	Line    int
+}
+
+// Stack is a call-stack snapshot ordered from outermost caller (index 0) to
+// the executing leaf (last index).
+type Stack []Frame
+
+// Leaf returns the innermost frame and false when the stack is empty.
+func (s Stack) Leaf() (Frame, bool) {
+	if len(s) == 0 {
+		return Frame{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Clone returns an independent copy of the stack.
+func (s Stack) Clone() Stack {
+	out := make(Stack, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two stacks are frame-for-frame identical.
+func (s Stack) Equal(o Stack) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SymbolTable maps routine identifiers to their source description. It plays
+// the role of the binary's symbol/line table that tracing runtimes consult
+// when translating sampled program-counter addresses.
+type SymbolTable struct {
+	routines []Routine
+	byName   map[string]RoutineID
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{byName: make(map[string]RoutineID)}
+}
+
+// Define registers a routine and returns its identifier. Defining the same
+// name twice returns the original identifier and ignores the new source
+// coordinates; symbol tables are append-only.
+func (t *SymbolTable) Define(r Routine) RoutineID {
+	if id, ok := t.byName[r.Name]; ok {
+		return id
+	}
+	if r.Name == "" {
+		panic("callstack: routine with empty name")
+	}
+	if r.EndLine < r.StartLine {
+		panic(fmt.Sprintf("callstack: routine %q has end line %d before start line %d", r.Name, r.EndLine, r.StartLine))
+	}
+	id := RoutineID(len(t.routines))
+	t.routines = append(t.routines, r)
+	t.byName[r.Name] = id
+	return id
+}
+
+// Lookup returns the routine for id. The second result is false for
+// NoRoutine or out-of-range identifiers.
+func (t *SymbolTable) Lookup(id RoutineID) (Routine, bool) {
+	if id < 0 || int(id) >= len(t.routines) {
+		return Routine{}, false
+	}
+	return t.routines[id], true
+}
+
+// ByName resolves a routine name.
+func (t *SymbolTable) ByName(name string) (RoutineID, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// Len returns the number of routines defined.
+func (t *SymbolTable) Len() int { return len(t.routines) }
+
+// Routines returns all routines in definition order. The slice is shared;
+// callers must not modify it.
+func (t *SymbolTable) Routines() []Routine { return t.routines }
+
+// FormatFrame renders a frame as "name (file:line)" for reports.
+func (t *SymbolTable) FormatFrame(f Frame) string {
+	r, ok := t.Lookup(f.Routine)
+	if !ok {
+		return fmt.Sprintf("?? (line %d)", f.Line)
+	}
+	return fmt.Sprintf("%s (%s:%d)", r.Name, r.File, f.Line)
+}
+
+// FormatStack renders a full stack as "a > b > c" from outermost to leaf.
+func (t *SymbolTable) FormatStack(s Stack) string {
+	if len(s) == 0 {
+		return "<empty>"
+	}
+	parts := make([]string, len(s))
+	for i, f := range s {
+		r, ok := t.Lookup(f.Routine)
+		if !ok {
+			parts[i] = "??"
+			continue
+		}
+		parts[i] = fmt.Sprintf("%s:%d", r.Name, f.Line)
+	}
+	return strings.Join(parts, " > ")
+}
+
+// SortedNames returns the routine names in lexicographic order, mostly for
+// deterministic report output.
+func (t *SymbolTable) SortedNames() []string {
+	names := make([]string, 0, len(t.routines))
+	for _, r := range t.routines {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}

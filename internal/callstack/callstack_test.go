@@ -1,0 +1,127 @@
+package callstack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSymbolTableDefineLookup(t *testing.T) {
+	st := NewSymbolTable()
+	id := st.Define(Routine{Name: "cg.spmv", File: "cg/spmv.c", StartLine: 10, EndLine: 80})
+	r, ok := st.Lookup(id)
+	if !ok || r.Name != "cg.spmv" || r.File != "cg/spmv.c" {
+		t.Fatalf("Lookup = (%+v, %v)", r, ok)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+}
+
+func TestSymbolTableDuplicateDefine(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Define(Routine{Name: "f", File: "a.c", StartLine: 1, EndLine: 2})
+	b := st.Define(Routine{Name: "f", File: "other.c", StartLine: 5, EndLine: 9})
+	if a != b {
+		t.Fatalf("duplicate define returned different ids %d, %d", a, b)
+	}
+	r, _ := st.Lookup(a)
+	if r.File != "a.c" {
+		t.Fatal("duplicate define overwrote original coordinates")
+	}
+}
+
+func TestSymbolTablePanics(t *testing.T) {
+	st := NewSymbolTable()
+	for name, r := range map[string]Routine{
+		"empty name":    {File: "a.c", StartLine: 1, EndLine: 2},
+		"inverted span": {Name: "g", File: "a.c", StartLine: 9, EndLine: 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Define did not panic", name)
+				}
+			}()
+			st.Define(r)
+		}()
+	}
+}
+
+func TestLookupOutOfRange(t *testing.T) {
+	st := NewSymbolTable()
+	if _, ok := st.Lookup(NoRoutine); ok {
+		t.Fatal("Lookup(NoRoutine) returned ok")
+	}
+	if _, ok := st.Lookup(5); ok {
+		t.Fatal("Lookup past end returned ok")
+	}
+}
+
+func TestByName(t *testing.T) {
+	st := NewSymbolTable()
+	id := st.Define(Routine{Name: "main", File: "m.c", StartLine: 1, EndLine: 50})
+	got, ok := st.ByName("main")
+	if !ok || got != id {
+		t.Fatalf("ByName = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if _, ok := st.ByName("nope"); ok {
+		t.Fatal("ByName of unknown routine returned ok")
+	}
+}
+
+func TestStackLeafCloneEqual(t *testing.T) {
+	s := Stack{{Routine: 0, Line: 5}, {Routine: 1, Line: 20}}
+	leaf, ok := s.Leaf()
+	if !ok || leaf.Routine != 1 || leaf.Line != 20 {
+		t.Fatalf("Leaf = (%+v, %v)", leaf, ok)
+	}
+	if _, ok := (Stack{}).Leaf(); ok {
+		t.Fatal("empty stack Leaf returned ok")
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c[0].Line = 99
+	if s[0].Line == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if s.Equal(c) {
+		t.Fatal("Equal missed a difference")
+	}
+	if s.Equal(s[:1]) {
+		t.Fatal("Equal missed a length difference")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	st := NewSymbolTable()
+	id := st.Define(Routine{Name: "hydro.update", File: "hydro/sweep.c", StartLine: 200, EndLine: 300})
+	f := Frame{Routine: id, Line: 248}
+	if got := st.FormatFrame(f); got != "hydro.update (hydro/sweep.c:248)" {
+		t.Fatalf("FormatFrame = %q", got)
+	}
+	if got := st.FormatFrame(Frame{Routine: NoRoutine, Line: 7}); !strings.Contains(got, "??") {
+		t.Fatalf("unresolved frame format %q lacks ??", got)
+	}
+	stack := Stack{{Routine: id, Line: 200}, {Routine: id, Line: 248}}
+	if got := st.FormatStack(stack); got != "hydro.update:200 > hydro.update:248" {
+		t.Fatalf("FormatStack = %q", got)
+	}
+	if got := st.FormatStack(nil); got != "<empty>" {
+		t.Fatalf("empty FormatStack = %q", got)
+	}
+	if got := st.FormatStack(Stack{{Routine: 99, Line: 1}}); got != "??" {
+		t.Fatalf("unknown-routine FormatStack = %q", got)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	st := NewSymbolTable()
+	st.Define(Routine{Name: "zeta", File: "z.c", StartLine: 1, EndLine: 1})
+	st.Define(Routine{Name: "alpha", File: "a.c", StartLine: 1, EndLine: 1})
+	names := st.SortedNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("SortedNames = %v", names)
+	}
+}

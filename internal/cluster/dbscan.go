@@ -1,0 +1,204 @@
+// Package cluster implements the structure-detection stage: grouping the
+// computation bursts of an SPMD execution into clusters of behaviourally
+// identical code regions. It provides the density-based DBSCAN algorithm the
+// original phase-detection work used (González et al., IPDPS 2009) and the
+// Aggregative Cluster Refinement that fixes DBSCAN's two weaknesses —
+// parameter sensitivity and varying-density data (IPDPS-W 2012).
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Noise is the label DBSCAN assigns to points in no cluster.
+const Noise = -1
+
+// Point is one observation in feature space.
+type Point []float64
+
+// dist2 returns squared Euclidean distance.
+func dist2(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// DBSCANOptions parameterizes a DBSCAN run.
+type DBSCANOptions struct {
+	// Eps is the neighbourhood radius in (normalized) feature space.
+	Eps float64
+	// MinPts is the minimum neighbourhood population for a core point.
+	MinPts int
+}
+
+// Validate reports parameter errors.
+func (o DBSCANOptions) Validate() error {
+	if o.Eps <= 0 {
+		return fmt.Errorf("cluster: non-positive eps %v", o.Eps)
+	}
+	if o.MinPts < 1 {
+		return fmt.Errorf("cluster: MinPts %d < 1", o.MinPts)
+	}
+	return nil
+}
+
+// gridIndex is a uniform-grid neighbourhood index with cell size eps: all
+// eps-neighbours of a point lie in its 3^d adjacent cells. For the 2-3
+// dimensional feature spaces used here this makes range queries near O(1).
+type gridIndex struct {
+	eps   float64
+	dim   int
+	cells map[string][]int
+	pts   []Point
+}
+
+func cellKey(p Point, eps float64) string {
+	key := make([]byte, 0, 32)
+	for _, v := range p {
+		c := int64(math.Floor(v / eps))
+		for i := 0; i < 8; i++ {
+			key = append(key, byte(c>>(8*i)))
+		}
+	}
+	return string(key)
+}
+
+func newGridIndex(pts []Point, eps float64) *gridIndex {
+	g := &gridIndex{eps: eps, cells: make(map[string][]int), pts: pts}
+	if len(pts) > 0 {
+		g.dim = len(pts[0])
+	}
+	for i, p := range pts {
+		k := cellKey(p, eps)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+// neighbors appends to out the indices of points within eps of pts[i]
+// (including i itself) and returns the extended slice.
+func (g *gridIndex) neighbors(i int, out []int) []int {
+	p := g.pts[i]
+	eps2 := g.eps * g.eps
+	// Enumerate the 3^dim adjacent cells.
+	offsets := make([]int64, g.dim)
+	for j := range offsets {
+		offsets[j] = -1
+	}
+	base := make([]int64, g.dim)
+	for j, v := range p {
+		base[j] = int64(math.Floor(v / g.eps))
+	}
+	key := make([]byte, 8*g.dim)
+	for {
+		for j := 0; j < g.dim; j++ {
+			c := base[j] + offsets[j]
+			for b := 0; b < 8; b++ {
+				key[8*j+b] = byte(c >> (8 * b))
+			}
+		}
+		for _, cand := range g.cells[string(key)] {
+			if dist2(p, g.pts[cand]) <= eps2 {
+				out = append(out, cand)
+			}
+		}
+		// Advance the mixed-radix odometer over {-1,0,1}^dim.
+		j := 0
+		for ; j < g.dim; j++ {
+			offsets[j]++
+			if offsets[j] <= 1 {
+				break
+			}
+			offsets[j] = -1
+		}
+		if j == g.dim {
+			break
+		}
+	}
+	return out
+}
+
+// DBSCAN labels each point with a cluster id in [0, k) or Noise. Labels are
+// deterministic: clusters are numbered in order of discovery scanning points
+// by index.
+func DBSCAN(pts []Point, opt DBSCANOptions) ([]int, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), len(pts[0]))
+		}
+	}
+	n := len(pts)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return labels, nil
+	}
+	g := newGridIndex(pts, opt.Eps)
+	visited := make([]bool, n)
+	var scratch []int
+	next := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = g.neighbors(i, scratch[:0])
+		if len(scratch) < opt.MinPts {
+			continue // remains noise unless later absorbed as a border point
+		}
+		// Start a new cluster and expand it breadth-first.
+		c := next
+		next++
+		labels[i] = c
+		queue := append([]int(nil), scratch...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = c // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = c
+			scratch = g.neighbors(j, scratch[:0])
+			if len(scratch) >= opt.MinPts {
+				queue = append(queue, scratch...)
+			}
+		}
+	}
+	return labels, nil
+}
+
+// NumClusters returns the number of distinct non-noise labels.
+func NumClusters(labels []int) int {
+	maxL := -1
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL + 1
+}
+
+// Sizes returns the population of each cluster label plus the noise count.
+func Sizes(labels []int) (sizes []int, noise int) {
+	sizes = make([]int, NumClusters(labels))
+	for _, l := range labels {
+		if l == Noise {
+			noise++
+			continue
+		}
+		sizes[l]++
+	}
+	return sizes, noise
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+func TestRefineHandlesVaryingDensities(t *testing.T) {
+	// One tight blob, one diffuse blob: the refinement ladder must find
+	// both as single clusters, which no single eps does well.
+	rng := sim.NewRNG(7)
+	var pts []Point
+	pts = append(pts, blob(rng, 150, 0.1, 0.1, 0.008)...)
+	pts = append(pts, blob(rng, 150, 0.7, 0.5, 0.05)...)
+	labels, err := Refine(pts, DefaultRefineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NumClusters(labels)
+	if k != 2 {
+		t.Fatalf("refinement found %d clusters, want 2", k)
+	}
+	sizes, noise := Sizes(labels)
+	if noise > 30 {
+		t.Fatalf("refinement left %d points as noise", noise)
+	}
+	for i, s := range sizes {
+		if s < 120 {
+			t.Fatalf("cluster %d has only %d members", i, s)
+		}
+	}
+	// Purity: the two blobs must not share a label.
+	if labels[0] == labels[200] {
+		t.Fatal("tight and diffuse blobs merged")
+	}
+}
+
+func TestRefineEmptyAndValidation(t *testing.T) {
+	labels, err := Refine(nil, DefaultRefineOptions())
+	if err != nil || len(labels) != 0 {
+		t.Fatalf("empty input: %v %v", labels, err)
+	}
+	bad := []RefineOptions{
+		{MinPts: 0, EpsMax: 1, Steps: 1},
+		{MinPts: 1, EpsMax: 0, Steps: 1},
+		{MinPts: 1, EpsMax: 1, Steps: 0},
+	}
+	for i, o := range bad {
+		if _, err := Refine([]Point{{0, 0}}, o); err == nil {
+			t.Errorf("bad refine options %d accepted", i)
+		}
+	}
+}
+
+func TestRefineDeterministicNumbering(t *testing.T) {
+	rng := sim.NewRNG(11)
+	var pts []Point
+	pts = append(pts, blob(rng, 60, 0, 0, 0.01)...)
+	pts = append(pts, blob(rng, 120, 1, 1, 0.01)...)
+	a, _ := Refine(pts, DefaultRefineOptions())
+	b, _ := Refine(pts, DefaultRefineOptions())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("refinement not deterministic")
+		}
+	}
+	// Cluster 0 must be the bigger one (deterministic size ordering).
+	sizes, _ := Sizes(a)
+	if len(sizes) >= 2 && sizes[0] < sizes[1] {
+		t.Fatalf("cluster numbering not size-ordered: %v", sizes)
+	}
+}
+
+func TestRefineKeepsTightClusterAtCoarseEps(t *testing.T) {
+	rng := sim.NewRNG(13)
+	pts := blob(rng, 200, 0.5, 0.5, 0.01)
+	labels, err := Refine(pts, DefaultRefineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumClusters(labels) != 1 {
+		t.Fatalf("single blob split into %d clusters", NumClusters(labels))
+	}
+}
+
+func TestCentroidAndSpread(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	c := centroid(pts, []int{0, 1, 2, 3})
+	if c[0] != 1 || c[1] != 1 {
+		t.Fatalf("centroid = %v", c)
+	}
+	s := rmsSpread(pts, []int{0, 1, 2, 3})
+	want := 1.4142135623730951 // sqrt(2)
+	if diff := s - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("rms spread = %v, want %v", s, want)
+	}
+	if centroid(pts, nil) != nil {
+		t.Fatal("empty centroid not nil")
+	}
+	if rmsSpread(pts, nil) != 0 {
+		t.Fatal("empty spread not 0")
+	}
+}

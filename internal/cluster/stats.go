@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"sort"
+
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// Stat summarizes one burst cluster for reports and for the folding stage's
+// representative-burst selection.
+type Stat struct {
+	// Label is the cluster id.
+	Label int
+	// Size is the number of member bursts.
+	Size int
+	// Region is the dominant instrumented region among members (-1 when
+	// the dominant members are comm-delimited bursts).
+	Region int64
+	// MeanDur, MedianDur, StddevDur describe the member durations.
+	MeanDur   sim.Duration
+	MedianDur sim.Duration
+	StddevDur sim.Duration
+	// TotalTime is the summed duration of all members; together with the
+	// trace's total computation time it gives the cluster's coverage.
+	TotalTime sim.Duration
+	// MedianInstr is the median committed-instruction count of members
+	// whose group captured Instructions.
+	MedianInstr int64
+	// MeanIPC is the mean IPC over members that captured both counters.
+	MeanIPC float64
+}
+
+// Stats computes per-cluster summaries from labelled bursts. Cluster labels
+// must already be written into Burst.Cluster (ClusterBursts or ApplyLabels).
+// The result is sorted by descending total time, the order analysts triage
+// clusters in.
+func Stats(bursts []trace.Burst) []Stat {
+	byLabel := make(map[int][]int)
+	for i := range bursts {
+		l := bursts[i].Cluster
+		if l < 0 {
+			continue
+		}
+		byLabel[l] = append(byLabel[l], i)
+	}
+	out := make([]Stat, 0, len(byLabel))
+	for label, members := range byLabel {
+		st := Stat{Label: label, Size: len(members)}
+		durs := make([]float64, 0, len(members))
+		instrs := make([]float64, 0, len(members))
+		regionCount := make(map[int64]int)
+		var ipcSum float64
+		var ipcN int
+		for _, i := range members {
+			b := &bursts[i]
+			d := b.Duration()
+			durs = append(durs, float64(d))
+			st.TotalTime += d
+			regionCount[b.Region]++
+			if ins, ok := b.Delta.Get(counters.Instructions); ok {
+				instrs = append(instrs, float64(ins))
+				if cyc, ok := b.Delta.Get(counters.Cycles); ok && cyc > 0 {
+					ipcSum += float64(ins) / float64(cyc)
+					ipcN++
+				}
+			}
+		}
+		st.MeanDur = sim.Duration(sim.Mean(durs))
+		st.MedianDur = sim.Duration(sim.Median(durs))
+		st.StddevDur = sim.Duration(sim.Stddev(durs))
+		if len(instrs) > 0 {
+			st.MedianInstr = int64(sim.Median(instrs))
+		}
+		if ipcN > 0 {
+			st.MeanIPC = ipcSum / float64(ipcN)
+		}
+		best, bestN := int64(-1), -1
+		for r, n := range regionCount {
+			if n > bestN || (n == bestN && r < best) {
+				best, bestN = r, n
+			}
+		}
+		st.Region = best
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalTime != out[j].TotalTime {
+			return out[i].TotalTime > out[j].TotalTime
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// ApplyLabels writes labels into Burst.Cluster; lengths must match.
+func ApplyLabels(bursts []trace.Burst, labels []int) {
+	if len(bursts) != len(labels) {
+		panic("cluster: ApplyLabels length mismatch")
+	}
+	for i := range bursts {
+		bursts[i].Cluster = labels[i]
+	}
+}
+
+// Members returns the indices of bursts in cluster label, in input order.
+func Members(bursts []trace.Burst, label int) []int {
+	var out []int
+	for i := range bursts {
+		if bursts[i].Cluster == label {
+			out = append(out, i)
+		}
+	}
+	return out
+}

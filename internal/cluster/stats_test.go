@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+func TestStatsSummaries(t *testing.T) {
+	bursts := []trace.Burst{
+		mkBurst(1000, 2000, 5, 10*sim.Microsecond),
+		mkBurst(1000, 2000, 5, 20*sim.Microsecond),
+		mkBurst(1000, 2000, 5, 30*sim.Microsecond),
+		mkBurst(500, 250, 2, 100*sim.Microsecond),
+	}
+	bursts[0].Cluster, bursts[1].Cluster, bursts[2].Cluster = 0, 0, 0
+	bursts[3].Cluster = 1
+	bursts[0].Region, bursts[1].Region, bursts[2].Region = 7, 7, 8
+	bursts[3].Region = 9
+
+	stats := Stats(bursts)
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	// Cluster 1 covers 100us > cluster 0's 60us, so it sorts first.
+	if stats[0].Label != 1 || stats[1].Label != 0 {
+		t.Fatalf("stats order: %+v", stats)
+	}
+	c0 := stats[1]
+	if c0.Size != 3 {
+		t.Fatalf("cluster 0 size %d", c0.Size)
+	}
+	if c0.MedianDur != 20*sim.Microsecond || c0.MeanDur != 20*sim.Microsecond {
+		t.Fatalf("cluster 0 durations: median %v mean %v", c0.MedianDur, c0.MeanDur)
+	}
+	if c0.TotalTime != 60*sim.Microsecond {
+		t.Fatalf("cluster 0 total %v", c0.TotalTime)
+	}
+	if c0.Region != 7 { // 7 appears twice, 8 once
+		t.Fatalf("cluster 0 dominant region %d", c0.Region)
+	}
+	if c0.MedianInstr != 1000 {
+		t.Fatalf("cluster 0 median instructions %d", c0.MedianInstr)
+	}
+	if got := stats[0].MeanIPC; got != 2 { // 500/250
+		t.Fatalf("cluster 1 IPC %v", got)
+	}
+}
+
+func TestStatsIgnoresNoise(t *testing.T) {
+	bursts := []trace.Burst{mkBurst(10, 20, 1, sim.Microsecond)}
+	bursts[0].Cluster = Noise
+	if got := Stats(bursts); len(got) != 0 {
+		t.Fatalf("noise produced stats: %+v", got)
+	}
+}
+
+func TestApplyLabelsAndMembers(t *testing.T) {
+	bursts := []trace.Burst{
+		mkBurst(1, 1, 0, 1), mkBurst(2, 2, 0, 1), mkBurst(3, 3, 0, 1),
+	}
+	ApplyLabels(bursts, []int{1, Noise, 1})
+	if got := Members(bursts, 1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Members = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ApplyLabels(bursts, []int{1})
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"phasefold/internal/simapp"
+)
+
+func BenchmarkRunApp(b *testing.B) {
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 4, Iterations: 200, Seed: 42, FreqGHz: 2}
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunApp(app, cfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeTrace(b *testing.B) {
+	app, err := simapp.NewApp("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 4, Iterations: 200, Seed: 42, FreqGHz: 2}
+	opt := DefaultOptions()
+	run, err := RunApp(app, cfg, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(run.Trace, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEnd(b *testing.B) {
+	app, err := simapp.NewApp("stencil")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 4, Iterations: 150, Seed: 42, FreqGHz: 2}
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AnalyzeApp(app, cfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

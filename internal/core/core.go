@@ -1,0 +1,409 @@
+// Package core assembles the full phase-identification pipeline of the
+// paper: trace acquisition (minimal instrumentation + coarse sampling) →
+// computation-burst extraction → structure detection (clustering) → folding
+// → piece-wise linear regression → phase characterization and source-code
+// attribution. The package's Analyzer is the programmatic API; the module
+// root re-exports it as the public surface.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"phasefold/internal/align"
+	"phasefold/internal/callstack"
+	"phasefold/internal/cluster"
+	"phasefold/internal/counters"
+	"phasefold/internal/folding"
+	"phasefold/internal/instr"
+	"phasefold/internal/metrics"
+	"phasefold/internal/pwl"
+	"phasefold/internal/sampler"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// Options configures the whole pipeline. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// SamplingPeriod is the coarse-grain sampling period.
+	SamplingPeriod sim.Duration
+	// SamplingJitter decorrelates the sampling grid from the loop period.
+	SamplingJitter float64
+	// SampleTrigger and SampleTriggerPeriod select PMU overflow sampling
+	// instead of the timer: a sample fires every SampleTriggerPeriod
+	// counts of SampleTrigger. Zero period keeps time-based sampling.
+	SampleTrigger       counters.ID
+	SampleTriggerPeriod int64
+	// CaptureStacks enables call-stack capture (needed for attribution).
+	CaptureStacks bool
+	// Schedule is the counter multiplex rotation; nil means native (all
+	// counters at once).
+	Schedule *counters.Schedule
+	// ProbeCost models per-probe instrumentation overhead.
+	ProbeCost sim.Duration
+	// MinBurstDuration drops bursts shorter than this before clustering.
+	MinBurstDuration sim.Duration
+	// Features are the burst features for structure detection.
+	Features []cluster.Feature
+	// UseRefinement selects Aggregative Cluster Refinement over plain
+	// DBSCAN.
+	UseRefinement bool
+	// DBSCAN parameterizes plain DBSCAN (used when UseRefinement is off).
+	DBSCAN cluster.DBSCANOptions
+	// Refine parameterizes the refinement ladder.
+	Refine cluster.RefineOptions
+	// Folding controls burst pruning during folding.
+	Folding folding.Options
+	// PWL controls the piece-wise linear regression.
+	PWL pwl.Options
+	// MinFoldedPoints skips fitting clusters whose folded cloud is smaller
+	// than this (not enough signal to regress).
+	MinFoldedPoints int
+}
+
+// DefaultOptions returns the configuration used throughout the experiments:
+// 1 ms sampling — coarser than every phase in the bundled workloads — with
+// stack capture on and the native counter group.
+func DefaultOptions() Options {
+	return Options{
+		SamplingPeriod:   1 * sim.Millisecond,
+		SamplingJitter:   0.3,
+		CaptureStacks:    true,
+		MinBurstDuration: 20 * sim.Microsecond,
+		Features:         cluster.DefaultFeatures(),
+		DBSCAN:           cluster.DBSCANOptions{Eps: 0.05, MinPts: 4},
+		Refine:           cluster.DefaultRefineOptions(),
+		Folding:          folding.DefaultOptions(),
+		PWL:              pwl.DefaultOptions(),
+		MinFoldedPoints:  64,
+	}
+}
+
+// Phase is one detected performance phase inside a cluster's synthetic
+// burst: an interval of normalized time with homogeneous rates, attributed
+// to a source construct.
+type Phase struct {
+	// X0, X1 bound the phase in normalized time.
+	X0, X1 float64
+	// Duration is the phase's share of the representative burst duration.
+	Duration sim.Duration
+	// Rates are the reconstructed absolute counter rates (counts/second);
+	// RatesOK marks counters that were captured and fit.
+	Rates   [counters.NumIDs]float64
+	RatesOK [counters.NumIDs]bool
+	// Metrics are the derived per-phase metrics; MetricsOK marks the
+	// computable ones.
+	Metrics   [counters.NumMetrics]float64
+	MetricsOK [counters.NumMetrics]bool
+	// Attribution is the dominant source construct (valid when Attributed).
+	Attribution folding.Attribution
+	Attributed  bool
+	// Source is the human-readable attribution, e.g. "cg.spmv (cg/spmv.c:122)".
+	Source string
+	// Profile is the folded per-line sample histogram of the phase
+	// (descending by weight, truncated to the top entries) — the zoomed-in
+	// view behind the Source headline.
+	Profile []folding.LineProfile
+}
+
+// MIPS returns the phase's reconstructed MIPS (0 when unavailable).
+func (p *Phase) MIPS() float64 {
+	if !p.MetricsOK[counters.MIPS] {
+		return 0
+	}
+	return p.Metrics[counters.MIPS]
+}
+
+// ClusterAnalysis is the full analysis of one detected computation region.
+type ClusterAnalysis struct {
+	// Label is the cluster id; Stat the clustering summary.
+	Label int
+	Stat  cluster.Stat
+	// Folded is the folded cloud the fits were made on.
+	Folded *folding.Folded
+	// Fit is the primary (Instructions) piece-wise linear model; nil when
+	// the cloud was too sparse to fit.
+	Fit *pwl.Model
+	// Phases are the detected phases, in time order.
+	Phases []Phase
+}
+
+// Model is the result of analyzing one trace.
+type Model struct {
+	// App names the analyzed application.
+	App string
+	// NumBursts is the number of computation bursts extracted; NumClusters
+	// counts the detected structure; NoiseBursts the unclustered rest.
+	NumBursts   int
+	NumClusters int
+	NoiseBursts int
+	// TotalComputation is the summed duration of all bursts.
+	TotalComputation sim.Duration
+	// SPMDScore is the sequence-alignment structure-quality score in
+	// [0,1] (1 = every rank runs the identical cluster sequence).
+	SPMDScore float64
+	// Clusters holds per-cluster analyses, ordered by descending total
+	// time (the analyst's triage order).
+	Clusters []*ClusterAnalysis
+	// Bursts are the labelled bursts (for downstream tooling).
+	Bursts []trace.Burst
+}
+
+// Cluster returns the analysis of the given label, or nil.
+func (m *Model) Cluster(label int) *ClusterAnalysis {
+	for _, c := range m.Clusters {
+		if c.Label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// ClusterByRegion returns the dominant-region cluster analysis for a region
+// id, or nil. When several clusters share the region, the one covering the
+// most time wins (they are ordered that way).
+func (m *Model) ClusterByRegion(region int64) *ClusterAnalysis {
+	for _, c := range m.Clusters {
+		if c.Stat.Region == region {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunResult bundles everything a simulated acquisition produces.
+type RunResult struct {
+	Trace *trace.Trace
+	Truth *simapp.Truth
+	Stats instr.Stats
+}
+
+// RunApp executes a simulated application under the acquisition
+// configuration in opt and returns the trace plus ground truth.
+func RunApp(app simapp.App, cfg simapp.Config, opt Options) (*RunResult, error) {
+	tr := trace.New(app.Name(), cfg.Ranks, nil, nil)
+	tracer := instr.New(tr, instr.Options{Schedule: opt.Schedule, ProbeCost: opt.ProbeCost})
+	runner := &simapp.Runner{}
+	if opt.SamplingPeriod > 0 || opt.SampleTriggerPeriod > 0 {
+		runner.Attach = func(m *simapp.Machine) {
+			sampler.Attach(tr, m, sampler.Options{
+				Period:        opt.SamplingPeriod,
+				JitterFrac:    opt.SamplingJitter,
+				CaptureStacks: opt.CaptureStacks,
+				Seed:          cfg.Seed ^ 0xABCD,
+				Trigger:       opt.SampleTrigger,
+				TriggerPeriod: opt.SampleTriggerPeriod,
+			})
+		}
+	}
+	truth, err := runner.Run(app, cfg, tr.Symbols, tracer)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", app.Name(), err)
+	}
+	return &RunResult{Trace: tr, Truth: truth, Stats: tracer.Stats()}, nil
+}
+
+// Analyze runs the analysis pipeline over an acquired trace.
+func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
+	bursts, err := trace.ExtractBursts(tr, trace.BurstOptions{MinDuration: opt.MinBurstDuration})
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting bursts: %w", err)
+	}
+	if len(bursts) == 0 {
+		return nil, fmt.Errorf("core: trace contains no computation bursts")
+	}
+	trace.SortBursts(bursts)
+
+	labels, err := clusterBursts(bursts, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: structure detection: %w", err)
+	}
+	model := &Model{
+		App:              tr.AppName,
+		NumBursts:        len(bursts),
+		NumClusters:      cluster.NumClusters(labels),
+		TotalComputation: trace.TotalComputation(bursts),
+		Bursts:           bursts,
+	}
+	_, model.NoiseBursts = cluster.Sizes(labels)
+	model.SPMDScore = spmdScore(tr.NumRanks(), bursts)
+
+	stats := cluster.Stats(bursts)
+	folds, err := folding.FoldAll(tr, bursts, opt.Folding)
+	if err != nil {
+		return nil, fmt.Errorf("core: folding: %w", err)
+	}
+	foldByLabel := make(map[int]*folding.Folded, len(folds))
+	for _, f := range folds {
+		foldByLabel[f.Cluster] = f
+	}
+	// Per-cluster fitting is independent work (each cluster has its own
+	// folded cloud); fit them concurrently, bounded by the CPU count. The
+	// result order and content stay deterministic: slots are pre-assigned
+	// by cluster rank and the fits themselves are pure.
+	model.Clusters = make([]*ClusterAnalysis, len(stats))
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, st := range stats {
+		ca := &ClusterAnalysis{Label: st.Label, Stat: st, Folded: foldByLabel[st.Label]}
+		model.Clusters[i] = ca
+		if ca.Folded == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ca *ClusterAnalysis) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fitCluster(tr, ca, opt); err != nil {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("core: cluster %d: %w", ca.Label, err)
+				})
+			}
+		}(ca)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return model, nil
+}
+
+// AnalyzeApp is the one-call convenience: run the app and analyze the trace.
+func AnalyzeApp(app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
+	run, err := RunApp(app, cfg, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := Analyze(run.Trace, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, run, nil
+}
+
+func clusterBursts(bursts []trace.Burst, opt Options) ([]int, error) {
+	if !opt.UseRefinement {
+		return cluster.ClusterBursts(bursts, opt.Features, opt.DBSCAN)
+	}
+	pts, valid := cluster.Extract(bursts, opt.Features)
+	cluster.Normalize(pts, valid, cluster.MinSpans(opt.Features))
+	idx := make([]int, 0, len(bursts))
+	sub := make([]cluster.Point, 0, len(bursts))
+	for i := range pts {
+		if valid[i] {
+			idx = append(idx, i)
+			sub = append(sub, pts[i])
+		}
+	}
+	subLabels, err := cluster.Refine(sub, opt.Refine)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(bursts))
+	for i := range labels {
+		labels[i] = cluster.Noise
+	}
+	for k, i := range idx {
+		labels[i] = subLabels[k]
+	}
+	cluster.ApplyLabels(bursts, labels)
+	return labels, nil
+}
+
+// spmdScore aligns the per-rank cluster-label sequences and scores their
+// agreement.
+func spmdScore(nRanks int, bursts []trace.Burst) float64 {
+	if nRanks < 2 {
+		return 1
+	}
+	seqs := make([][]int, nRanks)
+	for i := range bursts {
+		b := &bursts[i]
+		if b.Cluster >= 0 {
+			seqs[b.Rank] = append(seqs[b.Rank], b.Cluster)
+		}
+	}
+	msa, err := align.Progressive(seqs, align.DefaultScoring())
+	if err != nil {
+		return 0
+	}
+	return msa.SPMDScore()
+}
+
+// fitCluster fits the PWL models and assembles the phase list of one
+// cluster.
+func fitCluster(tr *trace.Trace, ca *ClusterAnalysis, opt Options) error {
+	f := ca.Folded
+	xs, ys := pointsOf(f, counters.Instructions)
+	if len(xs) < opt.MinFoldedPoints {
+		return nil // too sparse: keep cluster stats, skip phase model
+	}
+	fit, err := pwl.Fit(xs, ys, opt.PWL)
+	if err != nil {
+		return fmt.Errorf("fitting instructions: %w", err)
+	}
+	ca.Fit = fit
+
+	// Re-fit every other captured counter at the primary breakpoints.
+	fits := make(map[counters.ID]*pwl.Model, counters.NumIDs)
+	fits[counters.Instructions] = fit
+	for id := counters.ID(0); id < counters.NumIDs; id++ {
+		if id == counters.Instructions {
+			continue
+		}
+		cx, cy := pointsOf(f, id)
+		if len(cx) < opt.MinFoldedPoints/2 {
+			continue
+		}
+		cm, err := pwl.FitWithBreakpoints(cx, cy, fit.Breakpoints, opt.PWL)
+		if err != nil {
+			continue // sparse or degenerate counter cloud: skip it
+		}
+		fits[id] = cm
+	}
+
+	for _, seg := range fit.Segments() {
+		ph := Phase{X0: seg.X0, X1: seg.X1}
+		ph.Duration = sim.Duration(float64(f.RepDuration) * (seg.X1 - seg.X0))
+		mid := (seg.X0 + seg.X1) / 2
+		for id, cm := range fits {
+			scale, ok := f.RateScale(id)
+			if !ok {
+				continue
+			}
+			ph.Rates[id] = scale * cm.SlopeAt(mid)
+			ph.RatesOK[id] = true
+		}
+		ph.Metrics, ph.MetricsOK = metrics.MetricsFromRates(ph.Rates, ph.RatesOK)
+		if attr, ok := folding.Attribute(f, tr.Stacks, seg.X0, seg.X1); ok {
+			ph.Attribution = attr
+			ph.Attributed = true
+			ph.Source = tr.Symbols.FormatFrame(callstack.Frame{Routine: attr.Routine, Line: attr.Line})
+			ph.Profile = folding.Profile(f, tr.Stacks, seg.X0, seg.X1)
+			if len(ph.Profile) > 5 {
+				ph.Profile = ph.Profile[:5]
+			}
+		}
+		ca.Phases = append(ca.Phases, ph)
+	}
+	return nil
+}
+
+func pointsOf(f *folding.Folded, id counters.ID) (xs, ys []float64) {
+	pts := f.Points[id]
+	xs = make([]float64, len(pts))
+	ys = make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	return xs, ys
+}

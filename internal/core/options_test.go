@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+)
+
+func TestMinFoldedPointsGate(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MinFoldedPoints = 1 << 30 // impossible to reach
+	cfg := simapp.Config{Ranks: 2, Iterations: 100, Seed: 3, FreqGHz: 2}
+	model, _ := analyzeApp(t, "multiphase", cfg, opt)
+	for _, ca := range model.Clusters {
+		if ca.Fit != nil {
+			t.Fatal("fit produced below the folded-points gate")
+		}
+	}
+	// Clustering results survive even without fits.
+	if model.NumClusters < 1 {
+		t.Fatal("clustering lost without fits")
+	}
+}
+
+func TestMinBurstDurationFiltersSlivers(t *testing.T) {
+	strict := DefaultOptions()
+	strict.MinBurstDuration = 500 * sim.Microsecond
+	loose := DefaultOptions()
+	loose.MinBurstDuration = 0
+	cfg := simapp.Config{Ranks: 2, Iterations: 60, Seed: 3, FreqGHz: 2}
+	mStrict, _ := analyzeApp(t, "cg", cfg, strict)
+	mLoose, _ := analyzeApp(t, "cg", cfg, loose)
+	if mStrict.NumBursts >= mLoose.NumBursts {
+		t.Fatalf("strict min-duration kept %d bursts, loose %d", mStrict.NumBursts, mLoose.NumBursts)
+	}
+	// The dot region (180 us) must be gone under the strict filter.
+	if mStrict.ClusterByRegion(simapp.RegionCGDot) != nil {
+		t.Fatal("dot bursts survived a 500 us minimum duration")
+	}
+}
+
+func TestOverflowSamplingThroughPipeline(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SamplingPeriod = 0
+	opt.SampleTrigger = counters.Instructions
+	opt.SampleTriggerPeriod = 2_500_000
+	cfg := simapp.Config{Ranks: 2, Iterations: 300, Seed: 5, FreqGHz: 2}
+	model, run := analyzeApp(t, "multiphase", cfg, opt)
+	if run.Trace.NumSamples() == 0 {
+		t.Fatal("overflow sampling produced no samples")
+	}
+	ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+	if ca == nil || ca.Fit == nil {
+		t.Fatal("no fit from overflow-sampled trace")
+	}
+	if len(ca.Phases) != 4 {
+		t.Fatalf("overflow sampling found %d phases, want 4", len(ca.Phases))
+	}
+}
+
+func TestProbeCostThroughPipeline(t *testing.T) {
+	opt := DefaultOptions()
+	opt.ProbeCost = 2 * sim.Microsecond
+	cfg := simapp.Config{Ranks: 1, Iterations: 100, Seed: 5, FreqGHz: 2}
+	model, run := analyzeApp(t, "multiphase", cfg, opt)
+	if run.Stats.ProbeTime == 0 {
+		t.Fatal("probe time not accounted")
+	}
+	// The analysis must still work; probes dilate but do not corrupt.
+	if ca := model.ClusterByRegion(simapp.RegionMultiphaseStep); ca == nil || len(ca.Phases) != 4 {
+		t.Fatal("probe cost corrupted the analysis")
+	}
+}
+
+func TestPerPhaseEnergyAvailable(t *testing.T) {
+	cfg := simapp.Config{Ranks: 2, Iterations: 150, Seed: 5, FreqGHz: 2}
+	model, _ := analyzeApp(t, "multiphase", cfg, DefaultOptions())
+	ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+	if ca == nil {
+		t.Fatal("region missing")
+	}
+	for i, ph := range ca.Phases {
+		if !ph.MetricsOK[counters.PowerW] {
+			t.Fatalf("phase %d missing power metric", i)
+		}
+		if w := ph.Metrics[counters.PowerW]; w < 10 || w > 60 {
+			t.Fatalf("phase %d power %v W implausible", i, w)
+		}
+	}
+}

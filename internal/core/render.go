@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/report"
+	"phasefold/internal/sim"
+)
+
+// SummaryTable renders the model's structure-detection overview.
+func (m *Model) SummaryTable() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("%s: structure (%d bursts, %d clusters, %d noise, SPMD %.3f)",
+			m.App, m.NumBursts, m.NumClusters, m.NoiseBursts, m.SPMDScore),
+		"cluster", "region", "bursts", "median_dur", "total_time", "coverage_pct", "mean_IPC", "phases")
+	for _, ca := range m.Clusters {
+		coverage := 0.0
+		if m.TotalComputation > 0 {
+			coverage = 100 * float64(ca.Stat.TotalTime) / float64(m.TotalComputation)
+		}
+		tb.AddRow(ca.Label, ca.Stat.Region, ca.Stat.Size, ca.Stat.MedianDur.String(),
+			ca.Stat.TotalTime.String(), coverage, ca.Stat.MeanIPC, len(ca.Phases))
+	}
+	return tb
+}
+
+// PhaseTable renders one cluster's detected phases with metrics and source
+// attribution.
+func (ca *ClusterAnalysis) PhaseTable() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("cluster %d: phases (rep. duration %s, %d folded bursts)",
+			ca.Label, ca.Folded.RepDuration, ca.Folded.UsedBursts),
+		"phase", "x0", "x1", "duration", "MIPS", "IPC", "L1/KI", "L3/KI", "br_miss_%", "source", "share")
+	for i, ph := range ca.Phases {
+		src, share := "-", "-"
+		if ph.Attributed {
+			src = ph.Source
+			share = fmt.Sprintf("%.2f", ph.Attribution.Share)
+		}
+		metric := func(m counters.Metric) any {
+			if !ph.MetricsOK[m] {
+				return "-"
+			}
+			return ph.Metrics[m]
+		}
+		tb.AddRow(i, ph.X0, ph.X1, ph.Duration.String(),
+			metric(counters.MIPS), metric(counters.IPC), metric(counters.L1MissRatio),
+			metric(counters.L3MissRatio), metric(counters.BranchMissPct), src, share)
+	}
+	return tb
+}
+
+// Timeline renders the burst population as a per-rank cluster timeline —
+// the ASCII counterpart of Paraver's cluster view. nRanks rows; each burst
+// drawn with its cluster's code character.
+func (m *Model) Timeline(nRanks int) *report.Timeline {
+	var end sim.Time
+	for i := range m.Bursts {
+		if m.Bursts[i].End > end {
+			end = m.Bursts[i].End
+		}
+	}
+	tl := report.NewTimeline(fmt.Sprintf("%s: cluster timeline", m.App), nRanks, end)
+	for i := range m.Bursts {
+		b := &m.Bursts[i]
+		tl.Add(report.TimelineSeg{
+			Rank:  b.Rank,
+			Start: b.Start,
+			End:   b.End,
+			Code:  report.ClusterCode(b.Cluster),
+		})
+	}
+	return tl
+}
+
+// SourceProfileTable renders the per-phase folded line profiles: for each
+// phase, the top source lines by folded-sample weight. This is the view the
+// analyst opens after the headline attribution, to see what else executes
+// inside a phase.
+func (ca *ClusterAnalysis) SourceProfileTable(syms *callstack.SymbolTable) *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("cluster %d: per-phase source profile", ca.Label),
+		"phase", "rank", "source", "share", "samples")
+	for i := range ca.Phases {
+		ph := &ca.Phases[i]
+		for k, lp := range ph.Profile {
+			tb.AddRow(i, k+1,
+				syms.FormatFrame(callstack.Frame{Routine: lp.Routine, Line: lp.Line}),
+				lp.Share, lp.Count)
+		}
+	}
+	return tb
+}
+
+// FoldedPlot renders one cluster's folded cloud for a counter as a scatter
+// plot with the fitted piece-wise linear model overlaid — the paper's
+// canonical per-region figure.
+func (ca *ClusterAnalysis) FoldedPlot(id counters.ID) *report.Plot {
+	p := report.NewPlot(
+		fmt.Sprintf("cluster %d: folded %s cloud + PWL fit", ca.Label, id),
+		"normalized cumulative "+id.String())
+	pts := ca.Folded.Points[id]
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.X
+		ys[i] = pt.Y
+	}
+	p.Add(report.Series{Name: "folded samples", Xs: xs, Values: ys, Marker: '.'})
+	if ca.Fit != nil && id == counters.Instructions {
+		const grid = 73
+		fit := make([]float64, grid)
+		for i := range fit {
+			fit[i] = ca.Fit.Eval(float64(i) / float64(grid-1))
+		}
+		p.Add(report.Series{Name: "PWL fit", Values: fit, Marker: '*'})
+	}
+	return p
+}
+
+// WriteReport renders the full analyst-facing report: the structure summary
+// followed by a phase table per fitted cluster.
+func (m *Model) WriteReport(w io.Writer) error {
+	if err := m.SummaryTable().Render(w); err != nil {
+		return err
+	}
+	for _, ca := range m.Clusters {
+		if ca.Fit == nil {
+			continue
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := ca.PhaseTable().Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

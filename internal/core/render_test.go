@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"phasefold/internal/counters"
+	"phasefold/internal/simapp"
+)
+
+func renderModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := simapp.Config{Ranks: 2, Iterations: 80, Seed: 3, FreqGHz: 2}
+	model, _ := analyzeApp(t, "cg", cfg, DefaultOptions())
+	return model
+}
+
+func TestSummaryTable(t *testing.T) {
+	model := renderModel(t)
+	out := model.SummaryTable().String()
+	if !strings.Contains(out, "cg: structure") {
+		t.Fatalf("summary header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "coverage_pct") {
+		t.Fatal("coverage column missing")
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	model := renderModel(t)
+	var fitted *ClusterAnalysis
+	for _, ca := range model.Clusters {
+		if ca.Fit != nil {
+			fitted = ca
+			break
+		}
+	}
+	if fitted == nil {
+		t.Fatal("no fitted cluster")
+	}
+	out := fitted.PhaseTable().String()
+	for _, col := range []string{"MIPS", "IPC", "source"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("column %q missing:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "cg.") {
+		t.Fatal("no source attribution rendered")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	model := renderModel(t)
+	var b strings.Builder
+	if err := model.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "== cluster") < 2 {
+		t.Fatalf("report misses per-cluster sections:\n%s", out)
+	}
+}
+
+func TestModelTimeline(t *testing.T) {
+	model := renderModel(t)
+	out := model.Timeline(2).String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Fatalf("timeline rows missing:\n%s", out)
+	}
+	// All detected clusters must appear.
+	for _, ca := range model.Clusters {
+		code := string(rune('0' + ca.Label))
+		if ca.Label > 9 {
+			continue
+		}
+		if !strings.Contains(out, code) {
+			t.Errorf("cluster %d not drawn on the timeline", ca.Label)
+		}
+	}
+}
+
+func TestPhaseProfilesPopulated(t *testing.T) {
+	model := renderModel(t)
+	for _, ca := range model.Clusters {
+		for i, ph := range ca.Phases {
+			if !ph.Attributed {
+				continue
+			}
+			if len(ph.Profile) == 0 {
+				t.Fatalf("cluster %d phase %d: empty profile", ca.Label, i)
+			}
+			if len(ph.Profile) > 5 {
+				t.Fatalf("cluster %d phase %d: profile not truncated (%d)", ca.Label, i, len(ph.Profile))
+			}
+			// The dominant profile line must agree with the attribution.
+			if ph.Profile[0].Routine != ph.Attribution.Routine {
+				t.Fatalf("cluster %d phase %d: profile head %d vs attribution %d",
+					ca.Label, i, ph.Profile[0].Routine, ph.Attribution.Routine)
+			}
+		}
+	}
+}
+
+func TestSourceProfileTable(t *testing.T) {
+	cfg := simapp.Config{Ranks: 2, Iterations: 80, Seed: 3, FreqGHz: 2}
+	app, err := simapp.NewApp("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, run, err := AnalyzeApp(app, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fitted *ClusterAnalysis
+	for _, ca := range model.Clusters {
+		if ca.Fit != nil {
+			fitted = ca
+			break
+		}
+	}
+	out := fitted.SourceProfileTable(run.Trace.Symbols).String()
+	if !strings.Contains(out, "per-phase source profile") || !strings.Contains(out, "cg.") {
+		t.Fatalf("source profile table:\n%s", out)
+	}
+}
+
+func TestFoldedPlot(t *testing.T) {
+	model := renderModel(t)
+	var fitted *ClusterAnalysis
+	for _, ca := range model.Clusters {
+		if ca.Fit != nil {
+			fitted = ca
+			break
+		}
+	}
+	if fitted == nil {
+		t.Fatal("no fitted cluster")
+	}
+	out := fitted.FoldedPlot(counters.Instructions).String()
+	if !strings.Contains(out, "folded samples") || !strings.Contains(out, "PWL fit") {
+		t.Fatalf("plot legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, ".") {
+		t.Fatal("plot marks missing")
+	}
+}

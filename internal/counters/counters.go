@@ -1,0 +1,156 @@
+// Package counters models hardware performance counters the way a
+// PAPI-based tracing runtime sees them: a small set of monotonically
+// increasing 64-bit counts read at discrete points in time, from which
+// derived metrics (IPC, MIPS, miss ratios) are computed over intervals.
+//
+// The package also implements counter-group multiplexing and the
+// extrapolation scheme of González et al. (ICPADS 2010): processors expose
+// more counters than can be read simultaneously, so the tracing runtime
+// rotates through counter groups across iterations and the analysis
+// reconstructs the full metric set per region afterwards.
+package counters
+
+import "fmt"
+
+// ID identifies one hardware event. The set mirrors the PAPI preset events
+// the folding papers report (instructions, cycles, cache levels, branches,
+// floating point), which is enough to express every derived metric used in
+// the evaluation.
+type ID uint8
+
+// The counter identifiers. NumIDs must stay last.
+const (
+	Instructions ID = iota // PAPI_TOT_INS: committed instructions
+	Cycles                 // PAPI_TOT_CYC: core cycles
+	L1DMisses              // PAPI_L1_DCM: L1 data cache misses
+	L2Misses               // PAPI_L2_TCM: L2 cache misses
+	L3Misses               // PAPI_L3_TCM: last-level cache misses
+	Loads                  // PAPI_LD_INS: load instructions
+	Stores                 // PAPI_SR_INS: store instructions
+	Branches               // PAPI_BR_INS: branch instructions
+	BranchMisses           // PAPI_BR_MSP: mispredicted branches
+	FPOps                  // PAPI_FP_OPS: floating point operations
+	Energy                 // RAPL_PKG_ENERGY: package energy in nanojoules
+	NumIDs                 // number of counter identifiers
+)
+
+var idNames = [NumIDs]string{
+	Instructions: "PAPI_TOT_INS",
+	Cycles:       "PAPI_TOT_CYC",
+	L1DMisses:    "PAPI_L1_DCM",
+	L2Misses:     "PAPI_L2_TCM",
+	L3Misses:     "PAPI_L3_TCM",
+	Loads:        "PAPI_LD_INS",
+	Stores:       "PAPI_SR_INS",
+	Branches:     "PAPI_BR_INS",
+	BranchMisses: "PAPI_BR_MSP",
+	FPOps:        "PAPI_FP_OPS",
+	Energy:       "RAPL_PKG_ENERGY",
+}
+
+// String returns the PAPI-style name of the counter.
+func (id ID) String() string {
+	if id < NumIDs {
+		return idNames[id]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(id))
+}
+
+// Valid reports whether id names a real counter.
+func (id ID) Valid() bool { return id < NumIDs }
+
+// ParseID resolves a PAPI-style name back to an ID.
+func ParseID(name string) (ID, error) {
+	for i := ID(0); i < NumIDs; i++ {
+		if idNames[i] == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("counters: unknown counter %q", name)
+}
+
+// AllIDs returns every counter identifier in declaration order.
+func AllIDs() []ID {
+	ids := make([]ID, NumIDs)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return ids
+}
+
+// Set is a snapshot of all counters at one instant. Counters the reading
+// hardware group did not cover are represented by Missing.
+type Set [NumIDs]int64
+
+// Missing marks a counter value that was not captured (e.g. because its
+// multiplex group was not active when the sample fired).
+const Missing int64 = -1
+
+// Sub returns the per-counter delta s - base. If either side of a counter is
+// Missing, the delta for that counter is Missing.
+func (s Set) Sub(base Set) Set {
+	var d Set
+	for i := range s {
+		if s[i] == Missing || base[i] == Missing {
+			d[i] = Missing
+			continue
+		}
+		d[i] = s[i] - base[i]
+	}
+	return d
+}
+
+// Add returns the per-counter sum s + o, propagating Missing.
+func (s Set) Add(o Set) Set {
+	var d Set
+	for i := range s {
+		if s[i] == Missing || o[i] == Missing {
+			d[i] = Missing
+			continue
+		}
+		d[i] = s[i] + o[i]
+	}
+	return d
+}
+
+// Get returns the value of counter id and whether it was captured.
+func (s Set) Get(id ID) (int64, bool) {
+	if !id.Valid() {
+		return 0, false
+	}
+	v := s[id]
+	return v, v != Missing
+}
+
+// Complete reports whether every counter in the set was captured.
+func (s Set) Complete() bool {
+	for _, v := range s {
+		if v == Missing {
+			return false
+		}
+	}
+	return true
+}
+
+// MaskedTo returns a copy of s where every counter outside keep is Missing.
+func (s Set) MaskedTo(keep []ID) Set {
+	var out Set
+	for i := range out {
+		out[i] = Missing
+	}
+	for _, id := range keep {
+		if id.Valid() {
+			out[id] = s[id]
+		}
+	}
+	return out
+}
+
+// AllMissing returns a set with every counter marked Missing.
+func AllMissing() Set {
+	var s Set
+	for i := range s {
+		s[i] = Missing
+	}
+	return s
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/metrics"
+	"phasefold/internal/report"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+)
+
+// F1FoldedProfile regenerates the paper's flagship figure: the folded
+// instruction-rate profile of a fine-grained multi-phase region,
+// reconstructed from coarse samples, overlaid with the ground truth, plus
+// the detected phase table with per-phase metrics and source attribution.
+func F1FoldedProfile() (*Result, error) {
+	res := newResult("F1", "Folded MIPS profile of the multiphase region (4 phases, 1 ms sampling)")
+	cfg := defaultCfg()
+	opt := core.DefaultOptions()
+	model, run, err := analyze("multiphase", cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+	if ca == nil || ca.Fit == nil {
+		return nil, fmt.Errorf("experiments: multiphase region not reconstructed")
+	}
+	rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+
+	const grid = 96
+	got, _ := reconstructedMIPS(ca, grid)
+	want := metrics.SampleTruthRates(truthMIPS(rt), grid)
+	plot := report.NewPlot("F1: instantaneous MIPS over normalized region time", "MIPS")
+	plot.Add(report.Series{Name: "PWL reconstruction", Values: got})
+	plot.Add(report.Series{Name: "ground truth", Values: want})
+	res.Plots = append(res.Plots, plot)
+
+	tb := report.NewTable("F1: detected phases", "phase", "x0", "x1", "dur", "MIPS", "IPC", "L1/KI", "source", "share")
+	for i, ph := range ca.Phases {
+		src, share := "-", 0.0
+		if ph.Attributed {
+			src = ph.Source
+			share = ph.Attribution.Share
+		}
+		tb.AddRow(i, ph.X0, ph.X1, ph.Duration.String(),
+			ph.Metrics[counters.MIPS], ph.Metrics[counters.IPC], ph.Metrics[counters.L1MissRatio],
+			src, share)
+	}
+	res.Tables = append(res.Tables, tb)
+
+	mae, err := profileError(ca, rt, grid)
+	if err != nil {
+		return nil, err
+	}
+	be := metrics.CompareBreakpoints(ca.Fit.Breakpoints, rt.Breakpoints(), 0.03)
+	res.Metrics["profile_rel_mae"] = mae
+	res.Metrics["breakpoint_f1"] = be.F1()
+	res.Metrics["phases_detected"] = float64(len(ca.Phases))
+	res.Metrics["phases_true"] = float64(len(rt.Phases))
+	res.Metrics["folded_points"] = float64(ca.Folded.NumPoints(counters.Instructions))
+	res.Metrics["sampling_period_us"] = float64(opt.SamplingPeriod) / 1e3
+	return res, nil
+}
+
+// F2ErrorVsIterations sweeps the iteration count: more instances folded
+// means a denser cloud and a better reconstruction. The paper's folding
+// premise is exactly this convergence.
+func F2ErrorVsIterations() (*Result, error) {
+	res := newResult("F2", "Reconstruction error vs folded iterations (multiphase, 1 ms sampling)")
+	tb := report.NewTable("F2: error vs iterations",
+		"iterations", "folded_points", "rel_mae", "breakpoint_f1", "mean_bp_offset")
+	iters := []int{10, 25, 50, 100, 200, 500, 1000}
+	var series []float64
+	for _, n := range iters {
+		cfg := defaultCfg()
+		cfg.Iterations = n
+		model, run, err := analyze("multiphase", cfg, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+		rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+		if ca == nil || ca.Fit == nil {
+			tb.AddRow(n, 0, "-", "-", "-")
+			series = append(series, 1)
+			continue
+		}
+		mae, err := profileError(ca, rt, 96)
+		if err != nil {
+			return nil, err
+		}
+		be := metrics.CompareBreakpoints(ca.Fit.Breakpoints, rt.Breakpoints(), 0.03)
+		tb.AddRow(n, ca.Folded.NumPoints(counters.Instructions), mae, be.F1(), be.MeanAbsOffset)
+		series = append(series, mae)
+		res.Metrics[fmt.Sprintf("rel_mae_iters_%d", n)] = mae
+	}
+	res.Tables = append(res.Tables, tb)
+	plot := report.NewPlot("F2: relative MAE vs iterations (log-ordered sweep)", "rel MAE")
+	plot.Add(report.Series{Name: "rel_mae", Values: series})
+	res.Plots = append(res.Plots, plot)
+	return res, nil
+}
+
+// F3CoarseVsFine compares reconstructions at increasingly coarse sampling
+// against the same pipeline running at fine-grain sampling, validating the
+// ICPP'11 claim that folding from coarse sampling resembles fine-grain
+// sampling with <5% mean difference.
+func F3CoarseVsFine() (*Result, error) {
+	res := newResult("F3", "Folding at coarse sampling vs fine-grain sampling (multiphase)")
+	tb := report.NewTable("F3: sampling-period sweep",
+		"period", "samples", "samples_per_burst", "rel_mae_vs_truth", "rel_mae_vs_fine")
+	periods := []sim.Duration{
+		250 * sim.Microsecond, // "fine": several samples per burst
+		1 * sim.Millisecond,
+		4 * sim.Millisecond,
+		16 * sim.Millisecond,
+	}
+	cfg := defaultCfg()
+	cfg.Iterations = 600 // enough folds even at 16 ms
+	const grid = 96
+	var fine []float64
+	for i, p := range periods {
+		opt := core.DefaultOptions()
+		opt.SamplingPeriod = p
+		model, run, err := analyze("multiphase", cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+		rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+		if ca == nil || ca.Fit == nil {
+			return nil, fmt.Errorf("experiments: F3 lost the region at period %v", p)
+		}
+		got, _ := reconstructedMIPS(ca, grid)
+		if i == 0 {
+			fine = got
+		}
+		maeTruth, err := profileError(ca, rt, grid)
+		if err != nil {
+			return nil, err
+		}
+		maeFine := metrics.RelMAE(got, fine)
+		perBurst := float64(run.Trace.NumSamples()) / float64(model.NumBursts)
+		tb.AddRow(p.String(), run.Trace.NumSamples(), perBurst, maeTruth, maeFine)
+		res.Metrics[fmt.Sprintf("rel_mae_vs_fine_p%dus", int64(p)/1000)] = maeFine
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// T1BreakpointAccuracy sweeps sampling period × iteration count and reports
+// breakpoint precision/recall/offset — the quantitative phase-detection
+// accuracy table.
+func T1BreakpointAccuracy() (*Result, error) {
+	res := newResult("T1", "Breakpoint placement accuracy vs sampling period and iterations")
+	tb := report.NewTable("T1: breakpoint accuracy",
+		"period", "iterations", "precision", "recall", "f1", "mean_offset")
+	periods := []sim.Duration{500 * sim.Microsecond, 2 * sim.Millisecond, 8 * sim.Millisecond}
+	iters := []int{50, 200, 800}
+	worstF1 := 1.0
+	bestF1 := 0.0
+	for _, p := range periods {
+		for _, n := range iters {
+			cfg := defaultCfg()
+			cfg.Iterations = n
+			opt := core.DefaultOptions()
+			opt.SamplingPeriod = p
+			model, run, err := analyze("multiphase", cfg, opt)
+			if err != nil {
+				return nil, err
+			}
+			ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+			rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+			if ca == nil || ca.Fit == nil {
+				tb.AddRow(p.String(), n, 0, 0, 0, "-")
+				worstF1 = 0
+				continue
+			}
+			be := metrics.CompareBreakpoints(ca.Fit.Breakpoints, rt.Breakpoints(), 0.03)
+			tb.AddRow(p.String(), n, be.Precision, be.Recall, be.F1(), be.MeanAbsOffset)
+			if f := be.F1(); f < worstF1 {
+				worstF1 = f
+			} else if f > bestF1 {
+				bestF1 = f
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Metrics["worst_f1"] = worstF1
+	res.Metrics["best_f1"] = bestF1
+	return res, nil
+}
+
+// F6PWLvsKernel is the ablation against the earlier smooth-curve fitting:
+// near phase boundaries the kernel smoother blends the two rates while the
+// PWL regression localizes the edge.
+func F6PWLvsKernel() (*Result, error) {
+	res := newResult("F6", "PWL regression vs kernel smoother at phase boundaries (ablation)")
+	cfg := defaultCfg()
+	cfg.Iterations = 600
+	model, run, err := analyze("multiphase", cfg, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+	rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+	if ca == nil || ca.Fit == nil {
+		return nil, fmt.Errorf("experiments: F6 region not reconstructed")
+	}
+	xs, ys := foldedXY(ca, counters.Instructions)
+	km, err := fitKernel(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	scale, _ := ca.Folded.RateScale(counters.Instructions)
+	const grid = 96
+	pwlProf := metrics.SampleRates(ca.Fit, scale/1e6, grid)
+	kerProf := metrics.SampleRates(km, scale/1e6, grid)
+	want := metrics.SampleTruthRates(truthMIPS(rt), grid)
+
+	plot := report.NewPlot("F6: rate profile, PWL vs kernel smoother", "MIPS")
+	plot.Add(report.Series{Name: "PWL", Values: pwlProf})
+	plot.Add(report.Series{Name: "kernel", Values: kerProf})
+	plot.Add(report.Series{Name: "truth", Values: want})
+	res.Plots = append(res.Plots, plot)
+
+	// Edge-local error: the mean error within ±4% of each true boundary.
+	edgeErr := func(prof []float64) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < grid; i++ {
+			x := (float64(i) + 0.5) / grid
+			for _, b := range rt.Breakpoints() {
+				if x > b-0.04 && x < b+0.04 {
+					d := prof[i] - want[i]
+					if d < 0 {
+						d = -d
+					}
+					sum += d / want[i]
+					n++
+					break
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	tb := report.NewTable("F6: fit comparison", "fit", "rel_mae_global", "rel_mae_near_edges")
+	pg, kg := metrics.RelMAE(pwlProf, want), metrics.RelMAE(kerProf, want)
+	pe, ke := edgeErr(pwlProf), edgeErr(kerProf)
+	tb.AddRow("piece-wise linear", pg, pe)
+	tb.AddRow("kernel smoother", kg, ke)
+	res.Tables = append(res.Tables, tb)
+	res.Metrics["pwl_edge_err"] = pe
+	res.Metrics["kernel_edge_err"] = ke
+	res.Metrics["pwl_global_err"] = pg
+	res.Metrics["kernel_global_err"] = kg
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package folding
+
+import (
+	"testing"
+)
+
+func BenchmarkFold1kBursts(b *testing.B) {
+	t := &testing.T{}
+	tr, bursts := buildFoldingTrace(t, 1000, 1.0, 3.0)
+	if t.Failed() {
+		b.Fatal("fixture construction failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fold(tr, bursts, 0, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttribute(b *testing.B) {
+	t := &testing.T{}
+	tr, bursts := buildFoldingTrace(t, 2000, 1.0, 3.0)
+	f, err := Fold(tr, bursts, 0, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x0 := float64(i%10) / 20
+		if _, ok := Attribute(f, tr.Stacks, x0, x0+0.5); !ok {
+			b.Fatal("no attribution")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package folding implements the paper's central mechanism: projecting the
+// sparse samples collected across many instances of a repeated computation
+// region onto the normalized time of a single synthetic instance. Each
+// instance contributes only a few samples, but because the sampling grid is
+// uncorrelated with the region period, the projections land at different
+// offsets, and a few hundred instances produce a dense cloud describing the
+// counter evolution inside the region at a granularity far below the
+// sampling period.
+//
+// For a sample taken at absolute time t inside a burst [s, e) whose counter
+// c advanced from c(s) to c(e):
+//
+//	x = (t - s) / (e - s)                 normalized time in [0, 1)
+//	y = (c(t) - c(s)) / (c(e) - c(s))     normalized cumulative progress
+//
+// The folded cloud (x, y) approximates the region's normalized cumulative
+// counter function; its derivative is the instantaneous rate profile the
+// piece-wise linear regression recovers.
+package folding
+
+import (
+	"fmt"
+	"sort"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// Point is one folded observation for one counter.
+type Point struct {
+	// X is normalized time in [0, 1].
+	X float64
+	// Y is normalized cumulative counter progress, clamped to [0, 1].
+	Y float64
+}
+
+// StackSample is one folded call-stack observation.
+type StackSample struct {
+	X     float64
+	Stack callstack.StackID
+}
+
+// Options controls the folding.
+type Options struct {
+	// DurationBand prunes outlier bursts: members whose duration deviates
+	// from the cluster median by more than this fraction are skipped, so a
+	// mis-clustered or perturbed instance does not smear the cloud. Zero
+	// disables pruning.
+	DurationBand float64
+	// MinBurstSamples skips bursts with fewer samples than this. Zero
+	// keeps even sample-less bursts (they still contribute to the
+	// representative duration and counter totals).
+	MinBurstSamples int
+}
+
+// DefaultOptions returns the pruning configuration used by the experiments:
+// a ±15% duration band, matching the folding literature's practice of
+// folding only instances close to the cluster representative.
+func DefaultOptions() Options {
+	return Options{DurationBand: 0.15}
+}
+
+// Folded is the result of folding one cluster.
+type Folded struct {
+	// Cluster is the cluster label folded.
+	Cluster int
+	// NumBursts and UsedBursts count the cluster members and the members
+	// that survived outlier pruning.
+	NumBursts, UsedBursts int
+	// RepDuration is the representative (median) burst duration; slopes in
+	// normalized time convert to rates via TotalDelta and RepDuration.
+	RepDuration sim.Duration
+	// TotalDelta is the per-counter median delta across used bursts;
+	// counters never captured are Missing.
+	TotalDelta counters.Set
+	// Points is the folded cloud per counter, sorted by X.
+	Points [counters.NumIDs][]Point
+	// Stacks is the folded call-stack timeline, sorted by X.
+	Stacks []StackSample
+}
+
+// NumPoints returns the folded cloud size for counter id.
+func (f *Folded) NumPoints(id counters.ID) int {
+	if !id.Valid() {
+		return 0
+	}
+	return len(f.Points[id])
+}
+
+// RateScale returns the factor converting a normalized slope (dy/dx of the
+// folded cloud) into an absolute rate in counts/second for counter id:
+// rate = slope * total / duration. ok is false when the counter was never
+// captured or the representative duration is zero.
+func (f *Folded) RateScale(id counters.ID) (float64, bool) {
+	total, ok := f.TotalDelta.Get(id)
+	if !ok || f.RepDuration <= 0 {
+		return 0, false
+	}
+	return float64(total) / f.RepDuration.Seconds(), true
+}
+
+// Fold projects the samples of all bursts labelled label onto the synthetic
+// burst. bursts must carry cluster labels and sample links (ExtractBursts
+// output after clustering).
+func Fold(tr *trace.Trace, bursts []trace.Burst, label int, opt Options) (*Folded, error) {
+	if label < 0 {
+		return nil, fmt.Errorf("folding: cannot fold noise label %d", label)
+	}
+	members := make([]*trace.Burst, 0, 64)
+	for i := range bursts {
+		if bursts[i].Cluster == label {
+			members = append(members, &bursts[i])
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("folding: cluster %d has no bursts", label)
+	}
+	f := &Folded{Cluster: label, NumBursts: len(members)}
+
+	// Representative duration and outlier band from the full membership.
+	durs := make([]float64, len(members))
+	for i, b := range members {
+		durs[i] = float64(b.Duration())
+	}
+	medDur := sim.Median(durs)
+	f.RepDuration = sim.Duration(medDur)
+
+	// Collect per-counter deltas of the used bursts for the medians.
+	var deltas [counters.NumIDs][]float64
+	for _, b := range members {
+		if opt.DurationBand > 0 {
+			dev := (float64(b.Duration()) - medDur) / medDur
+			if dev > opt.DurationBand || dev < -opt.DurationBand {
+				continue
+			}
+		}
+		if opt.MinBurstSamples > 0 && b.NumSmp < opt.MinBurstSamples {
+			continue
+		}
+		f.UsedBursts++
+		for id := counters.ID(0); id < counters.NumIDs; id++ {
+			if v, ok := b.Delta.Get(id); ok {
+				deltas[id] = append(deltas[id], float64(v))
+			}
+		}
+		foldBurst(f, tr, b)
+	}
+	if f.UsedBursts == 0 && opt.DurationBand > 0 {
+		// A bimodal cluster (structure detection merged two behaviours) can
+		// place the median duration in an empty gap, pruning every member.
+		// Folding the mixed population is still more useful than failing,
+		// so retry without the band.
+		relaxed := opt
+		relaxed.DurationBand = 0
+		return Fold(tr, bursts, label, relaxed)
+	}
+	if f.UsedBursts == 0 {
+		return nil, fmt.Errorf("folding: cluster %d: all %d bursts pruned", label, len(members))
+	}
+	f.TotalDelta = counters.AllMissing()
+	for id := counters.ID(0); id < counters.NumIDs; id++ {
+		if len(deltas[id]) > 0 {
+			f.TotalDelta[id] = int64(sim.Median(deltas[id]))
+		}
+	}
+	for id := range f.Points {
+		pts := f.Points[id]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	}
+	sort.Slice(f.Stacks, func(i, j int) bool { return f.Stacks[i].X < f.Stacks[j].X })
+	return f, nil
+}
+
+// foldBurst projects one burst's samples into the cloud.
+func foldBurst(f *Folded, tr *trace.Trace, b *trace.Burst) {
+	if b.FirstSmp < 0 || b.NumSmp == 0 {
+		return
+	}
+	dur := float64(b.Duration())
+	if dur <= 0 {
+		return
+	}
+	samples := tr.Rank(int(b.Rank)).Samples[b.FirstSmp : b.FirstSmp+b.NumSmp]
+	for i := range samples {
+		s := &samples[i]
+		x := float64(s.Time-b.Start) / dur
+		if x < 0 || x > 1 {
+			continue
+		}
+		for id := counters.ID(0); id < counters.NumIDs; id++ {
+			sv, ok1 := s.Counters.Get(id)
+			base, ok2 := b.StartCtr.Get(id)
+			total, ok3 := b.Delta.Get(id)
+			if !ok1 || !ok2 || !ok3 || total <= 0 {
+				continue
+			}
+			y := sim.Clamp(float64(sv-base)/float64(total), 0, 1)
+			f.Points[id] = append(f.Points[id], Point{X: x, Y: y})
+		}
+		if s.Stack != callstack.NoStack {
+			f.Stacks = append(f.Stacks, StackSample{X: x, Stack: s.Stack})
+		}
+	}
+}
+
+// FoldAll folds every non-noise cluster present in bursts, returning results
+// keyed by label in ascending label order.
+func FoldAll(tr *trace.Trace, bursts []trace.Burst, opt Options) ([]*Folded, error) {
+	seen := make(map[int]bool)
+	var labels []int
+	for i := range bursts {
+		if l := bursts[i].Cluster; l >= 0 && !seen[l] {
+			seen[l] = true
+			labels = append(labels, l)
+		}
+	}
+	sort.Ints(labels)
+	out := make([]*Folded, 0, len(labels))
+	for _, l := range labels {
+		f, err := Fold(tr, bursts, l, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+// Package instr is the minimal-instrumentation runtime: it implements the
+// probe interface the simulated applications drive, turning region,
+// communication and iteration boundaries into trace events. Probes read the
+// PMU under the active multiplex group and may consume virtual time,
+// modelling real instrumentation overhead.
+//
+// The multiplex group rotates at every main-loop iteration, following the
+// counter-extrapolation scheme: over many iterations every group observes
+// the same (statistically identical) code.
+package instr
+
+import (
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// Options configures the tracing runtime.
+type Options struct {
+	// Schedule is the counter-group rotation. Nil means the idealized
+	// native PMU that captures everything at once.
+	Schedule *counters.Schedule
+	// ProbeCost is virtual time consumed by each probe (counter read +
+	// buffer write). The overhead experiment sweeps it; zero models free
+	// instrumentation.
+	ProbeCost sim.Duration
+}
+
+// Stats summarizes what the runtime did, for overhead accounting.
+type Stats struct {
+	// Probes is the number of probe firings (events emitted).
+	Probes int
+	// ProbeTime is the total virtual time consumed by probes.
+	ProbeTime sim.Duration
+}
+
+// Tracer writes instrumentation events into a trace. One Tracer serves all
+// ranks of an execution; per-rank state (group rotation) is keyed by rank.
+type Tracer struct {
+	tr    *trace.Trace
+	opt   Options
+	group map[int32]int
+	stats Stats
+}
+
+// New returns a tracer writing into tr.
+func New(tr *trace.Trace, opt Options) *Tracer {
+	if opt.Schedule == nil {
+		opt.Schedule = counters.NewSchedule(counters.NativeGroup())
+	}
+	return &Tracer{tr: tr, opt: opt, group: make(map[int32]int)}
+}
+
+// Stats returns the accumulated probe statistics.
+func (t *Tracer) Stats() Stats { return t.stats }
+
+// probeRates models the instruction stream of the probe itself: short,
+// store-heavy bookkeeping code.
+func probeRates(freqGHz float64) simapp.Rates {
+	var r simapp.Rates
+	cyc := freqGHz * 1e9
+	ins := 1.0 * cyc
+	r[counters.Instructions] = ins
+	r[counters.Loads] = 0.25 * ins
+	r[counters.Stores] = 0.30 * ins
+	r[counters.Branches] = 0.10 * ins
+	return r
+}
+
+func (t *Tracer) emit(m *simapp.Machine, typ trace.EventType, value int64) {
+	if t.opt.ProbeCost > 0 {
+		m.Exec(t.opt.ProbeCost, probeRates(m.FreqGHz))
+		t.stats.ProbeTime += t.opt.ProbeCost
+	}
+	t.stats.Probes++
+	t.tr.AddEvent(trace.Event{
+		Time:     m.Clock.Now(),
+		Rank:     m.Rank,
+		Type:     typ,
+		Value:    value,
+		Counters: m.CapturedCounters(),
+		Group:    m.ActiveGroup,
+	})
+}
+
+// rotate programs the next counter group on m's PMU.
+func (t *Tracer) rotate(m *simapp.Machine) {
+	idx := t.group[m.Rank]
+	g := t.opt.Schedule.Group(idx)
+	m.ActiveGroup = uint8(idx % t.opt.Schedule.Len())
+	m.ActiveIDs = g.IDs
+	t.group[m.Rank] = idx + 1
+}
+
+// IterBegin implements simapp.Instrumenter. The counter group rotates here,
+// before the iteration's first probe snapshot is taken, so a whole iteration
+// runs under one group.
+func (t *Tracer) IterBegin(m *simapp.Machine, iter int64) {
+	t.rotate(m)
+	t.emit(m, trace.IterBegin, iter)
+}
+
+// IterEnd implements simapp.Instrumenter.
+func (t *Tracer) IterEnd(m *simapp.Machine, iter int64) {
+	t.emit(m, trace.IterEnd, iter)
+}
+
+// RegionEnter implements simapp.Instrumenter.
+func (t *Tracer) RegionEnter(m *simapp.Machine, region int64) {
+	t.emit(m, trace.RegionEnter, region)
+}
+
+// RegionExit implements simapp.Instrumenter.
+func (t *Tracer) RegionExit(m *simapp.Machine, region int64) {
+	t.emit(m, trace.RegionExit, region)
+}
+
+// CommEnter implements simapp.Instrumenter.
+func (t *Tracer) CommEnter(m *simapp.Machine, peer int64) {
+	t.emit(m, trace.CommEnter, peer)
+}
+
+// CommExit implements simapp.Instrumenter.
+func (t *Tracer) CommExit(m *simapp.Machine, peer int64) {
+	t.emit(m, trace.CommExit, peer)
+}
+
+// Null is an Instrumenter that drops everything; it measures the
+// uninstrumented baseline runtime in the overhead experiment.
+type Null struct{}
+
+// IterBegin implements simapp.Instrumenter.
+func (Null) IterBegin(*simapp.Machine, int64) {}
+
+// IterEnd implements simapp.Instrumenter.
+func (Null) IterEnd(*simapp.Machine, int64) {}
+
+// RegionEnter implements simapp.Instrumenter.
+func (Null) RegionEnter(*simapp.Machine, int64) {}
+
+// RegionExit implements simapp.Instrumenter.
+func (Null) RegionExit(*simapp.Machine, int64) {}
+
+// CommEnter implements simapp.Instrumenter.
+func (Null) CommEnter(*simapp.Machine, int64) {}
+
+// CommExit implements simapp.Instrumenter.
+func (Null) CommExit(*simapp.Machine, int64) {}

@@ -1,0 +1,146 @@
+package instr
+
+import (
+	"testing"
+
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+func runWithTracer(t *testing.T, opt Options, cfg simapp.Config) (*trace.Trace, *Tracer) {
+	t.Helper()
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(app.Name(), cfg.Ranks, nil, nil)
+	tracer := New(tr, opt)
+	if _, err := (&simapp.Runner{}).Run(app, cfg, tr.Symbols, tracer); err != nil {
+		t.Fatal(err)
+	}
+	return tr, tracer
+}
+
+func TestTracerProducesValidTrace(t *testing.T) {
+	cfg := simapp.Config{Ranks: 2, Iterations: 10, Seed: 3, FreqGHz: 2}
+	tr, _ := runWithTracer(t, Options{}, cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tracer output invalid: %v", err)
+	}
+	// multiphase per iteration: IterBegin, RegionEnter/Exit, CommEnter/Exit,
+	// IterEnd = 6 events.
+	want := cfg.Ranks * cfg.Iterations * 6
+	if got := tr.NumEvents(); got != want {
+		t.Fatalf("NumEvents = %d, want %d", got, want)
+	}
+}
+
+func TestTracerStats(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 5, Seed: 3, FreqGHz: 2}
+	tr, tracer := runWithTracer(t, Options{}, cfg)
+	if got := tracer.Stats().Probes; got != tr.NumEvents() {
+		t.Fatalf("Stats.Probes = %d, events = %d", got, tr.NumEvents())
+	}
+	if tracer.Stats().ProbeTime != 0 {
+		t.Fatal("zero-cost probes accumulated time")
+	}
+}
+
+func TestProbeCostDilatesExecution(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 20, Seed: 3, FreqGHz: 2}
+	trFree, _ := runWithTracer(t, Options{}, cfg)
+	trCost, tracer := runWithTracer(t, Options{ProbeCost: 5 * sim.Microsecond}, cfg)
+	free := trFree.EndTime()
+	cost := trCost.EndTime()
+	if cost <= free {
+		t.Fatalf("probe cost did not dilate execution: %v vs %v", cost, free)
+	}
+	dilation := cost - free
+	// The dilation must equal the accounted probe time (costed probes move
+	// the clock by exactly ProbeCost each; jitter is seeded identically).
+	if want := tracer.Stats().ProbeTime; dilation < want/2 || dilation > want*2 {
+		t.Fatalf("dilation %v, accounted probe time %v", dilation, want)
+	}
+}
+
+func TestGroupRotationPerIteration(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 8, Seed: 3, FreqGHz: 2}
+	sched := counters.NewSchedule(counters.DefaultGroups())
+	tr, _ := runWithTracer(t, Options{Schedule: sched}, cfg)
+	var groups []uint8
+	for _, e := range tr.Ranks[0].Events {
+		if e.Type == trace.IterBegin {
+			groups = append(groups, e.Group)
+		}
+	}
+	if len(groups) != 8 {
+		t.Fatalf("got %d iterations", len(groups))
+	}
+	for i, g := range groups {
+		if want := uint8(i % sched.Len()); g != want {
+			t.Fatalf("iteration %d ran group %d, want %d", i, g, want)
+		}
+	}
+}
+
+func TestEventCountersMaskedToGroup(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 4, Seed: 3, FreqGHz: 2}
+	sched := counters.NewSchedule(counters.DefaultGroups())
+	tr, _ := runWithTracer(t, Options{Schedule: sched}, cfg)
+	for _, e := range tr.Ranks[0].Events {
+		g := sched.Group(int(e.Group))
+		inGroup := make(map[counters.ID]bool)
+		for _, id := range g.IDs {
+			inGroup[id] = true
+		}
+		for _, id := range counters.AllIDs() {
+			_, ok := e.Counters.Get(id)
+			if ok && !inGroup[id] {
+				t.Fatalf("event captured %v outside its group %q", id, g.Name)
+			}
+			if !ok && inGroup[id] {
+				t.Fatalf("event missing %v from its group %q", id, g.Name)
+			}
+		}
+	}
+}
+
+func TestNativeScheduleCapturesEverything(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 2, Seed: 3, FreqGHz: 2}
+	tr, _ := runWithTracer(t, Options{}, cfg)
+	for _, e := range tr.Ranks[0].Events {
+		if !e.Counters.Complete() {
+			t.Fatal("native schedule left counters missing")
+		}
+	}
+}
+
+func TestEventCountersMonotone(t *testing.T) {
+	cfg := simapp.Config{Ranks: 1, Iterations: 10, Seed: 3, FreqGHz: 2}
+	tr, _ := runWithTracer(t, Options{}, cfg)
+	var prev int64 = -1
+	for i, e := range tr.Ranks[0].Events {
+		ins, ok := e.Counters.Get(counters.Instructions)
+		if !ok {
+			t.Fatalf("event %d missing instructions", i)
+		}
+		if ins < prev {
+			t.Fatalf("event %d instructions went backwards: %d after %d", i, ins, prev)
+		}
+		prev = ins
+	}
+}
+
+func TestNullInstrumenter(t *testing.T) {
+	app, _ := simapp.NewApp("cg")
+	cfg := simapp.Config{Ranks: 1, Iterations: 3, Seed: 1, FreqGHz: 2}
+	tr := trace.New(app.Name(), cfg.Ranks, nil, nil)
+	if _, err := (&simapp.Runner{}).Run(app, cfg, tr.Symbols, Null{}); err != nil {
+		t.Fatalf("Null instrumenter run failed: %v", err)
+	}
+	if tr.NumEvents() != 0 {
+		t.Fatal("Null instrumenter emitted events")
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics turns fitted models into analyst-facing phase
+// characterizations and measures reconstruction quality against the
+// simulator's ground truth — the quantitative backbone of every experiment:
+// breakpoint placement error, rate-profile error, and per-phase derived
+// metrics.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"phasefold/internal/counters"
+)
+
+// RateProfile is a reconstructed instantaneous-rate function over normalized
+// time, for one counter.
+type RateProfile interface {
+	// SlopeAt returns the normalized slope at x in [0,1].
+	SlopeAt(x float64) float64
+}
+
+// SampleRates evaluates scale·profile on an n-point grid over [0,1),
+// sampling each cell at its midpoint. The scale converts normalized slopes
+// into absolute rates (folding.Folded.RateScale).
+func SampleRates(p RateProfile, scale float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		x := (float64(i) + 0.5) / float64(n)
+		out[i] = scale * p.SlopeAt(x)
+	}
+	return out
+}
+
+// SampleTruthRates evaluates a ground-truth piecewise-constant rate function
+// on the same grid. truth maps x to the true rate.
+func SampleTruthRates(truth func(x float64) float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		x := (float64(i) + 0.5) / float64(n)
+		out[i] = truth(x)
+	}
+	return out
+}
+
+// RelMAE returns the mean absolute error of got vs want, normalized by the
+// mean of want — the "mean difference below 5%" figure of merit the folding
+// papers report.
+func RelMAE(got, want []float64) float64 {
+	if len(got) != len(want) || len(got) == 0 {
+		panic("metrics: RelMAE length mismatch")
+	}
+	var mae, mean float64
+	for i := range got {
+		mae += math.Abs(got[i] - want[i])
+		mean += math.Abs(want[i])
+	}
+	if mean == 0 {
+		return 0
+	}
+	return mae / mean
+}
+
+// BreakpointError compares detected interior breakpoints against the ground
+// truth, both in normalized time.
+type BreakpointError struct {
+	// Detected and True are the breakpoint counts.
+	Detected, True int
+	// Matched is the number of true breakpoints with a detected breakpoint
+	// within the tolerance.
+	Matched int
+	// MeanAbsOffset is the mean |detected - true| over matched pairs.
+	MeanAbsOffset float64
+	// Precision = Matched/Detected, Recall = Matched/True (0 when the
+	// denominator is 0).
+	Precision, Recall float64
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (e BreakpointError) F1() float64 {
+	if e.Precision+e.Recall == 0 {
+		return 0
+	}
+	return 2 * e.Precision * e.Recall / (e.Precision + e.Recall)
+}
+
+// CompareBreakpoints greedily matches each true breakpoint to the nearest
+// unused detected breakpoint within tol.
+func CompareBreakpoints(detected, truth []float64, tol float64) BreakpointError {
+	e := BreakpointError{Detected: len(detected), True: len(truth)}
+	used := make([]bool, len(detected))
+	det := append([]float64(nil), detected...)
+	sort.Float64s(det)
+	var sumOff float64
+	for _, t := range truth {
+		best, bestOff := -1, tol
+		for i, d := range det {
+			if used[i] {
+				continue
+			}
+			off := math.Abs(d - t)
+			if off <= bestOff {
+				best, bestOff = i, off
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			e.Matched++
+			sumOff += bestOff
+		}
+	}
+	if e.Matched > 0 {
+		e.MeanAbsOffset = sumOff / float64(e.Matched)
+	}
+	if e.Detected > 0 {
+		e.Precision = float64(e.Matched) / float64(e.Detected)
+	}
+	if e.True > 0 {
+		e.Recall = float64(e.Matched) / float64(e.True)
+	}
+	return e
+}
+
+// MetricsFromRates computes every derived metric from absolute counter
+// rates (counts/second). The ok mask marks metrics whose inputs were all
+// available.
+func MetricsFromRates(rates [counters.NumIDs]float64, avail [counters.NumIDs]bool) (vals [counters.NumMetrics]float64, ok [counters.NumMetrics]bool) {
+	get := func(id counters.ID) (float64, bool) { return rates[id], avail[id] }
+	for _, m := range counters.AllMetrics() {
+		switch m {
+		case counters.MIPS:
+			if v, a := get(counters.Instructions); a {
+				vals[m], ok[m] = v/1e6, true
+			}
+		case counters.IPC:
+			ins, a1 := get(counters.Instructions)
+			cyc, a2 := get(counters.Cycles)
+			if a1 && a2 && cyc > 0 {
+				vals[m], ok[m] = ins/cyc, true
+			}
+		case counters.GHz:
+			if v, a := get(counters.Cycles); a {
+				vals[m], ok[m] = v/1e9, true
+			}
+		case counters.L1MissRatio, counters.L2MissRatio, counters.L3MissRatio:
+			src := counters.L1DMisses
+			if m == counters.L2MissRatio {
+				src = counters.L2Misses
+			} else if m == counters.L3MissRatio {
+				src = counters.L3Misses
+			}
+			miss, a1 := get(src)
+			ins, a2 := get(counters.Instructions)
+			if a1 && a2 && ins > 0 {
+				vals[m], ok[m] = 1000*miss/ins, true
+			}
+		case counters.BranchMissPct:
+			mp, a1 := get(counters.BranchMisses)
+			br, a2 := get(counters.Branches)
+			if a1 && a2 && br > 0 {
+				vals[m], ok[m] = 100*mp/br, true
+			}
+		case counters.FPRatio:
+			fp, a1 := get(counters.FPOps)
+			ins, a2 := get(counters.Instructions)
+			if a1 && a2 && ins > 0 {
+				vals[m], ok[m] = fp/ins, true
+			}
+		case counters.MemRatio:
+			ld, a1 := get(counters.Loads)
+			st, a2 := get(counters.Stores)
+			ins, a3 := get(counters.Instructions)
+			if a1 && a2 && a3 && ins > 0 {
+				vals[m], ok[m] = (ld+st)/ins, true
+			}
+		case counters.PowerW:
+			if e, a := get(counters.Energy); a {
+				vals[m], ok[m] = e/1e9, true // nJ/s -> W
+			}
+		case counters.NJPerInstr:
+			e, a1 := get(counters.Energy)
+			ins, a2 := get(counters.Instructions)
+			if a1 && a2 && ins > 0 {
+				vals[m], ok[m] = e/ins, true
+			}
+		}
+	}
+	return vals, ok
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/counters"
+)
+
+type constProfile float64
+
+func (c constProfile) SlopeAt(x float64) float64 { return float64(c) }
+
+type stepProfile struct{ at, lo, hi float64 }
+
+func (s stepProfile) SlopeAt(x float64) float64 {
+	if x < s.at {
+		return s.lo
+	}
+	return s.hi
+}
+
+func TestSampleRates(t *testing.T) {
+	got := SampleRates(constProfile(0.5), 2e9, 4)
+	for _, v := range got {
+		if v != 1e9 {
+			t.Fatalf("SampleRates = %v", got)
+		}
+	}
+	step := SampleRates(stepProfile{at: 0.5, lo: 1, hi: 3}, 1, 10)
+	if step[0] != 1 || step[9] != 3 {
+		t.Fatalf("step sampling = %v", step)
+	}
+}
+
+func TestSampleTruthRates(t *testing.T) {
+	got := SampleTruthRates(func(x float64) float64 { return 2 * x }, 4)
+	want := []float64{0.25, 0.75, 1.25, 1.75}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("SampleTruthRates = %v", got)
+		}
+	}
+}
+
+func TestRelMAE(t *testing.T) {
+	got := RelMAE([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelMAE = %v, want 0.1", got)
+	}
+	if RelMAE([]float64{0, 0}, []float64{0, 0}) != 0 {
+		t.Fatal("all-zero RelMAE not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	RelMAE([]float64{1}, []float64{1, 2})
+}
+
+func TestCompareBreakpointsPerfect(t *testing.T) {
+	truth := []float64{0.2, 0.5, 0.8}
+	e := CompareBreakpoints([]float64{0.19, 0.51, 0.80}, truth, 0.05)
+	if e.Matched != 3 || e.Precision != 1 || e.Recall != 1 {
+		t.Fatalf("perfect match = %+v", e)
+	}
+	if e.F1() != 1 {
+		t.Fatalf("F1 = %v", e.F1())
+	}
+	if e.MeanAbsOffset > 0.011 {
+		t.Fatalf("MeanAbsOffset = %v", e.MeanAbsOffset)
+	}
+}
+
+func TestCompareBreakpointsMissAndSpurious(t *testing.T) {
+	truth := []float64{0.2, 0.8}
+	det := []float64{0.21, 0.5} // one hit, one spurious, one miss
+	e := CompareBreakpoints(det, truth, 0.05)
+	if e.Matched != 1 {
+		t.Fatalf("Matched = %d", e.Matched)
+	}
+	if e.Precision != 0.5 || e.Recall != 0.5 {
+		t.Fatalf("P/R = %v/%v", e.Precision, e.Recall)
+	}
+	if e.F1() != 0.5 {
+		t.Fatalf("F1 = %v", e.F1())
+	}
+}
+
+func TestCompareBreakpointsNoDoubleMatch(t *testing.T) {
+	// One detected breakpoint cannot satisfy two true ones.
+	truth := []float64{0.48, 0.52}
+	det := []float64{0.5}
+	e := CompareBreakpoints(det, truth, 0.05)
+	if e.Matched != 1 {
+		t.Fatalf("Matched = %d, want 1 (no double-counting)", e.Matched)
+	}
+}
+
+func TestCompareBreakpointsEmpty(t *testing.T) {
+	e := CompareBreakpoints(nil, nil, 0.05)
+	if e.Precision != 0 || e.Recall != 0 || e.F1() != 0 {
+		t.Fatalf("empty compare = %+v", e)
+	}
+}
+
+func TestMetricsFromRates(t *testing.T) {
+	var rates [counters.NumIDs]float64
+	var avail [counters.NumIDs]bool
+	rates[counters.Instructions] = 2e9
+	rates[counters.Cycles] = 1e9
+	rates[counters.L1DMisses] = 4e7
+	rates[counters.Branches] = 2e8
+	rates[counters.BranchMisses] = 1e7
+	rates[counters.Loads] = 6e8
+	rates[counters.Stores] = 2e8
+	rates[counters.FPOps] = 8e8
+	rates[counters.L2Misses] = 1e7
+	rates[counters.L3Misses] = 2e6
+	for i := range avail {
+		avail[i] = true
+	}
+	vals, ok := MetricsFromRates(rates, avail)
+	cases := map[counters.Metric]float64{
+		counters.MIPS:          2000,
+		counters.IPC:           2,
+		counters.GHz:           1,
+		counters.L1MissRatio:   20,
+		counters.L2MissRatio:   5,
+		counters.L3MissRatio:   1,
+		counters.BranchMissPct: 5,
+		counters.FPRatio:       0.4,
+		counters.MemRatio:      0.4,
+	}
+	for m, want := range cases {
+		if !ok[m] {
+			t.Errorf("%v not computed", m)
+			continue
+		}
+		if math.Abs(vals[m]-want) > 1e-9 {
+			t.Errorf("%v = %v, want %v", m, vals[m], want)
+		}
+	}
+}
+
+func TestMetricsFromRatesPartialAvailability(t *testing.T) {
+	var rates [counters.NumIDs]float64
+	var avail [counters.NumIDs]bool
+	rates[counters.Instructions] = 1e9
+	avail[counters.Instructions] = true
+	vals, ok := MetricsFromRates(rates, avail)
+	if !ok[counters.MIPS] || vals[counters.MIPS] != 1000 {
+		t.Fatal("MIPS should be computable from instructions alone")
+	}
+	if ok[counters.IPC] || ok[counters.L1MissRatio] {
+		t.Fatal("metrics computed without their inputs")
+	}
+}

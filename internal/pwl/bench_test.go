@@ -1,0 +1,70 @@
+package pwl
+
+import (
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+func benchCloud(n int) (xs, ys []float64) {
+	rng := sim.NewRNG(1)
+	return synthCloud(rng, n, []float64{0.18, 0.59, 0.86}, []float64{0.34, 1.99, 0.37, 1.26}, 0.004)
+}
+
+func BenchmarkFitDP(b *testing.B) {
+	xs, ys := benchCloud(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(xs, ys, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitGreedy(b *testing.B) {
+	xs, ys := benchCloud(4000)
+	opt := DefaultOptions()
+	opt.Greedy = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(xs, ys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitManyBins(b *testing.B) {
+	xs, ys := benchCloud(20000)
+	opt := DefaultOptions()
+	opt.Bins = 400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(xs, ys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitWithBreakpoints(b *testing.B) {
+	xs, ys := benchCloud(4000)
+	bps := []float64{0.18, 0.59, 0.86}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitWithBreakpoints(xs, ys, bps, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelFitEval(b *testing.B) {
+	xs, ys := benchCloud(4000)
+	m, err := FitKernel(xs, ys, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i%100) / 100
+		_ = m.Eval(x)
+	}
+}

@@ -1,0 +1,94 @@
+package pwl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KernelModel is the smooth-curve comparator from the earlier folding work
+// (which used Kriging-style fitting before the piece-wise linear regression
+// was introduced): a Nadaraya-Watson kernel regression over the folded
+// cloud. It produces an excellent smooth estimate of the cumulative function
+// but — being smooth — smears phase boundaries instead of localizing them,
+// which is exactly the deficiency the paper's PWL approach addresses
+// (ablation F6).
+type KernelModel struct {
+	xs, ys []float64
+	// Bandwidth is the Gaussian kernel bandwidth in normalized time.
+	Bandwidth float64
+}
+
+// FitKernel builds the kernel regression over the cloud. A non-positive
+// bandwidth selects Silverman-style h = 1.06·σx·n^(-1/5).
+func FitKernel(xs, ys []float64, bandwidth float64) (*KernelModel, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("pwl: kernel x/y length mismatch")
+	}
+	if len(xs) < 8 {
+		return nil, fmt.Errorf("pwl: kernel fit needs at least 8 points, got %d", len(xs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, fmt.Errorf("pwl: kernel fit needs sorted x")
+	}
+	if bandwidth <= 0 {
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varr := 0.0
+		for _, x := range xs {
+			d := x - mean
+			varr += d * d
+		}
+		varr /= float64(len(xs))
+		bandwidth = 1.06 * math.Sqrt(varr) * math.Pow(float64(len(xs)), -0.2)
+		if bandwidth < 1e-3 {
+			bandwidth = 1e-3
+		}
+	}
+	return &KernelModel{xs: xs, ys: ys, Bandwidth: bandwidth}, nil
+}
+
+// Eval returns the kernel-regression estimate at x. Only points within 4
+// bandwidths contribute (the Gaussian tail beyond is negligible), located by
+// binary search so evaluation is O(window), not O(n).
+func (m *KernelModel) Eval(x float64) float64 {
+	lo := sort.SearchFloat64s(m.xs, x-4*m.Bandwidth)
+	hi := sort.SearchFloat64s(m.xs, x+4*m.Bandwidth)
+	var num, den float64
+	inv := 1 / (2 * m.Bandwidth * m.Bandwidth)
+	for i := lo; i < hi; i++ {
+		d := m.xs[i] - x
+		w := math.Exp(-d * d * inv)
+		num += w * m.ys[i]
+		den += w
+	}
+	if den == 0 {
+		// Fall back to the nearest point.
+		i := sort.SearchFloat64s(m.xs, x)
+		if i >= len(m.xs) {
+			i = len(m.xs) - 1
+		}
+		return m.ys[i]
+	}
+	return num / den
+}
+
+// SlopeAt estimates the derivative at x by a symmetric finite difference at
+// half-bandwidth spacing.
+func (m *KernelModel) SlopeAt(x float64) float64 {
+	h := m.Bandwidth / 2
+	x0, x1 := x-h, x+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > 1 {
+		x1 = 1
+	}
+	if x1 <= x0 {
+		return 0
+	}
+	return (m.Eval(x1) - m.Eval(x0)) / (x1 - x0)
+}

@@ -1,0 +1,89 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+func TestKernelFitSmoothEstimate(t *testing.T) {
+	rng := sim.NewRNG(1)
+	xs, ys := synthCloud(rng, 3000, nil, []float64{1.5}, 0.01)
+	m, err := FitKernel(xs, ys, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range sim.Linspace(0.1, 0.9, 9) {
+		if diff := math.Abs(m.Eval(x) - 1.5*x); diff > 0.02 {
+			t.Fatalf("Eval(%v) off by %v", x, diff)
+		}
+		if diff := math.Abs(m.SlopeAt(x) - 1.5); diff > 0.1 {
+			t.Fatalf("SlopeAt(%v) = %v, want ~1.5", x, m.SlopeAt(x))
+		}
+	}
+}
+
+func TestKernelSmearsEdges(t *testing.T) {
+	// The motivating deficiency: at a sharp slope change the kernel
+	// estimate transitions gradually, while the PWL fit localizes it.
+	rng := sim.NewRNG(2)
+	xs, ys := synthCloud(rng, 4000, []float64{0.5}, []float64{0.2, 1.8}, 0.003)
+	km, err := FitKernel(xs, ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Fit(xs, ys, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just left of the breakpoint, the kernel slope is already blending
+	// toward the right-side slope; the PWL slope is not.
+	x := 0.47
+	kernelSlope := km.SlopeAt(x)
+	pwlSlope := pm.SlopeAt(x)
+	if math.Abs(pwlSlope-0.2) > 0.08 {
+		t.Fatalf("PWL slope near edge %v, want ~0.2", pwlSlope)
+	}
+	if kernelSlope < 0.4 {
+		t.Fatalf("kernel slope near edge %v; expected smearing above 0.4", kernelSlope)
+	}
+}
+
+func TestKernelAutoBandwidth(t *testing.T) {
+	rng := sim.NewRNG(3)
+	xs, ys := synthCloud(rng, 500, nil, []float64{1}, 0.01)
+	m, err := FitKernel(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bandwidth <= 0 {
+		t.Fatalf("auto bandwidth = %v", m.Bandwidth)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	if _, err := FitKernel([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitKernel([]float64{1, 2, 3}, []float64{1, 2, 3}, 0.1); err == nil {
+		t.Fatal("tiny input accepted")
+	}
+	unsorted := []float64{0.5, 0.1, 0.9, 0.2, 0.3, 0.4, 0.6, 0.7}
+	if _, err := FitKernel(unsorted, make([]float64, 8), 0.1); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+}
+
+func TestKernelEvalFarFromData(t *testing.T) {
+	xs := []float64{0.4, 0.41, 0.42, 0.43, 0.44, 0.45, 0.46, 0.47}
+	ys := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	m, err := FitKernel(xs, ys, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far outside the data the window is empty; nearest-point fallback.
+	if got := m.Eval(0.99); got != 1 {
+		t.Fatalf("far eval = %v, want nearest-point 1", got)
+	}
+}

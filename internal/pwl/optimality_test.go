@@ -1,0 +1,85 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+// bruteBestSSE enumerates every way to split bins into k segments and
+// returns the minimum total SSE — the exact reference the DP must match.
+func bruteBestSSE(acc *lsqAccum, n, k int) float64 {
+	best := math.Inf(1)
+	// cuts are segment start indices (ascending, in (0, n)).
+	var rec func(start, segsLeft int, sse float64)
+	rec = func(start, segsLeft int, sse float64) {
+		if segsLeft == 1 {
+			total := sse + acc.sse(start, n-1)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start; end <= n-segsLeft; end++ {
+			rec(end+1, segsLeft-1, sse+acc.sse(start, end))
+		}
+	}
+	rec(0, k, 0)
+	return best
+}
+
+func TestSegmentDPIsOptimal(t *testing.T) {
+	rng := sim.NewRNG(31)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(7) // 6..12 bins
+		bins := make([]bin, n)
+		for i := range bins {
+			bins[i] = bin{
+				x: float64(i) + rng.Float64(),
+				y: rng.Normal(0, 3),
+				w: 1 + rng.Float64()*4,
+			}
+		}
+		acc := newLSQAccum(bins)
+		kmax := 4
+		if kmax > n {
+			kmax = n
+		}
+		_, ssePerK := segmentDP(bins, kmax)
+		for k := 1; k <= kmax; k++ {
+			want := bruteBestSSE(acc, n, k)
+			if math.Abs(ssePerK[k-1]-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: DP SSE(k=%d) = %v, brute force %v", trial, k, ssePerK[k-1], want)
+			}
+		}
+	}
+}
+
+func TestDPCutsReproduceSSE(t *testing.T) {
+	// The cuts the DP reports must actually achieve the SSE it reports.
+	rng := sim.NewRNG(37)
+	n := 15
+	bins := make([]bin, n)
+	for i := range bins {
+		bins[i] = bin{x: float64(i), y: rng.Normal(0, 2), w: 1}
+	}
+	acc := newLSQAccum(bins)
+	cutsPerK, ssePerK := segmentDP(bins, 5)
+	for k := 1; k <= 5; k++ {
+		cuts := cutsPerK[k-1]
+		if len(cuts) != k-1 {
+			t.Fatalf("k=%d: %d cuts", k, len(cuts))
+		}
+		total := 0.0
+		start := 0
+		for _, c := range cuts {
+			total += acc.sse(start, c-1)
+			start = c
+		}
+		total += acc.sse(start, n-1)
+		if math.Abs(total-ssePerK[k-1]) > 1e-9 {
+			t.Fatalf("k=%d: cuts achieve %v, DP reported %v", k, total, ssePerK[k-1])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasefold/internal/sim"
+)
+
+// TestFitPropertyContinuityAndCoverage fits random piecewise-linear ground
+// truths and checks structural invariants that must hold regardless of the
+// data: the model is continuous, its segments tile [0,1], breakpoints are
+// sorted and interior, and (with repair on) no slope is negative.
+func TestFitPropertyContinuityAndCoverage(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		k := 1 + rng.Intn(4)
+		bps := make([]float64, 0, k-1)
+		for i := 1; i < k; i++ {
+			bps = append(bps, float64(i)/float64(k)+rng.Normal(0, 0.02))
+		}
+		slopes := make([]float64, k)
+		for i := range slopes {
+			slopes[i] = rng.Float64() * 3
+		}
+		xs, ys := synthCloud(rng, 1200, bps, slopes, 0.01)
+		m, err := Fit(xs, ys, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		// Breakpoints sorted, interior.
+		for i, b := range m.Breakpoints {
+			if b <= 0 || b >= 1 {
+				return false
+			}
+			if i > 0 && b <= m.Breakpoints[i-1] {
+				return false
+			}
+		}
+		// Continuity at every breakpoint.
+		for _, b := range m.Breakpoints {
+			if math.Abs(m.Eval(b-1e-9)-m.Eval(b+1e-9)) > 1e-6 {
+				return false
+			}
+		}
+		// Segments tile [0,1] and have non-negative slopes.
+		segs := m.Segments()
+		if segs[0].X0 != 0 || segs[len(segs)-1].X1 != 1 {
+			return false
+		}
+		for i, s := range segs {
+			if s.Slope < 0 {
+				return false
+			}
+			if i > 0 && s.X0 != segs[i-1].X1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitPropertyResidualBound checks that the fit never does worse than
+// the single best line (the K=1 solution is always in the search space).
+func TestFitPropertyResidualBound(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		xs, ys := synthCloud(rng, 800, []float64{0.5}, []float64{rng.Float64() * 2, rng.Float64() * 2}, 0.02)
+		opt := DefaultOptions()
+		m, err := Fit(xs, ys, opt)
+		if err != nil {
+			return false
+		}
+		single, err := FitWithBreakpoints(xs, ys, nil, opt)
+		if err != nil {
+			return false
+		}
+		// Tolerate tiny numerical slack.
+		return m.SSE <= single.SSE*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package pwl implements the paper's primary contribution: fitting a
+// continuous piece-wise linear model to the folded cumulative-counter cloud.
+// Because the cloud approximates the integral of the instantaneous rate, the
+// fitted segments' slopes are the per-phase rates and the breakpoints are
+// the phase boundaries — recovered at a granularity far below the sampling
+// period.
+//
+// The pipeline is: (1) bin the cloud to equalize density and bound the cost
+// of the search; (2) find breakpoints with exact dynamic-programming
+// segmented least squares (or a greedy splitter, kept for ablation), with
+// the number of segments chosen by a BIC-style criterion; (3) re-fit one
+// continuous piece-wise linear function with the chosen breakpoints, because
+// the underlying cumulative function is continuous by construction.
+package pwl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options controls the fit.
+type Options struct {
+	// Bins is the number of equal-width bins the cloud is aggregated into
+	// before the segment search. More bins resolve finer phases but cost
+	// O(Bins²) in the DP.
+	Bins int
+	// MaxSegments bounds the model order searched.
+	MaxSegments int
+	// FixedSegments, when positive, skips model selection and forces
+	// exactly this many segments (ablation knob).
+	FixedSegments int
+	// PenaltyScale multiplies the BIC model-order penalty; >1 biases
+	// toward fewer segments (ablation knob).
+	PenaltyScale float64
+	// Greedy selects the top-down greedy splitter instead of the exact DP
+	// (ablation knob).
+	Greedy bool
+	// MonotoneRepair clamps negative segment slopes to zero. The folded
+	// cumulative function is non-decreasing, so negative slopes are always
+	// fit artifacts.
+	MonotoneRepair bool
+	// MergeTol merges adjacent segments whose slopes differ by less than
+	// this fraction of the model's maximum slope. The BIC criterion keeps
+	// statistically significant but behaviourally meaningless splits on
+	// very dense clouds; the merge pass removes them, because two
+	// neighbouring intervals with near-identical rates are one phase.
+	// Zero disables merging (ablation knob).
+	MergeTol float64
+	// MinSegmentWidth removes segments narrower than this fraction of the
+	// region, merging them into the neighbour that fits better. A phase
+	// narrower than a few bins cannot be characterized or attributed, so
+	// keeping it only adds noise. Zero disables the constraint.
+	MinSegmentWidth float64
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{Bins: 120, MaxSegments: 8, PenaltyScale: 1, MonotoneRepair: true, MergeTol: 0.12, MinSegmentWidth: 0.05}
+}
+
+func (o *Options) normalize() error {
+	if o.Bins <= 0 {
+		o.Bins = 120
+	}
+	if o.Bins < 4 {
+		return fmt.Errorf("pwl: need at least 4 bins, got %d", o.Bins)
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 8
+	}
+	if o.PenaltyScale <= 0 {
+		o.PenaltyScale = 1
+	}
+	if o.FixedSegments > o.MaxSegments {
+		o.MaxSegments = o.FixedSegments
+	}
+	return nil
+}
+
+// Segment is one linear piece of the fitted model.
+type Segment struct {
+	// X0, X1 bound the piece in normalized time.
+	X0, X1 float64
+	// Slope is dy/dx over the piece; multiplied by the folding rate scale
+	// it becomes the phase's counter rate.
+	Slope float64
+}
+
+// Model is a continuous piece-wise linear function fit to a folded cloud.
+type Model struct {
+	// Breakpoints are the interior knots, ascending, in (0,1).
+	Breakpoints []float64
+	// coef are the hinge-basis coefficients: y = coef[0] + coef[1]*x +
+	// sum_k coef[2+k] * max(0, x-Breakpoints[k]).
+	coef []float64
+	// SSE is the weighted sum of squared residuals over the bins.
+	SSE float64
+	// NumPoints is the cloud size the model was fit to.
+	NumPoints int
+	// NumBins is the number of non-empty bins used.
+	NumBins int
+}
+
+// K returns the number of linear pieces.
+func (m *Model) K() int { return len(m.Breakpoints) + 1 }
+
+// Eval returns the model value at x.
+func (m *Model) Eval(x float64) float64 {
+	y := m.coef[0] + m.coef[1]*x
+	for k, b := range m.Breakpoints {
+		if x > b {
+			y += m.coef[2+k] * (x - b)
+		}
+	}
+	return y
+}
+
+// SlopeAt returns the model slope at x.
+func (m *Model) SlopeAt(x float64) float64 {
+	s := m.coef[1]
+	for k, b := range m.Breakpoints {
+		if x > b {
+			s += m.coef[2+k]
+		}
+	}
+	return s
+}
+
+// Segments returns the linear pieces covering [0,1].
+func (m *Model) Segments() []Segment {
+	edges := make([]float64, 0, len(m.Breakpoints)+2)
+	edges = append(edges, 0)
+	edges = append(edges, m.Breakpoints...)
+	edges = append(edges, 1)
+	out := make([]Segment, 0, len(edges)-1)
+	for i := 0; i+1 < len(edges); i++ {
+		mid := (edges[i] + edges[i+1]) / 2
+		out = append(out, Segment{X0: edges[i], X1: edges[i+1], Slope: m.SlopeAt(mid)})
+	}
+	return out
+}
+
+// bin is one aggregated cloud cell.
+type bin struct {
+	x, y, w float64
+}
+
+// binPoints aggregates the cloud into nbins equal-width bins over [0,1],
+// keeping per-bin weighted means. Empty bins are dropped.
+func binPoints(xs, ys []float64, nbins int) []bin {
+	sumY := make([]float64, nbins)
+	sumX := make([]float64, nbins)
+	cnt := make([]float64, nbins)
+	for i := range xs {
+		b := int(xs[i] * float64(nbins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sumY[b] += ys[i]
+		sumX[b] += xs[i]
+		cnt[b]++
+	}
+	out := make([]bin, 0, nbins)
+	for b := 0; b < nbins; b++ {
+		if cnt[b] == 0 {
+			continue
+		}
+		out = append(out, bin{x: sumX[b] / cnt[b], y: sumY[b] / cnt[b], w: cnt[b]})
+	}
+	return out
+}
+
+// Fit fits the piece-wise linear model to the folded cloud (xs[i], ys[i]).
+// xs must lie in [0,1]; the slices must have equal, non-trivial length.
+func Fit(xs, ys []float64, opt Options) (*Model, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("pwl: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 8 {
+		return nil, fmt.Errorf("pwl: need at least 8 points, got %d", len(xs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, fmt.Errorf("pwl: x values must be sorted")
+	}
+	bins := binPoints(xs, ys, opt.Bins)
+	if len(bins) < 4 {
+		return nil, fmt.Errorf("pwl: only %d non-empty bins; cloud too sparse", len(bins))
+	}
+	var cuts []int
+	var err error
+	if opt.Greedy {
+		cuts, err = selectGreedy(bins, opt)
+	} else {
+		cuts, err = selectDP(bins, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	bps := cutsToBreakpoints(bins, cuts)
+	m, err := refitContinuous(bins, bps)
+	if err != nil {
+		return nil, err
+	}
+	if opt.FixedSegments == 0 {
+		if opt.MinSegmentWidth > 0 {
+			m, err = dropNarrow(bins, m, opt.MinSegmentWidth)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if opt.MergeTol > 0 {
+			m, err = mergeSimilar(bins, m, opt.MergeTol)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.NumPoints = len(xs)
+	m.NumBins = len(bins)
+	if opt.MonotoneRepair {
+		m.repairMonotone()
+	}
+	return m, nil
+}
+
+// dropNarrow removes breakpoints bounding segments narrower than minWidth,
+// one at a time; when a narrow segment has two bounding breakpoints, the one
+// whose removal costs less SSE goes first.
+func dropNarrow(bins []bin, m *Model, minWidth float64) (*Model, error) {
+	for len(m.Breakpoints) > 0 {
+		segs := m.Segments()
+		narrow := -1
+		for k, s := range segs {
+			if s.X1-s.X0 < minWidth {
+				narrow = k
+				break
+			}
+		}
+		if narrow < 0 {
+			break
+		}
+		// Candidate breakpoints to remove: the left and/or right bound of
+		// the narrow segment.
+		var candidates []int
+		if narrow > 0 {
+			candidates = append(candidates, narrow-1)
+		}
+		if narrow < len(segs)-1 {
+			candidates = append(candidates, narrow)
+		}
+		var best *Model
+		for _, ci := range candidates {
+			bps := make([]float64, 0, len(m.Breakpoints)-1)
+			bps = append(bps, m.Breakpoints[:ci]...)
+			bps = append(bps, m.Breakpoints[ci+1:]...)
+			cand, err := refitContinuous(bins, bps)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || cand.SSE < best.SSE {
+				best = cand
+			}
+		}
+		if best == nil {
+			break
+		}
+		m = best
+	}
+	return m, nil
+}
+
+// mergeSimilar repeatedly removes the breakpoint separating the two most
+// similar adjacent segments while their slope difference stays below
+// tol·maxSlope, re-fitting after every removal.
+func mergeSimilar(bins []bin, m *Model, tol float64) (*Model, error) {
+	for len(m.Breakpoints) > 0 {
+		segs := m.Segments()
+		maxSlope := 0.0
+		for _, s := range segs {
+			if a := abs(s.Slope); a > maxSlope {
+				maxSlope = a
+			}
+		}
+		if maxSlope == 0 {
+			break
+		}
+		bestK, bestDiff := -1, tol*maxSlope
+		for k := 0; k+1 < len(segs); k++ {
+			if d := abs(segs[k].Slope - segs[k+1].Slope); d <= bestDiff {
+				bestK, bestDiff = k, d
+			}
+		}
+		if bestK < 0 {
+			break
+		}
+		bps := make([]float64, 0, len(m.Breakpoints)-1)
+		bps = append(bps, m.Breakpoints[:bestK]...)
+		bps = append(bps, m.Breakpoints[bestK+1:]...)
+		next, err := refitContinuous(bins, bps)
+		if err != nil {
+			return nil, err
+		}
+		m = next
+	}
+	return m, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FitWithBreakpoints fits the continuous piece-wise linear model with a
+// fixed, externally supplied set of interior breakpoints (ascending, in
+// (0,1)). The analysis uses it to re-fit every secondary counter's folded
+// cloud at the phase boundaries discovered on the primary counter, so all
+// per-phase rates refer to the same phases.
+func FitWithBreakpoints(xs, ys []float64, bps []float64, opt Options) (*Model, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("pwl: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 4 {
+		return nil, fmt.Errorf("pwl: need at least 4 points, got %d", len(xs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, fmt.Errorf("pwl: x values must be sorted")
+	}
+	if !sort.Float64sAreSorted(bps) {
+		return nil, fmt.Errorf("pwl: breakpoints must be sorted")
+	}
+	bins := binPoints(xs, ys, opt.Bins)
+	if len(bins) < len(bps)+2 {
+		return nil, fmt.Errorf("pwl: %d bins cannot support %d breakpoints", len(bins), len(bps))
+	}
+	m, err := refitContinuous(bins, bps)
+	if err != nil {
+		return nil, err
+	}
+	m.NumPoints = len(xs)
+	m.NumBins = len(bins)
+	if opt.MonotoneRepair {
+		m.repairMonotone()
+	}
+	return m, nil
+}
+
+// cutsToBreakpoints converts bin-index cuts (segment start indices, excluding
+// 0) into x-space breakpoints at the midpoint between adjacent bins.
+func cutsToBreakpoints(bins []bin, cuts []int) []float64 {
+	out := make([]float64, 0, len(cuts))
+	for _, c := range cuts {
+		out = append(out, (bins[c-1].x+bins[c].x)/2)
+	}
+	return out
+}
+
+// repairMonotone clamps negative piece slopes to zero by adjusting hinge
+// coefficients left to right, preserving continuity.
+func (m *Model) repairMonotone() {
+	slope := m.coef[1]
+	if slope < 0 {
+		m.coef[1] = 0
+		slope = 0
+	}
+	for k := range m.Breakpoints {
+		next := slope + m.coef[2+k]
+		if next < 0 {
+			m.coef[2+k] = -slope
+			next = 0
+		}
+		slope = next
+	}
+}

@@ -1,0 +1,222 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasefold/internal/sim"
+)
+
+func TestLSQAccumMatchesDirectFit(t *testing.T) {
+	bins := []bin{
+		{x: 0.1, y: 1.0, w: 1},
+		{x: 0.2, y: 1.2, w: 2},
+		{x: 0.3, y: 1.5, w: 1},
+		{x: 0.4, y: 1.6, w: 3},
+	}
+	acc := newLSQAccum(bins)
+	// Direct weighted least squares for comparison.
+	direct := func(lo, hi int) float64 {
+		var sw, swx, swy, swxx, swxy float64
+		for _, b := range bins[lo : hi+1] {
+			sw += b.w
+			swx += b.w * b.x
+			swy += b.w * b.y
+			swxx += b.w * b.x * b.x
+			swxy += b.w * b.x * b.y
+		}
+		det := swxx - swx*swx/sw
+		slope := 0.0
+		if det > 1e-18 {
+			slope = (swxy - swx*swy/sw) / det
+		}
+		icpt := (swy - slope*swx) / sw
+		sse := 0.0
+		for _, b := range bins[lo : hi+1] {
+			r := b.y - (icpt + slope*b.x)
+			sse += b.w * r * r
+		}
+		return sse
+	}
+	for lo := 0; lo < len(bins); lo++ {
+		for hi := lo; hi < len(bins); hi++ {
+			if got, want := acc.sse(lo, hi), direct(lo, hi); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("sse(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestSSEZeroOnCollinear(t *testing.T) {
+	bins := make([]bin, 10)
+	for i := range bins {
+		x := float64(i) / 10
+		bins[i] = bin{x: x, y: 3*x + 1, w: 1}
+	}
+	acc := newLSQAccum(bins)
+	if got := acc.sse(0, 9); got > 1e-12 {
+		t.Fatalf("collinear SSE = %v", got)
+	}
+}
+
+func TestSSENonNegativeProperty(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		rng := sim.NewRNG(seed)
+		size := int(n%20) + 2
+		bins := make([]bin, size)
+		for i := range bins {
+			bins[i] = bin{x: float64(i) + rng.Float64(), y: rng.Normal(0, 5), w: 1 + rng.Float64()*10}
+		}
+		acc := newLSQAccum(bins)
+		for lo := 0; lo < size; lo++ {
+			for hi := lo; hi < size; hi++ {
+				if acc.sse(lo, hi) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentDPOptimalOnStep(t *testing.T) {
+	// A perfect step in slope: DP with K=2 must cut exactly at the step
+	// and achieve ~zero SSE.
+	bins := make([]bin, 40)
+	for i := range bins {
+		x := float64(i) / 40
+		y := 0.5 * x
+		if x > 0.5 {
+			y = 0.25 + 2*(x-0.5)
+		}
+		bins[i] = bin{x: x, y: y, w: 1}
+	}
+	cutsPerK, ssePerK := segmentDP(bins, 3)
+	if ssePerK[1] > 1e-10 {
+		t.Fatalf("2-segment SSE on perfect step = %v", ssePerK[1])
+	}
+	if len(cutsPerK[1]) != 1 {
+		t.Fatalf("2-segment cuts = %v", cutsPerK[1])
+	}
+	cutX := bins[cutsPerK[1][0]].x
+	if math.Abs(cutX-0.525) > 0.05 {
+		t.Fatalf("cut at x=%v, want ~0.5", cutX)
+	}
+	// SSE must be non-increasing in K.
+	for k := 1; k < len(ssePerK); k++ {
+		if ssePerK[k] > ssePerK[k-1]+1e-12 {
+			t.Fatalf("SSE increased with K: %v", ssePerK)
+		}
+	}
+}
+
+func TestSegmentDPMoreSegmentsThanBins(t *testing.T) {
+	bins := []bin{{x: 0, y: 0, w: 1}, {x: 1, y: 1, w: 1}}
+	cutsPerK, ssePerK := segmentDP(bins, 10)
+	if len(cutsPerK) != 2 || len(ssePerK) != 2 {
+		t.Fatalf("kmax not clamped to bin count: %d", len(cutsPerK))
+	}
+}
+
+func TestChooseOrderPenalty(t *testing.T) {
+	// With a huge penalty the model must stay at K=1 even on stepped data.
+	bins := make([]bin, 30)
+	for i := range bins {
+		x := float64(i) / 30
+		y := x
+		if x > 0.5 {
+			y = 0.5 + 3*(x-0.5)
+		}
+		bins[i] = bin{x: x, y: y, w: 1}
+	}
+	_, ssePerK := segmentDP(bins, 4)
+	kSmall := chooseOrder(bins, ssePerK, Options{PenaltyScale: 1})
+	kHuge := chooseOrder(bins, ssePerK, Options{PenaltyScale: 1e9})
+	if kSmall < 2 {
+		t.Fatalf("normal penalty chose K=%d on stepped data", kSmall)
+	}
+	if kHuge != 1 {
+		t.Fatalf("huge penalty chose K=%d", kHuge)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	A := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	x, err := solveSPD(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A x = b.
+	for i := range A {
+		got := A[i][0]*x[0] + A[i][1]*x[1]
+		if math.Abs(got-b[i]) > 1e-12 {
+			t.Fatalf("row %d: %v != %v", i, got, b[i])
+		}
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	A := [][]float64{{1, 1}, {1, 1}}
+	if _, err := solveSPD(A, []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestRefitContinuousExact(t *testing.T) {
+	// Bins sampled from a continuous 2-piece function must be fit exactly.
+	bps := []float64{0.6}
+	bins := make([]bin, 50)
+	for i := range bins {
+		x := float64(i) / 50
+		y := 0.2 * x
+		if x > 0.6 {
+			y = 0.12 + 1.4*(x-0.6)
+		}
+		bins[i] = bin{x: x, y: y, w: 1}
+	}
+	m, err := refitContinuous(bins, bps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SSE > 1e-10 {
+		t.Fatalf("exact refit SSE = %v", m.SSE)
+	}
+	if math.Abs(m.SlopeAt(0.3)-0.2) > 1e-9 || math.Abs(m.SlopeAt(0.8)-1.4) > 1e-9 {
+		t.Fatalf("refit slopes %v / %v", m.SlopeAt(0.3), m.SlopeAt(0.8))
+	}
+}
+
+func TestGreedyFixedSegments(t *testing.T) {
+	bins := make([]bin, 60)
+	for i := range bins {
+		x := float64(i) / 60
+		bins[i] = bin{x: x, y: x * x, w: 1} // smooth curve: splits help everywhere
+	}
+	cuts, err := selectGreedy(bins, Options{FixedSegments: 4, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 3 {
+		t.Fatalf("greedy fixed-4 returned %d cuts", len(cuts))
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatal("greedy cuts not sorted")
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	s := []int{5, 2, 9, 1, 5}
+	sortInts(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package query is the programmable analysis layer in the spirit of
+// Paramedir (Jost, Labarta, Giménez, ICCS 2004): instead of eyeballing the
+// rendered tables, an analyst (or an automated methodology, like the T4
+// case-study hint extraction) states conditions over clusters and phases
+// and gets the matching objects back. Conditions compose with And/Or/Not,
+// so recipes like "phases wider than 10% of their region with IPC below 1
+// and more than 40 L1 misses per kiloinstruction, in clusters covering at
+// least 20% of the computation" are one expression.
+package query
+
+import (
+	"sort"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+)
+
+// PhaseRef names one phase within a model.
+type PhaseRef struct {
+	// Cluster is the owning cluster's analysis.
+	Cluster *core.ClusterAnalysis
+	// Index is the phase position within the cluster.
+	Index int
+	// Phase points at the phase itself.
+	Phase *core.Phase
+}
+
+// Condition is a predicate over a phase (in its cluster context).
+type Condition func(m *core.Model, ref PhaseRef) bool
+
+// And is true when every condition holds.
+func And(conds ...Condition) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		for _, c := range conds {
+			if !c(m, ref) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or is true when any condition holds.
+func Or(conds ...Condition) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		for _, c := range conds {
+			if c(m, ref) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a condition.
+func Not(c Condition) Condition {
+	return func(m *core.Model, ref PhaseRef) bool { return !c(m, ref) }
+}
+
+// MetricBelow holds when the phase's metric is computable and below v.
+func MetricBelow(metric counters.Metric, v float64) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		return ref.Phase.MetricsOK[metric] && ref.Phase.Metrics[metric] < v
+	}
+}
+
+// MetricAbove holds when the phase's metric is computable and above v.
+func MetricAbove(metric counters.Metric, v float64) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		return ref.Phase.MetricsOK[metric] && ref.Phase.Metrics[metric] > v
+	}
+}
+
+// WiderThan holds when the phase spans more than frac of its region.
+func WiderThan(frac float64) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		return ref.Phase.X1-ref.Phase.X0 > frac
+	}
+}
+
+// ClusterCoverageAbove holds when the owning cluster accounts for more than
+// frac of the model's total computation time.
+func ClusterCoverageAbove(frac float64) Condition {
+	return func(m *core.Model, ref PhaseRef) bool {
+		if m.TotalComputation <= 0 {
+			return false
+		}
+		return float64(ref.Cluster.Stat.TotalTime)/float64(m.TotalComputation) > frac
+	}
+}
+
+// Attributed holds when the phase carries a source attribution.
+func Attributed() Condition {
+	return func(m *core.Model, ref PhaseRef) bool { return ref.Phase.Attributed }
+}
+
+// InRegion holds when the owning cluster's dominant region is region.
+func InRegion(region int64) Condition {
+	return func(m *core.Model, ref PhaseRef) bool { return ref.Cluster.Stat.Region == region }
+}
+
+// Phases returns every phase of the model satisfying cond, in cluster
+// triage order (clusters by descending coverage, phases in time order).
+func Phases(m *core.Model, cond Condition) []PhaseRef {
+	var out []PhaseRef
+	for _, ca := range m.Clusters {
+		for i := range ca.Phases {
+			ref := PhaseRef{Cluster: ca, Index: i, Phase: &ca.Phases[i]}
+			if cond(m, ref) {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// CostWeight returns the phase's share of total computation time: the
+// cluster's coverage times the phase's share of its region.
+func CostWeight(m *core.Model, ref PhaseRef) float64 {
+	if m.TotalComputation <= 0 {
+		return 0
+	}
+	cluster := float64(ref.Cluster.Stat.TotalTime) / float64(m.TotalComputation)
+	return cluster * (ref.Phase.X1 - ref.Phase.X0)
+}
+
+// TopByCost returns the n matching phases with the highest cost weight,
+// descending — the automated version of the analyst's triage.
+func TopByCost(m *core.Model, cond Condition, n int) []PhaseRef {
+	refs := Phases(m, cond)
+	sort.SliceStable(refs, func(a, b int) bool {
+		return CostWeight(m, refs[a]) > CostWeight(m, refs[b])
+	})
+	if n > 0 && len(refs) > n {
+		refs = refs[:n]
+	}
+	return refs
+}
+
+// OptimizationHint is the canonical recipe of the T4 methodology: the most
+// expensive attributed phase that is wide enough to matter and has poor
+// IPC — the place a small transformation pays off first. Returns false when
+// nothing qualifies.
+func OptimizationHint(m *core.Model) (PhaseRef, bool) {
+	refs := TopByCost(m, And(
+		Attributed(),
+		WiderThan(0.10),
+		MetricBelow(counters.IPC, 1.0),
+	), 1)
+	if len(refs) == 0 {
+		return PhaseRef{}, false
+	}
+	return refs[0], true
+}

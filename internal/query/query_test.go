@@ -1,0 +1,131 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/simapp"
+)
+
+func cgModel(t *testing.T) *core.Model {
+	t.Helper()
+	app, err := simapp.NewApp("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
+	model, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestPhasesAll(t *testing.T) {
+	m := cgModel(t)
+	all := Phases(m, And())
+	// cg: spmv has 2 phases, dot and axpy 1 each = 4.
+	if len(all) != 4 {
+		t.Fatalf("matched %d phases, want 4", len(all))
+	}
+}
+
+func TestMetricConditions(t *testing.T) {
+	m := cgModel(t)
+	lowIPC := Phases(m, MetricBelow(counters.IPC, 1.0))
+	if len(lowIPC) != 1 {
+		t.Fatalf("low-IPC phases = %d, want 1 (the gather)", len(lowIPC))
+	}
+	if !strings.Contains(lowIPC[0].Phase.Source, "spmv") {
+		t.Fatalf("low-IPC phase attributed to %q", lowIPC[0].Phase.Source)
+	}
+	highIPC := Phases(m, MetricAbove(counters.IPC, 1.0))
+	if len(highIPC) != 3 {
+		t.Fatalf("high-IPC phases = %d, want 3", len(highIPC))
+	}
+	none := Phases(m, And(MetricBelow(counters.IPC, 1.0), MetricAbove(counters.IPC, 1.0)))
+	if len(none) != 0 {
+		t.Fatal("contradictory condition matched phases")
+	}
+}
+
+func TestComposition(t *testing.T) {
+	m := cgModel(t)
+	either := Phases(m, Or(
+		MetricBelow(counters.IPC, 0.7),
+		MetricAbove(counters.L1MissRatio, 50),
+	))
+	if len(either) == 0 {
+		t.Fatal("Or matched nothing")
+	}
+	inverted := Phases(m, Not(Attributed()))
+	if len(inverted) != 0 {
+		t.Fatalf("all phases should be attributed; Not matched %d", len(inverted))
+	}
+}
+
+func TestClusterScopedConditions(t *testing.T) {
+	m := cgModel(t)
+	spmvPhases := Phases(m, InRegion(simapp.RegionCGSpMV))
+	if len(spmvPhases) != 2 {
+		t.Fatalf("spmv phases = %d, want 2", len(spmvPhases))
+	}
+	hot := Phases(m, ClusterCoverageAbove(0.4))
+	for _, ref := range hot {
+		if ref.Cluster.Stat.Region != simapp.RegionCGSpMV {
+			t.Fatalf("coverage filter leaked region %d", ref.Cluster.Stat.Region)
+		}
+	}
+	if len(hot) == 0 {
+		t.Fatal("no phase in the dominant cluster")
+	}
+}
+
+func TestTopByCostOrdering(t *testing.T) {
+	m := cgModel(t)
+	refs := TopByCost(m, And(), 0)
+	if len(refs) != 4 {
+		t.Fatalf("TopByCost(all) = %d", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if CostWeight(m, refs[i]) > CostWeight(m, refs[i-1]) {
+			t.Fatal("TopByCost not descending")
+		}
+	}
+	top2 := TopByCost(m, And(), 2)
+	if len(top2) != 2 {
+		t.Fatalf("TopByCost(2) = %d", len(top2))
+	}
+	// Cost weights over all phases sum to ~1 (every burst is clustered).
+	var sum float64
+	for _, ref := range refs {
+		sum += CostWeight(m, ref)
+	}
+	if sum < 0.95 || sum > 1.01 {
+		t.Fatalf("cost weights sum to %v", sum)
+	}
+}
+
+func TestOptimizationHintMatchesT4(t *testing.T) {
+	m := cgModel(t)
+	hint, ok := OptimizationHint(m)
+	if !ok {
+		t.Fatal("no optimization hint found")
+	}
+	if !strings.Contains(hint.Phase.Source, "cg/spmv.c:122") {
+		t.Fatalf("hint points at %q, want the gather line", hint.Phase.Source)
+	}
+	// The stencil hint is the load sweep.
+	app, _ := simapp.NewApp("stencil")
+	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
+	sm, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shint, ok := OptimizationHint(sm)
+	if !ok || !strings.Contains(shint.Phase.Source, "sweep.c:210") {
+		t.Fatalf("stencil hint = %+v (ok=%v)", shint.Phase, ok)
+	}
+}

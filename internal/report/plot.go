@@ -1,0 +1,128 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for plotting. With Xs nil, Values are drawn
+// over an implicit equally-spaced x grid in [0,1]; with Xs set (same length
+// as Values, values in [0,1]), each point is placed explicitly — used for
+// scatter clouds like the folded samples.
+type Series struct {
+	Name   string
+	Xs     []float64
+	Values []float64
+	Marker byte
+}
+
+// Plot renders one or more series as an ASCII chart of the given size —
+// the textual stand-in for the paper's figures. Series are drawn in order;
+// later series overdraw earlier ones on collisions.
+type Plot struct {
+	Title  string
+	YLabel string
+	Width  int
+	Height int
+	series []Series
+}
+
+// NewPlot returns a plot with sensible terminal dimensions.
+func NewPlot(title, ylabel string) *Plot {
+	return &Plot{Title: title, YLabel: ylabel, Width: 72, Height: 18}
+}
+
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Add appends a series; a zero Marker picks the next default marker.
+func (p *Plot) Add(s Series) {
+	if s.Marker == 0 {
+		s.Marker = defaultMarkers[len(p.series)%len(defaultMarkers)]
+	}
+	p.series = append(p.series, s)
+}
+
+// Render writes the chart to w.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		_, err := fmt.Fprintf(w, "== %s == (no data)\n", p.Title)
+		return err
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for _, v := range s.Values {
+			if v < ymin {
+				ymin = v
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		ymin, ymax = 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		for i, v := range s.Values {
+			col := 0
+			if s.Xs != nil {
+				x := s.Xs[i]
+				if x < 0 || x > 1 {
+					continue
+				}
+				col = int(x * float64(p.Width-1))
+			} else if n > 1 {
+				col = i * (p.Width - 1) / (n - 1)
+			}
+			row := int((ymax - v) / (ymax - ymin) * float64(p.Height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= p.Height {
+				row = p.Height - 1
+			}
+			grid[row][col] = s.Marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", p.Title)
+	legend := make([]string, 0, len(p.series))
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "   [%s]  y: %s\n", strings.Join(legend, "  "), p.YLabel)
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", ymax)
+		} else if r == p.Height-1 {
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, "%s 0%sx (normalized time)%s1\n", strings.Repeat(" ", 10),
+		strings.Repeat(" ", (p.Width-22)/2), strings.Repeat(" ", (p.Width-22+1)/2))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var b strings.Builder
+	_ = p.Render(&b)
+	return b.String()
+}

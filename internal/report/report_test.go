@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Phases", "cluster", "x0", "x1", "MIPS")
+	tb.AddRow(0, 0.0, 0.1818, 1618.0)
+	tb.AddRow(1, 0.1818, 0.5909, 4794.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Phases ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: header columns appear in every data row at aligned
+	// offsets -> separator row uses dashes of header width.
+	if !strings.Contains(lines[2], "-------") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		12345:    "12345",
+		123.456:  "123.5",
+		1.23456:  "1.235",
+		0.012345: "0.0123",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(-123.456); got != "-123.5" {
+		t.Errorf("negative format = %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("with\"quote", 7)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `plain,"with,comma"` {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with""quote",7` {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("MIPS profile", "MIPS")
+	p.Add(Series{Name: "reconstructed", Values: []float64{1, 2, 3, 4, 5, 4, 3, 2, 1}})
+	p.Add(Series{Name: "truth", Values: []float64{1, 2, 3, 4, 5, 4, 3, 2, 1}})
+	out := p.String()
+	if !strings.Contains(out, "== MIPS profile ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=reconstructed") || !strings.Contains(out, "+=truth") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no marks drawn")
+	}
+	// Axis labels.
+	if !strings.Contains(out, "normalized time") {
+		t.Fatal("x label missing")
+	}
+}
+
+func TestPlotEmptyAndFlat(t *testing.T) {
+	p := NewPlot("empty", "y")
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	p2 := NewPlot("flat", "y")
+	p2.Add(Series{Name: "f", Values: []float64{5, 5, 5}})
+	if out := p2.String(); !strings.Contains(out, "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestPlotSingleValueSeries(t *testing.T) {
+	p := NewPlot("one", "y")
+	p.Add(Series{Name: "s", Values: []float64{3}})
+	if out := p.String(); !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"phasefold/internal/sim"
+)
+
+// TimelineSeg is one occupancy interval on a rank's timeline.
+type TimelineSeg struct {
+	Rank  int32
+	Start sim.Time
+	End   sim.Time
+	Code  byte // character drawn for the interval
+}
+
+// Timeline renders per-rank strips of the execution — the ASCII equivalent
+// of the Paraver cluster-timeline view the BSC workflow triages with. Each
+// rank is one row; time maps linearly onto the row; later segments overdraw
+// earlier ones.
+type Timeline struct {
+	Title string
+	Width int
+	Ranks int
+	End   sim.Time
+	segs  []TimelineSeg
+}
+
+// NewTimeline returns a timeline covering [0, end) for nRanks rows.
+func NewTimeline(title string, nRanks int, end sim.Time) *Timeline {
+	return &Timeline{Title: title, Width: 72, Ranks: nRanks, End: end}
+}
+
+// Add appends occupancy segments.
+func (t *Timeline) Add(segs ...TimelineSeg) {
+	t.segs = append(t.segs, segs...)
+}
+
+// ClusterCode returns the conventional drawing character for a cluster
+// label: '0'-'9' then 'a'-'z', '#' beyond, '.' for noise (-1).
+func ClusterCode(label int) byte {
+	switch {
+	case label < 0:
+		return '.'
+	case label < 10:
+		return byte('0' + label)
+	case label < 36:
+		return byte('a' + label - 10)
+	default:
+		return '#'
+	}
+}
+
+// Render writes the timeline to w.
+func (t *Timeline) Render(w io.Writer) error {
+	if t.Ranks <= 0 || t.End <= 0 {
+		_, err := fmt.Fprintf(w, "== %s == (no data)\n", t.Title)
+		return err
+	}
+	rows := make([][]byte, t.Ranks)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", t.Width))
+	}
+	for _, s := range t.segs {
+		if s.Rank < 0 || int(s.Rank) >= t.Ranks || s.End <= s.Start {
+			continue
+		}
+		c0 := int(int64(s.Start) * int64(t.Width) / int64(t.End))
+		c1 := int(int64(s.End) * int64(t.Width) / int64(t.End))
+		if c1 == c0 {
+			c1 = c0 + 1
+		}
+		for c := c0; c < c1 && c < t.Width; c++ {
+			rows[s.Rank][c] = s.Code
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for r, row := range rows {
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, string(row))
+	}
+	fmt.Fprintf(&b, "         0%s%s\n", strings.Repeat(" ", t.Width-len(t.End.String())), t.End)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the timeline to a string.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"phasefold/internal/sim"
+)
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline("demo", 2, 100*sim.Microsecond)
+	tl.Add(
+		TimelineSeg{Rank: 0, Start: 0, End: 50 * sim.Microsecond, Code: '0'},
+		TimelineSeg{Rank: 0, Start: 50 * sim.Microsecond, End: 100 * sim.Microsecond, Code: '1'},
+		TimelineSeg{Rank: 1, Start: 0, End: 100 * sim.Microsecond, Code: '0'},
+	)
+	out := tl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 ranks + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	row0 := lines[1]
+	if !strings.Contains(row0, "rank   0") {
+		t.Fatalf("row 0 = %q", row0)
+	}
+	// First half '0', second half '1'.
+	strip := row0[strings.IndexByte(row0, '|')+1 : strings.LastIndexByte(row0, '|')]
+	if strip[0] != '0' || strip[len(strip)-1] != '1' {
+		t.Fatalf("row 0 strip = %q", strip)
+	}
+	if c := strip[len(strip)/4]; c != '0' {
+		t.Fatalf("quarter mark = %c, want 0", c)
+	}
+	if c := strip[3*len(strip)/4]; c != '1' {
+		t.Fatalf("three-quarter mark = %c, want 1", c)
+	}
+}
+
+func TestTimelineIgnoresBadSegments(t *testing.T) {
+	tl := NewTimeline("t", 1, 100)
+	tl.Add(
+		TimelineSeg{Rank: 5, Start: 0, End: 50, Code: 'X'},  // rank out of range
+		TimelineSeg{Rank: 0, Start: 60, End: 40, Code: 'Y'}, // inverted
+	)
+	out := tl.String()
+	if strings.ContainsAny(out, "XY") {
+		t.Fatalf("bad segments drawn:\n%s", out)
+	}
+}
+
+func TestTimelineTinySegmentStillVisible(t *testing.T) {
+	tl := NewTimeline("x", 1, sim.Second)
+	tl.Add(TimelineSeg{Rank: 0, Start: 0, End: 10, Code: 'z'}) // 10 ns of 1 s
+	if !strings.Contains(tl.String(), "z") {
+		t.Fatal("sub-pixel segment invisible; want at least one cell")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline("x", 0, 0)
+	if !strings.Contains(tl.String(), "no data") {
+		t.Fatal("empty timeline should say so")
+	}
+}
+
+func TestClusterCode(t *testing.T) {
+	cases := map[int]byte{-1: '.', 0: '0', 9: '9', 10: 'a', 35: 'z', 36: '#', 99: '#'}
+	for label, want := range cases {
+		if got := ClusterCode(label); got != want {
+			t.Errorf("ClusterCode(%d) = %c, want %c", label, got, want)
+		}
+	}
+}
+
+func TestScatterSeries(t *testing.T) {
+	p := NewPlot("scatter", "y")
+	p.Add(Series{Name: "cloud", Xs: []float64{0, 0.5, 1}, Values: []float64{0, 0.5, 1}, Marker: '.'})
+	out := p.String()
+	if strings.Count(out, ".") < 3 {
+		t.Fatalf("scatter points missing:\n%s", out)
+	}
+	// Out-of-range x must be skipped, not wrapped. The marker appears once
+	// in the legend and nowhere else.
+	p2 := NewPlot("s2", "y")
+	p2.Add(Series{Name: "c", Xs: []float64{-0.5, 2}, Values: []float64{5, 5}, Marker: 'q'})
+	if got := strings.Count(p2.String(), "q"); got != 1 {
+		t.Fatalf("out-of-range scatter points drawn (%d 'q' occurrences)", got)
+	}
+}

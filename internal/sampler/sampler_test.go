@@ -1,0 +1,194 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// driveMachine runs a machine through n segments of d each with an
+// attached sampler and returns the trace.
+func driveMachine(t *testing.T, opt Options, segs int, segDur sim.Duration) (*trace.Trace, *Sampler) {
+	t.Helper()
+	tr := trace.New("s", 1, nil, nil)
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	s := Attach(tr, m, opt)
+	var r simapp.Rates
+	r[counters.Instructions] = 1e9
+	for i := 0; i < segs; i++ {
+		m.Exec(segDur, r)
+	}
+	return tr, s
+}
+
+func TestSampleCountMatchesPeriod(t *testing.T) {
+	// 100 segments of 1 ms = 100 ms total; 1 ms period -> ~100 samples.
+	tr, s := driveMachine(t, Options{Period: sim.Millisecond}, 100, sim.Millisecond)
+	if got := s.Count(); got < 95 || got > 101 {
+		t.Fatalf("sample count %d, want ~100", got)
+	}
+	if tr.NumSamples() != s.Count() {
+		t.Fatalf("trace has %d samples, sampler counted %d", tr.NumSamples(), s.Count())
+	}
+}
+
+func TestJitterChangesGaps(t *testing.T) {
+	tr, _ := driveMachine(t, Options{Period: sim.Millisecond, JitterFrac: 0.4}, 50, sim.Millisecond)
+	samples := tr.Ranks[0].Samples
+	if len(samples) < 10 {
+		t.Fatalf("too few samples: %d", len(samples))
+	}
+	gaps := make(map[sim.Duration]bool)
+	for i := 1; i < len(samples); i++ {
+		gap := samples[i].Time - samples[i-1].Time
+		if gap < sim.Duration(0.6*float64(sim.Millisecond)) || gap > sim.Duration(1.4*float64(sim.Millisecond)) {
+			t.Fatalf("gap %v outside jitter band", gap)
+		}
+		gaps[gap] = true
+	}
+	if len(gaps) < 5 {
+		t.Fatal("jittered gaps are suspiciously uniform")
+	}
+}
+
+func TestNoJitterIsPeriodic(t *testing.T) {
+	tr, _ := driveMachine(t, Options{Period: sim.Millisecond}, 20, sim.Millisecond)
+	samples := tr.Ranks[0].Samples
+	for i := 1; i < len(samples); i++ {
+		if gap := samples[i].Time - samples[i-1].Time; gap != sim.Millisecond {
+			t.Fatalf("unjittered gap %v != period", gap)
+		}
+	}
+}
+
+func TestSampleCountersInterpolated(t *testing.T) {
+	tr, _ := driveMachine(t, Options{Period: 250 * sim.Microsecond}, 4, sim.Millisecond)
+	for _, s := range tr.Ranks[0].Samples {
+		ins, ok := s.Counters.Get(counters.Instructions)
+		if !ok {
+			t.Fatal("sample missing instructions")
+		}
+		// 1e9/s == 1/ns: counter must equal the timestamp exactly.
+		if math.Abs(float64(ins)-float64(s.Time)) > 1 {
+			t.Fatalf("sample at %d has instructions %d (want ≈ time)", s.Time, ins)
+		}
+	}
+}
+
+func TestSamplerRespectsMask(t *testing.T) {
+	tr := trace.New("s", 1, nil, nil)
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	m.ActiveIDs = []counters.ID{counters.Cycles}
+	m.ActiveGroup = 3
+	Attach(tr, m, Options{Period: 100 * sim.Microsecond})
+	var r simapp.Rates
+	r[counters.Instructions] = 1e9
+	m.Exec(sim.Millisecond, r)
+	for _, s := range tr.Ranks[0].Samples {
+		if _, ok := s.Counters.Get(counters.Instructions); ok {
+			t.Fatal("sample leaked a masked counter")
+		}
+		if _, ok := s.Counters.Get(counters.Cycles); !ok {
+			t.Fatal("sample missing in-group counter")
+		}
+		if s.Group != 3 {
+			t.Fatalf("sample group %d, want 3", s.Group)
+		}
+	}
+}
+
+func TestStackCapture(t *testing.T) {
+	tr := trace.New("s", 1, nil, nil)
+	rid := tr.Symbols.Define(callstack.Routine{Name: "f", File: "f.c", StartLine: 1, EndLine: 9})
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	Attach(tr, m, Options{Period: 100 * sim.Microsecond, CaptureStacks: true})
+	m.PushFrame(callstack.Frame{Routine: rid, Line: 5})
+	m.Exec(sim.Millisecond, simapp.Rates{})
+	m.PopFrame()
+	if tr.NumSamples() == 0 {
+		t.Fatal("no samples")
+	}
+	for _, s := range tr.Ranks[0].Samples {
+		st, ok := tr.Stacks.Get(s.Stack)
+		if !ok || len(st) != 1 || st[0].Routine != rid || st[0].Line != 5 {
+			t.Fatalf("captured stack = (%v, %v)", st, ok)
+		}
+	}
+}
+
+func TestEmptyStackRecordsNoStack(t *testing.T) {
+	tr := trace.New("s", 1, nil, nil)
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	Attach(tr, m, Options{Period: 100 * sim.Microsecond, CaptureStacks: true})
+	m.Exec(sim.Millisecond, simapp.Rates{})
+	for _, s := range tr.Ranks[0].Samples {
+		if s.Stack != callstack.NoStack {
+			t.Fatal("sample outside any routine recorded a stack")
+		}
+	}
+}
+
+func TestStacksOffByDefault(t *testing.T) {
+	tr := trace.New("s", 1, nil, nil)
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	rid := tr.Symbols.Define(callstack.Routine{Name: "f", File: "f.c", StartLine: 1, EndLine: 9})
+	Attach(tr, m, Options{Period: 100 * sim.Microsecond})
+	m.PushFrame(callstack.Frame{Routine: rid, Line: 5})
+	m.Exec(sim.Millisecond, simapp.Rates{})
+	m.PopFrame()
+	for _, s := range tr.Ranks[0].Samples {
+		if s.Stack != callstack.NoStack {
+			t.Fatal("stack captured with CaptureStacks off")
+		}
+	}
+}
+
+func TestRankDecorrelation(t *testing.T) {
+	tr := trace.New("s", 2, nil, nil)
+	root := sim.NewRNG(1)
+	times := make([][]sim.Time, 2)
+	for rank := int32(0); rank < 2; rank++ {
+		m := simapp.NewMachine(rank, 2, root)
+		Attach(tr, m, Options{Period: sim.Millisecond, JitterFrac: 0.3, Seed: 77})
+		m.Exec(20*sim.Millisecond, simapp.Rates{})
+		for _, s := range tr.Ranks[rank].Samples {
+			times[rank] = append(times[rank], s.Time)
+		}
+	}
+	same := 0
+	n := len(times[0])
+	if len(times[1]) < n {
+		n = len(times[1])
+	}
+	for i := 0; i < n; i++ {
+		if times[0][i] == times[1][i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("sampling grids identical across ranks despite per-rank seeding")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	tr := trace.New("s", 1, nil, nil)
+	m := simapp.NewMachine(0, 2, sim.NewRNG(1))
+	for name, opt := range map[string]Options{
+		"zero period": {},
+		"bad jitter":  {Period: sim.Millisecond, JitterFrac: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Attach did not panic", name)
+				}
+			}()
+			Attach(tr, m, opt)
+		}()
+	}
+}

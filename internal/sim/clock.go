@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on the virtual timeline, in nanoseconds since the start of
+// the simulated execution. It deliberately mirrors the resolution of the
+// tracing runtimes the paper builds on (Extrae timestamps are nanoseconds).
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations on the virtual timeline.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with an adaptive unit, e.g. "12.5ms".
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Seconds converts the virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Clock is a virtual clock. Workloads advance it explicitly; nothing in the
+// repository ever reads the wall clock, which keeps traces deterministic and
+// lets a "long" execution be simulated in microseconds of real time.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at t=0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. It panics on negative d: virtual time
+// is monotone by construction and a negative advance always indicates a bug
+// in a workload model.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %d", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to absolute time t. It panics if t is in
+// the past.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards: at %d, asked for %d", c.now, t))
+	}
+	c.now = t
+}
+
+// Reset rewinds the clock to zero. Only test code should need this.
+func (c *Clock) Reset() { c.now = 0 }

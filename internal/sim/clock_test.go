@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(5 * Millisecond)
+	c.Advance(3 * Microsecond)
+	if want := 5*Millisecond + 3*Microsecond; c.Now() != want {
+		t.Fatalf("clock at %d, want %d", c.Now(), want)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(7 * Second)
+	if c.Now() != 7*Second {
+		t.Fatalf("clock at %d, want %d", c.Now(), 7*Second)
+	}
+	c.AdvanceTo(7 * Second) // same instant is allowed
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards AdvanceTo did not panic")
+		}
+	}()
+	c.AdvanceTo(5)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset clock at %d", c.Now())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Fatalf("String() = %q, want 1.5ms", got)
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds() = %v, want 0.25", got)
+	}
+}

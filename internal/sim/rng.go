@@ -1,0 +1,109 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// rest of the repository: a splittable pseudo-random number generator, a
+// virtual clock measured in nanoseconds, and a handful of probability
+// distributions used by the synthetic workloads.
+//
+// Everything in this package is deterministic given a seed, which is what
+// makes the experiment harness reproducible: the same seed always produces
+// the same trace, the same samples and therefore the same analysis output.
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator based on
+// SplitMix64. It is intentionally not backed by math/rand so that the stream
+// is stable across Go releases, and so that independent generators can be
+// split off cheaply for parallel ranks without sharing state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators built from the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from the current one. The derived
+// stream is decorrelated from the parent by mixing in a large odd constant.
+// Split advances the parent state, so successive Split calls yield distinct
+// children.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, generated with the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value whose underlying normal
+// has the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Jitter returns v perturbed by a relative uniform jitter in
+// [-frac, +frac]. Jitter(v, 0.05) returns a value within ±5% of v.
+func (r *RNG) Jitter(v, frac float64) float64 {
+	return v * (1 + frac*(2*r.Float64()-1))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of singleton should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v, want 10", got)
+	}
+	if got := Quantile(xs, 1); got != 30 {
+		t.Errorf("q1 = %v, want 30", got)
+	}
+	if got := Quantile(xs, 0.5); got != 20 {
+		t.Errorf("q0.5 = %v, want 20", got)
+	}
+}
+
+func TestQuantileWithinRange(t *testing.T) {
+	check := func(raw []float64, qRaw float64) bool {
+		if len(raw) == 0 {
+			return Quantile(raw, 0.5) == 0
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true // skip pathological inputs
+			}
+		}
+		q := math.Abs(qRaw)
+		q -= math.Floor(q) // into [0,1)
+		v := Quantile(raw, q)
+		s := append([]float64(nil), raw...)
+		sort.Float64s(s)
+		return v >= s[0] && v <= s[len(s)-1]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAbsErrorAndRMSE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 5}
+	if got := MeanAbsError(a, b); got != 1 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	want := math.Sqrt((1.0 + 0 + 4) / 3)
+	if got := RMSE(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAbsErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MeanAbsError([]float64{1}, []float64{1, 2})
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Linspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got[len(got)-1] != 1 {
+		t.Fatal("Linspace endpoint not exact")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}

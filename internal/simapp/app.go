@@ -1,0 +1,221 @@
+package simapp
+
+import (
+	"fmt"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+)
+
+// TruthPhase is one ground-truth phase of an instrumented region, expressed
+// in the region's normalized time: the phase ends at fraction FracEnd of the
+// region duration and accumulates counters at Rates while active.
+type TruthPhase struct {
+	Name    string
+	Routine string
+	Line    int
+	FracEnd float64
+	Rates   Rates
+}
+
+// MIPS returns the phase's true MIPS (instructions per microsecond).
+func (p TruthPhase) MIPS() float64 {
+	return p.Rates[counters.Instructions] / 1e6
+}
+
+// RegionTruth is the ground-truth internal structure of one instrumented
+// region: the phase sequence every invocation executes.
+type RegionTruth struct {
+	Region int64
+	Name   string
+	Phases []TruthPhase
+}
+
+// Breakpoints returns the interior phase boundaries (fractions in (0,1)).
+func (rt *RegionTruth) Breakpoints() []float64 {
+	if len(rt.Phases) <= 1 {
+		return nil
+	}
+	out := make([]float64, 0, len(rt.Phases)-1)
+	for _, p := range rt.Phases[:len(rt.Phases)-1] {
+		out = append(out, p.FracEnd)
+	}
+	return out
+}
+
+// RateAt returns the true counter rates at normalized time x in [0,1).
+func (rt *RegionTruth) RateAt(x float64) Rates {
+	for _, p := range rt.Phases {
+		if x < p.FracEnd {
+			return p.Rates
+		}
+	}
+	return rt.Phases[len(rt.Phases)-1].Rates
+}
+
+// Truth collects the ground-truth structure of every instrumented region of
+// an application, keyed by region id.
+type Truth struct {
+	Regions map[int64]*RegionTruth
+}
+
+// NewTruth returns an empty ground-truth registry.
+func NewTruth() *Truth { return &Truth{Regions: make(map[int64]*RegionTruth)} }
+
+// Add registers a region's truth, panicking on duplicate region ids.
+func (t *Truth) Add(rt *RegionTruth) {
+	if _, dup := t.Regions[rt.Region]; dup {
+		panic(fmt.Sprintf("simapp: duplicate truth for region %d", rt.Region))
+	}
+	t.Regions[rt.Region] = rt
+}
+
+// RegionTruthFromKernels concatenates the phase structure of kernels
+// executed back-to-back inside one region, re-normalizing phase boundaries
+// to the combined duration.
+func RegionTruthFromKernels(region int64, name string, freqGHz float64, kernels ...*Kernel) *RegionTruth {
+	if len(kernels) == 0 {
+		panic("simapp: region truth needs at least one kernel")
+	}
+	var total float64
+	for _, k := range kernels {
+		total += float64(k.NominalDur())
+	}
+	rt := &RegionTruth{Region: region, Name: name}
+	var offset float64
+	for _, k := range kernels {
+		kdur := float64(k.NominalDur())
+		for _, p := range k.TruthPhases(freqGHz) {
+			rt.Phases = append(rt.Phases, TruthPhase{
+				Name:    p.Name,
+				Routine: p.Routine,
+				Line:    p.Line,
+				FracEnd: (offset + p.FracEnd*kdur) / total,
+				Rates:   p.Rates,
+			})
+		}
+		offset += kdur
+	}
+	rt.Phases[len(rt.Phases)-1].FracEnd = 1
+	return rt
+}
+
+// Config parameterizes one simulated execution.
+type Config struct {
+	// Ranks is the number of SPMD processes.
+	Ranks int
+	// Iterations is the number of main-loop iterations.
+	Iterations int
+	// Seed drives all stochastic behaviour.
+	Seed uint64
+	// FreqGHz is the core frequency of every rank.
+	FreqGHz float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Ranks <= 0:
+		return fmt.Errorf("simapp: config needs at least one rank, got %d", c.Ranks)
+	case c.Iterations <= 0:
+		return fmt.Errorf("simapp: config needs at least one iteration, got %d", c.Iterations)
+	case c.FreqGHz <= 0:
+		return fmt.Errorf("simapp: config needs a positive frequency, got %v", c.FreqGHz)
+	}
+	return nil
+}
+
+// Env is what an application sees during Setup: the shared symbol table to
+// define routines in, the ground-truth registry to fill, and the run
+// configuration.
+type Env struct {
+	Symbols *callstack.SymbolTable
+	Truth   *Truth
+	Cfg     Config
+}
+
+// Instrumenter is the probe interface the runner drives; the instr package
+// implements it by writing trace events. Probes may consume virtual time
+// (instrumentation overhead), which the overhead experiment measures.
+type Instrumenter interface {
+	IterBegin(m *Machine, iter int64)
+	IterEnd(m *Machine, iter int64)
+	RegionEnter(m *Machine, region int64)
+	RegionExit(m *Machine, region int64)
+	CommEnter(m *Machine, peer int64)
+	CommExit(m *Machine, peer int64)
+}
+
+// App is a simulated SPMD application.
+type App interface {
+	// Name identifies the application in traces and reports.
+	Name() string
+	// Setup defines kernels and ground truth. It runs once per execution,
+	// before any rank starts.
+	Setup(env *Env)
+	// RunIteration executes one main-loop iteration on rank m, driving the
+	// instrumenter at region and communication boundaries.
+	RunIteration(m *Machine, it Instrumenter, iter int64)
+}
+
+// commRates models a rank inside a communication primitive: the MPI runtime
+// spins/polls, committing few instructions with poor IPC and almost no
+// memory or FP traffic.
+func commRates(freqGHz float64) Rates {
+	var r Rates
+	cyc := freqGHz * 1e9
+	ins := 0.25 * cyc
+	r[counters.Instructions] = ins
+	r[counters.Cycles] = cyc
+	r[counters.Loads] = 0.30 * ins
+	r[counters.Stores] = 0.05 * ins
+	r[counters.Branches] = 0.25 * ins
+	r[counters.BranchMisses] = 0.02 * 0.25 * ins
+	r[counters.L1DMisses] = 2 * ins / 1000
+	return r
+}
+
+// Comm executes one communication primitive of the given duration on m,
+// bracketing it with CommEnter/CommExit probes.
+func Comm(m *Machine, it Instrumenter, peer int64, dur sim.Duration) {
+	it.CommEnter(m, peer)
+	m.Exec(dur, commRates(m.FreqGHz))
+	it.CommExit(m, peer)
+}
+
+// Runner executes an application under a configuration, wiring per-rank
+// machines to the provided instrumenter and observers.
+type Runner struct {
+	// Attach, if non-nil, is called for every rank's machine before it
+	// starts executing; samplers register themselves here.
+	Attach func(m *Machine)
+}
+
+// Run executes the application. Ranks run sequentially, each on its own
+// virtual clock starting at zero — virtual timelines are per-rank, exactly
+// as per-process tracing buffers are. It returns the ground truth recorded
+// during Setup.
+func (r *Runner) Run(app App, cfg Config, syms *callstack.SymbolTable, it Instrumenter) (*Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := &Env{Symbols: syms, Truth: NewTruth(), Cfg: cfg}
+	app.Setup(env)
+	root := sim.NewRNG(cfg.Seed)
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		m := NewMachine(int32(rank), cfg.FreqGHz, root)
+		if r.Attach != nil {
+			r.Attach(m)
+		}
+		for iter := int64(0); iter < int64(cfg.Iterations); iter++ {
+			it.IterBegin(m, iter)
+			app.RunIteration(m, it, iter)
+			it.IterEnd(m, iter)
+		}
+		if m.StackDepth() != 0 {
+			return nil, fmt.Errorf("simapp: app %q rank %d left %d frames on the stack", app.Name(), rank, m.StackDepth())
+		}
+	}
+	return env.Truth, nil
+}

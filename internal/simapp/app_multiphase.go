@@ -1,0 +1,88 @@
+package simapp
+
+import "phasefold/internal/sim"
+
+// Region ids used by the bundled applications. Ids are unique per app; the
+// analysis never mixes regions across apps.
+const (
+	RegionMultiphaseStep int64 = 1
+)
+
+// Multiphase is the controlled synthetic workload behind experiments F1-F3,
+// T1 and F6: a single instrumented region whose body walks through four
+// internal phases with strongly contrasting microarchitectural behaviour
+// (streaming, dense FP, pointer chasing, reduction). The phase granularity
+// (hundreds of microseconds) sits far below the default sampling period, so
+// only folding across iterations can expose the internal structure.
+type Multiphase struct {
+	// ScaleJitter perturbs whole-iteration duration (fraction, uniform);
+	// it models iteration-to-iteration variability without moving the
+	// relative phase boundaries.
+	ScaleJitter float64
+	// PhaseJitter perturbs individual phase durations, which does move
+	// boundaries slightly and adds realistic noise to the folded cloud.
+	PhaseJitter float64
+	// CommDur is the duration of the closing collective.
+	CommDur sim.Duration
+
+	step *Kernel
+}
+
+// NewMultiphase returns the workload with the default noise levels used by
+// the experiments.
+func NewMultiphase() *Multiphase {
+	return &Multiphase{ScaleJitter: 0.08, PhaseJitter: 0.02, CommDur: 60 * sim.Microsecond}
+}
+
+// Name implements App.
+func (a *Multiphase) Name() string { return "multiphase" }
+
+// Setup implements App.
+func (a *Multiphase) Setup(env *Env) {
+	a.step = &Kernel{
+		Name:      "multiphase.step",
+		File:      "multiphase/step.c",
+		StartLine: 10,
+		EndLine:   95,
+		Phases: []PhaseSpec{
+			{
+				Name: "init_stream", Line: 18, Dur: 400 * sim.Microsecond,
+				IPC: 0.8, L1PerKI: 60, L2PerKI: 18, L3PerKI: 6,
+				LoadFrac: 0.35, StoreFrac: 0.30, BranchFrac: 0.08, FPFrac: 0.05,
+				BranchMissPct: 0.5, JitterFrac: a.PhaseJitter,
+			},
+			{
+				Name: "dense_compute", Line: 41, Dur: 900 * sim.Microsecond,
+				IPC: 2.4, L1PerKI: 4, L2PerKI: 0.8, L3PerKI: 0.1,
+				LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.05, FPFrac: 0.55,
+				BranchMissPct: 0.2, JitterFrac: a.PhaseJitter,
+			},
+			{
+				Name: "pointer_chase", Line: 63, Dur: 600 * sim.Microsecond,
+				IPC: 0.45, L1PerKI: 90, L2PerKI: 45, L3PerKI: 22,
+				LoadFrac: 0.45, StoreFrac: 0.05, BranchFrac: 0.20, FPFrac: 0.02,
+				BranchMissPct: 6, JitterFrac: a.PhaseJitter,
+			},
+			{
+				Name: "reduce", Line: 84, Dur: 300 * sim.Microsecond,
+				IPC: 1.5, L1PerKI: 12, L2PerKI: 3, L3PerKI: 0.5,
+				LoadFrac: 0.30, StoreFrac: 0.08, BranchFrac: 0.10, FPFrac: 0.30,
+				BranchMissPct: 1, JitterFrac: a.PhaseJitter,
+			},
+		},
+	}
+	a.step.Define(env.Symbols)
+	env.Truth.Add(RegionTruthFromKernels(RegionMultiphaseStep, "step", env.Cfg.FreqGHz, a.step))
+}
+
+// RunIteration implements App.
+func (a *Multiphase) RunIteration(m *Machine, it Instrumenter, iter int64) {
+	scale := 1.0
+	if a.ScaleJitter > 0 {
+		scale = m.RNG.Jitter(1, a.ScaleJitter)
+	}
+	it.RegionEnter(m, RegionMultiphaseStep)
+	a.step.Exec(m, scale)
+	it.RegionExit(m, RegionMultiphaseStep)
+	Comm(m, it, -1, sim.Duration(m.RNG.Jitter(float64(a.CommDur), 0.2)))
+}

@@ -1,0 +1,94 @@
+package simapp
+
+import "phasefold/internal/sim"
+
+// Region ids of the n-body code.
+const (
+	RegionNBodyForces    int64 = 1
+	RegionNBodyIntegrate int64 = 2
+)
+
+// NBody models a particle code: a long force-computation region whose body
+// first walks a neighbour structure (branchy, cache-unfriendly) and then
+// evaluates pairwise interactions (dense FP, the longest phase of the whole
+// application), followed by a short streaming integration region and an
+// allgather of updated positions. The force region's internal 25/75 split is
+// invisible to per-region profiles — it takes folding to see that only the
+// neighbour walk is worth optimizing.
+type NBody struct {
+	// Optimized models sorting particles by cell, which makes the
+	// neighbour walk predictable and cache friendly.
+	Optimized bool
+
+	forces, integrate *Kernel
+}
+
+// NewNBody returns the baseline n-body workload.
+func NewNBody() *NBody { return &NBody{} }
+
+// Name implements App.
+func (a *NBody) Name() string {
+	if a.Optimized {
+		return "nbody-opt"
+	}
+	return "nbody"
+}
+
+// Setup implements App.
+func (a *NBody) Setup(env *Env) {
+	walk := PhaseSpec{
+		Name: "neighbor_walk", Line: 77, Dur: 620 * sim.Microsecond,
+		IPC: 0.5, L1PerKI: 85, L2PerKI: 40, L3PerKI: 18,
+		LoadFrac: 0.42, StoreFrac: 0.06, BranchFrac: 0.22, FPFrac: 0.04,
+		BranchMissPct: 8, JitterFrac: 0.03,
+	}
+	if a.Optimized {
+		walk.Dur = 330 * sim.Microsecond
+		walk.IPC = 0.95
+		walk.L1PerKI, walk.L2PerKI, walk.L3PerKI = 35, 12, 4
+		walk.BranchMissPct = 2.5
+	}
+	a.forces = &Kernel{
+		Name: "nbody.forces", File: "nbody/forces.c", StartLine: 60, EndLine: 170,
+		Phases: []PhaseSpec{
+			walk,
+			{
+				Name: "pairwise_fma", Line: 131, Dur: 1900 * sim.Microsecond,
+				IPC: 2.6, L1PerKI: 3, L2PerKI: 0.4, L3PerKI: 0.05,
+				LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.04, FPFrac: 0.60,
+				BranchMissPct: 0.1, JitterFrac: 0.03,
+			},
+		},
+	}
+	a.integrate = &Kernel{
+		Name: "nbody.integrate", File: "nbody/integrate.c", StartLine: 20, EndLine: 64,
+		Phases: []PhaseSpec{
+			{
+				Name: "leapfrog", Line: 38, Dur: 240 * sim.Microsecond,
+				IPC: 1.2, L1PerKI: 48, L2PerKI: 14, L3PerKI: 4,
+				LoadFrac: 0.38, StoreFrac: 0.24, BranchFrac: 0.05, FPFrac: 0.28,
+				BranchMissPct: 0.3, JitterFrac: 0.03,
+			},
+		},
+	}
+	a.forces.Define(env.Symbols)
+	a.integrate.Define(env.Symbols)
+	env.Truth.Add(RegionTruthFromKernels(RegionNBodyForces, "forces", env.Cfg.FreqGHz, a.forces))
+	env.Truth.Add(RegionTruthFromKernels(RegionNBodyIntegrate, "integrate", env.Cfg.FreqGHz, a.integrate))
+}
+
+// RunIteration implements App.
+func (a *NBody) RunIteration(m *Machine, it Instrumenter, iter int64) {
+	scale := m.RNG.Jitter(1, 0.05)
+
+	it.RegionEnter(m, RegionNBodyForces)
+	a.forces.Exec(m, scale)
+	it.RegionExit(m, RegionNBodyForces)
+
+	it.RegionEnter(m, RegionNBodyIntegrate)
+	a.integrate.Exec(m, scale)
+	it.RegionExit(m, RegionNBodyIntegrate)
+
+	// Allgather of updated positions.
+	Comm(m, it, -1, sim.Duration(m.RNG.Jitter(float64(110*sim.Microsecond), 0.3)))
+}

@@ -1,0 +1,185 @@
+package simapp
+
+import (
+	"fmt"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+)
+
+// PhaseSpec describes one internal phase of a kernel: a stretch of code with
+// homogeneous microarchitectural behaviour. Rates are specified the way an
+// analyst thinks about them (IPC, misses per kilo-instruction, instruction
+// mix fractions) and converted to absolute counter rates given the core
+// frequency.
+type PhaseSpec struct {
+	// Name labels the phase in ground truth and reports.
+	Name string
+	// Line is the source line attributed to the phase (the leaf frame's
+	// line while the phase executes).
+	Line int
+	// Dur is the nominal virtual duration of the phase per kernel
+	// invocation, before jitter.
+	Dur sim.Duration
+	// IPC is the phase's instructions-per-cycle.
+	IPC float64
+	// L1PerKI, L2PerKI, L3PerKI are cache misses per 1000 instructions.
+	L1PerKI, L2PerKI, L3PerKI float64
+	// LoadFrac, StoreFrac, BranchFrac, FPFrac are fractions of the
+	// instruction stream that are loads, stores, branches and FP ops.
+	LoadFrac, StoreFrac, BranchFrac, FPFrac float64
+	// BranchMissPct is the branch misprediction percentage.
+	BranchMissPct float64
+	// JitterFrac perturbs the phase duration per invocation (relative,
+	// uniform). Zero means a perfectly regular phase.
+	JitterFrac float64
+}
+
+// rates converts the specification into absolute counter rates (counts per
+// second) at the given core frequency. The Energy rate follows the default
+// power model — the same one machines are built with — so ground truth and
+// execution agree.
+func (p *PhaseSpec) rates(freqGHz float64) Rates {
+	var r Rates
+	cyc := freqGHz * 1e9
+	ins := p.IPC * cyc
+	r[counters.Instructions] = ins
+	r[counters.Cycles] = cyc
+	r[counters.L1DMisses] = p.L1PerKI * ins / 1000
+	r[counters.L2Misses] = p.L2PerKI * ins / 1000
+	r[counters.L3Misses] = p.L3PerKI * ins / 1000
+	r[counters.Loads] = p.LoadFrac * ins
+	r[counters.Stores] = p.StoreFrac * ins
+	r[counters.Branches] = p.BranchFrac * ins
+	r[counters.BranchMisses] = p.BranchMissPct / 100 * p.BranchFrac * ins
+	r[counters.FPOps] = p.FPFrac * ins
+	r[counters.Energy] = DefaultPowerModel().EnergyRate(r)
+	return r
+}
+
+// MIPS returns the phase's ground-truth MIPS (instructions per microsecond)
+// at the given frequency.
+func (p *PhaseSpec) MIPS(freqGHz float64) float64 {
+	return p.IPC * freqGHz * 1000
+}
+
+// Validate checks the specification for modelling errors.
+func (p *PhaseSpec) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("simapp: phase with empty name")
+	case p.Dur <= 0:
+		return fmt.Errorf("simapp: phase %q has non-positive duration", p.Name)
+	case p.IPC <= 0:
+		return fmt.Errorf("simapp: phase %q has non-positive IPC", p.Name)
+	case p.JitterFrac < 0 || p.JitterFrac >= 0.5:
+		return fmt.Errorf("simapp: phase %q jitter %v outside [0,0.5)", p.Name, p.JitterFrac)
+	case p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 || p.FPFrac < 0:
+		return fmt.Errorf("simapp: phase %q has negative mix fraction", p.Name)
+	case p.BranchMissPct < 0 || p.BranchMissPct > 100:
+		return fmt.Errorf("simapp: phase %q branch miss %v%% outside [0,100]", p.Name, p.BranchMissPct)
+	}
+	return nil
+}
+
+// Kernel is a simulated routine: a named source construct executing a fixed
+// sequence of phases. A kernel invocation is what ends up inside one
+// computation burst (possibly together with sibling kernels under the same
+// instrumented region).
+type Kernel struct {
+	// Name, File, StartLine, EndLine give the routine's source coordinates.
+	Name      string
+	File      string
+	StartLine int
+	EndLine   int
+	// Phases execute in order on every invocation.
+	Phases []PhaseSpec
+
+	routine callstack.RoutineID
+	defined bool
+}
+
+// Define registers the kernel's routine in the symbol table. It must be
+// called once before Exec; Validate failures panic because they are
+// workload-model bugs, not runtime conditions.
+func (k *Kernel) Define(syms *callstack.SymbolTable) {
+	if len(k.Phases) == 0 {
+		panic(fmt.Sprintf("simapp: kernel %q has no phases", k.Name))
+	}
+	for i := range k.Phases {
+		if err := k.Phases[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+	k.routine = syms.Define(callstack.Routine{
+		Name:      k.Name,
+		File:      k.File,
+		StartLine: k.StartLine,
+		EndLine:   k.EndLine,
+	})
+	k.defined = true
+}
+
+// Routine returns the kernel's routine id; Define must have run.
+func (k *Kernel) Routine() callstack.RoutineID {
+	if !k.defined {
+		panic(fmt.Sprintf("simapp: kernel %q used before Define", k.Name))
+	}
+	return k.routine
+}
+
+// NominalDur returns the jitter-free duration of one invocation.
+func (k *Kernel) NominalDur() sim.Duration {
+	var d sim.Duration
+	for i := range k.Phases {
+		d += k.Phases[i].Dur
+	}
+	return d
+}
+
+// Exec runs one kernel invocation on m. scale stretches every phase (work
+// scaling, e.g. per-rank imbalance); per-phase jitter is drawn from the
+// machine's generator on top of that.
+func (k *Kernel) Exec(m *Machine, scale float64) {
+	if !k.defined {
+		panic(fmt.Sprintf("simapp: kernel %q executed before Define", k.Name))
+	}
+	if scale <= 0 {
+		panic(fmt.Sprintf("simapp: kernel %q executed with non-positive scale %v", k.Name, scale))
+	}
+	m.PushFrame(callstack.Frame{Routine: k.routine, Line: k.StartLine})
+	for i := range k.Phases {
+		p := &k.Phases[i]
+		d := float64(p.Dur) * scale
+		if p.JitterFrac > 0 {
+			d = m.RNG.Jitter(d, p.JitterFrac)
+		}
+		m.SetLine(p.Line)
+		m.Exec(sim.Duration(d), p.rates(m.FreqGHz))
+	}
+	m.PopFrame()
+}
+
+// TruthPhases returns the kernel's ground-truth phase structure normalized
+// to the kernel's own duration: for each phase, the cumulative end fraction
+// and the true counter rates. This is what the experiments compare
+// reconstructions against.
+func (k *Kernel) TruthPhases(freqGHz float64) []TruthPhase {
+	total := float64(k.NominalDur())
+	out := make([]TruthPhase, 0, len(k.Phases))
+	var cum float64
+	for i := range k.Phases {
+		p := &k.Phases[i]
+		cum += float64(p.Dur)
+		out = append(out, TruthPhase{
+			Name:    p.Name,
+			Routine: k.Name,
+			Line:    p.Line,
+			FracEnd: cum / total,
+			Rates:   p.rates(freqGHz),
+		})
+	}
+	out[len(out)-1].FracEnd = 1 // exact, despite float accumulation
+	return out
+}

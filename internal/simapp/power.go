@@ -1,0 +1,42 @@
+package simapp
+
+import "phasefold/internal/counters"
+
+// PowerModel estimates package power from the executing workload's counter
+// rates, standing in for the RAPL energy readings the power-folding work
+// consumed (Servat et al., CCPE 2013). The model is the usual first-order
+// decomposition: a static floor, a dynamic core term growing with IPC, and
+// a DRAM/uncore term charged per last-level-cache miss.
+type PowerModel struct {
+	// BaseW is static package power in watts.
+	BaseW float64
+	// PerIPCW is dynamic core power per unit of IPC, in watts.
+	PerIPCW float64
+	// NJPerL3Miss charges the DRAM access energy, in nanojoules per miss.
+	NJPerL3Miss float64
+	// NJPerFPOp charges the FP unit energy, in nanojoules per operation.
+	NJPerFPOp float64
+}
+
+// DefaultPowerModel returns coefficients giving a plausible 15-50 W span
+// across the bundled workloads' phases.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{BaseW: 15, PerIPCW: 9, NJPerL3Miss: 60, NJPerFPOp: 0.6}
+}
+
+// EnergyRate returns the energy accumulation rate, in nanojoules per
+// second, for a workload running at the given counter rates.
+func (p PowerModel) EnergyRate(r Rates) float64 {
+	ipc := 0.0
+	if r[counters.Cycles] > 0 {
+		ipc = r[counters.Instructions] / r[counters.Cycles]
+	}
+	watts := p.BaseW + p.PerIPCW*ipc
+	return watts*1e9 + p.NJPerL3Miss*r[counters.L3Misses] + p.NJPerFPOp*r[counters.FPOps]
+}
+
+// PowerW returns the model's instantaneous power in watts at the given
+// rates.
+func (p PowerModel) PowerW(r Rates) float64 {
+	return p.EnergyRate(r) / 1e9
+}

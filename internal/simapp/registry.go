@@ -1,0 +1,52 @@
+package simapp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NewApp instantiates a bundled application by name. The "-opt" suffix
+// selects the guided-optimization variant where one exists.
+func NewApp(name string) (App, error) {
+	switch name {
+	case "multiphase":
+		return NewMultiphase(), nil
+	case "cg":
+		return NewCGSolver(), nil
+	case "cg-opt":
+		a := NewCGSolver()
+		a.Optimized = true
+		return a, nil
+	case "stencil":
+		return NewStencil(), nil
+	case "stencil-opt":
+		a := NewStencil()
+		a.Optimized = true
+		return a, nil
+	case "nbody":
+		return NewNBody(), nil
+	case "nbody-opt":
+		a := NewNBody()
+		a.Optimized = true
+		return a, nil
+	case "amr":
+		return NewAMR(), nil
+	}
+	return nil, fmt.Errorf("simapp: unknown application %q (have %v)", name, AppNames())
+}
+
+// AppNames lists the bundled application names in sorted order.
+func AppNames() []string {
+	names := []string{
+		"multiphase", "cg", "cg-opt", "stencil", "stencil-opt",
+		"nbody", "nbody-opt", "amr",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultConfig returns the run configuration the examples and experiments
+// use unless they override it.
+func DefaultConfig() Config {
+	return Config{Ranks: 4, Iterations: 200, Seed: 42, FreqGHz: 2.0}
+}

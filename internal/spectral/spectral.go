@@ -1,0 +1,201 @@
+// Package spectral implements the signal-analysis stage of the tool chain
+// (Llort et al., "Trace spectral analysis toward dynamic levels of detail",
+// ICPADS 2011): it derives a performance signal from the sample stream,
+// detects the application's iteration period by autocorrelation, and selects
+// a representative window of iterations for detailed analysis.
+//
+// Its role in this reproduction: when a trace carries no iteration markers
+// at all (sampling-only acquisition), the detected period still tells the
+// analysis where the repetitive structure is, and which stretch of the
+// timeline is worth folding.
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// Signal is a uniformly resampled performance signal derived from one
+// rank's samples: the instantaneous rate of a chosen counter over time.
+type Signal struct {
+	// Start is the timestamp of the first cell.
+	Start sim.Time
+	// Step is the cell width.
+	Step sim.Duration
+	// Values holds the per-cell rate (counts per second).
+	Values []float64
+}
+
+// Duration returns the signal's covered time span.
+func (s *Signal) Duration() sim.Duration {
+	return sim.Duration(len(s.Values)) * s.Step
+}
+
+// BuildSignal derives the rate signal of counter id for one rank from its
+// sample stream, resampled onto a uniform grid of the given step. Cells
+// between two samples inherit the mean rate of the enclosing sample
+// interval; leading/trailing cells without coverage are zero.
+func BuildSignal(tr *trace.Trace, rank int, id counters.ID, step sim.Duration) (*Signal, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("spectral: non-positive step %d", step)
+	}
+	rd := tr.Rank(rank)
+	if len(rd.Samples) < 2 {
+		return nil, fmt.Errorf("spectral: rank %d has %d samples, need at least 2", rank, len(rd.Samples))
+	}
+	first, last := rd.Samples[0].Time, rd.Samples[len(rd.Samples)-1].Time
+	n := int((last-first)/step) + 1
+	if n < 8 {
+		return nil, fmt.Errorf("spectral: signal would have only %d cells; use a smaller step", n)
+	}
+	sig := &Signal{Start: first, Step: step, Values: make([]float64, n)}
+	prev := rd.Samples[0]
+	for _, s := range rd.Samples[1:] {
+		v1, ok1 := prev.Counters.Get(id)
+		v2, ok2 := s.Counters.Get(id)
+		dt := s.Time - prev.Time
+		if ok1 && ok2 && dt > 0 && v2 >= v1 {
+			rate := float64(v2-v1) / dt.Seconds()
+			// Spread the interval's mean rate over the covered cells.
+			c0 := int((prev.Time - first) / step)
+			c1 := int((s.Time - first) / step)
+			for c := c0; c <= c1 && c < n; c++ {
+				sig.Values[c] = rate
+			}
+		}
+		prev = s
+	}
+	return sig, nil
+}
+
+// Autocorrelation returns the normalized autocorrelation of the signal for
+// lags 1..maxLag (index 0 of the result is lag 1). Values lie in [-1, 1].
+func Autocorrelation(values []float64, maxLag int) []float64 {
+	n := len(values)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 1 {
+		return nil
+	}
+	mean := sim.Mean(values)
+	var denom float64
+	for _, v := range values {
+		d := v - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag)
+	if denom == 0 {
+		return out
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		var num float64
+		for i := 0; i+lag < n; i++ {
+			num += (values[i] - mean) * (values[i+lag] - mean)
+		}
+		out[lag-1] = num / denom
+	}
+	return out
+}
+
+// Period is a detected periodicity.
+type Period struct {
+	// Lag is the period expressed in signal cells.
+	Lag int
+	// Duration is the period in virtual time.
+	Duration sim.Duration
+	// Strength is the autocorrelation value at the period lag.
+	Strength float64
+}
+
+// DetectPeriod finds the dominant periodicity of the signal: the first
+// local maximum of the autocorrelation whose strength exceeds minStrength,
+// refined by preferring the fundamental over its harmonics (a lag whose
+// half also scores high is replaced by the half).
+func DetectPeriod(sig *Signal, minStrength float64) (Period, error) {
+	maxLag := len(sig.Values) / 2
+	ac := Autocorrelation(sig.Values, maxLag)
+	if len(ac) == 0 {
+		return Period{}, fmt.Errorf("spectral: signal too short for period detection")
+	}
+	best := -1
+	for lag := 2; lag < len(ac); lag++ {
+		// ac index is lag-1.
+		if ac[lag-1] >= minStrength && ac[lag-1] >= ac[lag-2] && ac[lag-1] >= ac[lag] {
+			best = lag
+			break
+		}
+	}
+	if best < 0 {
+		return Period{}, fmt.Errorf("spectral: no periodicity above strength %.2f", minStrength)
+	}
+	// Prefer the fundamental: if a local peak near best/2 is also strong,
+	// descend (repeatedly) — the first peak found may be a multiple when
+	// the first iterations are noisy.
+	for best >= 4 {
+		half := best / 2
+		// Search a small neighbourhood around half for a peak.
+		bestHalf, bestVal := -1, minStrength
+		for lag := half - 1; lag <= half+1 && lag-1 < len(ac); lag++ {
+			if lag >= 2 && ac[lag-1] > bestVal {
+				bestHalf, bestVal = lag, ac[lag-1]
+			}
+		}
+		if bestHalf < 0 {
+			break
+		}
+		best = bestHalf
+	}
+	return Period{
+		Lag:      best,
+		Duration: sim.Duration(best) * sig.Step,
+		Strength: ac[best-1],
+	}, nil
+}
+
+// Window is a selected stretch of the timeline.
+type Window struct {
+	Start sim.Time
+	End   sim.Time
+	// Score is the self-similarity of the window (mean autocorrelation at
+	// the period lag computed within the window).
+	Score float64
+}
+
+// SelectRepresentative picks the window of nPeriods consecutive periods
+// whose internal behaviour is most self-similar — the stretch the ICPADS'11
+// tool would trace at full detail. The search slides period-by-period.
+func SelectRepresentative(sig *Signal, p Period, nPeriods int) (Window, error) {
+	if nPeriods < 2 {
+		return Window{}, fmt.Errorf("spectral: need at least 2 periods, got %d", nPeriods)
+	}
+	win := p.Lag * nPeriods
+	if win > len(sig.Values) {
+		return Window{}, fmt.Errorf("spectral: window of %d periods exceeds the signal", nPeriods)
+	}
+	bestStart, bestScore := 0, math.Inf(-1)
+	for start := 0; start+win <= len(sig.Values); start += p.Lag {
+		seg := sig.Values[start : start+win]
+		ac := Autocorrelation(seg, p.Lag)
+		if len(ac) < p.Lag {
+			continue
+		}
+		score := ac[p.Lag-1]
+		if score > bestScore {
+			bestScore = score
+			bestStart = start
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		return Window{}, fmt.Errorf("spectral: no scorable window")
+	}
+	return Window{
+		Start: sig.Start + sim.Time(bestStart)*sig.Step,
+		End:   sig.Start + sim.Time(bestStart+win)*sig.Step,
+		Score: bestScore,
+	}, nil
+}

@@ -1,0 +1,175 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// acquire runs an app and returns its trace plus the true mean iteration
+// duration of rank 0 (from the iteration markers, which the spectral path
+// itself does not use).
+func acquire(t *testing.T, name string, period sim.Duration, iters int) (*trace.Trace, sim.Duration) {
+	t.Helper()
+	app, err := simapp.NewApp(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.SamplingPeriod = period
+	cfg := simapp.Config{Ranks: 1, Iterations: iters, Seed: 5, FreqGHz: 2}
+	run, err := core.RunApp(app, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last sim.Time
+	n := 0
+	for _, e := range run.Trace.Ranks[0].Events {
+		if e.Type == trace.IterBegin {
+			if n == 0 {
+				first = e.Time
+			}
+			last = e.Time
+			n++
+		}
+	}
+	if n < 2 {
+		t.Fatal("not enough iterations")
+	}
+	return run.Trace, (last - first) / sim.Duration(n-1)
+}
+
+func TestBuildSignal(t *testing.T) {
+	tr, _ := acquire(t, "multiphase", 100*sim.Microsecond, 50)
+	sig, err := BuildSignal(tr, 0, counters.Instructions, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Values) < 100 {
+		t.Fatalf("signal has %d cells", len(sig.Values))
+	}
+	nonzero := 0
+	for _, v := range sig.Values {
+		if v < 0 {
+			t.Fatal("negative rate in signal")
+		}
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(sig.Values)/2 {
+		t.Fatalf("signal mostly empty: %d/%d non-zero", nonzero, len(sig.Values))
+	}
+}
+
+func TestBuildSignalValidation(t *testing.T) {
+	tr, _ := acquire(t, "multiphase", 100*sim.Microsecond, 10)
+	if _, err := BuildSignal(tr, 0, counters.Instructions, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	empty := trace.New("e", 1, nil, nil)
+	if _, err := BuildSignal(empty, 0, counters.Instructions, sim.Millisecond); err == nil {
+		t.Fatal("sample-less trace accepted")
+	}
+}
+
+func TestAutocorrelationOfSine(t *testing.T) {
+	const period = 50
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	ac := Autocorrelation(values, 200)
+	// Strong positive at the period, strong negative at half period.
+	if ac[period-1] < 0.9 {
+		t.Fatalf("autocorrelation at period = %v", ac[period-1])
+	}
+	if ac[period/2-1] > -0.9 {
+		t.Fatalf("autocorrelation at half period = %v", ac[period/2-1])
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if got := Autocorrelation([]float64{1, 1, 1, 1}, 2); got[0] != 0 || got[1] != 0 {
+		t.Fatal("constant signal autocorrelation not zero")
+	}
+	if got := Autocorrelation([]float64{1}, 5); got != nil {
+		t.Fatal("too-short signal should return nil")
+	}
+}
+
+func TestDetectPeriodMatchesIterationDuration(t *testing.T) {
+	for _, name := range []string{"multiphase", "cg", "stencil"} {
+		tr, trueIter := acquire(t, name, 100*sim.Microsecond, 80)
+		sig, err := BuildSignal(tr, 0, counters.Instructions, 50*sim.Microsecond)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := DetectPeriod(sig, 0.3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rel := math.Abs(float64(p.Duration)-float64(trueIter)) / float64(trueIter)
+		if rel > 0.10 {
+			t.Errorf("%s: detected period %v vs true iteration %v (%.0f%% off)",
+				name, p.Duration, trueIter, 100*rel)
+		}
+	}
+}
+
+func TestDetectPeriodRejectsNoise(t *testing.T) {
+	rng := sim.NewRNG(3)
+	sig := &Signal{Step: sim.Millisecond, Values: make([]float64, 400)}
+	for i := range sig.Values {
+		sig.Values[i] = rng.Float64()
+	}
+	if p, err := DetectPeriod(sig, 0.5); err == nil {
+		t.Fatalf("period %+v detected in white noise", p)
+	}
+}
+
+func TestSelectRepresentative(t *testing.T) {
+	tr, _ := acquire(t, "multiphase", 100*sim.Microsecond, 100)
+	sig, err := BuildSignal(tr, 0, counters.Instructions, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DetectPeriod(sig, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SelectRepresentative(sig, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.End <= w.Start {
+		t.Fatalf("window = %+v", w)
+	}
+	want := 8 * p.Duration
+	got := w.End - w.Start
+	if got != want {
+		t.Fatalf("window spans %v, want %v", got, want)
+	}
+	if w.Score < 0.3 {
+		t.Fatalf("window score %v", w.Score)
+	}
+	if w.End > sig.Start+sig.Duration() {
+		t.Fatal("window exceeds the signal")
+	}
+}
+
+func TestSelectRepresentativeValidation(t *testing.T) {
+	sig := &Signal{Step: sim.Millisecond, Values: make([]float64, 50)}
+	p := Period{Lag: 10, Duration: 10 * sim.Millisecond}
+	if _, err := SelectRepresentative(sig, p, 1); err == nil {
+		t.Fatal("1-period window accepted")
+	}
+	if _, err := SelectRepresentative(sig, p, 100); err == nil {
+		t.Fatal("oversized window accepted")
+	}
+}

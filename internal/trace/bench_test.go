@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchTrace(b *testing.B) *Trace {
+	t := &testing.T{}
+	tr := randomTrace(t, 1, 4, 200)
+	if t.Failed() {
+		b.Fatal("fixture construction failed")
+	}
+	return tr
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractBursts(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractBursts(tr, BurstOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

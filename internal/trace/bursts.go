@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"phasefold/internal/sim"
+)
+
+// BurstOptions controls computation-burst extraction.
+type BurstOptions struct {
+	// MinDuration drops bursts shorter than this; tiny slivers between
+	// back-to-back communications carry no analyzable signal and only add
+	// clustering noise. Zero keeps everything.
+	MinDuration sim.Duration
+	// RequireRegion keeps only bursts executed inside an instrumented
+	// region, discarding glue code between communication calls.
+	RequireRegion bool
+}
+
+// ExtractBursts derives computation bursts from the event streams of t: the
+// maximal intervals during which a rank executes user code (no open
+// communication), labelled with the innermost instrumented region and the
+// iteration they belong to. Bursts inherit counter deltas from the probe
+// snapshots at their boundaries, and are linked to the samples that fall
+// inside them.
+//
+// The extraction insists on well-formed streams (Validate's invariants); a
+// malformed stream returns an error rather than silently mis-paired bursts.
+func ExtractBursts(t *Trace, opt BurstOptions) ([]Burst, error) {
+	var all []Burst
+	for _, rd := range t.Ranks {
+		bursts, err := extractRank(rd, opt)
+		if err != nil {
+			return nil, err
+		}
+		attachSamples(bursts, rd.Samples)
+		all = append(all, bursts...)
+	}
+	return all, nil
+}
+
+type openBurst struct {
+	start   sim.Time
+	ctr     Event // probe snapshot at burst start
+	active  bool
+	region  int64
+	iterNum int64
+}
+
+func extractRank(rd *RankData, opt BurstOptions) ([]Burst, error) {
+	var (
+		bursts    []Burst
+		open      openBurst
+		regions   []int64 // stack of active region ids
+		commDepth int
+		iterNum   int64 = -1
+	)
+	begin := func(e Event) {
+		region := int64(-1)
+		if n := len(regions); n > 0 {
+			region = regions[n-1]
+		}
+		open = openBurst{start: e.Time, ctr: e, active: true, region: region, iterNum: iterNum}
+	}
+	end := func(e Event) {
+		if !open.active {
+			return
+		}
+		open.active = false
+		if opt.RequireRegion && open.region < 0 {
+			return
+		}
+		dur := e.Time - open.start
+		if dur <= 0 || dur < opt.MinDuration {
+			return
+		}
+		bursts = append(bursts, Burst{
+			Rank:     rd.Rank,
+			Region:   open.region,
+			Start:    open.start,
+			End:      e.Time,
+			Iter:     open.iterNum,
+			StartCtr: open.ctr.Counters,
+			Delta:    e.Counters.Sub(open.ctr.Counters),
+			Group:    e.Group,
+			Cluster:  ClusterNone,
+			FirstSmp: -1,
+		})
+	}
+	for i, e := range rd.Events {
+		switch e.Type {
+		case IterBegin:
+			iterNum = e.Value
+			if commDepth == 0 {
+				end(e)
+				begin(e)
+			}
+		case IterEnd:
+			if commDepth == 0 {
+				end(e)
+			}
+		case RegionEnter:
+			if commDepth == 0 {
+				end(e) // close the burst outside the region, if any
+			}
+			regions = append(regions, e.Value)
+			if commDepth == 0 {
+				begin(e)
+			}
+		case RegionExit:
+			if len(regions) == 0 {
+				return nil, fmt.Errorf("trace: rank %d event %d: region exit without enter", rd.Rank, i)
+			}
+			if regions[len(regions)-1] != e.Value {
+				return nil, fmt.Errorf("trace: rank %d event %d: region exit %d does not match open region %d",
+					rd.Rank, i, e.Value, regions[len(regions)-1])
+			}
+			regions = regions[:len(regions)-1]
+			if commDepth == 0 {
+				end(e)
+				begin(e)
+			}
+		case CommEnter:
+			if commDepth == 0 {
+				end(e)
+			}
+			commDepth++
+		case CommExit:
+			commDepth--
+			if commDepth < 0 {
+				return nil, fmt.Errorf("trace: rank %d event %d: comm exit without enter", rd.Rank, i)
+			}
+			if commDepth == 0 {
+				begin(e)
+			}
+		}
+	}
+	if commDepth != 0 {
+		return nil, fmt.Errorf("trace: rank %d ends with %d open communications", rd.Rank, commDepth)
+	}
+	if len(regions) != 0 {
+		return nil, fmt.Errorf("trace: rank %d ends with %d open regions", rd.Rank, len(regions))
+	}
+	return bursts, nil
+}
+
+// attachSamples links each burst to the contiguous run of samples whose
+// timestamps fall inside it. Both inputs are time-sorted.
+func attachSamples(bursts []Burst, samples []Sample) {
+	si := 0
+	for bi := range bursts {
+		b := &bursts[bi]
+		for si < len(samples) && samples[si].Time < b.Start {
+			si++
+		}
+		first := si
+		for si < len(samples) && samples[si].Time < b.End {
+			si++
+		}
+		if si > first {
+			b.FirstSmp = first
+			b.NumSmp = si - first
+		}
+	}
+}
+
+// SortBursts orders bursts by (rank, start time), the canonical order the
+// clustering and folding stages expect.
+func SortBursts(bursts []Burst) {
+	sort.Slice(bursts, func(i, j int) bool {
+		if bursts[i].Rank != bursts[j].Rank {
+			return bursts[i].Rank < bursts[j].Rank
+		}
+		return bursts[i].Start < bursts[j].Start
+	})
+}
+
+// BurstsByRegion groups burst indices by their region id, with deterministic
+// iteration order left to the caller via sorted keys.
+func BurstsByRegion(bursts []Burst) map[int64][]int {
+	out := make(map[int64][]int)
+	for i, b := range bursts {
+		out[b.Region] = append(out[b.Region], i)
+	}
+	return out
+}
+
+// TotalComputation sums the durations of all bursts, a denominator used by
+// coverage statistics in reports.
+func TotalComputation(bursts []Burst) sim.Duration {
+	var total sim.Duration
+	for _, b := range bursts {
+		total += b.Duration()
+	}
+	return total
+}

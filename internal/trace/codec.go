@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+)
+
+// Binary trace format ("PFT1"): a compact varint-based encoding analogous in
+// role to Paraver's .prv container. Layout:
+//
+//	magic "PFT1"
+//	app name (string)
+//	symbol table: count, then {name, file, startLine, endLine}
+//	stack table:  count, then {frames: count, {routine, line}...}
+//	rank count
+//	per rank: event count, events (delta-coded times), sample count, samples
+//
+// Counter snapshots are encoded as a presence bitmap plus varint values so
+// multiplexed traces (mostly-Missing sets) stay small.
+
+const binaryMagic = "PFT1"
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+func (w *writer) counterSet(s counters.Set) {
+	var mask uint64
+	for i, v := range s {
+		if v != counters.Missing {
+			mask |= 1 << uint(i)
+		}
+	}
+	w.uvarint(mask)
+	for i, v := range s {
+		if mask&(1<<uint(i)) != 0 {
+			w.varint(v)
+		}
+	}
+}
+
+// Encode writes t to w in the binary trace format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := &writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := bw.w.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	bw.str(t.AppName)
+	routines := t.Symbols.Routines()
+	bw.uvarint(uint64(len(routines)))
+	for _, r := range routines {
+		bw.str(r.Name)
+		bw.str(r.File)
+		bw.uvarint(uint64(r.StartLine))
+		bw.uvarint(uint64(r.EndLine))
+	}
+	stacks := t.Stacks.All()
+	bw.uvarint(uint64(len(stacks)))
+	for _, s := range stacks {
+		bw.uvarint(uint64(len(s)))
+		for _, f := range s {
+			bw.varint(int64(f.Routine))
+			bw.uvarint(uint64(f.Line))
+		}
+	}
+	bw.uvarint(uint64(len(t.Ranks)))
+	for _, rd := range t.Ranks {
+		bw.uvarint(uint64(len(rd.Events)))
+		var prev sim.Time
+		for _, e := range rd.Events {
+			bw.uvarint(uint64(e.Time - prev))
+			prev = e.Time
+			bw.uvarint(uint64(e.Type))
+			bw.varint(e.Value)
+			bw.uvarint(uint64(e.Group))
+			bw.counterSet(e.Counters)
+		}
+		bw.uvarint(uint64(len(rd.Samples)))
+		prev = 0
+		for _, s := range rd.Samples {
+			bw.uvarint(uint64(s.Time - prev))
+			prev = s.Time
+			bw.varint(int64(s.Stack))
+			bw.uvarint(uint64(s.Group))
+			bw.counterSet(s.Counters)
+		}
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		r.err = fmt.Errorf("trace: string length %d exceeds sanity limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) counterSet() counters.Set {
+	s := counters.AllMissing()
+	mask := r.uvarint()
+	if r.err != nil {
+		return s
+	}
+	for i := 0; i < int(counters.NumIDs); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s[i] = r.varint()
+		}
+	}
+	return s
+}
+
+const (
+	maxDecodeCount = 1 << 28 // sanity limit on decoded collection sizes
+)
+
+func (r *reader) count(what string) int {
+	n := r.uvarint()
+	if r.err == nil && n > maxDecodeCount {
+		r.err = fmt.Errorf("trace: %s count %d exceeds sanity limit", what, n)
+	}
+	return int(n)
+}
+
+// Decode reads a binary-format trace from rd.
+func Decode(rd io.Reader) (*Trace, error) {
+	r := &reader{r: bufio.NewReaderSize(rd, 1<<16)}
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(r.r, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	app := r.str()
+	syms := callstack.NewSymbolTable()
+	nRoutines := r.count("routine")
+	for i := 0; i < nRoutines && r.err == nil; i++ {
+		syms.Define(callstack.Routine{
+			Name:      r.str(),
+			File:      r.str(),
+			StartLine: int(r.uvarint()),
+			EndLine:   int(r.uvarint()),
+		})
+	}
+	stacks := callstack.NewInterner()
+	nStacks := r.count("stack")
+	stackIDs := make([]callstack.StackID, 0, nStacks)
+	for i := 0; i < nStacks && r.err == nil; i++ {
+		nf := r.count("frame")
+		st := make(callstack.Stack, nf)
+		for j := 0; j < nf && r.err == nil; j++ {
+			st[j] = callstack.Frame{
+				Routine: callstack.RoutineID(r.varint()),
+				Line:    int(r.uvarint()),
+			}
+		}
+		stackIDs = append(stackIDs, stacks.Intern(st))
+	}
+	nRanks := r.count("rank")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nRanks == 0 {
+		return nil, fmt.Errorf("trace: decoded trace has no ranks")
+	}
+	t := New(app, nRanks, syms, stacks)
+	for rank := 0; rank < nRanks && r.err == nil; rank++ {
+		nev := r.count("event")
+		rd := t.Ranks[rank]
+		rd.Events = make([]Event, 0, min(nev, 1<<20))
+		var prev sim.Time
+		for i := 0; i < nev && r.err == nil; i++ {
+			prev += sim.Time(r.uvarint())
+			rd.Events = append(rd.Events, Event{
+				Time:     prev,
+				Rank:     int32(rank),
+				Type:     EventType(r.uvarint()),
+				Value:    r.varint(),
+				Group:    uint8(r.uvarint()),
+				Counters: r.counterSet(),
+			})
+		}
+		nsmp := r.count("sample")
+		rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
+		prev = 0
+		for i := 0; i < nsmp && r.err == nil; i++ {
+			prev += sim.Time(r.uvarint())
+			sid := callstack.StackID(r.varint())
+			if sid != callstack.NoStack {
+				if sid < 0 || int(sid) >= len(stackIDs) {
+					return nil, fmt.Errorf("trace: sample references stack %d of %d", sid, len(stackIDs))
+				}
+				sid = stackIDs[sid]
+			}
+			rd.Samples = append(rd.Samples, Sample{
+				Time:     prev,
+				Rank:     int32(rank),
+				Stack:    sid,
+				Group:    uint8(r.uvarint()),
+				Counters: r.counterSet(),
+			})
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded trace invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+)
+
+// Text trace format: a line-oriented, human-inspectable rendering in the
+// spirit of Paraver's .prv files. One record per line:
+//
+//	#PFTEXT1 <app>
+//	R <id> <name> <file> <startLine> <endLine>          routine definition
+//	K <id> <nframes> (<routine>:<line>)...              stack definition
+//	E <rank> <time> <type> <value> <group> <counters>   event
+//	S <rank> <time> <stack> <group> <counters>          sample
+//
+// Counters are rendered as comma-separated "id=value" pairs of the captured
+// counters only ("-" when none are captured).
+
+const textMagic = "#PFTEXT1"
+
+func formatCounters(s counters.Set) string {
+	var b strings.Builder
+	first := true
+	for i, v := range s {
+		if v == counters.Missing {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d=%d", i, v)
+	}
+	if first {
+		return "-"
+	}
+	return b.String()
+}
+
+func parseCounters(field string) (counters.Set, error) {
+	s := counters.AllMissing()
+	if field == "-" {
+		return s, nil
+	}
+	for _, pair := range strings.Split(field, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return s, fmt.Errorf("trace: bad counter pair %q", pair)
+		}
+		id, err := strconv.Atoi(pair[:eq])
+		if err != nil || id < 0 || id >= int(counters.NumIDs) {
+			return s, fmt.Errorf("trace: bad counter id in %q", pair)
+		}
+		v, err := strconv.ParseInt(pair[eq+1:], 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("trace: bad counter value in %q", pair)
+		}
+		s[id] = v
+	}
+	return s, nil
+}
+
+// EncodeText writes t to w in the text trace format.
+func EncodeText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%s %s\n", textMagic, t.AppName); err != nil {
+		return err
+	}
+	for id, r := range t.Symbols.Routines() {
+		fmt.Fprintf(bw, "R %d %s %s %d %d\n", id, r.Name, r.File, r.StartLine, r.EndLine)
+	}
+	for id, st := range t.Stacks.All() {
+		fmt.Fprintf(bw, "K %d %d", id, len(st))
+		for _, f := range st {
+			fmt.Fprintf(bw, " %d:%d", f.Routine, f.Line)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, rd := range t.Ranks {
+		for _, e := range rd.Events {
+			fmt.Fprintf(bw, "E %d %d %s %d %d %s\n",
+				e.Rank, e.Time, e.Type, e.Value, e.Group, formatCounters(e.Counters))
+		}
+		for _, s := range rd.Samples {
+			fmt.Fprintf(bw, "S %d %d %d %d %s\n",
+				s.Rank, s.Time, s.Stack, s.Group, formatCounters(s.Counters))
+		}
+	}
+	return bw.Flush()
+}
+
+var eventTypeByName = func() map[string]EventType {
+	m := make(map[string]EventType, numEventTypes)
+	for t := EventType(0); t < numEventTypes; t++ {
+		m[t.String()] = t
+	}
+	return m
+}()
+
+// DecodeText reads a text-format trace from rd.
+func DecodeText(rd io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty text trace")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 1 || header[0] != textMagic {
+		return nil, fmt.Errorf("trace: bad text header %q", sc.Text())
+	}
+	app := ""
+	if len(header) > 1 {
+		app = strings.Join(header[1:], " ")
+	}
+	syms := callstack.NewSymbolTable()
+	stacks := callstack.NewInterner()
+	var stackIDs []callstack.StackID
+	type pendingEvent struct{ e Event }
+	type pendingSample struct{ s Sample }
+	var events []pendingEvent
+	var samples []pendingSample
+	maxRank := -1
+	lineNo := 1
+	fail := func(format string, args ...any) (*Trace, error) {
+		return nil, fmt.Errorf("trace: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "R":
+			if len(f) != 6 {
+				return fail("malformed routine definition")
+			}
+			start, err1 := strconv.Atoi(f[4])
+			end, err2 := strconv.Atoi(f[5])
+			if err1 != nil || err2 != nil {
+				return fail("bad routine lines")
+			}
+			syms.Define(callstack.Routine{Name: f[2], File: f[3], StartLine: start, EndLine: end})
+		case "K":
+			if len(f) < 3 {
+				return fail("malformed stack definition")
+			}
+			nf, err := strconv.Atoi(f[2])
+			if err != nil || nf != len(f)-3 {
+				return fail("stack frame count mismatch")
+			}
+			st := make(callstack.Stack, nf)
+			for i := 0; i < nf; i++ {
+				colon := strings.IndexByte(f[3+i], ':')
+				if colon < 0 {
+					return fail("bad frame %q", f[3+i])
+				}
+				rid, err1 := strconv.Atoi(f[3+i][:colon])
+				ln, err2 := strconv.Atoi(f[3+i][colon+1:])
+				if err1 != nil || err2 != nil {
+					return fail("bad frame %q", f[3+i])
+				}
+				st[i] = callstack.Frame{Routine: callstack.RoutineID(rid), Line: ln}
+			}
+			stackIDs = append(stackIDs, stacks.Intern(st))
+		case "E":
+			if len(f) != 7 {
+				return fail("malformed event")
+			}
+			rank, err1 := strconv.Atoi(f[1])
+			tm, err2 := strconv.ParseInt(f[2], 10, 64)
+			typ, okT := eventTypeByName[f[3]]
+			val, err3 := strconv.ParseInt(f[4], 10, 64)
+			grp, err4 := strconv.Atoi(f[5])
+			if err1 != nil || err2 != nil || !okT || err3 != nil || err4 != nil {
+				return fail("bad event fields")
+			}
+			ctr, err := parseCounters(f[6])
+			if err != nil {
+				return fail("%v", err)
+			}
+			if rank > maxRank {
+				maxRank = rank
+			}
+			events = append(events, pendingEvent{Event{
+				Time: sim.Time(tm), Rank: int32(rank), Type: typ, Value: val,
+				Group: uint8(grp), Counters: ctr,
+			}})
+		case "S":
+			if len(f) != 6 {
+				return fail("malformed sample")
+			}
+			rank, err1 := strconv.Atoi(f[1])
+			tm, err2 := strconv.ParseInt(f[2], 10, 64)
+			sid, err3 := strconv.Atoi(f[3])
+			grp, err4 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return fail("bad sample fields")
+			}
+			ctr, err := parseCounters(f[5])
+			if err != nil {
+				return fail("%v", err)
+			}
+			stack := callstack.StackID(sid)
+			if stack != callstack.NoStack {
+				if sid < 0 || sid >= len(stackIDs) {
+					return fail("sample references unknown stack %d", sid)
+				}
+				stack = stackIDs[sid]
+			}
+			if rank > maxRank {
+				maxRank = rank
+			}
+			samples = append(samples, pendingSample{Sample{
+				Time: sim.Time(tm), Rank: int32(rank), Stack: stack,
+				Group: uint8(grp), Counters: ctr,
+			}})
+		default:
+			return fail("unknown record kind %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxRank < 0 {
+		return nil, fmt.Errorf("trace: text trace has no records")
+	}
+	t := New(app, maxRank+1, syms, stacks)
+	for _, pe := range events {
+		t.AddEvent(pe.e)
+	}
+	for _, ps := range samples {
+		t.AddSample(ps.s)
+	}
+	t.SortRecords()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded text trace invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/sim"
+)
+
+// RankData holds the records of a single process (rank), each stream in
+// time order.
+type RankData struct {
+	Rank    int32
+	Events  []Event
+	Samples []Sample
+}
+
+// Trace is a complete multi-rank execution record plus the shared symbol
+// information needed to interpret call stacks.
+type Trace struct {
+	// AppName labels the traced application in reports.
+	AppName string
+	// Ranks holds per-process records, indexed by rank number.
+	Ranks []*RankData
+	// Symbols is the routine/line table of the traced binary.
+	Symbols *callstack.SymbolTable
+	// Stacks interns the call-stack snapshots referenced by samples.
+	Stacks *callstack.Interner
+}
+
+// New returns an empty trace for nRanks processes sharing the given symbol
+// table and stack interner. Either may be nil, in which case fresh empty
+// ones are created.
+func New(appName string, nRanks int, syms *callstack.SymbolTable, stacks *callstack.Interner) *Trace {
+	if nRanks <= 0 {
+		panic(fmt.Sprintf("trace: non-positive rank count %d", nRanks))
+	}
+	if syms == nil {
+		syms = callstack.NewSymbolTable()
+	}
+	if stacks == nil {
+		stacks = callstack.NewInterner()
+	}
+	t := &Trace{AppName: appName, Symbols: syms, Stacks: stacks}
+	t.Ranks = make([]*RankData, nRanks)
+	for i := range t.Ranks {
+		t.Ranks[i] = &RankData{Rank: int32(i)}
+	}
+	return t
+}
+
+// NumRanks returns the number of processes in the trace.
+func (t *Trace) NumRanks() int { return len(t.Ranks) }
+
+// Rank returns the records of rank r, panicking on an out-of-range rank —
+// rank numbers come from the trace itself, so a bad index is a program bug.
+func (t *Trace) Rank(r int) *RankData {
+	if r < 0 || r >= len(t.Ranks) {
+		panic(fmt.Sprintf("trace: rank %d out of range [0,%d)", r, len(t.Ranks)))
+	}
+	return t.Ranks[r]
+}
+
+// AddEvent appends an event to its rank's stream.
+func (t *Trace) AddEvent(e Event) {
+	rd := t.Rank(int(e.Rank))
+	rd.Events = append(rd.Events, e)
+}
+
+// AddSample appends a sample to its rank's stream.
+func (t *Trace) AddSample(s Sample) {
+	rd := t.Rank(int(s.Rank))
+	rd.Samples = append(rd.Samples, s)
+}
+
+// NumEvents returns the total event count across ranks.
+func (t *Trace) NumEvents() int {
+	n := 0
+	for _, rd := range t.Ranks {
+		n += len(rd.Events)
+	}
+	return n
+}
+
+// NumSamples returns the total sample count across ranks.
+func (t *Trace) NumSamples() int {
+	n := 0
+	for _, rd := range t.Ranks {
+		n += len(rd.Samples)
+	}
+	return n
+}
+
+// EndTime returns the timestamp of the last record in the trace.
+func (t *Trace) EndTime() sim.Time {
+	var end sim.Time
+	for _, rd := range t.Ranks {
+		if n := len(rd.Events); n > 0 && rd.Events[n-1].Time > end {
+			end = rd.Events[n-1].Time
+		}
+		if n := len(rd.Samples); n > 0 && rd.Samples[n-1].Time > end {
+			end = rd.Samples[n-1].Time
+		}
+	}
+	return end
+}
+
+// SortRecords re-establishes time order within every rank's streams. Trace
+// producers in this repository emit in order already; SortRecords exists for
+// traces assembled from merged or decoded sources.
+func (t *Trace) SortRecords() {
+	for _, rd := range t.Ranks {
+		sort.SliceStable(rd.Events, func(i, j int) bool { return rd.Events[i].Time < rd.Events[j].Time })
+		sort.SliceStable(rd.Samples, func(i, j int) bool { return rd.Samples[i].Time < rd.Samples[j].Time })
+	}
+}
+
+// Validate checks the structural invariants decoded or hand-built traces
+// must satisfy: records sorted by time, rank fields matching their stream,
+// balanced region/comm nesting, and stack references resolving.
+func (t *Trace) Validate() error {
+	for r, rd := range t.Ranks {
+		if rd == nil {
+			return fmt.Errorf("trace: rank %d missing", r)
+		}
+		if int(rd.Rank) != r {
+			return fmt.Errorf("trace: rank slot %d holds rank %d", r, rd.Rank)
+		}
+		var prev sim.Time
+		depthRegion, depthComm := 0, 0
+		for i, e := range rd.Events {
+			if e.Time < prev {
+				return fmt.Errorf("trace: rank %d event %d out of order (%d after %d)", r, i, e.Time, prev)
+			}
+			prev = e.Time
+			if int(e.Rank) != r {
+				return fmt.Errorf("trace: rank %d event %d carries rank %d", r, i, e.Rank)
+			}
+			if !e.Type.Valid() {
+				return fmt.Errorf("trace: rank %d event %d has invalid type %d", r, i, e.Type)
+			}
+			switch e.Type {
+			case RegionEnter:
+				depthRegion++
+			case RegionExit:
+				depthRegion--
+				if depthRegion < 0 {
+					return fmt.Errorf("trace: rank %d event %d: region exit without enter", r, i)
+				}
+			case CommEnter:
+				depthComm++
+			case CommExit:
+				depthComm--
+				if depthComm < 0 {
+					return fmt.Errorf("trace: rank %d event %d: comm exit without enter", r, i)
+				}
+			}
+		}
+		if depthRegion != 0 {
+			return fmt.Errorf("trace: rank %d has %d unclosed regions", r, depthRegion)
+		}
+		if depthComm != 0 {
+			return fmt.Errorf("trace: rank %d has %d unclosed comms", r, depthComm)
+		}
+		prev = 0
+		for i, s := range rd.Samples {
+			if s.Time < prev {
+				return fmt.Errorf("trace: rank %d sample %d out of order", r, i)
+			}
+			prev = s.Time
+			if int(s.Rank) != r {
+				return fmt.Errorf("trace: rank %d sample %d carries rank %d", r, i, s.Rank)
+			}
+			if s.Stack != callstack.NoStack {
+				if _, ok := t.Stacks.Get(s.Stack); !ok {
+					return fmt.Errorf("trace: rank %d sample %d references unknown stack %d", r, i, s.Stack)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Merge combines several single-application traces (e.g. produced by
+// independent per-rank tracing backends) into one. All inputs must share the
+// same symbol table and stack interner; rank numbers must not collide.
+func Merge(app string, parts ...*Trace) (*Trace, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	syms, stacks := parts[0].Symbols, parts[0].Stacks
+	maxRank := -1
+	for _, p := range parts {
+		if p.Symbols != syms || p.Stacks != stacks {
+			return nil, fmt.Errorf("trace: merge parts do not share symbol tables")
+		}
+		for _, rd := range p.Ranks {
+			if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+				continue
+			}
+			if int(rd.Rank) > maxRank {
+				maxRank = int(rd.Rank)
+			}
+		}
+	}
+	if maxRank < 0 {
+		return nil, fmt.Errorf("trace: merge parts are all empty")
+	}
+	out := New(app, maxRank+1, syms, stacks)
+	seen := make([]bool, maxRank+1)
+	for _, p := range parts {
+		for _, rd := range p.Ranks {
+			if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+				continue
+			}
+			r := int(rd.Rank)
+			if seen[r] {
+				return nil, fmt.Errorf("trace: merge rank %d present twice", r)
+			}
+			seen[r] = true
+			out.Ranks[r].Events = append(out.Ranks[r].Events, rd.Events...)
+			out.Ranks[r].Samples = append(out.Ranks[r].Samples, rd.Samples...)
+		}
+	}
+	out.SortRecords()
+	return out, nil
+}

@@ -1,0 +1,236 @@
+// Package tracking implements the cross-scenario analysis of Llort et al.,
+// "On the usefulness of object tracking techniques in performance analysis"
+// (SC 2013): the same application is executed under a sweep of scenarios
+// (problem size, rank count, input set), each execution's burst clusters are
+// detected independently, and clusters are then matched — "tracked" —
+// across scenarios by proximity in the performance feature space, so the
+// analyst sees how each code region's behaviour responds to the changing
+// conditions rather than one isolated snapshot.
+package tracking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"phasefold/internal/core"
+	"phasefold/internal/sim"
+)
+
+// Snapshot is one scenario's analysis plus its label (e.g. "ranks=8" or
+// "scale=2.0") and ordering key.
+type Snapshot struct {
+	// Label names the scenario in reports.
+	Label string
+	// X is the scenario's position on the sweep axis (e.g. the rank count
+	// or the problem scale), used for trend fitting.
+	X float64
+	// Model is the scenario's analysis.
+	Model *core.Model
+}
+
+// feature places a cluster in the tracking space. Matching uses behaviour
+// metrics that are stable across scenario changes of *size* (IPC, work per
+// instance in log space) — the same intuition as the structure-detection
+// features.
+func feature(ca *core.ClusterAnalysis) (ipc float64, logInstr float64, ok bool) {
+	st := ca.Stat
+	if st.MeanIPC <= 0 || st.MedianInstr <= 0 {
+		return 0, 0, false
+	}
+	return st.MeanIPC, math.Log10(float64(st.MedianInstr)), true
+}
+
+// trackDist is the matching distance between two clusters. IPC differences
+// count fully; work-volume differences are discounted because problem-size
+// sweeps legitimately move the instruction count.
+func trackDist(aIPC, aLog, bIPC, bLog float64) float64 {
+	dIPC := aIPC - bIPC
+	dLog := (aLog - bLog) * 0.35
+	return math.Sqrt(dIPC*dIPC + dLog*dLog)
+}
+
+// Track is one tracked object: the "same" computation region followed
+// through the scenarios.
+type Track struct {
+	// ID numbers the track.
+	ID int
+	// Region is the dominant instrumented region of the track's clusters.
+	Region int64
+	// Members maps snapshot index to the matched cluster (nil where the
+	// track was not observed).
+	Members []*core.ClusterAnalysis
+}
+
+// Observed returns how many scenarios the track appears in.
+func (t *Track) Observed() int {
+	n := 0
+	for _, m := range t.Members {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// series extracts (x, y) pairs across the snapshots using get; snapshots
+// where the track is absent are skipped.
+func (t *Track) series(snaps []Snapshot, get func(*core.ClusterAnalysis) (float64, bool)) (xs, ys []float64) {
+	for i, m := range t.Members {
+		if m == nil {
+			continue
+		}
+		if v, ok := get(m); ok {
+			xs = append(xs, snaps[i].X)
+			ys = append(ys, v)
+		}
+	}
+	return xs, ys
+}
+
+// Trend is a least-squares linear trend of one metric along the sweep axis.
+type Trend struct {
+	// Slope is the metric change per unit of the sweep axis; Intercept the
+	// extrapolated value at x=0.
+	Slope, Intercept float64
+	// RelSlope is the slope normalized by the metric's mean — "% change
+	// per sweep unit" — the number the analyst reads.
+	RelSlope float64
+	// N is the number of scenarios backing the trend.
+	N int
+}
+
+// fitTrend computes the least-squares line through (xs, ys).
+func fitTrend(xs, ys []float64) (Trend, bool) {
+	n := len(xs)
+	if n < 2 {
+		return Trend{}, false
+	}
+	mx, my := sim.Mean(xs), sim.Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		sxy += (xs[i] - mx) * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Trend{}, false
+	}
+	slope := sxy / sxx
+	tr := Trend{Slope: slope, Intercept: my - slope*mx, N: n}
+	if my != 0 {
+		tr.RelSlope = slope / my
+	}
+	return tr, true
+}
+
+// DurationTrend fits the per-instance median duration (in seconds) along
+// the sweep.
+func (t *Track) DurationTrend(snaps []Snapshot) (Trend, bool) {
+	xs, ys := t.series(snaps, func(ca *core.ClusterAnalysis) (float64, bool) {
+		return ca.Stat.MedianDur.Seconds(), ca.Stat.MedianDur > 0
+	})
+	return fitTrend(xs, ys)
+}
+
+// IPCTrend fits the mean IPC along the sweep.
+func (t *Track) IPCTrend(snaps []Snapshot) (Trend, bool) {
+	xs, ys := t.series(snaps, func(ca *core.ClusterAnalysis) (float64, bool) {
+		return ca.Stat.MeanIPC, ca.Stat.MeanIPC > 0
+	})
+	return fitTrend(xs, ys)
+}
+
+// CoverageTrend fits the cluster's share of total computation time.
+func (t *Track) CoverageTrend(snaps []Snapshot) (Trend, bool) {
+	xs := make([]float64, 0, len(snaps))
+	ys := make([]float64, 0, len(snaps))
+	for i, m := range t.Members {
+		if m == nil || snaps[i].Model.TotalComputation <= 0 {
+			continue
+		}
+		xs = append(xs, snaps[i].X)
+		ys = append(ys, float64(m.Stat.TotalTime)/float64(snaps[i].Model.TotalComputation))
+	}
+	return fitTrend(xs, ys)
+}
+
+// MatchOptions tunes the tracker.
+type MatchOptions struct {
+	// MaxDist rejects matches farther than this in tracking space.
+	MaxDist float64
+}
+
+// DefaultMatchOptions returns the matcher configuration used by the
+// experiments.
+func DefaultMatchOptions() MatchOptions { return MatchOptions{MaxDist: 0.35} }
+
+// TrackClusters matches clusters across the snapshots. Tracks are seeded
+// from the first snapshot's clusters (in coverage order) and extended
+// greedily: in each subsequent snapshot, every track claims its nearest
+// unclaimed cluster within MaxDist; clusters left unclaimed start new
+// tracks. Tracks are returned sorted by first-snapshot coverage, new tracks
+// after.
+func TrackClusters(snaps []Snapshot, opt MatchOptions) ([]*Track, error) {
+	if len(snaps) < 2 {
+		return nil, fmt.Errorf("tracking: need at least 2 snapshots, got %d", len(snaps))
+	}
+	if opt.MaxDist <= 0 {
+		return nil, fmt.Errorf("tracking: non-positive MaxDist %v", opt.MaxDist)
+	}
+	var tracks []*Track
+	newTrack := func(si int, ca *core.ClusterAnalysis) {
+		t := &Track{ID: len(tracks), Region: ca.Stat.Region, Members: make([]*core.ClusterAnalysis, len(snaps))}
+		t.Members[si] = ca
+		tracks = append(tracks, t)
+	}
+	for _, ca := range snaps[0].Model.Clusters {
+		newTrack(0, ca)
+	}
+	for si := 1; si < len(snaps); si++ {
+		clusters := snaps[si].Model.Clusters
+		claimed := make([]bool, len(clusters))
+		// Tracks claim in order (dominant first), each taking its nearest
+		// compatible cluster.
+		for _, t := range tracks {
+			// Use the most recent observation as the track's position.
+			var ref *core.ClusterAnalysis
+			for k := si - 1; k >= 0; k-- {
+				if t.Members[k] != nil {
+					ref = t.Members[k]
+					break
+				}
+			}
+			if ref == nil {
+				continue
+			}
+			rIPC, rLog, ok := feature(ref)
+			if !ok {
+				continue
+			}
+			best, bestD := -1, opt.MaxDist
+			for ci, ca := range clusters {
+				if claimed[ci] {
+					continue
+				}
+				cIPC, cLog, ok := feature(ca)
+				if !ok {
+					continue
+				}
+				if d := trackDist(rIPC, rLog, cIPC, cLog); d <= bestD {
+					best, bestD = ci, d
+				}
+			}
+			if best >= 0 {
+				claimed[best] = true
+				t.Members[si] = clusters[best]
+			}
+		}
+		for ci, ca := range clusters {
+			if !claimed[ci] {
+				newTrack(si, ca)
+			}
+		}
+	}
+	sort.SliceStable(tracks, func(a, b int) bool { return tracks[a].ID < tracks[b].ID })
+	return tracks, nil
+}

@@ -1,0 +1,146 @@
+package tracking
+
+import (
+	"math"
+	"testing"
+
+	"phasefold/internal/core"
+	"phasefold/internal/simapp"
+)
+
+// cgSweep analyzes the CG solver across a problem-size sweep: the SpMV
+// region scales with RowsScale, the BLAS-1 regions do not.
+func cgSweep(t *testing.T, scales []float64) []Snapshot {
+	t.Helper()
+	snaps := make([]Snapshot, 0, len(scales))
+	for _, s := range scales {
+		app := simapp.NewCGSolver()
+		app.RowsScale = s
+		cfg := simapp.Config{Ranks: 2, Iterations: 100, Seed: 7, FreqGHz: 2}
+		model, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, Snapshot{Label: "scale", X: s, Model: model})
+	}
+	return snaps
+}
+
+func TestTrackingFollowsRegionsAcrossScales(t *testing.T) {
+	snaps := cgSweep(t, []float64{1, 1.5, 2, 3})
+	tracks, err := TrackClusters(snaps, DefaultMatchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three regions -> three full tracks, no spurious extras.
+	full := 0
+	for _, tr := range tracks {
+		if tr.Observed() == len(snaps) {
+			full++
+		}
+	}
+	if full != 3 {
+		t.Fatalf("%d full tracks, want 3 (got %d tracks total)", full, len(tracks))
+	}
+	// The spmv track's duration must grow with the sweep; dot and axpy
+	// must stay flat.
+	for _, tr := range tracks {
+		if tr.Observed() < len(snaps) {
+			continue
+		}
+		dur, ok := tr.DurationTrend(snaps)
+		if !ok {
+			t.Fatalf("track %d (region %d): no duration trend", tr.ID, tr.Region)
+		}
+		switch tr.Region {
+		case simapp.RegionCGSpMV:
+			// Doubling the scale roughly doubles the duration: relative
+			// slope per sweep unit should be near 1/mean-scale.
+			if dur.RelSlope < 0.3 {
+				t.Errorf("spmv duration trend too flat: %+v", dur)
+			}
+		case simapp.RegionCGDot, simapp.RegionCGAxpy:
+			if math.Abs(dur.RelSlope) > 0.1 {
+				t.Errorf("region %d duration should be flat, trend %+v", tr.Region, dur)
+			}
+		}
+		// IPC is scale-invariant for every region.
+		ipc, ok := tr.IPCTrend(snaps)
+		if !ok || math.Abs(ipc.RelSlope) > 0.05 {
+			t.Errorf("region %d IPC should be flat, trend %+v", tr.Region, ipc)
+		}
+	}
+}
+
+func TestCoverageTrendShiftsTowardSpMV(t *testing.T) {
+	snaps := cgSweep(t, []float64{1, 2, 3})
+	tracks, err := TrackClusters(snaps, DefaultMatchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range tracks {
+		if tr.Observed() < len(snaps) {
+			continue
+		}
+		cov, ok := tr.CoverageTrend(snaps)
+		if !ok {
+			continue
+		}
+		if tr.Region == simapp.RegionCGSpMV && cov.Slope <= 0 {
+			t.Errorf("spmv coverage should grow with problem size: %+v", cov)
+		}
+		if tr.Region == simapp.RegionCGDot && cov.Slope >= 0 {
+			t.Errorf("dot coverage should shrink with problem size: %+v", cov)
+		}
+	}
+}
+
+func TestTrackingValidation(t *testing.T) {
+	snaps := cgSweep(t, []float64{1, 2})
+	if _, err := TrackClusters(snaps[:1], DefaultMatchOptions()); err == nil {
+		t.Fatal("single snapshot accepted")
+	}
+	if _, err := TrackClusters(snaps, MatchOptions{}); err == nil {
+		t.Fatal("zero MaxDist accepted")
+	}
+}
+
+func TestNewBehaviourStartsNewTrack(t *testing.T) {
+	// Scenario 2 runs a different app (stencil): its clusters must not be
+	// absorbed into cg tracks when behaviour differs, and new tracks must
+	// appear.
+	cg := cgSweep(t, []float64{1})[0]
+	st := simapp.NewStencil()
+	cfg := simapp.Config{Ranks: 2, Iterations: 100, Seed: 7, FreqGHz: 2}
+	model, _, err := core.AnalyzeApp(st, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := []Snapshot{cg, {Label: "stencil", X: 2, Model: model}}
+	tracks, err := TrackClusters(snaps, MatchOptions{MaxDist: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTracks := 0
+	for _, tr := range tracks {
+		if tr.Members[0] == nil && tr.Members[1] != nil {
+			newTracks++
+		}
+	}
+	if newTracks == 0 {
+		t.Fatal("no new tracks for the foreign behaviours")
+	}
+}
+
+func TestFitTrend(t *testing.T) {
+	tr, ok := fitTrend([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if !ok || math.Abs(tr.Slope-2) > 1e-12 || math.Abs(tr.Intercept) > 1e-12 {
+		t.Fatalf("trend = %+v", tr)
+	}
+	if _, ok := fitTrend([]float64{1}, []float64{1}); ok {
+		t.Fatal("single point produced a trend")
+	}
+	if _, ok := fitTrend([]float64{2, 2}, []float64{1, 5}); ok {
+		t.Fatal("degenerate x produced a trend")
+	}
+}

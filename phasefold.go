@@ -1,0 +1,214 @@
+// Package phasefold identifies code phases in (simulated) parallel
+// applications using piece-wise linear regressions over folded coarse-grain
+// samples, reproducing Servat et al., "Identifying Code Phases Using
+// Piece-Wise Linear Regressions" (IPDPS 2014).
+//
+// The pipeline combines three ingredients: minimal instrumentation (probes
+// only at region/communication boundaries), coarse-grain sampling (counters
+// + call stacks at millisecond periods), and folding (projecting all samples
+// of a repeated region onto one synthetic instance). A piece-wise linear
+// regression of the folded cumulative counters recovers the region's
+// internal phases — boundaries and per-phase rates — at a granularity far
+// below the sampling period, and folded call stacks attribute each phase to
+// its source construct.
+//
+// Quick start:
+//
+//	app, _ := phasefold.NewApp("multiphase")
+//	cfg := phasefold.DefaultConfig()
+//	opt := phasefold.DefaultOptions()
+//	model, _, err := phasefold.AnalyzeApp(app, cfg, opt)
+//	// model.Clusters[0].Phases now lists the detected phases with their
+//	// MIPS/IPC/miss-rate profile and source attribution.
+//
+// The package is a facade over the internal packages; everything needed to
+// acquire traces from the bundled simulated applications, analyze them, and
+// render reports is re-exported here.
+package phasefold
+
+import (
+	"io"
+
+	"phasefold/internal/core"
+	"phasefold/internal/counters"
+	"phasefold/internal/query"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/spectral"
+	"phasefold/internal/trace"
+)
+
+// Re-exported pipeline types.
+type (
+	// Options configures the acquisition and analysis pipeline.
+	Options = core.Options
+	// Model is a complete trace analysis.
+	Model = core.Model
+	// ClusterAnalysis is the per-cluster analysis within a Model.
+	ClusterAnalysis = core.ClusterAnalysis
+	// Phase is one detected performance phase.
+	Phase = core.Phase
+	// RunResult bundles a simulated acquisition's outputs.
+	RunResult = core.RunResult
+
+	// App is a simulated SPMD application.
+	App = simapp.App
+	// Config parameterizes a simulated execution.
+	Config = simapp.Config
+	// Truth is the simulator's ground-truth phase structure.
+	Truth = simapp.Truth
+
+	// Trace is the performance-data container.
+	Trace = trace.Trace
+	// EventType discriminates instrumentation events in a Trace.
+	EventType = trace.EventType
+
+	// CounterID identifies a hardware counter.
+	CounterID = counters.ID
+	// Metric identifies a derived performance metric.
+	Metric = counters.Metric
+
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = sim.Duration
+)
+
+// Virtual time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Derived per-phase metrics (index Phase.Metrics with these).
+const (
+	MIPS          = counters.MIPS
+	IPC           = counters.IPC
+	GHz           = counters.GHz
+	L1MissRatio   = counters.L1MissRatio
+	L2MissRatio   = counters.L2MissRatio
+	L3MissRatio   = counters.L3MissRatio
+	BranchMissPct = counters.BranchMissPct
+	FPRatio       = counters.FPRatio
+	MemRatio      = counters.MemRatio
+	PowerW        = counters.PowerW
+	NJPerInstr    = counters.NJPerInstr
+)
+
+// Instrumentation event types.
+const (
+	RegionEnter = trace.RegionEnter
+	RegionExit  = trace.RegionExit
+	CommEnter   = trace.CommEnter
+	CommExit    = trace.CommExit
+	IterBegin   = trace.IterBegin
+	IterEnd     = trace.IterEnd
+)
+
+// Hardware counters (index Phase.Rates with these).
+const (
+	Instructions = counters.Instructions
+	Cycles       = counters.Cycles
+	L1DMisses    = counters.L1DMisses
+	L2Misses     = counters.L2Misses
+	L3Misses     = counters.L3Misses
+	Loads        = counters.Loads
+	Stores       = counters.Stores
+	Branches     = counters.Branches
+	BranchMisses = counters.BranchMisses
+	FPOps        = counters.FPOps
+	Energy       = counters.Energy
+)
+
+// MultiplexedOptions returns DefaultOptions with a realistic 4-register PMU
+// rotation instead of the idealized native PMU: every counter group carries
+// Instructions+Cycles plus two rotating events, and the analysis
+// reconstructs the full metric set per phase from the rotated observations.
+func MultiplexedOptions() Options {
+	opt := core.DefaultOptions()
+	opt.Schedule = counters.NewSchedule(counters.DefaultGroups())
+	return opt
+}
+
+// DefaultOptions returns the standard pipeline configuration (1 ms coarse
+// sampling, stack capture, DBSCAN structure detection, BIC-selected PWL).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultConfig returns the standard simulated-execution configuration
+// (4 ranks, 200 iterations, 2 GHz, seed 42).
+func DefaultConfig() Config { return simapp.DefaultConfig() }
+
+// NewApp instantiates a bundled simulated application by name; see AppNames.
+func NewApp(name string) (App, error) { return simapp.NewApp(name) }
+
+// AppNames lists the bundled simulated applications.
+func AppNames() []string { return simapp.AppNames() }
+
+// RunApp executes a simulated application, producing a trace and ground
+// truth without analyzing it.
+func RunApp(app App, cfg Config, opt Options) (*RunResult, error) {
+	return core.RunApp(app, cfg, opt)
+}
+
+// Analyze runs the analysis pipeline over an acquired trace.
+func Analyze(tr *Trace, opt Options) (*Model, error) { return core.Analyze(tr, opt) }
+
+// AnalyzeApp runs a simulated application and analyzes its trace in one
+// call.
+func AnalyzeApp(app App, cfg Config, opt Options) (*Model, *RunResult, error) {
+	return core.AnalyzeApp(app, cfg, opt)
+}
+
+// Spectral-analysis re-exports: markerless analysis of sampling-only
+// traces (period detection and representative-window selection).
+type (
+	// Signal is a uniformly resampled performance-rate signal.
+	Signal = spectral.Signal
+	// Period is a detected iteration periodicity.
+	Period = spectral.Period
+	// Window is a representative stretch of the timeline.
+	Window = spectral.Window
+)
+
+// BuildSignal derives the rate signal of a counter for one rank from its
+// samples, resampled to the given step.
+func BuildSignal(tr *Trace, rank int, id CounterID, step Duration) (*Signal, error) {
+	return spectral.BuildSignal(tr, rank, id, step)
+}
+
+// DetectPeriod finds the dominant periodicity of a signal (minimum
+// autocorrelation strength minStrength, e.g. 0.3).
+func DetectPeriod(sig *Signal, minStrength float64) (Period, error) {
+	return spectral.DetectPeriod(sig, minStrength)
+}
+
+// SelectRepresentative picks the most self-similar window of nPeriods
+// consecutive periods.
+func SelectRepresentative(sig *Signal, p Period, nPeriods int) (Window, error) {
+	return spectral.SelectRepresentative(sig, p, nPeriods)
+}
+
+// PhaseRef names one phase within a Model, as returned by the
+// programmable-analysis queries.
+type PhaseRef = query.PhaseRef
+
+// OptimizationHint applies the methodology's canonical triage recipe: the
+// most expensive attributed phase wider than 10% of its region with IPC
+// below 1 — the place a small code transformation pays off first. ok is
+// false when no phase qualifies.
+func OptimizationHint(m *Model) (PhaseRef, bool) {
+	return query.OptimizationHint(m)
+}
+
+// EncodeTrace writes a trace in the binary container format.
+func EncodeTrace(w io.Writer, tr *Trace) error { return trace.Encode(w, tr) }
+
+// DecodeTrace reads a binary-format trace.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// EncodeTraceText writes a trace in the human-readable text format.
+func EncodeTraceText(w io.Writer, tr *Trace) error { return trace.EncodeText(w, tr) }
+
+// DecodeTraceText reads a text-format trace.
+func DecodeTraceText(r io.Reader) (*Trace, error) { return trace.DecodeText(r) }

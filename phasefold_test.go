@@ -1,0 +1,139 @@
+package phasefold_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"phasefold"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	app, err := phasefold.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, run, err := phasefold.AnalyzeApp(app, phasefold.DefaultConfig(), phasefold.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters < 1 || len(model.Clusters) < 1 {
+		t.Fatal("no clusters detected")
+	}
+	hot := model.Clusters[0]
+	if len(hot.Phases) != 4 {
+		t.Fatalf("quickstart flow found %d phases, want 4", len(hot.Phases))
+	}
+	for _, ph := range hot.Phases {
+		if !ph.MetricsOK[phasefold.MIPS] || !ph.MetricsOK[phasefold.IPC] {
+			t.Fatal("phase missing headline metrics")
+		}
+		if ph.Source == "" {
+			t.Fatal("phase missing source attribution")
+		}
+	}
+	var buf bytes.Buffer
+	if err := model.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "multiphase.step") {
+		t.Fatal("report does not mention the kernel routine")
+	}
+	if run.Trace.NumSamples() == 0 {
+		t.Fatal("no samples acquired")
+	}
+}
+
+func TestPublicAPITraceRoundtrip(t *testing.T) {
+	app, err := phasefold.NewApp("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := phasefold.DefaultConfig()
+	cfg.Iterations = 60
+	run, err := phasefold.RunApp(app, cfg, phasefold.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, txt bytes.Buffer
+	if err := phasefold.EncodeTrace(&bin, run.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := phasefold.EncodeTraceText(&txt, run.Trace); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := phasefold.DecodeTrace(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := phasefold.DecodeTraceText(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both decoded traces must analyze identically to the original.
+	want, err := phasefold.Analyze(run.Trace, phasefold.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range []*phasefold.Trace{fromBin, fromTxt} {
+		got, err := phasefold.Analyze(tr, phasefold.DefaultOptions())
+		if err != nil {
+			t.Fatalf("decoded trace %d: %v", i, err)
+		}
+		if got.NumBursts != want.NumBursts || got.NumClusters != want.NumClusters {
+			t.Fatalf("decoded trace %d analyzes differently: %d/%d vs %d/%d",
+				i, got.NumBursts, got.NumClusters, want.NumBursts, want.NumClusters)
+		}
+	}
+}
+
+func TestPublicAPIMultiplexedOptions(t *testing.T) {
+	app, err := phasefold.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := phasefold.DefaultConfig()
+	cfg.Iterations = 400
+	model, _, err := phasefold.AnalyzeApp(app, cfg, phasefold.MultiplexedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Clusters) == 0 || len(model.Clusters[0].Phases) != 4 {
+		t.Fatal("multiplexed analysis lost the phase structure")
+	}
+}
+
+func TestPublicAPIOptimizationHint(t *testing.T) {
+	app, err := phasefold.NewApp("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := phasefold.DefaultConfig()
+	cfg.Iterations = 120
+	model, _, err := phasefold.AnalyzeApp(app, cfg, phasefold.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint, ok := phasefold.OptimizationHint(model)
+	if !ok {
+		t.Fatal("no optimization hint")
+	}
+	if !strings.Contains(hint.Phase.Source, "cg.spmv") {
+		t.Fatalf("hint points at %q", hint.Phase.Source)
+	}
+}
+
+func TestPublicAPIAppRegistry(t *testing.T) {
+	names := phasefold.AppNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d bundled apps", len(names))
+	}
+	for _, n := range names {
+		if _, err := phasefold.NewApp(n); err != nil {
+			t.Fatalf("NewApp(%q): %v", n, err)
+		}
+	}
+	if _, err := phasefold.NewApp("nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
