@@ -110,3 +110,7 @@ func BenchmarkA2SamplingModes(b *testing.B) { runExperiment(b, "A2") }
 // BenchmarkF10PowerPhases regenerates table F10: per-phase power and energy
 // from the folded energy counter.
 func BenchmarkF10PowerPhases(b *testing.B) { runExperiment(b, "F10") }
+
+// BenchmarkR1Robustness regenerates table R1: phase-recovery error vs
+// injected acquisition-fault rate under degraded-mode analysis.
+func BenchmarkR1Robustness(b *testing.B) { runExperiment(b, "R1") }

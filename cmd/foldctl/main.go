@@ -7,9 +7,15 @@
 //	foldctl -i cg.pft
 //	foldctl -i trace.pftxt -refine -bins 200
 //	foldctl -i cg.pft -csv phases.csv
+//	foldctl -i damaged.pft -salvage      # recover what a truncated/corrupt file still holds
+//	foldctl -i suspect.pft -strict       # fail fast on any damage
+//
+// Exit codes: 0 success (possibly degraded — see the diagnostics table),
+// 1 analysis failure, 2 usage error, 3 unreadable or rejected input.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +28,18 @@ import (
 	"phasefold/internal/trace"
 )
 
+const (
+	exitAnalysis = 1
+	exitUsage    = 2
+	exitInput    = 3
+)
+
 func main() {
 	var (
 		in       = flag.String("i", "", "input trace file (required)")
 		format   = flag.String("format", "", "input format: binary or text (default: by extension, .pftxt = text)")
+		strict   = flag.Bool("strict", false, "fail fast on any damage instead of repairing and reporting")
+		salvage  = flag.Bool("salvage", false, "recover what a truncated or corrupt trace file still holds")
 		refine   = flag.Bool("refine", false, "use Aggregative Cluster Refinement instead of DBSCAN")
 		eps      = flag.Float64("eps", 0.05, "DBSCAN neighbourhood radius (normalized)")
 		minPts   = flag.Int("minpts", 4, "DBSCAN core-point threshold")
@@ -40,25 +54,38 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if *strict && *salvage {
+		fmt.Fprintln(os.Stderr, "foldctl: -strict and -salvage are mutually exclusive")
+		os.Exit(exitUsage)
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		fatal(exitInput, err)
 	}
 	defer f.Close()
-	var tr *trace.Trace
+	dopt := trace.DecodeOptions{Salvage: *salvage}
+	var (
+		tr  *trace.Trace
+		rep *trace.SalvageReport
+	)
 	if *format == "text" || (*format == "" && strings.HasSuffix(*in, ".pftxt")) {
-		tr, err = trace.DecodeText(f)
+		tr, rep, err = trace.DecodeTextWith(f, dopt)
 	} else {
-		tr, err = trace.Decode(f)
+		tr, rep, err = trace.DecodeWith(f, dopt)
 	}
 	if err != nil {
-		fatal(err)
+		explainDecodeError(err, *salvage)
+		os.Exit(exitInput)
+	}
+	if rep != nil && !rep.Complete() {
+		fmt.Printf("salvage: %s\n\n", rep.Summary())
 	}
 
 	opt := core.DefaultOptions()
+	opt.Strict = *strict
 	opt.UseRefinement = *refine
 	opt.DBSCAN.Eps = *eps
 	opt.DBSCAN.MinPts = *minPts
@@ -68,15 +95,19 @@ func main() {
 
 	model, err := core.Analyze(tr, opt)
 	if err != nil {
-		fatal(err)
+		code := exitAnalysis
+		if errors.Is(err, trace.ErrInvalid) {
+			code = exitInput
+		}
+		fatal(code, err)
 	}
 	if err := model.WriteReport(os.Stdout); err != nil {
-		fatal(err)
+		fatal(exitAnalysis, err)
 	}
 	if *timeline {
 		fmt.Println()
 		if err := model.Timeline(tr.NumRanks()).Render(os.Stdout); err != nil {
-			fatal(err)
+			fatal(exitAnalysis, err)
 		}
 	}
 	if *plots {
@@ -86,7 +117,7 @@ func main() {
 			}
 			fmt.Println()
 			if err := ca.FoldedPlot(counters.Instructions).Render(os.Stdout); err != nil {
-				fatal(err)
+				fatal(exitAnalysis, err)
 			}
 		}
 	}
@@ -97,14 +128,14 @@ func main() {
 			}
 			fmt.Println()
 			if err := ca.SourceProfileTable(tr.Symbols).Render(os.Stdout); err != nil {
-				fatal(err)
+				fatal(exitAnalysis, err)
 			}
 		}
 	}
 	if *csvOut != "" {
 		cf, err := os.Create(*csvOut)
 		if err != nil {
-			fatal(err)
+			fatal(exitAnalysis, err)
 		}
 		defer cf.Close()
 		for _, ca := range model.Clusters {
@@ -112,14 +143,43 @@ func main() {
 				continue
 			}
 			if err := ca.PhaseTable().CSV(cf); err != nil {
-				fatal(err)
+				fatal(exitAnalysis, err)
 			}
 		}
 		fmt.Printf("\nwrote %s\n", *csvOut)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "foldctl:", err)
-	os.Exit(1)
+// oneLine flattens errors.Join's multi-line rendering for terminal output.
+func oneLine(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", ": ")
+}
+
+// explainDecodeError prints the decode failure plus its machine-matchable
+// cause, and suggests -salvage when that could still recover data.
+func explainDecodeError(err error, salvaging bool) {
+	fmt.Fprintln(os.Stderr, "foldctl:", oneLine(err))
+	for _, c := range []struct {
+		sentinel error
+		name     string
+	}{
+		{trace.ErrBadMagic, "bad magic (not a trace file?)"},
+		{trace.ErrTruncated, "truncated input"},
+		{trace.ErrCorrupt, "corrupt input"},
+		{trace.ErrNoRanks, "no rank data"},
+		{trace.ErrInvalid, "invariant violation"},
+	} {
+		if errors.Is(err, c.sentinel) {
+			fmt.Fprintln(os.Stderr, "foldctl: cause:", c.name)
+			break
+		}
+	}
+	if !salvaging && (errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) || errors.Is(err, trace.ErrInvalid)) {
+		fmt.Fprintln(os.Stderr, "foldctl: retry with -salvage to recover what the file still holds")
+	}
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "foldctl:", oneLine(err))
+	os.Exit(code)
 }

@@ -6,18 +6,23 @@
 //
 //	tracegen -app cg -ranks 8 -iters 300 -period 1ms -o cg.pft
 //	tracegen -app multiphase -format text -o trace.pftxt
+//	tracegen -faults "drop=0.2,skew=50us" -o damaged.pft
+//	tracegen -faults "chop=0.3" -fault-seed 7 -o truncated.pft
 //	tracegen -list
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/faults"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
 	"phasefold/internal/trace"
@@ -37,6 +42,9 @@ func main() {
 		probeCost = flag.Duration("probe-cost", 0, "virtual time consumed by each probe")
 		out       = flag.String("o", "trace.pft", "output file")
 		format    = flag.String("format", "", "output format: binary or text (default: by extension, .pftxt = text)")
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. \"drop=0.2,skew=50us\" (see -list-faults)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injectors")
+		listF     = flag.Bool("list-faults", false, "list available fault classes and exit")
 		list      = flag.Bool("list", false, "list available applications and exit")
 	)
 	flag.Parse()
@@ -44,6 +52,14 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(simapp.AppNames(), "\n"))
 		return
+	}
+	if *listF {
+		fmt.Println(strings.Join(faults.Known(), "\n"))
+		return
+	}
+	chain, err := faults.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		fatal(err)
 	}
 	app, err := simapp.NewApp(*appName)
 	if err != nil {
@@ -63,23 +79,38 @@ func main() {
 		fatal(err)
 	}
 
+	chain.ApplyTrace(run.Trace)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
+	var w io.Writer = f
+	var buf bytes.Buffer
+	if len(chain.Stream) > 0 {
+		w = &buf // stream faults damage the encoded bytes before they hit disk
+	}
 	text := *format == "text" || (*format == "" && strings.HasSuffix(*out, ".pftxt"))
 	if text {
-		err = trace.EncodeText(f, run.Trace)
+		err = trace.EncodeText(w, run.Trace)
 	} else {
-		err = trace.Encode(f, run.Trace)
+		err = trace.Encode(w, run.Trace)
 	}
 	if err != nil {
 		fatal(err)
 	}
+	if len(chain.Stream) > 0 {
+		if _, err := f.Write(chain.ApplyStream(buf.Bytes())); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("wrote %s: app=%s ranks=%d events=%d samples=%d span=%s\n",
 		*out, run.Trace.AppName, run.Trace.NumRanks(), run.Trace.NumEvents(),
 		run.Trace.NumSamples(), run.Trace.EndTime())
+	if !chain.Empty() {
+		fmt.Printf("injected faults: %s (seed %d)\n", chain, *faultSeed)
+	}
 }
 
 func fatal(err error) {

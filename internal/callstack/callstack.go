@@ -28,6 +28,22 @@ type Routine struct {
 	EndLine   int    // last source line of the routine body
 }
 
+// Check reports whether the routine description is well-formed. Define
+// panics on a bad routine (an in-process programming error); decoders call
+// Check first so damage arriving from the wire surfaces as an error instead.
+func (r Routine) Check() error {
+	if r.Name == "" {
+		return fmt.Errorf("callstack: routine with empty name")
+	}
+	if r.StartLine < 0 || r.EndLine < 0 {
+		return fmt.Errorf("callstack: routine %q has negative source lines [%d,%d]", r.Name, r.StartLine, r.EndLine)
+	}
+	if r.EndLine < r.StartLine {
+		return fmt.Errorf("callstack: routine %q has end line %d before start line %d", r.Name, r.EndLine, r.StartLine)
+	}
+	return nil
+}
+
 // Frame is one call-stack entry: a routine plus the source line that was
 // executing (for the leaf) or the call site (for callers).
 type Frame struct {
@@ -87,11 +103,8 @@ func (t *SymbolTable) Define(r Routine) RoutineID {
 	if id, ok := t.byName[r.Name]; ok {
 		return id
 	}
-	if r.Name == "" {
-		panic("callstack: routine with empty name")
-	}
-	if r.EndLine < r.StartLine {
-		panic(fmt.Sprintf("callstack: routine %q has end line %d before start line %d", r.Name, r.EndLine, r.StartLine))
+	if err := r.Check(); err != nil {
+		panic(err.Error())
 	}
 	id := RoutineID(len(t.routines))
 	t.routines = append(t.routines, r)

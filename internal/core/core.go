@@ -62,6 +62,13 @@ type Options struct {
 	// MinFoldedPoints skips fitting clusters whose folded cloud is smaller
 	// than this (not enough signal to regress).
 	MinFoldedPoints int
+	// Strict makes the pipeline fail fast: the trace must validate up
+	// front, and any extraction, folding, or fitting failure aborts the
+	// whole analysis with an error. The default (lenient) mode instead
+	// repairs what it can, isolates per-rank and per-cluster failures, and
+	// reports everything it absorbed as Model.Diagnostics and per-cluster
+	// Quality grades.
+	Strict bool
 }
 
 // DefaultOptions returns the configuration used throughout the experiments:
@@ -129,6 +136,10 @@ type ClusterAnalysis struct {
 	Fit *pwl.Model
 	// Phases are the detected phases, in time order.
 	Phases []Phase
+	// Quality grades how trustworthy this cluster's analysis is;
+	// QualityReason explains any grade below QualityOK.
+	Quality       Quality
+	QualityReason string
 }
 
 // Model is the result of analyzing one trace.
@@ -150,6 +161,24 @@ type Model struct {
 	Clusters []*ClusterAnalysis
 	// Bursts are the labelled bursts (for downstream tooling).
 	Bursts []trace.Burst
+	// Diagnostics records every fault the lenient pipeline absorbed:
+	// repairs made to the input, ranks dropped, health-check warnings,
+	// clusters that could not be folded or fit. Empty for a pristine trace.
+	Diagnostics []Diagnostic
+}
+
+// Degraded reports whether the analysis absorbed any faults (diagnostics
+// were recorded or any cluster graded below QualityOK).
+func (m *Model) Degraded() bool {
+	if len(m.Diagnostics) > 0 {
+		return true
+	}
+	for _, c := range m.Clusters {
+		if c.Quality != QualityOK {
+			return true
+		}
+	}
+	return false
 }
 
 // Cluster returns the analysis of the given label, or nil.
@@ -207,13 +236,35 @@ func RunApp(app simapp.App, cfg simapp.Config, opt Options) (*RunResult, error) 
 }
 
 // Analyze runs the analysis pipeline over an acquired trace.
+//
+// In the default (lenient) mode it is a degraded-mode analyzer: a trace that
+// fails validation is sanitized on a private copy, ranks that cannot be
+// repaired are dropped, health checks look for damage signatures that leave
+// the container invariants intact (lost samples, dead or truncated ranks,
+// cross-rank clock skew), and per-rank extraction plus per-cluster folding
+// and fitting failures are isolated instead of fatal. Everything absorbed is
+// reported in Model.Diagnostics and as per-cluster Quality grades; the input
+// trace is never modified. With opt.Strict set, any of those conditions
+// aborts with an error instead.
 func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
-	bursts, err := trace.ExtractBursts(tr, trace.BurstOptions{MinDuration: opt.MinBurstDuration})
+	ds := &diagSink{}
+	if opt.Strict {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("core: validating trace: %w", err)
+		}
+	} else {
+		tr = prepare(tr, ds)
+		runHealthChecks(tr, ds)
+	}
+
+	bursts, err := extractAll(tr, opt, ds)
 	if err != nil {
-		return nil, fmt.Errorf("core: extracting bursts: %w", err)
+		return nil, err
 	}
 	if len(bursts) == 0 {
-		return nil, fmt.Errorf("core: trace contains no computation bursts")
+		// Total data loss is not absorbable even in lenient mode; tag the
+		// failure so callers can match it with errors.Is.
+		return nil, fmt.Errorf("core: trace contains no computation bursts (%w)", trace.ErrInvalid)
 	}
 	trace.SortBursts(bursts)
 
@@ -232,13 +283,9 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	model.SPMDScore = spmdScore(tr.NumRanks(), bursts)
 
 	stats := cluster.Stats(bursts)
-	folds, err := folding.FoldAll(tr, bursts, opt.Folding)
+	foldByLabel, err := foldAll(tr, bursts, stats, opt, ds)
 	if err != nil {
-		return nil, fmt.Errorf("core: folding: %w", err)
-	}
-	foldByLabel := make(map[int]*folding.Folded, len(folds))
-	for _, f := range folds {
-		foldByLabel[f.Cluster] = f
+		return nil, err
 	}
 	// Per-cluster fitting is independent work (each cluster has its own
 	// folded cloud); fit them concurrently, bounded by the CPU count. The
@@ -247,8 +294,8 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	model.Clusters = make([]*ClusterAnalysis, len(stats))
 	var (
 		wg       sync.WaitGroup
+		mu       sync.Mutex
 		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
-		errOnce  sync.Once
 		firstErr error
 	)
 	for i, st := range stats {
@@ -263,9 +310,19 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			if err := fitCluster(tr, ca, opt); err != nil {
-				errOnce.Do(func() {
-					firstErr = fmt.Errorf("core: cluster %d: %w", ca.Label, err)
-				})
+				mu.Lock()
+				if opt.Strict {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: cluster %d: %w", ca.Label, err)
+					}
+				} else {
+					// Lenient: the cluster is rejected, the rest of the
+					// model survives.
+					ca.Quality = QualityRejected
+					ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
+					ds.add("fit", SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
+				}
+				mu.Unlock()
 			}
 		}(ca)
 	}
@@ -273,7 +330,105 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	gradeClusters(model, opt, ds)
+	model.Diagnostics = ds.diags
 	return model, nil
+}
+
+// prepare readies a trace for lenient analysis. A trace that already
+// validates is used as-is (the pristine fast path — bitwise-identical
+// behavior to strict mode). A damaged trace is cloned, sanitized, and
+// per-rank re-validated; ranks that remain invalid after repair are dropped.
+// The caller's trace is never modified.
+func prepare(tr *trace.Trace, ds *diagSink) *trace.Trace {
+	if tr.Validate() == nil {
+		return tr
+	}
+	work := tr.Clone()
+	ds.fromProblems(work.Sanitize())
+	for r := range work.Ranks {
+		if err := work.ValidateRank(r); err != nil {
+			work.Ranks[r].Events = nil
+			work.Ranks[r].Samples = nil
+			ds.add("validate", SeverityError, r, -1, "rank unrepairable, dropped: %v", err)
+		}
+	}
+	return work
+}
+
+// extractAll extracts computation bursts. Strict mode delegates to
+// trace.ExtractBursts and fails on the first error; lenient mode extracts
+// rank by rank and drops (with a diagnostic) only the ranks that fail.
+func extractAll(tr *trace.Trace, opt Options, ds *diagSink) ([]trace.Burst, error) {
+	bopt := trace.BurstOptions{MinDuration: opt.MinBurstDuration}
+	if opt.Strict {
+		bursts, err := trace.ExtractBursts(tr, bopt)
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting bursts: %w", err)
+		}
+		return bursts, nil
+	}
+	var bursts []trace.Burst
+	for r, rd := range tr.Ranks {
+		rb, err := trace.ExtractRankBursts(rd, bopt)
+		if err != nil {
+			ds.add("extract", SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
+			continue
+		}
+		bursts = append(bursts, rb...)
+	}
+	return bursts, nil
+}
+
+// foldAll folds every cluster. Strict mode delegates to folding.FoldAll and
+// fails on the first error; lenient mode folds label by label and records a
+// diagnostic for each cluster that cannot be folded (it will be graded
+// QualityRejected; the others proceed).
+func foldAll(tr *trace.Trace, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
+	byLabel := make(map[int]*folding.Folded, len(stats))
+	if opt.Strict {
+		folds, err := folding.FoldAll(tr, bursts, opt.Folding)
+		if err != nil {
+			return nil, fmt.Errorf("core: folding: %w", err)
+		}
+		for _, f := range folds {
+			byLabel[f.Cluster] = f
+		}
+		return byLabel, nil
+	}
+	for _, st := range stats {
+		f, err := folding.Fold(tr, bursts, st.Label, opt.Folding)
+		if err != nil {
+			ds.add("fold", SeverityError, -1, st.Label, "folding failed: %v", err)
+			continue
+		}
+		byLabel[st.Label] = f
+	}
+	return byLabel, nil
+}
+
+// gradeClusters assigns the final Quality grade to every cluster that has not
+// already been rejected by a stage failure.
+func gradeClusters(m *Model, opt Options, ds *diagSink) {
+	for _, ca := range m.Clusters {
+		if ca.Quality != QualityOK || ca.QualityReason != "" {
+			continue // already graded by a stage failure
+		}
+		switch {
+		case ca.Folded == nil:
+			ca.Quality = QualityRejected
+			ca.QualityReason = "no folded cloud"
+		case ca.Fit == nil:
+			ca.Quality = QualityDegraded
+			ca.QualityReason = fmt.Sprintf("folded cloud too sparse to fit (%d points, need %d)",
+				len(ca.Folded.Points[counters.Instructions]), opt.MinFoldedPoints)
+			if !opt.Strict {
+				ds.add("fit", SeverityWarn, -1, ca.Label, "%s; phase model skipped", ca.QualityReason)
+			}
+		default:
+			ca.Quality = QualityOK
+		}
+	}
 }
 
 // AnalyzeApp is the one-call convenience: run the app and analyze the trace.

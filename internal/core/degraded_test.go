@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"phasefold/internal/faults"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// acquireTrace produces one pristine trace to damage.
+func acquireTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunApp(app, simapp.Config{Ranks: 4, Iterations: 120, Seed: 42, FreqGHz: 2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Trace
+}
+
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// damage applies a fault spec, retrying seeds until the trace actually
+// changes (low rates can be a no-op under an unlucky seed).
+func damage(t *testing.T, base *trace.Trace, spec string) *trace.Trace {
+	t.Helper()
+	pristine := encodeTrace(t, base)
+	for seed := uint64(1); seed <= 32; seed++ {
+		c, err := faults.Parse(spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := base.Clone()
+		c.ApplyTrace(tr)
+		if !bytes.Equal(encodeTrace(t, tr), pristine) {
+			return tr
+		}
+	}
+	t.Fatalf("%s: no seed in 1..32 produced any damage", spec)
+	return nil
+}
+
+func TestPristineTraceYieldsNoDiagnostics(t *testing.T) {
+	tr := acquireTrace(t)
+	model, err := Analyze(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range model.Diagnostics {
+		t.Errorf("pristine trace diagnosed: %s", d)
+	}
+	if model.Degraded() {
+		t.Error("pristine trace graded degraded")
+	}
+	for _, ca := range model.Clusters {
+		if ca.Quality != QualityOK {
+			t.Errorf("cluster %d quality %s (%s)", ca.Label, ca.Quality, ca.QualityReason)
+		}
+	}
+}
+
+// TestEveryFaultClassIsAbsorbed is the headline robustness guarantee: each
+// fault class at rate ≤10% (or the analogous magnitude for non-rate faults)
+// must leave lenient Analyze returning a Model — no error, no panic — that
+// admits the damage through non-empty Diagnostics.
+func TestEveryFaultClassIsAbsorbed(t *testing.T) {
+	base := acquireTrace(t)
+	for _, spec := range []string{
+		"drop=0.1",
+		"killrank=0.1",
+		"truncate=0.1",
+		"skew=10ms",
+		"wrap=30",
+		"dup=0.1",
+		"reorder=0.1",
+		"zero=0.1",
+		"garble=0.1",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			tr := damage(t, base, spec)
+			model, err := Analyze(tr, DefaultOptions())
+			if err != nil {
+				t.Fatalf("lenient Analyze failed: %v", err)
+			}
+			if len(model.Diagnostics) == 0 {
+				t.Fatal("damage absorbed silently: no diagnostics")
+			}
+			if !model.Degraded() {
+				t.Error("Degraded() = false despite diagnostics")
+			}
+			if model.NumClusters == 0 {
+				t.Error("no clusters survived the damage")
+			}
+		})
+	}
+}
+
+func TestStrictModeRejectsDamage(t *testing.T) {
+	base := acquireTrace(t)
+	opt := DefaultOptions()
+	opt.Strict = true
+	// Counter wrap breaks the monotone-counter invariant; strict mode must
+	// refuse the trace with a matchable sentinel.
+	tr := damage(t, base, "wrap=30")
+	if _, err := Analyze(tr, opt); err == nil {
+		t.Fatal("strict Analyze accepted a wrapped-counter trace")
+	} else if !errors.Is(err, trace.ErrInvalid) {
+		t.Fatalf("strict error %v does not match trace.ErrInvalid", err)
+	}
+	// And a pristine trace must still pass, identically to lenient mode.
+	if _, err := Analyze(base, opt); err != nil {
+		t.Fatalf("strict Analyze rejected a pristine trace: %v", err)
+	}
+}
+
+func TestLenientAnalyzeDoesNotModifyCallerTrace(t *testing.T) {
+	base := acquireTrace(t)
+	tr := damage(t, base, "garble=0.1")
+	before := encodeTrace(t, tr)
+	if _, err := Analyze(tr, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeTrace(t, tr), before) {
+		t.Fatal("lenient Analyze modified the caller's trace")
+	}
+}
+
+func TestSparseClustersGradeDegraded(t *testing.T) {
+	tr := acquireTrace(t)
+	opt := DefaultOptions()
+	opt.MinFoldedPoints = 1 << 30 // nothing can be this dense
+	model, err := Analyze(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	for _, ca := range model.Clusters {
+		if ca.Quality != QualityDegraded {
+			t.Errorf("cluster %d quality %s, want degraded", ca.Label, ca.Quality)
+		}
+		if ca.QualityReason == "" {
+			t.Errorf("cluster %d has no quality reason", ca.Label)
+		}
+		if ca.Fit != nil {
+			t.Errorf("cluster %d has a fit despite the sparsity gate", ca.Label)
+		}
+	}
+	if len(model.Diagnostics) == 0 {
+		t.Error("sparse clusters produced no diagnostics")
+	}
+}

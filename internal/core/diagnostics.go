@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// Severity grades a Diagnostic.
+type Severity uint8
+
+// The severities: Info notes something worth knowing, Warn marks data that
+// was repaired or looks suspicious, Error marks data that had to be dropped.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarn
+	SeverityError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarn:
+		return "warn"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Diagnostic records one fault the degraded-mode analysis absorbed instead
+// of failing: damaged input it repaired, a rank it dropped, a cluster it
+// could not fit. The zero Rank/Cluster sentinels are -1 ("not applicable").
+type Diagnostic struct {
+	// Stage names the pipeline stage that raised the diagnostic:
+	// "sanitize", "validate", "health", "extract", "fold", or "fit".
+	Stage string
+	// Severity grades the impact.
+	Severity Severity
+	// Rank is the affected process, or -1.
+	Rank int
+	// Cluster is the affected cluster label, or -1.
+	Cluster int
+	// Message describes the fault and the action taken.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	where := ""
+	if d.Rank >= 0 {
+		where = fmt.Sprintf(" rank %d:", d.Rank)
+	}
+	if d.Cluster >= 0 {
+		where += fmt.Sprintf(" cluster %d:", d.Cluster)
+	}
+	return fmt.Sprintf("[%s] %s:%s %s", d.Severity, d.Stage, where, d.Message)
+}
+
+// Quality grades how trustworthy one cluster's analysis is after degraded-
+// mode processing.
+type Quality uint8
+
+// The cluster quality grades.
+const (
+	// QualityOK marks a cluster whose folded cloud was dense enough and
+	// whose piece-wise linear fit converged — fully trustworthy.
+	QualityOK Quality = iota
+	// QualityDegraded marks a cluster analyzed with reduced fidelity: the
+	// folded cloud was too sparse to fit a phase model, so only the
+	// clustering statistics are reliable.
+	QualityDegraded
+	// QualityRejected marks a cluster whose analysis failed outright; its
+	// numbers must not be trusted.
+	QualityRejected
+)
+
+// String returns the quality grade name.
+func (q Quality) String() string {
+	switch q {
+	case QualityOK:
+		return "ok"
+	case QualityDegraded:
+		return "degraded"
+	case QualityRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("quality(%d)", uint8(q))
+}
+
+// diagSink accumulates diagnostics; Analyze owns one per run and threads it
+// through the stages (behind a mutex where stages run concurrently).
+type diagSink struct{ diags []Diagnostic }
+
+func (ds *diagSink) add(stage string, sev Severity, rank, cluster int, format string, args ...any) {
+	ds.diags = append(ds.diags, Diagnostic{
+		Stage: stage, Severity: sev, Rank: rank, Cluster: cluster,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// fromProblems converts trace.Sanitize repairs into diagnostics.
+func (ds *diagSink) fromProblems(probs []trace.Problem) {
+	for _, p := range probs {
+		ds.add("sanitize", SeverityWarn, p.Rank, -1, "%s: %d records (%s)", p.Kind, p.Count, p.Detail)
+	}
+}
+
+// Health-check thresholds. They are deliberately conservative: a pristine
+// trace from the bundled workloads must never trip them, while the fault
+// rates the robustness experiment injects (≥ a few percent) reliably do.
+const (
+	healthMinSamples     = 20   // below this, loss estimation is noise
+	healthLossFrac       = 0.04 // flag when >4% of expected samples are missing
+	healthLossMin        = 4    // ... and at least this many are missing
+	healthEarlyEndFrac   = 0.75 // flag ranks ending before 75% of the trace
+	healthSkewFloor      = 100 * sim.Microsecond
+	healthSkewOfIterFrac = 0.25 // ... or >25% of an iteration, whichever is larger
+)
+
+// runHealthChecks inspects a (sanitized) trace for damage signatures that
+// leave the container invariants intact: missing samples, empty or
+// early-ending ranks, cross-rank clock skew.
+func runHealthChecks(tr *trace.Trace, ds *diagSink) {
+	end := tr.EndTime()
+	for r, rd := range tr.Ranks {
+		if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+			ds.add("health", SeverityWarn, r, -1, "rank carries no records (process lost or stream dropped)")
+			continue
+		}
+		if rankEnd := rankEndTime(rd); end > 0 && float64(rankEnd) < healthEarlyEndFrac*float64(end) {
+			ds.add("health", SeverityWarn, r, -1,
+				"rank ends at %s, %.0f%% into the trace (stream truncated?)",
+				rankEnd, 100*float64(rankEnd)/float64(end))
+		}
+		if missing, expected := estimateSampleLoss(rd.Samples); missing >= healthLossMin &&
+			float64(missing) >= healthLossFrac*float64(expected) {
+			ds.add("health", SeverityWarn, r, -1,
+				"~%d of ~%d expected samples missing (sampling stream lossy?)", missing, expected)
+		}
+	}
+	checkClockSkew(tr, ds)
+}
+
+func rankEndTime(rd *trace.RankData) sim.Time {
+	var end sim.Time
+	if n := len(rd.Events); n > 0 {
+		end = rd.Events[n-1].Time
+	}
+	if n := len(rd.Samples); n > 0 && rd.Samples[n-1].Time > end {
+		end = rd.Samples[n-1].Time
+	}
+	return end
+}
+
+// estimateSampleLoss compares the sample count of one rank against the
+// count its own median sampling period predicts for its time span. The
+// median is robust to the loss itself (each dropped sample inflates only
+// one gap), so moderate loss rates remain visible.
+func estimateSampleLoss(samples []trace.Sample) (missing, expected int) {
+	n := len(samples)
+	if n < healthMinSamples {
+		return 0, n
+	}
+	gaps := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, float64(samples[i].Time-samples[i-1].Time))
+	}
+	med := sim.Median(gaps)
+	if med <= 0 {
+		return 0, n
+	}
+	span := float64(samples[n-1].Time - samples[0].Time)
+	expected = int(span/med) + 1
+	if expected <= n {
+		return 0, expected
+	}
+	return expected - n, expected
+}
+
+// checkClockSkew compares the per-rank time of the earliest shared
+// iteration marker; ranks of an SPMD program reach it nearly together, so a
+// large spread means the per-rank clocks disagree.
+func checkClockSkew(tr *trace.Trace, ds *diagSink) {
+	type mark struct {
+		rank int
+		t    sim.Time
+	}
+	var (
+		marks    []mark
+		iterDurs []float64
+	)
+	for r, rd := range tr.Ranks {
+		var first sim.Time = -1
+		var prev sim.Time = -1
+		for _, e := range rd.Events {
+			if e.Type != trace.IterBegin {
+				continue
+			}
+			if first < 0 {
+				first = e.Time
+			}
+			if prev >= 0 {
+				iterDurs = append(iterDurs, float64(e.Time-prev))
+			}
+			prev = e.Time
+		}
+		if first >= 0 {
+			marks = append(marks, mark{rank: r, t: first})
+		}
+	}
+	if len(marks) < 2 {
+		return
+	}
+	threshold := float64(healthSkewFloor)
+	if len(iterDurs) > 0 {
+		if t := healthSkewOfIterFrac * sim.Median(iterDurs); t > threshold {
+			threshold = t
+		}
+	}
+	times := make([]float64, len(marks))
+	for i, m := range marks {
+		times[i] = float64(m.t)
+	}
+	ref := sim.Median(times)
+	sort.Slice(marks, func(i, j int) bool { return marks[i].rank < marks[j].rank })
+	for _, m := range marks {
+		if off := float64(m.t) - ref; off > threshold || off < -threshold {
+			ds.add("health", SeverityWarn, m.rank, -1,
+				"first iteration marker offset by %s from the median rank (clock skew?)",
+				sim.Duration(off).String())
+		}
+	}
+}

@@ -15,14 +15,36 @@ func (m *Model) SummaryTable() *report.Table {
 	tb := report.NewTable(
 		fmt.Sprintf("%s: structure (%d bursts, %d clusters, %d noise, SPMD %.3f)",
 			m.App, m.NumBursts, m.NumClusters, m.NoiseBursts, m.SPMDScore),
-		"cluster", "region", "bursts", "median_dur", "total_time", "coverage_pct", "mean_IPC", "phases")
+		"cluster", "region", "bursts", "median_dur", "total_time", "coverage_pct", "mean_IPC", "phases", "quality")
 	for _, ca := range m.Clusters {
 		coverage := 0.0
 		if m.TotalComputation > 0 {
 			coverage = 100 * float64(ca.Stat.TotalTime) / float64(m.TotalComputation)
 		}
 		tb.AddRow(ca.Label, ca.Stat.Region, ca.Stat.Size, ca.Stat.MedianDur.String(),
-			ca.Stat.TotalTime.String(), coverage, ca.Stat.MeanIPC, len(ca.Phases))
+			ca.Stat.TotalTime.String(), coverage, ca.Stat.MeanIPC, len(ca.Phases), ca.Quality.String())
+	}
+	return tb
+}
+
+// DiagnosticsTable renders the faults the degraded-mode analysis absorbed,
+// or nil when the analysis was clean.
+func (m *Model) DiagnosticsTable() *report.Table {
+	if len(m.Diagnostics) == 0 {
+		return nil
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("%s: diagnostics (%d absorbed faults)", m.App, len(m.Diagnostics)),
+		"severity", "stage", "rank", "cluster", "message")
+	for _, d := range m.Diagnostics {
+		rank, cl := "-", "-"
+		if d.Rank >= 0 {
+			rank = fmt.Sprint(d.Rank)
+		}
+		if d.Cluster >= 0 {
+			cl = fmt.Sprint(d.Cluster)
+		}
+		tb.AddRow(d.Severity.String(), d.Stage, rank, cl, d.Message)
 	}
 	return tb
 }
@@ -121,8 +143,9 @@ func (ca *ClusterAnalysis) FoldedPlot(id counters.ID) *report.Plot {
 	return p
 }
 
-// WriteReport renders the full analyst-facing report: the structure summary
-// followed by a phase table per fitted cluster.
+// WriteReport renders the full analyst-facing report: the structure summary,
+// a phase table per fitted cluster, and — when the degraded-mode analysis
+// absorbed faults — the diagnostics table and the non-OK quality verdicts.
 func (m *Model) WriteReport(w io.Writer) error {
 	if err := m.SummaryTable().Render(w); err != nil {
 		return err
@@ -135,6 +158,22 @@ func (m *Model) WriteReport(w io.Writer) error {
 			return err
 		}
 		if err := ca.PhaseTable().Render(w); err != nil {
+			return err
+		}
+	}
+	for _, ca := range m.Clusters {
+		if ca.Quality == QualityOK {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\ncluster %d: %s — %s\n", ca.Label, ca.Quality, ca.QualityReason); err != nil {
+			return err
+		}
+	}
+	if dt := m.DiagnosticsTable(); dt != nil {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := dt.Render(w); err != nil {
 			return err
 		}
 	}

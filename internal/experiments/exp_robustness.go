@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"phasefold/internal/core"
+	"phasefold/internal/faults"
+	"phasefold/internal/metrics"
+	"phasefold/internal/report"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+)
+
+// r1Classes are the fault classes R1 sweeps. Every class is parameterized by
+// one rate in [0,1]; spec maps the rate onto the injector's own unit (a
+// probability for most, a clock-skew magnitude for skew: 20 ms at rate 1,
+// comparable to a few multiphase iterations).
+var r1Classes = []struct {
+	name string
+	spec func(rate float64) string
+}{
+	{"drop", func(r float64) string { return fmt.Sprintf("drop=%g", r) }},
+	{"killrank", func(r float64) string { return fmt.Sprintf("killrank=%g", r) }},
+	{"truncate", func(r float64) string { return fmt.Sprintf("truncate=%g", r) }},
+	{"skew", func(r float64) string { return fmt.Sprintf("skew=%s", sim.Duration(r*float64(20*sim.Millisecond))) }},
+	{"dup", func(r float64) string { return fmt.Sprintf("dup=%g", r) }},
+	{"reorder", func(r float64) string { return fmt.Sprintf("reorder=%g", r) }},
+	{"zero", func(r float64) string { return fmt.Sprintf("zero=%g", r) }},
+	{"garble", func(r float64) string { return fmt.Sprintf("garble=%g", r) }},
+}
+
+// r1Rates is the injected fault-rate grid.
+var r1Rates = []float64{0, 0.02, 0.05, 0.1, 0.2}
+
+// R1Robustness measures how gracefully the degraded-mode pipeline absorbs
+// each fault class: reconstruction error (relative MAE of the recovered MIPS
+// profile vs ground truth) and phase-boundary error (breakpoint F1) as a
+// function of the injected fault rate. The claim under test is the
+// robustness analogue of the paper's coarse-sampling tolerance: accuracy
+// must decay smoothly with data quality — no cliffs, no crashes — while
+// every run admits its damage through diagnostics.
+func R1Robustness() (*Result, error) {
+	res := newResult("R1", "Reconstruction error vs injected fault rate (multiphase, degraded-mode analysis)")
+	cfg := defaultCfg()
+	cfg.Iterations = 150
+	opt := core.DefaultOptions()
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		return nil, err
+	}
+	run, err := core.RunApp(app, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	rt := run.Truth.Regions[simapp.RegionMultiphaseStep]
+
+	tb := report.NewTable("R1: error vs fault rate",
+		"class", "rate", "rel_mae", "breakpoint_f1", "diagnostics", "quality")
+	plot := report.NewPlot("R1: relative MAE vs fault rate (per class)", "rel MAE")
+	crashes := 0
+	for ci, class := range r1Classes {
+		var series []float64
+		for ri, rate := range r1Rates {
+			chain, err := faults.Parse(class.spec(rate), uint64(1000+100*ci+ri))
+			if err != nil {
+				return nil, err
+			}
+			tr := run.Trace.Clone()
+			chain.ApplyTrace(tr)
+			model, err := core.Analyze(tr, opt)
+			if err != nil {
+				// Lenient analysis refusing a ≤20%-damaged trace is exactly
+				// the cliff R1 exists to rule out; count it, don't abort.
+				crashes++
+				tb.AddRow(class.name, rate, "-", "-", "-", "failed: "+err.Error())
+				series = append(series, 1)
+				continue
+			}
+			mae, f1 := 1.0, 0.0
+			ca := model.ClusterByRegion(simapp.RegionMultiphaseStep)
+			if ca != nil && ca.Fit != nil {
+				if m, err := profileError(ca, rt, 96); err == nil && !math.IsNaN(m) {
+					mae = m
+				}
+				be := metrics.CompareBreakpoints(ca.Fit.Breakpoints, rt.Breakpoints(), 0.03)
+				f1 = be.F1()
+			}
+			quality := "-"
+			if ca != nil {
+				quality = ca.Quality.String()
+				if ca.QualityReason != "" {
+					quality += " (" + ca.QualityReason + ")"
+				}
+			}
+			tb.AddRow(class.name, rate, mae, f1, len(model.Diagnostics), quality)
+			series = append(series, mae)
+			res.Metrics[fmt.Sprintf("rel_mae_%s_%g", class.name, rate)] = mae
+			res.Metrics[fmt.Sprintf("bp_f1_%s_%g", class.name, rate)] = f1
+			res.Metrics[fmt.Sprintf("diags_%s_%g", class.name, rate)] = float64(len(model.Diagnostics))
+		}
+		plot.Add(report.Series{Name: class.name, Values: series})
+	}
+	res.Metrics["crashes"] = float64(crashes)
+	res.Tables = append(res.Tables, tb)
+	res.Plots = append(res.Plots, plot)
+	return res, nil
+}

@@ -60,6 +60,7 @@ func All() []Runner {
 		{"F10", "per-phase power from folded energy", F10PowerPhases},
 		{"A1", "design-choice ablations", A1Ablations},
 		{"A2", "sampling-mode ablation", A2SamplingModes},
+		{"R1", "robustness to injected faults", R1Robustness},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -263,7 +264,33 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", r.ID)
 		}
 	}
-	if len(seen) != 16 {
-		t.Fatalf("have %d experiments, want 16", len(seen))
+	if len(seen) != 17 {
+		t.Fatalf("have %d experiments, want 17", len(seen))
+	}
+}
+
+func TestR1RobustnessDegradesGracefully(t *testing.T) {
+	res := runExp(t, "R1")
+	if got := res.Metrics["crashes"]; got != 0 {
+		t.Fatalf("%v fault cells crashed the lenient pipeline", got)
+	}
+	for _, c := range r1Classes {
+		clean := res.Metrics["rel_mae_"+c.name+"_0"]
+		if clean > 0.05 {
+			t.Errorf("%s: clean-baseline error %.4f above 5%%", c.name, clean)
+		}
+		// No cliffs: even at 20% injected faults the reconstruction stays a
+		// reconstruction, not garbage.
+		worst := res.Metrics[fmt.Sprintf("rel_mae_%s_%g", c.name, 0.2)]
+		if worst > 0.5 {
+			t.Errorf("%s: error %.4f at rate 0.2 — the degradation cliff R1 forbids", c.name, worst)
+		}
+	}
+	// The damage classes that perturb records at a 10% rate must be admitted
+	// through diagnostics, not silently absorbed.
+	for _, name := range []string{"drop", "truncate", "dup", "zero", "garble", "reorder"} {
+		if res.Metrics[fmt.Sprintf("diags_%s_%g", name, 0.1)] == 0 {
+			t.Errorf("%s at 10%% produced no diagnostics", name)
+		}
 	}
 }

@@ -1,0 +1,193 @@
+// Package faults implements deterministic, seedable perturbation of traces
+// and of their encoded byte streams — the fault-injection half of the
+// robustness story. Real Extrae-style acquisition drops samples, loses
+// ranks, skews clocks, wraps counters, duplicates and reorders records, and
+// truncates files; the injectors here reproduce each of those damage classes
+// on demand so the degraded-mode analysis path can be exercised instead of
+// asserted.
+//
+// Injectors are composable: a Chain applies a sequence of them with one
+// shared seed, and the registry parses the compact spec syntax shared by
+// tracegen's -faults flag and the R1 robustness experiment:
+//
+//	drop=0.2,skew=50us        drop 20% of samples, skew clocks up to 50 µs
+//	wrap=32,dup=0.05          wrap counters at 2^32, duplicate 5% of records
+//	chop=0.3                  truncate the encoded byte stream by 30%
+//
+// All randomness flows from a single math/rand source seeded explicitly, so
+// a (spec, seed) pair always produces the identical perturbation.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// Injector perturbs a decoded trace in place. Implementations must be
+// deterministic given the trace and the rng state, and must confine all
+// randomness to the supplied rng.
+type Injector interface {
+	// Name returns the registry name of the fault class.
+	Name() string
+	// Apply perturbs tr in place.
+	Apply(rng *rand.Rand, tr *trace.Trace)
+}
+
+// StreamInjector perturbs an encoded trace byte stream — damage that happens
+// below the record model: file truncation, flipped bytes.
+type StreamInjector interface {
+	// Name returns the registry name of the fault class.
+	Name() string
+	// ApplyStream returns the perturbed encoding of data. The input slice
+	// is not modified.
+	ApplyStream(rng *rand.Rand, data []byte) []byte
+}
+
+// Chain is a parsed fault specification: an ordered list of trace and
+// stream injectors sharing one seed.
+type Chain struct {
+	Trace  []Injector
+	Stream []StreamInjector
+	Seed   uint64
+}
+
+// Empty reports whether the chain contains no injectors.
+func (c *Chain) Empty() bool {
+	return c == nil || (len(c.Trace) == 0 && len(c.Stream) == 0)
+}
+
+// String renders the chain back in spec syntax.
+func (c *Chain) String() string {
+	var parts []string
+	for _, in := range c.Trace {
+		parts = append(parts, fmt.Sprint(in))
+	}
+	for _, in := range c.Stream {
+		parts = append(parts, fmt.Sprint(in))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ApplyTrace runs the chain's trace injectors over tr in place, in spec
+// order, deterministically from the chain seed.
+func (c *Chain) ApplyTrace(tr *trace.Trace) {
+	if c == nil || len(c.Trace) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(int64(c.Seed)))
+	for _, in := range c.Trace {
+		in.Apply(rng, tr)
+	}
+}
+
+// ApplyStream runs the chain's stream injectors over an encoded trace,
+// returning the damaged bytes.
+func (c *Chain) ApplyStream(data []byte) []byte {
+	if c == nil || len(c.Stream) == 0 {
+		return data
+	}
+	rng := rand.New(rand.NewSource(int64(c.Seed) ^ 0x5f5f))
+	for _, in := range c.Stream {
+		data = in.ApplyStream(rng, data)
+	}
+	return data
+}
+
+// Parse builds a Chain from the compact spec syntax: comma-separated
+// name=value pairs, where the value is a probability/fraction, a bit width,
+// or a duration depending on the injector (see the package comment and
+// Known). The seed parameterizes every random decision the chain makes.
+func Parse(spec string, seed uint64) (*Chain, error) {
+	c := &Chain{Seed: seed}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not name=value", field)
+		}
+		build, ok := registry[name]
+		if !ok {
+			return nil, fmt.Errorf("faults: unknown fault %q (known: %s)", name, strings.Join(Known(), ", "))
+		}
+		inj, err := build(value)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s: %w", name, err)
+		}
+		switch in := inj.(type) {
+		case Injector:
+			c.Trace = append(c.Trace, in)
+		case StreamInjector:
+			c.Stream = append(c.Stream, in)
+		}
+	}
+	return c, nil
+}
+
+// registry maps fault names to constructors taking the spec value.
+var registry = map[string]func(value string) (any, error){
+	"drop":     func(v string) (any, error) { p, err := parseRate(v); return DropSamples{Rate: p}, err },
+	"killrank": func(v string) (any, error) { p, err := parseRate(v); return KillRanks{Rate: p}, err },
+	"truncate": func(v string) (any, error) { p, err := parseRate(v); return TruncateRanks{MaxFrac: p}, err },
+	"skew":     func(v string) (any, error) { d, err := parseDuration(v); return SkewClocks{Max: d}, err },
+	"wrap":     func(v string) (any, error) { b, err := parseBits(v); return WrapCounters{Bits: b}, err },
+	"dup":      func(v string) (any, error) { p, err := parseRate(v); return DuplicateRecords{Rate: p}, err },
+	"reorder":  func(v string) (any, error) { p, err := parseRate(v); return ReorderRecords{Rate: p}, err },
+	"zero":     func(v string) (any, error) { p, err := parseRate(v); return ZeroCounters{Rate: p}, err },
+	"garble":   func(v string) (any, error) { p, err := parseRate(v); return GarbleCounters{Rate: p}, err },
+	"chop":     func(v string) (any, error) { p, err := parseRate(v); return ChopStream{Frac: p}, err },
+	"corrupt":  func(v string) (any, error) { p, err := parseRate(v); return CorruptStream{Rate: p}, err },
+}
+
+// Known returns the registered fault names, sorted.
+func Known() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parseRate(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", v)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseBits(v string) (uint, error) {
+	b, err := strconv.ParseUint(v, 10, 8)
+	if err != nil || b == 0 || b > 63 {
+		return 0, fmt.Errorf("bad bit width %q (want 1..63)", v)
+	}
+	return uint(b), nil
+}
+
+func parseDuration(v string) (sim.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", v)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", v)
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}

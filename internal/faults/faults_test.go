@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"phasefold/internal/core"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// acquire produces a small pristine trace to perturb.
+func acquire(t *testing.T) *trace.Trace {
+	t.Helper()
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 4, Iterations: 40, Seed: 3, FreqGHz: 2}
+	run, err := core.RunApp(app, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Trace
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	c, err := Parse("drop=0.2,skew=50us,wrap=32,chop=0.3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Trace) != 3 || len(c.Stream) != 1 {
+		t.Fatalf("parsed %d trace + %d stream injectors", len(c.Trace), len(c.Stream))
+	}
+	if got := c.String(); got != "drop=0.2,skew=50µs,wrap=32,chop=0.3" {
+		t.Fatalf("String() = %q", got)
+	}
+	if c2, err := Parse("", 1); err != nil || !c2.Empty() {
+		t.Fatalf("empty spec: %v %v", c2, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"nope=1", "drop", "drop=2", "drop=x", "wrap=0", "wrap=99", "skew=banana", "skew=-1us"} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestInjectorsAreDeterministic(t *testing.T) {
+	base := acquire(t)
+	spec := "drop=0.1,dup=0.05,reorder=0.05,zero=0.02,garble=0.02,wrap=33,skew=200us,truncate=0.1,killrank=0.3"
+	c, err := Parse(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := base.Clone(), base.Clone()
+	c.ApplyTrace(a)
+	c.ApplyTrace(b)
+	var ba, bb bytes.Buffer
+	if err := trace.Encode(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("same (spec, seed) produced different perturbations")
+	}
+	c2, _ := Parse(spec, 43)
+	d := base.Clone()
+	c2.ApplyTrace(d)
+	var bd bytes.Buffer
+	if err := trace.Encode(&bd, d); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bd.Bytes()) {
+		t.Fatal("different seeds produced identical perturbations")
+	}
+}
+
+func TestDropSamplesRate(t *testing.T) {
+	tr := acquire(t)
+	before := tr.NumSamples()
+	c, _ := Parse("drop=0.5", 9)
+	c.ApplyTrace(tr)
+	after := tr.NumSamples()
+	if after >= before || after == 0 {
+		t.Fatalf("drop=0.5: %d -> %d samples", before, after)
+	}
+	frac := float64(before-after) / float64(before)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("drop=0.5 removed %.0f%%", 100*frac)
+	}
+}
+
+func TestKillRanksKeepsOneAlive(t *testing.T) {
+	tr := acquire(t)
+	c, _ := Parse("killrank=1", 1)
+	c.ApplyTrace(tr)
+	alive := 0
+	for _, rd := range tr.Ranks {
+		if len(rd.Events) > 0 || len(rd.Samples) > 0 {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("killrank=1 left %d ranks alive, want 1", alive)
+	}
+}
+
+func TestSkewPreservesPerRankOrder(t *testing.T) {
+	tr := acquire(t)
+	c, _ := Parse("skew=1ms", 5)
+	c.ApplyTrace(tr)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("skew broke intra-rank invariants: %v", err)
+	}
+}
+
+func TestWrapCausesCounterRegressions(t *testing.T) {
+	tr := acquire(t)
+	c, _ := Parse("wrap=24", 5)
+	c.ApplyTrace(tr)
+	probs := tr.Sanitize()
+	found := false
+	for _, p := range probs {
+		if p.Kind == trace.ProblemCounterValue {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("wrap=24 produced no counter regressions")
+	}
+}
+
+func TestStreamInjectors(t *testing.T) {
+	tr := acquire(t)
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	c, _ := Parse("chop=0.4", 11)
+	chopped := c.ApplyStream(data)
+	if len(chopped) >= len(data) {
+		t.Fatalf("chop did not shrink the stream: %d -> %d", len(data), len(chopped))
+	}
+	if _, err := trace.Decode(bytes.NewReader(chopped)); err == nil {
+		t.Fatal("strict decode accepted a chopped stream")
+	} else if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrInvalid) {
+		t.Fatalf("chopped decode error %v carries no sentinel", err)
+	}
+
+	c2, _ := Parse("corrupt=0.001", 11)
+	bad := c2.ApplyStream(data)
+	if bytes.Equal(bad, data) {
+		t.Fatal("corrupt left the stream untouched")
+	}
+	// The decode may or may not fail depending on where the flips landed,
+	// but it must never panic.
+	_, _, _ = trace.DecodeWith(bytes.NewReader(bad), trace.DecodeOptions{Salvage: true})
+}
+
+func TestTruncateShortensRanks(t *testing.T) {
+	tr := acquire(t)
+	end := tr.EndTime()
+	c, _ := Parse("truncate=0.5", 13)
+	c.ApplyTrace(tr)
+	if tr.EndTime() >= end {
+		t.Fatalf("truncate did not shorten the trace: %s -> %s", end, tr.EndTime())
+	}
+}
+
+func TestZeroAndGarbleAreRepairable(t *testing.T) {
+	for _, spec := range []string{"zero=0.1", "garble=0.1", "dup=0.1", "reorder=0.1"} {
+		tr := acquire(t)
+		c, err := Parse(spec, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ApplyTrace(tr)
+		tr.Sanitize()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: sanitized trace still invalid: %v", spec, err)
+		}
+	}
+}
+
+func TestSimTimeRendering(t *testing.T) {
+	// Guard the spec round-trip used by Chain.String.
+	d := 50 * sim.Microsecond
+	if d.String() != "50µs" {
+		t.Fatalf("duration renders as %q", d.String())
+	}
+}

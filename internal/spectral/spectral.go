@@ -43,7 +43,13 @@ func BuildSignal(tr *trace.Trace, rank int, id counters.ID, step sim.Duration) (
 	if step <= 0 {
 		return nil, fmt.Errorf("spectral: non-positive step %d", step)
 	}
-	rd := tr.Rank(rank)
+	rd, err := tr.RankChecked(rank) // rank numbers arrive from CLI flags
+	if err != nil {
+		return nil, fmt.Errorf("spectral: %w", err)
+	}
+	if rd == nil {
+		return nil, fmt.Errorf("spectral: rank %d has no records", rank)
+	}
 	if len(rd.Samples) < 2 {
 		return nil, fmt.Errorf("spectral: rank %d has %d samples, need at least 2", rank, len(rd.Samples))
 	}

@@ -30,14 +30,28 @@ type BurstOptions struct {
 func ExtractBursts(t *Trace, opt BurstOptions) ([]Burst, error) {
 	var all []Burst
 	for _, rd := range t.Ranks {
-		bursts, err := extractRank(rd, opt)
+		bursts, err := ExtractRankBursts(rd, opt)
 		if err != nil {
 			return nil, err
 		}
-		attachSamples(bursts, rd.Samples)
 		all = append(all, bursts...)
 	}
 	return all, nil
+}
+
+// ExtractRankBursts derives the computation bursts of a single rank — the
+// per-process unit of ExtractBursts, exposed so degraded-mode analysis can
+// isolate a malformed rank instead of rejecting the whole trace.
+func ExtractRankBursts(rd *RankData, opt BurstOptions) ([]Burst, error) {
+	if rd == nil {
+		return nil, fmt.Errorf("%w: nil rank", ErrInvalid)
+	}
+	bursts, err := extractRank(rd, opt)
+	if err != nil {
+		return nil, err
+	}
+	attachSamples(bursts, rd.Samples)
+	return bursts, nil
 }
 
 type openBurst struct {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
@@ -173,6 +174,10 @@ func (r *reader) counterSet() counters.Set {
 	if r.err != nil {
 		return s
 	}
+	if mask >= 1<<uint(counters.NumIDs) {
+		r.err = fmt.Errorf("%w: counter mask %#x has undefined bits", ErrCorrupt, mask)
+		return s
+	}
 	for i := 0; i < int(counters.NumIDs); i++ {
 		if mask&(1<<uint(i)) != 0 {
 			s[i] = r.varint()
@@ -181,103 +186,235 @@ func (r *reader) counterSet() counters.Set {
 	return s
 }
 
+// Sanity limits on decoded collection sizes. Counts come straight from the
+// (possibly hostile) input, so nothing may allocate proportionally to a
+// count before enough bytes to justify it have actually been read; these
+// caps bound the damage a single fabricated count can do.
 const (
-	maxDecodeCount = 1 << 28 // sanity limit on decoded collection sizes
+	maxDecodeCount = 1 << 28 // events/samples per rank
+	maxTableCount  = 1 << 22 // routines, stacks, ranks
+	maxStackFrames = 1 << 12 // frames per call stack
 )
 
-func (r *reader) count(what string) int {
+func (r *reader) count(what string, limit uint64) int {
 	n := r.uvarint()
-	if r.err == nil && n > maxDecodeCount {
-		r.err = fmt.Errorf("trace: %s count %d exceeds sanity limit", what, n)
+	if r.err != nil {
+		// A partially-read varint can carry an arbitrary value; never let
+		// it reach a caller that might size an allocation with it.
+		return 0
+	}
+	if n > limit {
+		r.err = fmt.Errorf("%w: %s count %d exceeds sanity limit %d", ErrCorrupt, what, n, limit)
+		return 0
 	}
 	return int(n)
 }
 
-// Decode reads a binary-format trace from rd.
+// DecodeOptions configures trace decoding.
+type DecodeOptions struct {
+	// Salvage enables lenient decoding: instead of failing on a truncated
+	// or corrupt stream, DecodeWith keeps every record decoded before the
+	// damage, repairs the result with Sanitize, and reports what happened
+	// in the SalvageReport. The header (magic, symbol and stack tables)
+	// must still decode — without it the records are uninterpretable.
+	Salvage bool
+}
+
+// SalvageReport describes what a lenient decode recovered.
+type SalvageReport struct {
+	// Err is the decode error that was suppressed, wrapping ErrTruncated
+	// or ErrCorrupt; nil when the stream decoded cleanly.
+	Err error
+	// Events and Samples count the records recovered.
+	Events, Samples int
+	// RanksLost counts ranks whose streams were cut short or never
+	// reached before the damage point.
+	RanksLost int
+	// Problems lists the repairs Sanitize made on the recovered records.
+	Problems []Problem
+}
+
+// Complete reports whether the stream decoded without damage.
+func (sr *SalvageReport) Complete() bool {
+	return sr != nil && sr.Err == nil && len(sr.Problems) == 0
+}
+
+// Summary renders the report as a short human-readable line.
+func (sr *SalvageReport) Summary() string {
+	if sr.Complete() {
+		return fmt.Sprintf("decoded cleanly: %d events, %d samples", sr.Events, sr.Samples)
+	}
+	s := fmt.Sprintf("recovered %d events, %d samples (%d ranks damaged, %d repairs)",
+		sr.Events, sr.Samples, sr.RanksLost, len(sr.Problems))
+	if sr.Err != nil {
+		// errors.Join renders multi-line; flatten for the one-line summary.
+		s += ": " + strings.ReplaceAll(fmt.Sprint(sr.Err), "\n", ": ")
+	}
+	return s
+}
+
+// Decode reads a binary-format trace from rd, failing on any damage.
 func Decode(rd io.Reader) (*Trace, error) {
+	t, _, err := DecodeWith(rd, DecodeOptions{})
+	return t, err
+}
+
+// DecodeWith reads a binary-format trace from rd under the given options.
+// The SalvageReport is non-nil exactly when opt.Salvage is set and any
+// records were recovered; errors wrap the package sentinels (ErrBadMagic,
+// ErrTruncated, ErrCorrupt, ErrNoRanks, ErrInvalid) for errors.Is dispatch.
+func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	r := &reader{r: bufio.NewReaderSize(rd, 1<<16)}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(r.r, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("reading magic: %w", classifyRead(err))
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
 	}
 	app := r.str()
 	syms := callstack.NewSymbolTable()
-	nRoutines := r.count("routine")
+	nRoutines := r.count("routine", maxTableCount)
 	for i := 0; i < nRoutines && r.err == nil; i++ {
-		syms.Define(callstack.Routine{
+		rt := callstack.Routine{
 			Name:      r.str(),
 			File:      r.str(),
 			StartLine: int(r.uvarint()),
 			EndLine:   int(r.uvarint()),
-		})
+		}
+		if r.err == nil {
+			// Define panics on malformed routines (a programming error
+			// in-process); from the wire, malformation is corruption.
+			if cerr := rt.Check(); cerr != nil {
+				r.err = fmt.Errorf("%w: routine %d: %v", ErrCorrupt, i, cerr)
+				break
+			}
+			syms.Define(rt)
+		}
 	}
 	stacks := callstack.NewInterner()
-	nStacks := r.count("stack")
-	stackIDs := make([]callstack.StackID, 0, nStacks)
+	nStacks := r.count("stack", maxTableCount)
+	stackIDs := make([]callstack.StackID, 0, min(nStacks, 1<<16))
 	for i := 0; i < nStacks && r.err == nil; i++ {
-		nf := r.count("frame")
-		st := make(callstack.Stack, nf)
+		nf := r.count("frame", maxStackFrames)
+		if r.err != nil {
+			break
+		}
+		st := make(callstack.Stack, 0, min(nf, 64))
 		for j := 0; j < nf && r.err == nil; j++ {
-			st[j] = callstack.Frame{
+			st = append(st, callstack.Frame{
 				Routine: callstack.RoutineID(r.varint()),
 				Line:    int(r.uvarint()),
-			}
+			})
+		}
+		if r.err != nil {
+			break
 		}
 		stackIDs = append(stackIDs, stacks.Intern(st))
 	}
-	nRanks := r.count("rank")
+	nRanks := r.count("rank", maxTableCount)
 	if r.err != nil {
-		return nil, r.err
+		// Header damage: the symbol and stack tables interpret every
+		// record, so nothing downstream is salvageable without them.
+		return nil, nil, classifyRead(r.err)
 	}
 	if nRanks == 0 {
-		return nil, fmt.Errorf("trace: decoded trace has no ranks")
+		return nil, nil, fmt.Errorf("%w: decoded trace has no ranks", ErrNoRanks)
 	}
-	t := New(app, nRanks, syms, stacks)
+	t, err := NewChecked(app, nRanks, syms, stacks)
+	if err != nil {
+		return nil, nil, err
+	}
+	danglingStacks := 0
 	for rank := 0; rank < nRanks && r.err == nil; rank++ {
-		nev := r.count("event")
+		nev := r.count("event", maxDecodeCount)
 		rd := t.Ranks[rank]
 		rd.Events = make([]Event, 0, min(nev, 1<<20))
 		var prev sim.Time
 		for i := 0; i < nev && r.err == nil; i++ {
 			prev += sim.Time(r.uvarint())
-			rd.Events = append(rd.Events, Event{
+			e := Event{
 				Time:     prev,
 				Rank:     int32(rank),
 				Type:     EventType(r.uvarint()),
 				Value:    r.varint(),
 				Group:    uint8(r.uvarint()),
 				Counters: r.counterSet(),
-			})
+			}
+			if r.err != nil {
+				break // discard the partially-read record
+			}
+			rd.Events = append(rd.Events, e)
 		}
-		nsmp := r.count("sample")
+		nsmp := r.count("sample", maxDecodeCount)
 		rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
 		prev = 0
 		for i := 0; i < nsmp && r.err == nil; i++ {
 			prev += sim.Time(r.uvarint())
 			sid := callstack.StackID(r.varint())
-			if sid != callstack.NoStack {
+			if sid != callstack.NoStack && r.err == nil {
 				if sid < 0 || int(sid) >= len(stackIDs) {
-					return nil, fmt.Errorf("trace: sample references stack %d of %d", sid, len(stackIDs))
+					if !opt.Salvage {
+						r.err = fmt.Errorf("%w: sample references stack %d of %d", ErrCorrupt, sid, len(stackIDs))
+						break
+					}
+					danglingStacks++
+					sid = callstack.NoStack
+				} else {
+					sid = stackIDs[sid]
 				}
-				sid = stackIDs[sid]
 			}
-			rd.Samples = append(rd.Samples, Sample{
+			s := Sample{
 				Time:     prev,
 				Rank:     int32(rank),
 				Stack:    sid,
 				Group:    uint8(r.uvarint()),
 				Counters: r.counterSet(),
-			})
+			}
+			if r.err != nil {
+				break
+			}
+			rd.Samples = append(rd.Samples, s)
 		}
 	}
-	if r.err != nil {
-		return nil, r.err
+	if r.err != nil && !opt.Salvage {
+		return nil, nil, classifyRead(r.err)
+	}
+	if !opt.Salvage {
+		if err := t.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("decoded trace invalid: %w", err)
+		}
+		return t, nil, nil
+	}
+
+	// Salvage path: keep what was recovered, repair it, and report.
+	report := &SalvageReport{Err: classifyRead(r.err)}
+	if danglingStacks > 0 {
+		report.Problems = append(report.Problems, Problem{
+			Rank: -1, Kind: ProblemDanglingStack, Count: danglingStacks,
+			Detail: "samples referencing undefined stacks cleared",
+		})
+	}
+	report.Problems = append(report.Problems, t.Sanitize()...)
+	for _, rd := range t.Ranks {
+		report.Events += len(rd.Events)
+		report.Samples += len(rd.Samples)
+	}
+	if report.Err != nil {
+		for _, rd := range t.Ranks {
+			if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+				report.RanksLost++
+			}
+		}
+	}
+	if report.Err != nil && report.Events == 0 && report.Samples == 0 {
+		// A record-free trace is only a failure when damage ate the records;
+		// a file that legitimately encodes no records decodes fine strictly
+		// and must decode fine here too.
+		return nil, nil, fmt.Errorf("nothing salvageable: %w", report.Err)
 	}
 	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("trace: decoded trace invalid: %w", err)
+		return nil, nil, fmt.Errorf("salvaged trace still invalid: %w", err)
 	}
-	return t, nil
+	return t, report, nil
 }

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Structured error taxonomy of the trace container. Decode, DecodeText,
+// Merge, and Validate wrap these sentinels so callers can dispatch with
+// errors.Is instead of string matching — foldctl maps them to exit codes,
+// and the degraded-mode analyzer decides per sentinel whether a rank is
+// recoverable.
+var (
+	// ErrBadMagic marks input that is not a trace container at all.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrTruncated marks a well-formed stream that ends mid-record.
+	ErrTruncated = errors.New("trace: truncated input")
+	// ErrCorrupt marks a stream whose content violates the format
+	// (impossible counts, unresolvable references, malformed records).
+	ErrCorrupt = errors.New("trace: corrupt input")
+	// ErrNoRanks marks a decoded container carrying no process data.
+	ErrNoRanks = errors.New("trace: no ranks")
+	// ErrInvalid marks a structurally decodable trace that violates the
+	// container invariants (record order, nesting, references).
+	ErrInvalid = errors.New("trace: invalid structure")
+	// ErrMergeMismatch marks merge inputs that cannot be combined
+	// (different symbol tables, colliding ranks, nothing to merge).
+	ErrMergeMismatch = errors.New("trace: merge mismatch")
+)
+
+// classifyRead maps a low-level read error onto the taxonomy: EOF variants
+// mean the stream stopped early (truncation), anything else means the bytes
+// could not be interpreted (corruption). Errors already carrying a sentinel
+// pass through unchanged.
+func classifyRead(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrNoRanks) || errors.Is(err, ErrInvalid) {
+		return err
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errors.Join(ErrTruncated, err)
+	}
+	return errors.Join(ErrCorrupt, err)
+}

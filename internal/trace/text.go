@@ -105,16 +105,30 @@ var eventTypeByName = func() map[string]EventType {
 	return m
 }()
 
-// DecodeText reads a text-format trace from rd.
+// maxTextRank bounds the rank numbers a text trace may declare; the decoder
+// allocates a slot per rank up to the maximum seen, so an absurd rank number
+// must not translate into an absurd allocation.
+const maxTextRank = 1 << 20
+
+// DecodeText reads a text-format trace from rd, failing on any damage.
 func DecodeText(rd io.Reader) (*Trace, error) {
+	t, _, err := DecodeTextWith(rd, DecodeOptions{})
+	return t, err
+}
+
+// DecodeTextWith reads a text-format trace from rd under the given options.
+// In salvage mode, malformed lines are skipped (and reported) instead of
+// failing the decode, and the recovered records are repaired with Sanitize.
+// Errors wrap the package sentinels for errors.Is dispatch.
+func DecodeTextWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: empty text trace")
+		return nil, nil, fmt.Errorf("%w: empty text trace", ErrTruncated)
 	}
 	header := strings.Fields(sc.Text())
 	if len(header) < 1 || header[0] != textMagic {
-		return nil, fmt.Errorf("trace: bad text header %q", sc.Text())
+		return nil, nil, fmt.Errorf("%w: bad text header %q", ErrBadMagic, sc.Text())
 	}
 	app := ""
 	if len(header) > 1 {
@@ -123,14 +137,22 @@ func DecodeText(rd io.Reader) (*Trace, error) {
 	syms := callstack.NewSymbolTable()
 	stacks := callstack.NewInterner()
 	var stackIDs []callstack.StackID
-	type pendingEvent struct{ e Event }
-	type pendingSample struct{ s Sample }
-	var events []pendingEvent
-	var samples []pendingSample
+	var events []Event
+	var samples []Sample
 	maxRank := -1
 	lineNo := 1
-	fail := func(format string, args ...any) (*Trace, error) {
-		return nil, fmt.Errorf("trace: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	badLines := 0
+	var firstBad error
+	fail := func(format string, args ...any) error {
+		err := fmt.Errorf("%w: line %d: %s", ErrCorrupt, lineNo, fmt.Sprintf(format, args...))
+		if opt.Salvage {
+			badLines++
+			if firstBad == nil {
+				firstBad = err
+			}
+			return nil
+		}
+		return err
 	}
 	for sc.Scan() {
 		lineNo++
@@ -142,108 +164,185 @@ func DecodeText(rd io.Reader) (*Trace, error) {
 		switch f[0] {
 		case "R":
 			if len(f) != 6 {
-				return fail("malformed routine definition")
+				if err := fail("malformed routine definition"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			start, err1 := strconv.Atoi(f[4])
 			end, err2 := strconv.Atoi(f[5])
 			if err1 != nil || err2 != nil {
-				return fail("bad routine lines")
+				if err := fail("bad routine lines"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
-			syms.Define(callstack.Routine{Name: f[2], File: f[3], StartLine: start, EndLine: end})
+			rt := callstack.Routine{Name: f[2], File: f[3], StartLine: start, EndLine: end}
+			if cerr := rt.Check(); cerr != nil {
+				if err := fail("bad routine: %v", cerr); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			syms.Define(rt)
 		case "K":
 			if len(f) < 3 {
-				return fail("malformed stack definition")
+				if err := fail("malformed stack definition"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			nf, err := strconv.Atoi(f[2])
-			if err != nil || nf != len(f)-3 {
-				return fail("stack frame count mismatch")
+			if err != nil || nf != len(f)-3 || nf > maxStackFrames {
+				if err := fail("stack frame count mismatch"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
-			st := make(callstack.Stack, nf)
+			st := make(callstack.Stack, 0, nf)
+			bad := false
 			for i := 0; i < nf; i++ {
 				colon := strings.IndexByte(f[3+i], ':')
 				if colon < 0 {
-					return fail("bad frame %q", f[3+i])
+					bad = true
+					break
 				}
 				rid, err1 := strconv.Atoi(f[3+i][:colon])
 				ln, err2 := strconv.Atoi(f[3+i][colon+1:])
 				if err1 != nil || err2 != nil {
-					return fail("bad frame %q", f[3+i])
+					bad = true
+					break
 				}
-				st[i] = callstack.Frame{Routine: callstack.RoutineID(rid), Line: ln}
+				st = append(st, callstack.Frame{Routine: callstack.RoutineID(rid), Line: ln})
+			}
+			if bad {
+				if err := fail("bad stack frame"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			stackIDs = append(stackIDs, stacks.Intern(st))
 		case "E":
 			if len(f) != 7 {
-				return fail("malformed event")
+				if err := fail("malformed event"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			rank, err1 := strconv.Atoi(f[1])
 			tm, err2 := strconv.ParseInt(f[2], 10, 64)
 			typ, okT := eventTypeByName[f[3]]
 			val, err3 := strconv.ParseInt(f[4], 10, 64)
 			grp, err4 := strconv.Atoi(f[5])
-			if err1 != nil || err2 != nil || !okT || err3 != nil || err4 != nil {
-				return fail("bad event fields")
+			if err1 != nil || err2 != nil || !okT || err3 != nil || err4 != nil ||
+				rank < 0 || rank > maxTextRank {
+				if err := fail("bad event fields"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			ctr, err := parseCounters(f[6])
 			if err != nil {
-				return fail("%v", err)
+				if err := fail("%v", err); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			if rank > maxRank {
 				maxRank = rank
 			}
-			events = append(events, pendingEvent{Event{
+			events = append(events, Event{
 				Time: sim.Time(tm), Rank: int32(rank), Type: typ, Value: val,
 				Group: uint8(grp), Counters: ctr,
-			}})
+			})
 		case "S":
 			if len(f) != 6 {
-				return fail("malformed sample")
+				if err := fail("malformed sample"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			rank, err1 := strconv.Atoi(f[1])
 			tm, err2 := strconv.ParseInt(f[2], 10, 64)
 			sid, err3 := strconv.Atoi(f[3])
 			grp, err4 := strconv.Atoi(f[4])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-				return fail("bad sample fields")
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+				rank < 0 || rank > maxTextRank {
+				if err := fail("bad sample fields"); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			ctr, err := parseCounters(f[5])
 			if err != nil {
-				return fail("%v", err)
+				if err := fail("%v", err); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			stack := callstack.StackID(sid)
 			if stack != callstack.NoStack {
 				if sid < 0 || sid >= len(stackIDs) {
-					return fail("sample references unknown stack %d", sid)
+					if err := fail("sample references unknown stack %d", sid); err != nil {
+						return nil, nil, err
+					}
+					stack = callstack.NoStack
+				} else {
+					stack = stackIDs[sid]
 				}
-				stack = stackIDs[sid]
 			}
 			if rank > maxRank {
 				maxRank = rank
 			}
-			samples = append(samples, pendingSample{Sample{
+			samples = append(samples, Sample{
 				Time: sim.Time(tm), Rank: int32(rank), Stack: stack,
 				Group: uint8(grp), Counters: ctr,
-			}})
+			})
 		default:
-			return fail("unknown record kind %q", f[0])
+			if err := fail("unknown record kind %q", f[0]); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if !opt.Salvage {
+			return nil, nil, classifyRead(err)
+		}
+		badLines++
+		if firstBad == nil {
+			firstBad = classifyRead(err)
+		}
 	}
 	if maxRank < 0 {
-		return nil, fmt.Errorf("trace: text trace has no records")
+		return nil, nil, fmt.Errorf("%w: text trace has no records", ErrNoRanks)
 	}
-	t := New(app, maxRank+1, syms, stacks)
-	for _, pe := range events {
-		t.AddEvent(pe.e)
+	t, err := NewChecked(app, maxRank+1, syms, stacks)
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, ps := range samples {
-		t.AddSample(ps.s)
+	for _, e := range events {
+		t.AddEvent(e)
+	}
+	for _, s := range samples {
+		t.AddSample(s)
 	}
 	t.SortRecords()
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("trace: decoded text trace invalid: %w", err)
+	if !opt.Salvage {
+		if err := t.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("decoded text trace invalid: %w", err)
+		}
+		return t, nil, nil
 	}
-	return t, nil
+	report := &SalvageReport{Err: firstBad, Events: len(events), Samples: len(samples)}
+	if badLines > 0 {
+		report.Problems = append(report.Problems, Problem{
+			Rank: -1, Kind: ProblemCorruptLine, Count: badLines,
+			Detail: "malformed text lines skipped",
+		})
+	}
+	report.Problems = append(report.Problems, t.Sanitize()...)
+	if err := t.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("salvaged trace still invalid: %w", err)
+	}
+	return t, report, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
 	"phasefold/internal/sim"
 )
 
@@ -31,10 +32,22 @@ type Trace struct {
 
 // New returns an empty trace for nRanks processes sharing the given symbol
 // table and stack interner. Either may be nil, in which case fresh empty
-// ones are created.
+// ones are created. New is for in-repo construction where the rank count is
+// known good; it panics on a non-positive count. Code handling decoded or
+// otherwise untrusted input must use NewChecked instead.
 func New(appName string, nRanks int, syms *callstack.SymbolTable, stacks *callstack.Interner) *Trace {
+	t, err := NewChecked(appName, nRanks, syms, stacks)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewChecked is New with the rank-count invariant reported as an error
+// instead of a panic — the constructor for counts read from external input.
+func NewChecked(appName string, nRanks int, syms *callstack.SymbolTable, stacks *callstack.Interner) (*Trace, error) {
 	if nRanks <= 0 {
-		panic(fmt.Sprintf("trace: non-positive rank count %d", nRanks))
+		return nil, fmt.Errorf("%w: non-positive rank count %d", ErrNoRanks, nRanks)
 	}
 	if syms == nil {
 		syms = callstack.NewSymbolTable()
@@ -47,7 +60,7 @@ func New(appName string, nRanks int, syms *callstack.SymbolTable, stacks *callst
 	for i := range t.Ranks {
 		t.Ranks[i] = &RankData{Rank: int32(i)}
 	}
-	return t
+	return t, nil
 }
 
 // NumRanks returns the number of processes in the trace.
@@ -55,11 +68,24 @@ func (t *Trace) NumRanks() int { return len(t.Ranks) }
 
 // Rank returns the records of rank r, panicking on an out-of-range rank —
 // rank numbers come from the trace itself, so a bad index is a program bug.
+// Callers holding a rank number from user or decoded input must use
+// RankChecked.
 func (t *Trace) Rank(r int) *RankData {
-	if r < 0 || r >= len(t.Ranks) {
-		panic(fmt.Sprintf("trace: rank %d out of range [0,%d)", r, len(t.Ranks)))
+	rd, err := t.RankChecked(r)
+	if err != nil {
+		panic(err.Error())
 	}
-	return t.Ranks[r]
+	return rd
+}
+
+// RankChecked returns the records of rank r, reporting an out-of-range rank
+// as an error — the accessor for rank numbers originating outside the trace
+// (CLI flags, decoded files).
+func (t *Trace) RankChecked(r int) (*RankData, error) {
+	if r < 0 || r >= len(t.Ranks) {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", r, len(t.Ranks))
+	}
+	return t.Ranks[r], nil
 }
 
 // AddEvent appends an event to its rank's stream.
@@ -118,68 +144,146 @@ func (t *Trace) SortRecords() {
 
 // Validate checks the structural invariants decoded or hand-built traces
 // must satisfy: records sorted by time, rank fields matching their stream,
-// balanced region/comm nesting, and stack references resolving.
+// balanced region/comm nesting, stack references resolving, and cumulative
+// counter values non-decreasing. The returned error wraps ErrInvalid.
 func (t *Trace) Validate() error {
-	for r, rd := range t.Ranks {
-		if rd == nil {
-			return fmt.Errorf("trace: rank %d missing", r)
-		}
-		if int(rd.Rank) != r {
-			return fmt.Errorf("trace: rank slot %d holds rank %d", r, rd.Rank)
-		}
-		var prev sim.Time
-		depthRegion, depthComm := 0, 0
-		for i, e := range rd.Events {
-			if e.Time < prev {
-				return fmt.Errorf("trace: rank %d event %d out of order (%d after %d)", r, i, e.Time, prev)
-			}
-			prev = e.Time
-			if int(e.Rank) != r {
-				return fmt.Errorf("trace: rank %d event %d carries rank %d", r, i, e.Rank)
-			}
-			if !e.Type.Valid() {
-				return fmt.Errorf("trace: rank %d event %d has invalid type %d", r, i, e.Type)
-			}
-			switch e.Type {
-			case RegionEnter:
-				depthRegion++
-			case RegionExit:
-				depthRegion--
-				if depthRegion < 0 {
-					return fmt.Errorf("trace: rank %d event %d: region exit without enter", r, i)
-				}
-			case CommEnter:
-				depthComm++
-			case CommExit:
-				depthComm--
-				if depthComm < 0 {
-					return fmt.Errorf("trace: rank %d event %d: comm exit without enter", r, i)
-				}
-			}
-		}
-		if depthRegion != 0 {
-			return fmt.Errorf("trace: rank %d has %d unclosed regions", r, depthRegion)
-		}
-		if depthComm != 0 {
-			return fmt.Errorf("trace: rank %d has %d unclosed comms", r, depthComm)
-		}
-		prev = 0
-		for i, s := range rd.Samples {
-			if s.Time < prev {
-				return fmt.Errorf("trace: rank %d sample %d out of order", r, i)
-			}
-			prev = s.Time
-			if int(s.Rank) != r {
-				return fmt.Errorf("trace: rank %d sample %d carries rank %d", r, i, s.Rank)
-			}
-			if s.Stack != callstack.NoStack {
-				if _, ok := t.Stacks.Get(s.Stack); !ok {
-					return fmt.Errorf("trace: rank %d sample %d references unknown stack %d", r, i, s.Stack)
-				}
-			}
+	for r := range t.Ranks {
+		if err := t.ValidateRank(r); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// ValidateRank checks the invariants of a single rank's streams, so callers
+// isolating faults per process (the degraded-mode analyzer) can keep the
+// healthy ranks of a partially damaged trace. The returned error wraps
+// ErrInvalid.
+func (t *Trace) ValidateRank(r int) error {
+	if r < 0 || r >= len(t.Ranks) {
+		return fmt.Errorf("%w: rank %d out of range [0,%d)", ErrInvalid, r, len(t.Ranks))
+	}
+	rd := t.Ranks[r]
+	if rd == nil {
+		return fmt.Errorf("%w: rank %d missing", ErrInvalid, r)
+	}
+	if int(rd.Rank) != r {
+		return fmt.Errorf("%w: rank slot %d holds rank %d", ErrInvalid, r, rd.Rank)
+	}
+	var prev sim.Time
+	depthRegion, depthComm := 0, 0
+	for i, e := range rd.Events {
+		if e.Time < prev {
+			return fmt.Errorf("%w: rank %d event %d out of order (%d after %d)", ErrInvalid, r, i, e.Time, prev)
+		}
+		prev = e.Time
+		if int(e.Rank) != r {
+			return fmt.Errorf("%w: rank %d event %d carries rank %d", ErrInvalid, r, i, e.Rank)
+		}
+		if !e.Type.Valid() {
+			return fmt.Errorf("%w: rank %d event %d has invalid type %d", ErrInvalid, r, i, e.Type)
+		}
+		switch e.Type {
+		case RegionEnter:
+			depthRegion++
+		case RegionExit:
+			depthRegion--
+			if depthRegion < 0 {
+				return fmt.Errorf("%w: rank %d event %d: region exit without enter", ErrInvalid, r, i)
+			}
+		case CommEnter:
+			depthComm++
+		case CommExit:
+			depthComm--
+			if depthComm < 0 {
+				return fmt.Errorf("%w: rank %d event %d: comm exit without enter", ErrInvalid, r, i)
+			}
+		}
+	}
+	if depthRegion != 0 {
+		return fmt.Errorf("%w: rank %d has %d unclosed regions", ErrInvalid, r, depthRegion)
+	}
+	if depthComm != 0 {
+		return fmt.Errorf("%w: rank %d has %d unclosed comms", ErrInvalid, r, depthComm)
+	}
+	prev = 0
+	for i, s := range rd.Samples {
+		if s.Time < prev {
+			return fmt.Errorf("%w: rank %d sample %d out of order", ErrInvalid, r, i)
+		}
+		prev = s.Time
+		if int(s.Rank) != r {
+			return fmt.Errorf("%w: rank %d sample %d carries rank %d", ErrInvalid, r, i, s.Rank)
+		}
+		if s.Stack != callstack.NoStack {
+			if _, ok := t.Stacks.Get(s.Stack); !ok {
+				return fmt.Errorf("%w: rank %d sample %d references unknown stack %d", ErrInvalid, r, i, s.Stack)
+			}
+		}
+	}
+	return validateCounterMonotone(rd, r)
+}
+
+// validateCounterMonotone checks that every captured cumulative counter is
+// non-decreasing along the rank's merged event+sample timeline — the PMU
+// invariant that counter wrap, zeroed reads, and reordered payloads all
+// break.
+func validateCounterMonotone(rd *RankData, r int) error {
+	var last [counters.NumIDs]int64
+	var seen [counters.NumIDs]bool
+	check := func(what string, i int, s *counters.Set) error {
+		for c := range s {
+			v := s[c]
+			if v == counters.Missing {
+				continue
+			}
+			if v < 0 {
+				return fmt.Errorf("%w: rank %d %s %d: counter %d negative (%d)", ErrInvalid, r, what, i, c, v)
+			}
+			if seen[c] && v < last[c] {
+				return fmt.Errorf("%w: rank %d %s %d: counter %d regresses (%d after %d)", ErrInvalid, r, what, i, c, v, last[c])
+			}
+			last[c] = v
+			seen[c] = true
+		}
+		return nil
+	}
+	ei, si := 0, 0
+	for ei < len(rd.Events) || si < len(rd.Samples) {
+		haveE, haveS := ei < len(rd.Events), si < len(rd.Samples)
+		if haveE && (!haveS || rd.Events[ei].Time <= rd.Samples[si].Time) {
+			if err := check("event", ei, &rd.Events[ei].Counters); err != nil {
+				return err
+			}
+			ei++
+		} else {
+			if err := check("sample", si, &rd.Samples[si].Counters); err != nil {
+				return err
+			}
+			si++
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trace's per-rank record streams. The
+// symbol table and stack interner are shared with the original — they are
+// append-only and record mutation never touches them — so a clone is cheap
+// enough to perturb in fault-injection sweeps while the pristine original
+// stays intact.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{AppName: t.AppName, Symbols: t.Symbols, Stacks: t.Stacks}
+	out.Ranks = make([]*RankData, len(t.Ranks))
+	for i, rd := range t.Ranks {
+		if rd == nil {
+			continue
+		}
+		c := &RankData{Rank: rd.Rank}
+		c.Events = append([]Event(nil), rd.Events...)
+		c.Samples = append([]Sample(nil), rd.Samples...)
+		out.Ranks[i] = c
+	}
+	return out
 }
 
 // Merge combines several single-application traces (e.g. produced by
@@ -187,17 +291,25 @@ func (t *Trace) Validate() error {
 // same symbol table and stack interner; rank numbers must not collide.
 func Merge(app string, parts ...*Trace) (*Trace, error) {
 	if len(parts) == 0 {
-		return nil, fmt.Errorf("trace: nothing to merge")
+		return nil, fmt.Errorf("%w: nothing to merge", ErrMergeMismatch)
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("%w: part %d is nil", ErrMergeMismatch, i)
+		}
 	}
 	syms, stacks := parts[0].Symbols, parts[0].Stacks
 	maxRank := -1
 	for _, p := range parts {
 		if p.Symbols != syms || p.Stacks != stacks {
-			return nil, fmt.Errorf("trace: merge parts do not share symbol tables")
+			return nil, fmt.Errorf("%w: parts do not share symbol tables", ErrMergeMismatch)
 		}
 		for _, rd := range p.Ranks {
-			if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+			if rd == nil || (len(rd.Events) == 0 && len(rd.Samples) == 0) {
 				continue
+			}
+			if rd.Rank < 0 {
+				return nil, fmt.Errorf("%w: negative rank %d", ErrMergeMismatch, rd.Rank)
 			}
 			if int(rd.Rank) > maxRank {
 				maxRank = int(rd.Rank)
@@ -205,18 +317,18 @@ func Merge(app string, parts ...*Trace) (*Trace, error) {
 		}
 	}
 	if maxRank < 0 {
-		return nil, fmt.Errorf("trace: merge parts are all empty")
+		return nil, fmt.Errorf("%w: parts are all empty", ErrMergeMismatch)
 	}
 	out := New(app, maxRank+1, syms, stacks)
 	seen := make([]bool, maxRank+1)
 	for _, p := range parts {
 		for _, rd := range p.Ranks {
-			if len(rd.Events) == 0 && len(rd.Samples) == 0 {
+			if rd == nil || (len(rd.Events) == 0 && len(rd.Samples) == 0) {
 				continue
 			}
 			r := int(rd.Rank)
 			if seen[r] {
-				return nil, fmt.Errorf("trace: merge rank %d present twice", r)
+				return nil, fmt.Errorf("%w: rank %d present twice", ErrMergeMismatch, r)
 			}
 			seen[r] = true
 			out.Ranks[r].Events = append(out.Ranks[r].Events, rd.Events...)

@@ -31,6 +31,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/faults"
 	"phasefold/internal/query"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
@@ -200,6 +201,69 @@ type PhaseRef = query.PhaseRef
 func OptimizationHint(m *Model) (PhaseRef, bool) {
 	return query.OptimizationHint(m)
 }
+
+// Robustness re-exports: degraded-mode analysis diagnostics, salvage
+// decoding, and deterministic fault injection for resilience experiments.
+type (
+	// Diagnostic is one observation the degraded-mode analyzer recorded
+	// while working around damaged input; see Model.Diagnostics.
+	Diagnostic = core.Diagnostic
+	// Severity grades a Diagnostic.
+	Severity = core.Severity
+	// Quality grades a ClusterAnalysis (OK, Degraded, Rejected).
+	Quality = core.Quality
+
+	// DecodeOptions selects strict or salvage decoding.
+	DecodeOptions = trace.DecodeOptions
+	// SalvageReport describes what a salvage decode recovered.
+	SalvageReport = trace.SalvageReport
+
+	// FaultChain is a parsed, seeded sequence of trace perturbators.
+	FaultChain = faults.Chain
+)
+
+// Quality grades and diagnostic severities.
+const (
+	QualityOK       = core.QualityOK
+	QualityDegraded = core.QualityDegraded
+	QualityRejected = core.QualityRejected
+
+	SeverityInfo  = core.SeverityInfo
+	SeverityWarn  = core.SeverityWarn
+	SeverityError = core.SeverityError
+)
+
+// Decode-failure sentinels for errors.Is dispatch on DecodeTrace and
+// Analyze errors.
+var (
+	ErrBadMagic      = trace.ErrBadMagic
+	ErrTruncated     = trace.ErrTruncated
+	ErrCorrupt       = trace.ErrCorrupt
+	ErrNoRanks       = trace.ErrNoRanks
+	ErrInvalid       = trace.ErrInvalid
+	ErrMergeMismatch = trace.ErrMergeMismatch
+)
+
+// DecodeTraceWith reads a binary-format trace under the given options; with
+// Salvage set it recovers what a damaged file still holds and reports the
+// repairs instead of failing.
+func DecodeTraceWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	return trace.DecodeWith(r, opt)
+}
+
+// DecodeTraceTextWith reads a text-format trace under the given options.
+func DecodeTraceTextWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	return trace.DecodeTextWith(r, opt)
+}
+
+// ParseFaults parses a fault-injection spec like "drop=0.2,skew=50us" into a
+// deterministic seeded chain; see KnownFaults for the registry.
+func ParseFaults(spec string, seed uint64) (*FaultChain, error) {
+	return faults.Parse(spec, seed)
+}
+
+// KnownFaults lists the registered fault classes.
+func KnownFaults() []string { return faults.Known() }
 
 // EncodeTrace writes a trace in the binary container format.
 func EncodeTrace(w io.Writer, tr *Trace) error { return trace.Encode(w, tr) }
