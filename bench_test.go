@@ -1,6 +1,7 @@
 package phasefold_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -28,7 +29,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
-		res, err = r.Run()
+		res, err = r.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,3 +115,10 @@ func BenchmarkF10PowerPhases(b *testing.B) { runExperiment(b, "F10") }
 // BenchmarkR1Robustness regenerates table R1: phase-recovery error vs
 // injected acquisition-fault rate under degraded-mode analysis.
 func BenchmarkR1Robustness(b *testing.B) { runExperiment(b, "R1") }
+
+// BenchmarkR2ExecutionGuards regenerates table R2: a supervised batch over
+// hostile inputs (hangs, slow readers, panics, truncation, budget blowouts)
+// stays within its wall-clock bound with every job in a defined outcome.
+// Each iteration deliberately pays the real per-job timeouts of the two
+// hanging inputs, so the figure reflects batch wall-clock, not throughput.
+func BenchmarkR2ExecutionGuards(b *testing.B) { runExperiment(b, "R2") }

@@ -9,21 +9,39 @@
 //	foldctl -i cg.pft -csv phases.csv
 //	foldctl -i damaged.pft -salvage      # recover what a truncated/corrupt file still holds
 //	foldctl -i suspect.pft -strict       # fail fast on any damage
+//	foldctl -batch 'traces/*.pft' -jobs 4 -job-timeout 30s -retries 1
+//
+// Batch mode supervises one analysis job per matched file: a bounded worker
+// pool, a per-job wall-clock timeout, retries for transient I/O failures,
+// and a circuit breaker that quarantines inputs that keep failing. Every job
+// ends in a defined outcome (ok, degraded, failed, timeout, quarantined,
+// canceled) in the summary table; a hung or crashing input cannot stall or
+// kill the batch.
+//
+// SIGINT/SIGTERM cancel the analysis promptly; batch mode still prints the
+// summary of what finished.
 //
 // Exit codes: 0 success (possibly degraded — see the diagnostics table),
-// 1 analysis failure, 2 usage error, 3 unreadable or rejected input.
+// 1 analysis failure, 2 usage error, 3 unreadable or rejected input,
+// 130 interrupted by signal.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/runner"
 	"phasefold/internal/sim"
 	"phasefold/internal/trace"
 )
@@ -32,11 +50,13 @@ const (
 	exitAnalysis = 1
 	exitUsage    = 2
 	exitInput    = 3
+	exitSignal   = 130
 )
 
 func main() {
 	var (
-		in       = flag.String("i", "", "input trace file (required)")
+		in       = flag.String("i", "", "input trace file")
+		batch    = flag.String("batch", "", "glob of trace files to analyze under the batch supervisor")
 		format   = flag.String("format", "", "input format: binary or text (default: by extension, .pftxt = text)")
 		strict   = flag.Bool("strict", false, "fail fast on any damage instead of repairing and reporting")
 		salvage  = flag.Bool("salvage", false, "recover what a truncated or corrupt trace file still holds")
@@ -50,9 +70,18 @@ func main() {
 		timeline = flag.Bool("timeline", false, "render the per-rank cluster timeline")
 		plots    = flag.Bool("plot", false, "render the folded cloud + fit per cluster")
 		profile  = flag.Bool("profile", false, "render the per-phase source profile per cluster")
+
+		jobs       = flag.Int("jobs", 0, "batch worker pool size (default: CPU count)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock timeout in batch mode (0 = none)")
+		retries    = flag.Int("retries", 1, "batch retries for transient I/O failures")
+
+		maxRecords   = flag.Int("max-records", 0, "resource budget: max records analyzed per trace (0 = unlimited)")
+		maxRanks     = flag.Int("max-ranks", 0, "resource budget: max ranks analyzed per trace (0 = unlimited)")
+		stageTimeout = flag.Duration("stage-timeout", 0, "resource budget: per-stage wall-clock allowance (0 = unlimited)")
 	)
 	flag.Parse()
-	if *in == "" {
+	if (*in == "") == (*batch == "") {
+		fmt.Fprintln(os.Stderr, "foldctl: exactly one of -i or -batch is required")
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
@@ -61,28 +90,8 @@ func main() {
 		os.Exit(exitUsage)
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(exitInput, err)
-	}
-	defer f.Close()
-	dopt := trace.DecodeOptions{Salvage: *salvage}
-	var (
-		tr  *trace.Trace
-		rep *trace.SalvageReport
-	)
-	if *format == "text" || (*format == "" && strings.HasSuffix(*in, ".pftxt")) {
-		tr, rep, err = trace.DecodeTextWith(f, dopt)
-	} else {
-		tr, rep, err = trace.DecodeWith(f, dopt)
-	}
-	if err != nil {
-		explainDecodeError(err, *salvage)
-		os.Exit(exitInput)
-	}
-	if rep != nil && !rep.Complete() {
-		fmt.Printf("salvage: %s\n\n", rep.Summary())
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt := core.DefaultOptions()
 	opt.Strict = *strict
@@ -92,9 +101,48 @@ func main() {
 	opt.PWL.Bins = *bins
 	opt.PWL.MaxSegments = *maxSeg
 	opt.MinBurstDuration = sim.Duration(*minBurst)
+	opt.Budget = core.Budget{MaxRecords: *maxRecords, MaxRanks: *maxRanks, StageTimeout: *stageTimeout}
+	dopt := trace.DecodeOptions{Salvage: *salvage}
+	isText := func(path string) bool {
+		return *format == "text" || (*format == "" && strings.HasSuffix(path, ".pftxt"))
+	}
 
-	model, err := core.Analyze(tr, opt)
+	if *batch != "" {
+		os.Exit(runBatch(ctx, *batch, opt, dopt, isText, runner.Options{
+			Workers: *jobs, JobTimeout: *jobTimeout, Retries: *retries,
+		}))
+	}
+
+	f, err := os.Open(*in)
 	if err != nil {
+		fatal(exitInput, err)
+	}
+	defer f.Close()
+	var (
+		tr  *trace.Trace
+		rep *trace.SalvageReport
+	)
+	if isText(*in) {
+		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+	} else {
+		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+	}
+	if err != nil {
+		if canceled(err) {
+			fatal(exitSignal, errors.New("interrupted while decoding"))
+		}
+		explainDecodeError(err, *salvage)
+		os.Exit(exitInput)
+	}
+	if rep != nil && !rep.Complete() {
+		fmt.Printf("salvage: %s\n\n", rep.Summary())
+	}
+
+	model, err := core.AnalyzeContext(ctx, tr, opt)
+	if err != nil {
+		if canceled(err) {
+			fatal(exitSignal, errors.New("interrupted during analysis; no partial model available"))
+		}
 		code := exitAnalysis
 		if errors.Is(err, trace.ErrInvalid) {
 			code = exitInput
@@ -148,6 +196,86 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *csvOut)
 	}
+}
+
+// runBatch analyzes every file matching the glob under the supervisor and
+// prints the batch summary table. Cancellation (SIGINT/SIGTERM) still prints
+// the partial summary before exiting 130.
+func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.DecodeOptions, isText func(string) bool, ropt runner.Options) int {
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foldctl:", err)
+		return exitUsage
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "foldctl: no files match %q\n", pattern)
+		return exitInput
+	}
+	sort.Strings(files)
+	rjobs := make([]runner.Job, len(files))
+	for i, path := range files {
+		path := path
+		rjobs[i] = runner.Job{Name: path, Run: func(jctx context.Context) (string, bool, error) {
+			return analyzeOne(jctx, path, opt, dopt, isText(path))
+		}}
+	}
+	sum := runner.Run(ctx, rjobs, ropt)
+	if err := sum.Table().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "foldctl:", err)
+		return exitAnalysis
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "foldctl: interrupted; summary above covers the jobs that ran")
+		return exitSignal
+	}
+	counts := sum.Counts()
+	if counts[runner.Failed]+counts[runner.TimedOut]+counts[runner.Quarantined]+counts[runner.Canceled] > 0 {
+		return exitAnalysis
+	}
+	return 0
+}
+
+// analyzeOne is the batch job body: decode one file and analyze it, honoring
+// the job's context for timeout and cancellation.
+func analyzeOne(ctx context.Context, path string, opt core.Options, dopt trace.DecodeOptions, text bool) (string, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", false, err // a vanished file will not come back; don't retry
+		}
+		return "", false, runner.Transient(err)
+	}
+	defer f.Close()
+	var (
+		tr  *trace.Trace
+		rep *trace.SalvageReport
+	)
+	if text {
+		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+	} else {
+		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+	}
+	if err != nil {
+		return "", false, err
+	}
+	model, err := core.AnalyzeContext(ctx, tr, opt)
+	if err != nil {
+		return "", false, err
+	}
+	detail := fmt.Sprintf("%d clusters, %d bursts", model.NumClusters, model.NumBursts)
+	degraded := model.Degraded()
+	if rep != nil && !rep.Complete() {
+		degraded = true
+		detail += ", salvaged"
+	}
+	if n := len(model.Diagnostics); n > 0 {
+		detail += fmt.Sprintf(", %d diagnostics", n)
+	}
+	return detail, degraded, nil
+}
+
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // oneLine flattens errors.Join's multi-line rendering for terminal output.

@@ -1,6 +1,6 @@
 // Command phasereport regenerates the evaluation's tables and figures (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// output).
+// output), and can render the same report for a trace file on disk.
 //
 // Usage:
 //
@@ -8,24 +8,42 @@
 //	phasereport -exp F1,T4    # run selected experiments
 //	phasereport -list
 //	phasereport -csv out/     # also dump each table as CSV
+//	phasereport -i cg.pft            # report on a trace file instead
+//	phasereport -i damaged.pft -salvage
+//	phasereport -i suspect.pft -strict
+//
+// SIGINT/SIGTERM cancel the running experiment or analysis promptly; the
+// output produced so far is kept. Exit codes: 0 success, 1 failure,
+// 130 interrupted by signal.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
+	"phasefold/internal/core"
 	"phasefold/internal/experiments"
+	"phasefold/internal/trace"
 )
+
+const exitSignal = 130
 
 func main() {
 	var (
-		expIDs = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+		expIDs  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
+		in      = flag.String("i", "", "report on a trace file instead of running experiments")
+		strict  = flag.Bool("strict", false, "with -i: fail fast on any damage instead of repairing and reporting")
+		salvage = flag.Bool("salvage", false, "with -i: recover what a truncated or corrupt trace file still holds")
 	)
 	flag.Parse()
 
@@ -35,6 +53,18 @@ func main() {
 		}
 		return
 	}
+	if *strict && *salvage {
+		fatal(errors.New("-strict and -salvage are mutually exclusive"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *in != "" {
+		reportTrace(ctx, *in, *strict, *salvage)
+		return
+	}
+
 	var runners []experiments.Runner
 	if *expIDs == "" {
 		runners = experiments.All()
@@ -53,8 +83,12 @@ func main() {
 		}
 	}
 	for _, r := range runners {
-		res, err := r.Run()
+		res, err := r.Run(ctx)
 		if err != nil {
+			if canceled(err) {
+				fmt.Fprintf(os.Stderr, "phasereport: interrupted during %s; earlier output is complete\n", r.ID)
+				os.Exit(exitSignal)
+			}
 			fatal(fmt.Errorf("%s: %w", r.ID, err))
 		}
 		fmt.Printf("######## %s: %s ########\n\n", res.ID, res.Title)
@@ -96,7 +130,57 @@ func main() {
 	}
 }
 
+// reportTrace decodes one trace file — honoring -strict/-salvage exactly
+// like foldctl — and renders the standard model report.
+func reportTrace(ctx context.Context, path string, strict, salvage bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	dopt := trace.DecodeOptions{Salvage: salvage}
+	var (
+		tr  *trace.Trace
+		rep *trace.SalvageReport
+	)
+	if strings.HasSuffix(path, ".pftxt") {
+		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+	} else {
+		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+	}
+	if err != nil {
+		if canceled(err) {
+			fmt.Fprintln(os.Stderr, "phasereport: interrupted while decoding")
+			os.Exit(exitSignal)
+		}
+		if !salvage && (errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) || errors.Is(err, trace.ErrInvalid)) {
+			fmt.Fprintln(os.Stderr, "phasereport: retry with -salvage to recover what the file still holds")
+		}
+		fatal(err)
+	}
+	if rep != nil && !rep.Complete() {
+		fmt.Printf("salvage: %s\n\n", rep.Summary())
+	}
+	opt := core.DefaultOptions()
+	opt.Strict = strict
+	model, err := core.AnalyzeContext(ctx, tr, opt)
+	if err != nil {
+		if canceled(err) {
+			fmt.Fprintln(os.Stderr, "phasereport: interrupted during analysis; no partial model available")
+			os.Exit(exitSignal)
+		}
+		fatal(err)
+	}
+	if err := model.WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phasereport:", err)
+	fmt.Fprintln(os.Stderr, "phasereport:", strings.ReplaceAll(err.Error(), "\n", ": "))
 	os.Exit(1)
 }

@@ -13,11 +13,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"phasefold/internal/core"
@@ -61,10 +64,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(chain.Reader) > 0 {
+		// hang/slowdecode damage the act of reading, not the bytes; they
+		// cannot be baked into a file on disk.
+		fatal(fmt.Errorf("fault %q applies at decode time and cannot be written to a file (use foldctl or the R2 experiment)", chain.Reader[0].Name()))
+	}
 	app, err := simapp.NewApp(*appName)
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opt := core.DefaultOptions()
 	opt.SamplingPeriod = sim.Duration(*period)
 	opt.SamplingJitter = *jitter
@@ -81,6 +92,12 @@ func main() {
 
 	chain.ApplyTrace(run.Trace)
 
+	// Don't start writing the output file if the user already interrupted:
+	// a half-written trace is worse than none.
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: interrupted; no output written")
+		os.Exit(130)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -122,10 +123,21 @@ func (g *gridIndex) neighbors(i int, out []int) []int {
 	return out
 }
 
+// dbscanPoll is how many neighbourhood expansions run between context polls
+// inside DBSCANContext's breadth-first growth loop.
+const dbscanPoll = 2048
+
 // DBSCAN labels each point with a cluster id in [0, k) or Noise. Labels are
 // deterministic: clusters are numbered in order of discovery scanning points
 // by index.
 func DBSCAN(pts []Point, opt DBSCANOptions) ([]int, error) {
+	return DBSCANContext(context.Background(), pts, opt)
+}
+
+// DBSCANContext is DBSCAN under a cancellable context, polled inside both
+// the point scan and the cluster-expansion loop so a deadline interrupts
+// even one degenerate everything-is-one-cluster expansion.
+func DBSCANContext(ctx context.Context, pts []Point, opt DBSCANOptions) ([]int, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,7 +158,13 @@ func DBSCAN(pts []Point, opt DBSCANOptions) ([]int, error) {
 	visited := make([]bool, n)
 	var scratch []int
 	next := 0
+	expanded := 0
 	for i := 0; i < n; i++ {
+		if i%dbscanPoll == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if visited[i] {
 			continue
 		}
@@ -161,6 +179,12 @@ func DBSCAN(pts []Point, opt DBSCANOptions) ([]int, error) {
 		labels[i] = c
 		queue := append([]int(nil), scratch...)
 		for qi := 0; qi < len(queue); qi++ {
+			expanded++
+			if expanded%dbscanPoll == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			j := queue[qi]
 			if labels[j] == Noise {
 				labels[j] = c // border point

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -199,6 +200,11 @@ func MinSpans(feats []Feature) []float64 {
 // ClusterBursts runs feature extraction, normalization and DBSCAN over the
 // bursts and writes the labels into Burst.Cluster. It returns the labels.
 func ClusterBursts(bursts []trace.Burst, feats []Feature, opt DBSCANOptions) ([]int, error) {
+	return ClusterBurstsContext(context.Background(), bursts, feats, opt)
+}
+
+// ClusterBurstsContext is ClusterBursts under a cancellable context.
+func ClusterBurstsContext(ctx context.Context, bursts []trace.Burst, feats []Feature, opt DBSCANOptions) ([]int, error) {
 	pts, valid := Extract(bursts, feats)
 	Normalize(pts, valid, MinSpans(feats))
 	// Cluster the valid subset; splice labels back.
@@ -210,7 +216,7 @@ func ClusterBursts(bursts []trace.Burst, feats []Feature, opt DBSCANOptions) ([]
 			sub = append(sub, pts[i])
 		}
 	}
-	subLabels, err := DBSCAN(sub, opt)
+	subLabels, err := DBSCANContext(ctx, sub, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -78,6 +79,13 @@ func rmsSpread(pts []Point, members []int) float64 {
 // Refine runs the aggregative refinement over normalized points and returns
 // final labels (cluster ids in [0,k) or Noise). Labels are deterministic.
 func Refine(pts []Point, opt RefineOptions) ([]int, error) {
+	return RefineContext(context.Background(), pts, opt)
+}
+
+// RefineContext is Refine under a cancellable context: every ladder rung
+// checks ctx before re-clustering, and the underlying DBSCAN polls inside
+// its own loops.
+func RefineContext(ctx context.Context, pts []Point, opt RefineOptions) ([]int, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,11 +99,14 @@ func Refine(pts []Point, opt RefineOptions) ([]int, error) {
 	var accepted [][]int
 	var refine func(members []int, eps float64, step, depth int) error
 	refine = func(members []int, eps float64, step, depth int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sub := make([]Point, len(members))
 		for k, i := range members {
 			sub[k] = pts[i]
 		}
-		subLabels, err := DBSCAN(sub, DBSCANOptions{Eps: eps, MinPts: opt.MinPts})
+		subLabels, err := DBSCANContext(ctx, sub, DBSCANOptions{Eps: eps, MinPts: opt.MinPts})
 		if err != nil {
 			return err
 		}

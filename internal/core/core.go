@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -69,6 +71,11 @@ type Options struct {
 	// reports everything it absorbed as Model.Diagnostics and per-cluster
 	// Quality grades.
 	Strict bool
+	// Budget bounds what the analysis may consume (records, ranks, resident
+	// bytes, per-stage wall-clock). The zero value imposes no limits. An
+	// exceeded budget degrades the analysis in lenient mode and aborts it
+	// (wrapping ErrBudget) in strict mode.
+	Budget Budget
 }
 
 // DefaultOptions returns the configuration used throughout the experiments:
@@ -247,17 +254,35 @@ func RunApp(app simapp.App, cfg simapp.Config, opt Options) (*RunResult, error) 
 // trace is never modified. With opt.Strict set, any of those conditions
 // aborts with an error instead.
 func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
+	return AnalyzeContext(context.Background(), tr, opt)
+}
+
+// AnalyzeContext is Analyze under a cancellable context and the execution
+// guards of opt.Budget. Cancellation is polled inside every expensive loop
+// (extraction, DBSCAN, refinement ladder, DP fitting) and returns the
+// context's error promptly; it is never absorbed as degradation. Per-rank
+// extraction and per-cluster folding/fitting panics are recovered: lenient
+// mode isolates them as Diagnostics, strict mode returns an error wrapping
+// ErrPanic.
+func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ds := &diagSink{}
 	if opt.Strict {
 		if err := tr.Validate(); err != nil {
 			return nil, fmt.Errorf("core: validating trace: %w", err)
 		}
+		if err := checkBudget(tr, opt.Budget); err != nil {
+			return nil, err
+		}
 	} else {
 		tr = prepare(tr, ds)
 		runHealthChecks(tr, ds)
+		tr = applyBudget(tr, opt.Budget, ds)
 	}
 
-	bursts, err := extractAll(tr, opt, ds)
+	bursts, err := extractAll(ctx, tr, opt, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -268,9 +293,9 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	}
 	trace.SortBursts(bursts)
 
-	labels, err := clusterBursts(bursts, opt)
+	labels, err := clusterBursts(ctx, bursts, opt, ds)
 	if err != nil {
-		return nil, fmt.Errorf("core: structure detection: %w", err)
+		return nil, err
 	}
 	model := &Model{
 		App:              tr.AppName,
@@ -283,7 +308,7 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	model.SPMDScore = spmdScore(tr.NumRanks(), bursts)
 
 	stats := cluster.Stats(bursts)
-	foldByLabel, err := foldAll(tr, bursts, stats, opt, ds)
+	foldByLabel, err := foldAll(ctx, tr, bursts, stats, opt, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +316,8 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 	// folded cloud); fit them concurrently, bounded by the CPU count. The
 	// result order and content stay deterministic: slots are pre-assigned
 	// by cluster rank and the fits themselves are pure.
+	fctx, cancelFit := stageContext(ctx, opt.Budget)
+	defer cancelFit()
 	model.Clusters = make([]*ClusterAnalysis, len(stats))
 	var (
 		wg       sync.WaitGroup
@@ -309,26 +336,51 @@ func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
 		go func(ca *ClusterAnalysis) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fitCluster(tr, ca, opt); err != nil {
-				mu.Lock()
-				if opt.Strict {
-					if firstErr == nil {
+			err := capture(fmt.Sprintf("fit cluster %d", ca.Label), func() error {
+				if testHookFit != nil {
+					testHookFit(ca.Label)
+				}
+				return fitCluster(fctx, tr, ca, opt)
+			})
+			if err == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case ctx.Err() != nil:
+				// The caller's context ended; cancellation is never absorbed
+				// as degradation, not even in lenient mode.
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+			case opt.Strict:
+				if firstErr == nil {
+					if stageBudgetExceeded(ctx, err) {
+						firstErr = fmt.Errorf("%w: cluster %d fit exceeded stage timeout", ErrBudget, ca.Label)
+					} else {
 						firstErr = fmt.Errorf("core: cluster %d: %w", ca.Label, err)
 					}
-				} else {
-					// Lenient: the cluster is rejected, the rest of the
-					// model survives.
-					ca.Quality = QualityRejected
-					ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
-					ds.add("fit", SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
 				}
-				mu.Unlock()
+			case stageBudgetExceeded(ctx, err):
+				ca.Quality = QualityRejected
+				ca.QualityReason = "budget_exceeded:fitting"
+				ds.add("budget", SeverityError, -1, ca.Label, "budget_exceeded:fitting: %v", err)
+			default:
+				// Lenient: the cluster is rejected, the rest of the model
+				// survives. Panics arrive here wrapped in ErrPanic.
+				ca.Quality = QualityRejected
+				ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
+				ds.add("fit", SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
 			}
 		}(ca)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	gradeClusters(model, opt, ds)
 	model.Diagnostics = ds.diags
@@ -356,21 +408,66 @@ func prepare(tr *trace.Trace, ds *diagSink) *trace.Trace {
 	return work
 }
 
-// extractAll extracts computation bursts. Strict mode delegates to
-// trace.ExtractBursts and fails on the first error; lenient mode extracts
-// rank by rank and drops (with a diagnostic) only the ranks that fail.
-func extractAll(tr *trace.Trace, opt Options, ds *diagSink) ([]trace.Burst, error) {
+// extractAll extracts computation bursts under the extraction stage guard.
+// Strict mode delegates to trace.ExtractBursts and fails on the first error
+// (panics included, wrapped in ErrPanic); lenient mode extracts rank by rank
+// inside a per-rank panic isolation boundary and drops (with a diagnostic)
+// only the ranks that fail. A stage timeout keeps the ranks extracted so
+// far; the caller's own cancellation propagates.
+func extractAll(ctx context.Context, tr *trace.Trace, opt Options, ds *diagSink) ([]trace.Burst, error) {
+	sctx, cancel := stageContext(ctx, opt.Budget)
+	defer cancel()
 	bopt := trace.BurstOptions{MinDuration: opt.MinBurstDuration}
 	if opt.Strict {
-		bursts, err := trace.ExtractBursts(tr, bopt)
+		var bursts []trace.Burst
+		err := capture("extract", func() error {
+			if testHookExtract != nil {
+				for r := range tr.Ranks {
+					testHookExtract(r)
+				}
+			}
+			var e error
+			bursts, e = trace.ExtractBursts(tr, bopt)
+			return e
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: extracting bursts: %w", err)
+		}
+		if err := sctx.Err(); err != nil {
+			if stageBudgetExceeded(ctx, err) {
+				return nil, fmt.Errorf("%w: extraction exceeded stage timeout", ErrBudget)
+			}
+			return nil, err
 		}
 		return bursts, nil
 	}
 	var bursts []trace.Burst
 	for r, rd := range tr.Ranks {
-		rb, err := trace.ExtractRankBursts(rd, bopt)
+		if err := sctx.Err(); err != nil {
+			if !stageBudgetExceeded(ctx, err) {
+				return nil, err
+			}
+			// The first rank is always extracted, even under an already-
+			// expired stage budget: a timeout degrades the analysis to a
+			// subset, it never degrades it to nothing (that would trade a
+			// partial answer for the unabsorbable no-bursts failure in
+			// AnalyzeContext).
+			if r > 0 {
+				ds.add("budget", SeverityWarn, r, -1,
+					"budget_exceeded:extract: stage timeout after %d of %d ranks", r, len(tr.Ranks))
+				break
+			}
+		}
+		rd := rd
+		var rb []trace.Burst
+		err := capture(fmt.Sprintf("extract rank %d", r), func() error {
+			if testHookExtract != nil {
+				testHookExtract(r)
+			}
+			var e error
+			rb, e = trace.ExtractRankBursts(rd, bopt)
+			return e
+		})
 		if err != nil {
 			ds.add("extract", SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
 			continue
@@ -380,24 +477,53 @@ func extractAll(tr *trace.Trace, opt Options, ds *diagSink) ([]trace.Burst, erro
 	return bursts, nil
 }
 
-// foldAll folds every cluster. Strict mode delegates to folding.FoldAll and
-// fails on the first error; lenient mode folds label by label and records a
-// diagnostic for each cluster that cannot be folded (it will be graded
-// QualityRejected; the others proceed).
-func foldAll(tr *trace.Trace, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
+// foldAll folds every cluster under the folding stage guard. Strict mode
+// delegates to folding.FoldAll and fails on the first error; lenient mode
+// folds label by label inside a per-cluster panic isolation boundary and
+// records a diagnostic for each cluster that cannot be folded (it will be
+// graded QualityRejected; the others proceed). A stage timeout keeps the
+// folds finished so far; unfolded clusters grade Rejected downstream.
+func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
+	sctx, cancel := stageContext(ctx, opt.Budget)
+	defer cancel()
 	byLabel := make(map[int]*folding.Folded, len(stats))
 	if opt.Strict {
-		folds, err := folding.FoldAll(tr, bursts, opt.Folding)
+		var folds []*folding.Folded
+		err := capture("folding", func() error {
+			var e error
+			folds, e = folding.FoldAll(tr, bursts, opt.Folding)
+			return e
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: folding: %w", err)
+		}
+		if err := sctx.Err(); err != nil {
+			if stageBudgetExceeded(ctx, err) {
+				return nil, fmt.Errorf("%w: folding exceeded stage timeout", ErrBudget)
+			}
+			return nil, err
 		}
 		for _, f := range folds {
 			byLabel[f.Cluster] = f
 		}
 		return byLabel, nil
 	}
-	for _, st := range stats {
-		f, err := folding.Fold(tr, bursts, st.Label, opt.Folding)
+	for i, st := range stats {
+		if err := sctx.Err(); err != nil {
+			if stageBudgetExceeded(ctx, err) {
+				ds.add("budget", SeverityWarn, -1, -1,
+					"budget_exceeded:folding: stage timeout after %d of %d clusters", i, len(stats))
+				break
+			}
+			return nil, err
+		}
+		st := st
+		var f *folding.Folded
+		err := capture(fmt.Sprintf("fold cluster %d", st.Label), func() error {
+			var e error
+			f, e = folding.Fold(tr, bursts, st.Label, opt.Folding)
+			return e
+		})
 		if err != nil {
 			ds.add("fold", SeverityError, -1, st.Label, "folding failed: %v", err)
 			continue
@@ -433,20 +559,70 @@ func gradeClusters(m *Model, opt Options, ds *diagSink) {
 
 // AnalyzeApp is the one-call convenience: run the app and analyze the trace.
 func AnalyzeApp(app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
+	return AnalyzeAppContext(context.Background(), app, cfg, opt)
+}
+
+// AnalyzeAppContext is AnalyzeApp with the analysis half under a cancellable
+// context (the simulated acquisition itself is not interruptible; it is
+// bounded by the workload's configured size).
+func AnalyzeAppContext(ctx context.Context, app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
 	run, err := RunApp(app, cfg, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := Analyze(run.Trace, opt)
+	m, err := AnalyzeContext(ctx, run.Trace, opt)
 	if err != nil {
 		return nil, nil, err
 	}
 	return m, run, nil
 }
 
-func clusterBursts(bursts []trace.Burst, opt Options) ([]int, error) {
+// clusterBursts runs structure detection under the stage guard. The whole
+// stage sits inside one panic isolation boundary: in lenient mode a panic or
+// a stage timeout leaves every burst unlabelled (the model carries no
+// clusters but the analysis still returns, with a diagnostic); genuine
+// parameter errors stay fatal, and the caller's cancellation propagates.
+func clusterBursts(ctx context.Context, bursts []trace.Burst, opt Options, ds *diagSink) ([]int, error) {
+	sctx, cancel := stageContext(ctx, opt.Budget)
+	defer cancel()
+	var labels []int
+	err := capture("structure detection", func() error {
+		var e error
+		labels, e = runStructure(sctx, bursts, opt)
+		return e
+	})
+	if err == nil {
+		return labels, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	timedOut := stageBudgetExceeded(ctx, err)
+	if opt.Strict {
+		if timedOut {
+			return nil, fmt.Errorf("%w: structure detection exceeded stage timeout", ErrBudget)
+		}
+		return nil, fmt.Errorf("core: structure detection: %w", err)
+	}
+	if !timedOut && !errors.Is(err, ErrPanic) {
+		return nil, fmt.Errorf("core: structure detection: %w", err)
+	}
+	if timedOut {
+		ds.add("budget", SeverityError, -1, -1, "budget_exceeded:structure: %v; bursts left unclustered", err)
+	} else {
+		ds.add("cluster", SeverityError, -1, -1, "structure detection failed, bursts left unclustered: %v", err)
+	}
+	labels = make([]int, len(bursts))
+	for i := range labels {
+		labels[i] = cluster.Noise
+	}
+	cluster.ApplyLabels(bursts, labels)
+	return labels, nil
+}
+
+func runStructure(ctx context.Context, bursts []trace.Burst, opt Options) ([]int, error) {
 	if !opt.UseRefinement {
-		return cluster.ClusterBursts(bursts, opt.Features, opt.DBSCAN)
+		return cluster.ClusterBurstsContext(ctx, bursts, opt.Features, opt.DBSCAN)
 	}
 	pts, valid := cluster.Extract(bursts, opt.Features)
 	cluster.Normalize(pts, valid, cluster.MinSpans(opt.Features))
@@ -458,7 +634,7 @@ func clusterBursts(bursts []trace.Burst, opt Options) ([]int, error) {
 			sub = append(sub, pts[i])
 		}
 	}
-	subLabels, err := cluster.Refine(sub, opt.Refine)
+	subLabels, err := cluster.RefineContext(ctx, sub, opt.Refine)
 	if err != nil {
 		return nil, err
 	}
@@ -494,14 +670,15 @@ func spmdScore(nRanks int, bursts []trace.Burst) float64 {
 }
 
 // fitCluster fits the PWL models and assembles the phase list of one
-// cluster.
-func fitCluster(tr *trace.Trace, ca *ClusterAnalysis, opt Options) error {
+// cluster. The DP inside pwl polls ctx; the secondary-counter refits check
+// it between counters.
+func fitCluster(ctx context.Context, tr *trace.Trace, ca *ClusterAnalysis, opt Options) error {
 	f := ca.Folded
 	xs, ys := pointsOf(f, counters.Instructions)
 	if len(xs) < opt.MinFoldedPoints {
 		return nil // too sparse: keep cluster stats, skip phase model
 	}
-	fit, err := pwl.Fit(xs, ys, opt.PWL)
+	fit, err := pwl.FitContext(ctx, xs, ys, opt.PWL)
 	if err != nil {
 		return fmt.Errorf("fitting instructions: %w", err)
 	}
@@ -513,6 +690,9 @@ func fitCluster(tr *trace.Trace, ca *ClusterAnalysis, opt Options) error {
 	for id := counters.ID(0); id < counters.NumIDs; id++ {
 		if id == counters.Instructions {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		cx, cy := pointsOf(f, id)
 		if len(cx) < opt.MinFoldedPoints/2 {

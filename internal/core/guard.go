@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"phasefold/internal/trace"
+)
+
+// ErrBudget tags analysis failures caused by a resource budget, so strict-
+// mode callers can dispatch with errors.Is and distinguish "the input is too
+// big for the limits I set" from "the input is damaged".
+var ErrBudget = errors.New("core: resource budget exceeded")
+
+// ErrPanic tags analysis failures caused by a recovered panic. In lenient
+// mode panics never surface as errors — they are isolated per rank and per
+// cluster and reported as Diagnostics — but strict mode converts them into
+// an error wrapping this sentinel.
+var ErrPanic = errors.New("core: panic during analysis")
+
+// Budget bounds what one analysis may consume. The zero value imposes no
+// limits. When a limit is exceeded, lenient mode downgrades to the degraded-
+// mode machinery — the analysis continues on the share of the input that
+// fits, every downgrade is recorded as a "budget" Diagnostic with a
+// budget_exceeded:<stage> message, and affected clusters are graded below
+// QualityOK — while Strict mode fails fast with an error wrapping ErrBudget.
+type Budget struct {
+	// MaxRecords caps the total events+samples analyzed. Lenient mode keeps
+	// a prefix of whole ranks whose records fit (at least one rank).
+	MaxRecords int
+	// MaxRanks caps the ranks analyzed; lenient mode keeps the first MaxRanks.
+	MaxRanks int
+	// MaxBytes caps the estimated resident size of the analyzed records
+	// (trace.EstimateBytes); enforced like MaxRecords, at rank granularity.
+	MaxBytes int64
+	// StageTimeout is the wall-clock allowance of each pipeline stage
+	// (extraction, structure detection, folding, fitting). A stage that
+	// exceeds it is interrupted through its context: lenient mode keeps the
+	// partial result and records what was cut short, strict mode fails.
+	StageTimeout time.Duration
+}
+
+// Unlimited reports whether the budget imposes no limits.
+func (b Budget) Unlimited() bool {
+	return b.MaxRecords <= 0 && b.MaxRanks <= 0 && b.MaxBytes <= 0 && b.StageTimeout <= 0
+}
+
+// stageContext bounds ctx by the per-stage wall-clock budget. The returned
+// cancel must always be called.
+func stageContext(ctx context.Context, b Budget) (context.Context, context.CancelFunc) {
+	if b.StageTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, b.StageTimeout)
+}
+
+// stageBudgetExceeded reports whether err is a stage deadline firing rather
+// than the caller's own context ending: absorbable in lenient mode,
+// propagated otherwise.
+func stageBudgetExceeded(parent context.Context, err error) bool {
+	return err != nil && parent.Err() == nil && errors.Is(err, context.DeadlineExceeded)
+}
+
+// rankBudget returns how many leading ranks of tr fit the record and byte
+// budgets (at least 1, at most MaxRanks when set) and the record total kept.
+// Rank granularity keeps every per-rank invariant intact — a record-level
+// cut could split an open region and invalidate the stream — and an SPMD
+// execution's ranks are statistically interchangeable, so a rank prefix is
+// the natural subsample.
+func rankBudget(tr *trace.Trace, b Budget) (keep int, records int) {
+	limit := len(tr.Ranks)
+	if b.MaxRanks > 0 && b.MaxRanks < limit {
+		limit = b.MaxRanks
+	}
+	for r := 0; r < limit; r++ {
+		rd := tr.Ranks[r]
+		n := len(rd.Events) + len(rd.Samples)
+		bytes := int64(len(rd.Events))*trace.EventBytes + int64(len(rd.Samples))*trace.SampleBytes
+		if keep > 0 {
+			if b.MaxRecords > 0 && records+n > b.MaxRecords {
+				break
+			}
+			if b.MaxBytes > 0 && estimateBytes(tr, keep)+bytes > b.MaxBytes {
+				break
+			}
+		}
+		records += n
+		keep++
+	}
+	return keep, records
+}
+
+func estimateBytes(tr *trace.Trace, nRanks int) int64 {
+	var total int64
+	for r := 0; r < nRanks; r++ {
+		rd := tr.Ranks[r]
+		total += int64(len(rd.Events))*trace.EventBytes + int64(len(rd.Samples))*trace.SampleBytes
+	}
+	return total
+}
+
+// checkBudget verifies tr against the static budget limits, for strict mode.
+func checkBudget(tr *trace.Trace, b Budget) error {
+	if b.MaxRanks > 0 && tr.NumRanks() > b.MaxRanks {
+		return fmt.Errorf("%w: trace has %d ranks, budget allows %d", ErrBudget, tr.NumRanks(), b.MaxRanks)
+	}
+	if records := tr.NumEvents() + tr.NumSamples(); b.MaxRecords > 0 && records > b.MaxRecords {
+		return fmt.Errorf("%w: trace has %d records, budget allows %d", ErrBudget, records, b.MaxRecords)
+	}
+	if est := tr.EstimateBytes(); b.MaxBytes > 0 && est > b.MaxBytes {
+		return fmt.Errorf("%w: trace holds ~%d resident bytes, budget allows %d", ErrBudget, est, b.MaxBytes)
+	}
+	return nil
+}
+
+// applyBudget trims tr to the static budget limits for lenient analysis,
+// recording every cut as a budget diagnostic. The returned trace shares the
+// kept ranks' record slices with tr (analysis never mutates them); the
+// caller's trace is not modified.
+func applyBudget(tr *trace.Trace, b Budget, ds *diagSink) *trace.Trace {
+	if b.MaxRecords <= 0 && b.MaxRanks <= 0 && b.MaxBytes <= 0 {
+		return tr
+	}
+	keep, records := rankBudget(tr, b)
+	if keep >= tr.NumRanks() {
+		return tr
+	}
+	out := trace.New(tr.AppName, keep, tr.Symbols, tr.Stacks)
+	for r := 0; r < keep; r++ {
+		out.Ranks[r] = tr.Ranks[r]
+	}
+	stage := "ranks"
+	switch {
+	case b.MaxRanks > 0 && keep == b.MaxRanks:
+	case b.MaxRecords > 0 && records <= b.MaxRecords:
+		stage = "records"
+	default:
+		stage = "memory"
+	}
+	ds.add("budget", SeverityWarn, -1, -1,
+		"budget_exceeded:%s: analyzing first %d of %d ranks (%d records kept)",
+		stage, keep, tr.NumRanks(), records)
+	return out
+}
+
+// capture runs fn, converting a panic into an error wrapping ErrPanic so one
+// pathological rank or cluster cannot take down the whole analysis (lenient
+// mode turns the error into a Diagnostic; strict mode returns it).
+func capture(stage string, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %s: %v", ErrPanic, stage, p)
+		}
+	}()
+	return fn()
+}
+
+// Failure-injection hooks for the execution-guard tests: when non-nil they
+// run at the top of per-rank extraction and per-cluster fitting, inside the
+// panic isolation boundary. Production code never sets them.
+var (
+	testHookExtract func(rank int)
+	testHookFit     func(label int)
+)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,7 +23,7 @@ import (
 // the sampled instruction-rate signal recovers each application's iteration
 // period, and selects a self-similar representative window — the entry
 // point for analyzing sampling-only traces.
-func F7SpectralPeriod() (*Result, error) {
+func F7SpectralPeriod(ctx context.Context) (*Result, error) {
 	res := newResult("F7", "Markerless iteration-period detection by spectral analysis")
 	tb := report.NewTable("F7: detected period vs true iteration duration",
 		"app", "true_iter", "detected", "rel_err", "strength", "window_score")
@@ -91,7 +92,7 @@ func meanIterDuration(tr *trace.Trace, rank int) (sim.Duration, error) {
 // multiphase workload: exact DP vs greedy splitting, BIC model selection vs
 // a fixed (wrong) order, segment merging on/off, and burst outlier pruning
 // on/off.
-func A1Ablations() (*Result, error) {
+func A1Ablations(ctx context.Context) (*Result, error) {
 	res := newResult("A1", "Ablations: fitter, model selection, merging, outlier pruning")
 	cfg := defaultCfg()
 	cfg.Iterations = 400
@@ -115,7 +116,7 @@ func A1Ablations() (*Result, error) {
 	for _, v := range variants {
 		opt := core.DefaultOptions()
 		v.mut(&opt)
-		model, run, err := analyze("multiphase", cfg, opt)
+		model, run, err := analyze(ctx, "multiphase", cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +144,7 @@ func A1Ablations() (*Result, error) {
 // period (no instrumentation events consulted at all) and fit the folded
 // cloud. Phase-boundary positions shift by the unknown alignment offset, so
 // the score is the recovered phase *count* and the rate dynamic range.
-func F8MarkerlessFolding() (*Result, error) {
+func F8MarkerlessFolding(ctx context.Context) (*Result, error) {
 	res := newResult("F8", "Folding without instrumentation: period-cut windows")
 	app, err := simapp.NewApp("multiphase")
 	if err != nil {
@@ -217,7 +218,7 @@ func F8MarkerlessFolding() (*Result, error) {
 // supports on the F1 reconstruction task: the virtual timer versus PMU
 // overflow on the instruction counter (overflow concentrates samples in the
 // busy phases, starving low-MIPS phases of points).
-func A2SamplingModes() (*Result, error) {
+func A2SamplingModes(ctx context.Context) (*Result, error) {
 	res := newResult("A2", "Sampling-mode ablation: timer vs instruction-overflow trigger")
 	cfg := defaultCfg()
 	cfg.Iterations = 400
@@ -240,7 +241,7 @@ func A2SamplingModes() (*Result, error) {
 	for _, md := range modes {
 		opt := core.DefaultOptions()
 		md.mut(&opt)
-		model, run, err := analyze("multiphase", cfg, opt)
+		model, run, err := analyze(ctx, "multiphase", cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +268,7 @@ func A2SamplingModes() (*Result, error) {
 // clusters detected independently per scenario are matched across a
 // problem-size sweep of the CG solver, and per-track trends expose which
 // region's cost responds to the sweep.
-func F9Tracking() (*Result, error) {
+func F9Tracking(ctx context.Context) (*Result, error) {
 	res := newResult("F9", "Cluster tracking across a problem-size sweep (cg, RowsScale 1..3)")
 	scales := []float64{1, 1.5, 2, 3}
 	snaps := make([]tracking.Snapshot, 0, len(scales))
@@ -275,7 +276,7 @@ func F9Tracking() (*Result, error) {
 		app := simapp.NewCGSolver()
 		app.RowsScale = s
 		cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-		model, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+		model, _, err := core.AnalyzeAppContext(ctx, app, cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"phasefold/internal/core"
+	"phasefold/internal/faults"
+	"phasefold/internal/report"
+	"phasefold/internal/runner"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// R2 batch geometry: r2Jobs inputs through r2Workers workers, each attempt
+// allowed r2JobTimeout. The acceptance bound is 2·timeout·⌈jobs/workers⌉ —
+// twice the worst case of every wave spending its full timeout.
+const (
+	r2Jobs       = 20
+	r2Workers    = 4
+	r2JobTimeout = 500 * time.Millisecond
+)
+
+// R2ExecutionGuards exercises the execution guards end to end: a batch of
+// traces where a fifth of the inputs hang mid-read, trickle bytes, panic the
+// analyzer, blow a resource budget, or arrive truncated, run under the
+// supervised batch runner. The claim under test: the batch finishes within
+// the documented wall-clock bound, every job ends in a defined outcome, and
+// no input — however hostile — crashes the process.
+func R2ExecutionGuards(ctx context.Context) (*Result, error) {
+	res := newResult("R2", "Supervised batch over faulted inputs: bounded wall-clock, zero crashes")
+	cfg := defaultCfg()
+	cfg.Ranks = 2
+	cfg.Iterations = 80
+	opt := core.DefaultOptions()
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		return nil, err
+	}
+	run, err := core.RunApp(app, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, run.Trace); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	chopChain, err := faults.Parse("chop=0.4", 7)
+	if err != nil {
+		return nil, err
+	}
+	chopped := chopChain.ApplyStream(data)
+
+	budgetOpt := opt
+	budgetOpt.Budget = core.Budget{MaxRecords: (run.Trace.NumEvents() + run.Trace.NumSamples()) / 10}
+
+	// analyzeJob is the same decode→analyze body foldctl -batch runs, fed
+	// from memory so the experiment needs no scratch files.
+	analyzeJob := func(open func(jctx context.Context) io.Reader, o core.Options, dopt trace.DecodeOptions) func(context.Context) (string, bool, error) {
+		return func(jctx context.Context) (string, bool, error) {
+			tr, rep, err := trace.DecodeWithContext(jctx, open(jctx), dopt)
+			if err != nil {
+				return "", false, err
+			}
+			model, err := core.AnalyzeContext(jctx, tr, o)
+			if err != nil {
+				return "", false, err
+			}
+			degraded := model.Degraded() || (rep != nil && !rep.Complete())
+			return fmt.Sprintf("%d clusters, %d diagnostics", model.NumClusters, len(model.Diagnostics)), degraded, nil
+		}
+	}
+	plain := func(jctx context.Context) io.Reader { return bytes.NewReader(data) }
+
+	var flaky atomic.Int32
+	var jobs []runner.Job
+	addJob := func(name string, fn func(context.Context) (string, bool, error)) {
+		jobs = append(jobs, runner.Job{Name: name, Run: fn})
+	}
+	faulted := 0
+	// 13 healthy inputs.
+	for i := 0; i < 13; i++ {
+		addJob(fmt.Sprintf("trace-%02d", i), analyzeJob(plain, opt, trace.DecodeOptions{}))
+	}
+	// A transient I/O failure on the first attempt: the retry policy must
+	// recover it without human attention.
+	faulted++
+	flakyBody := analyzeJob(plain, opt, trace.DecodeOptions{})
+	addJob("trace-flaky", func(jctx context.Context) (string, bool, error) {
+		if flaky.Add(1) == 1 {
+			return "", false, runner.Transient(fmt.Errorf("injected fs hiccup"))
+		}
+		return flakyBody(jctx)
+	})
+	// Two inputs whose reader hangs halfway — only the per-job timeout can
+	// release the worker.
+	for i := 0; i < 2; i++ {
+		faulted++
+		addJob(fmt.Sprintf("trace-hang-%d", i), analyzeJob(func(jctx context.Context) io.Reader {
+			return faults.HangReader{AfterFrac: 0.5}.WrapReader(jctx, bytes.NewReader(data))
+		}, opt, trace.DecodeOptions{}))
+	}
+	// One input trickling bytes so slowly the decode cannot beat the
+	// timeout.
+	faulted++
+	addJob("trace-slow", analyzeJob(func(jctx context.Context) io.Reader {
+		return faults.SlowReader{Delay: r2JobTimeout / 3}.WrapReader(jctx, bytes.NewReader(data))
+	}, opt, trace.DecodeOptions{}))
+	// One input that panics the analyzer — the supervisor must quarantine
+	// it, not die.
+	faulted++
+	addJob("trace-panic", func(context.Context) (string, bool, error) {
+		panic("injected analyzer bug")
+	})
+	// One input over its resource budget: analyzed, but degraded.
+	faulted++
+	addJob("trace-budget", analyzeJob(plain, budgetOpt, trace.DecodeOptions{}))
+	// One truncated file, salvage-decoded: analyzed, but degraded.
+	faulted++
+	addJob("trace-chop", analyzeJob(func(jctx context.Context) io.Reader {
+		return bytes.NewReader(chopped)
+	}, opt, trace.DecodeOptions{Salvage: true}))
+
+	if len(jobs) != r2Jobs {
+		return nil, fmt.Errorf("experiments: R2 built %d jobs, want %d", len(jobs), r2Jobs)
+	}
+	sum := runner.Run(ctx, jobs, runner.Options{
+		Workers: r2Workers, JobTimeout: r2JobTimeout, Retries: 1,
+		Backoff: 5 * time.Millisecond, Seed: 7,
+	})
+
+	waves := (r2Jobs + r2Workers - 1) / r2Workers
+	bound := 2 * r2JobTimeout * time.Duration(waves)
+	counts := sum.Counts()
+	res.Tables = append(res.Tables, sum.Table(), r2ConfigTable(bound))
+	res.Metrics["jobs_total"] = float64(len(jobs))
+	res.Metrics["jobs_faulted"] = float64(faulted)
+	res.Metrics["fault_fraction"] = float64(faulted) / float64(len(jobs))
+	for o := runner.OK; o <= runner.Canceled; o++ {
+		res.Metrics["outcome_"+o.String()] = float64(counts[o])
+	}
+	accounted := 0
+	for _, n := range counts {
+		accounted += n
+	}
+	res.Metrics["jobs_accounted"] = float64(accounted)
+	res.Metrics["wall_ms"] = float64(sum.Wall.Milliseconds())
+	res.Metrics["bound_ms"] = float64(bound.Milliseconds())
+	if sum.Wall <= bound {
+		res.Metrics["within_bound"] = 1
+	} else {
+		res.Metrics["within_bound"] = 0
+	}
+	// Reaching this line at all means no job crashed the process; the panic
+	// job's outcome above proves it was contained rather than skipped.
+	res.Metrics["crashes"] = 0
+	return res, nil
+}
+
+func r2ConfigTable(bound time.Duration) *report.Table {
+	t := report.NewTable("R2: supervisor configuration", "parameter", "value")
+	t.AddRow("jobs", fmt.Sprint(r2Jobs))
+	t.AddRow("workers", fmt.Sprint(r2Workers))
+	t.AddRow("job timeout", r2JobTimeout.String())
+	t.AddRow("retries", "1")
+	t.AddRow("wall-clock bound", fmt.Sprintf("%s (2 × timeout × ⌈jobs/workers⌉)", bound))
+	return t
+}

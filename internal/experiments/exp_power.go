@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,11 +17,11 @@ import (
 // with the source code like every other metric. The experiment compares the
 // reconstructed per-phase power against the simulator's power model and
 // identifies where the energy goes.
-func F10PowerPhases() (*Result, error) {
+func F10PowerPhases(ctx context.Context) (*Result, error) {
 	res := newResult("F10", "Per-phase power and energy from folded RAPL readings")
 	cfg := defaultCfg()
 	cfg.Iterations = 400
-	model, run, err := analyze("multiphase", cfg, core.DefaultOptions())
+	model, run, err := analyze(ctx, "multiphase", cfg, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"phasefold/internal/core"
@@ -15,11 +16,11 @@ import (
 // instruction-rate profile of a fine-grained multi-phase region,
 // reconstructed from coarse samples, overlaid with the ground truth, plus
 // the detected phase table with per-phase metrics and source attribution.
-func F1FoldedProfile() (*Result, error) {
+func F1FoldedProfile(ctx context.Context) (*Result, error) {
 	res := newResult("F1", "Folded MIPS profile of the multiphase region (4 phases, 1 ms sampling)")
 	cfg := defaultCfg()
 	opt := core.DefaultOptions()
-	model, run, err := analyze("multiphase", cfg, opt)
+	model, run, err := analyze(ctx, "multiphase", cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +68,7 @@ func F1FoldedProfile() (*Result, error) {
 // F2ErrorVsIterations sweeps the iteration count: more instances folded
 // means a denser cloud and a better reconstruction. The paper's folding
 // premise is exactly this convergence.
-func F2ErrorVsIterations() (*Result, error) {
+func F2ErrorVsIterations(ctx context.Context) (*Result, error) {
 	res := newResult("F2", "Reconstruction error vs folded iterations (multiphase, 1 ms sampling)")
 	tb := report.NewTable("F2: error vs iterations",
 		"iterations", "folded_points", "rel_mae", "breakpoint_f1", "mean_bp_offset")
@@ -76,7 +77,7 @@ func F2ErrorVsIterations() (*Result, error) {
 	for _, n := range iters {
 		cfg := defaultCfg()
 		cfg.Iterations = n
-		model, run, err := analyze("multiphase", cfg, core.DefaultOptions())
+		model, run, err := analyze(ctx, "multiphase", cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +108,7 @@ func F2ErrorVsIterations() (*Result, error) {
 // against the same pipeline running at fine-grain sampling, validating the
 // ICPP'11 claim that folding from coarse sampling resembles fine-grain
 // sampling with <5% mean difference.
-func F3CoarseVsFine() (*Result, error) {
+func F3CoarseVsFine(ctx context.Context) (*Result, error) {
 	res := newResult("F3", "Folding at coarse sampling vs fine-grain sampling (multiphase)")
 	tb := report.NewTable("F3: sampling-period sweep",
 		"period", "samples", "samples_per_burst", "rel_mae_vs_truth", "rel_mae_vs_fine")
@@ -124,7 +125,7 @@ func F3CoarseVsFine() (*Result, error) {
 	for i, p := range periods {
 		opt := core.DefaultOptions()
 		opt.SamplingPeriod = p
-		model, run, err := analyze("multiphase", cfg, opt)
+		model, run, err := analyze(ctx, "multiphase", cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +154,7 @@ func F3CoarseVsFine() (*Result, error) {
 // T1BreakpointAccuracy sweeps sampling period × iteration count and reports
 // breakpoint precision/recall/offset — the quantitative phase-detection
 // accuracy table.
-func T1BreakpointAccuracy() (*Result, error) {
+func T1BreakpointAccuracy(ctx context.Context) (*Result, error) {
 	res := newResult("T1", "Breakpoint placement accuracy vs sampling period and iterations")
 	tb := report.NewTable("T1: breakpoint accuracy",
 		"period", "iterations", "precision", "recall", "f1", "mean_offset")
@@ -167,7 +168,7 @@ func T1BreakpointAccuracy() (*Result, error) {
 			cfg.Iterations = n
 			opt := core.DefaultOptions()
 			opt.SamplingPeriod = p
-			model, run, err := analyze("multiphase", cfg, opt)
+			model, run, err := analyze(ctx, "multiphase", cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -196,11 +197,11 @@ func T1BreakpointAccuracy() (*Result, error) {
 // F6PWLvsKernel is the ablation against the earlier smooth-curve fitting:
 // near phase boundaries the kernel smoother blends the two rates while the
 // PWL regression localizes the edge.
-func F6PWLvsKernel() (*Result, error) {
+func F6PWLvsKernel(ctx context.Context) (*Result, error) {
 	res := newResult("F6", "PWL regression vs kernel smoother at phase boundaries (ablation)")
 	cfg := defaultCfg()
 	cfg.Iterations = 600
-	model, run, err := analyze("multiphase", cfg, core.DefaultOptions())
+	model, run, err := analyze(ctx, "multiphase", cfg, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

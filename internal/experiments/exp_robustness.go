@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,7 +41,7 @@ var r1Rates = []float64{0, 0.02, 0.05, 0.1, 0.2}
 // robustness analogue of the paper's coarse-sampling tolerance: accuracy
 // must decay smoothly with data quality — no cliffs, no crashes — while
 // every run admits its damage through diagnostics.
-func R1Robustness() (*Result, error) {
+func R1Robustness(ctx context.Context) (*Result, error) {
 	res := newResult("R1", "Reconstruction error vs injected fault rate (multiphase, degraded-mode analysis)")
 	cfg := defaultCfg()
 	cfg.Iterations = 150
@@ -68,7 +69,7 @@ func R1Robustness() (*Result, error) {
 			}
 			tr := run.Trace.Clone()
 			chain.ApplyTrace(tr)
-			model, err := core.Analyze(tr, opt)
+			model, err := core.AnalyzeContext(ctx, tr, opt)
 			if err != nil {
 				// Lenient analysis refusing a ≤20%-damaged trace is exactly
 				// the cliff R1 exists to rule out; count it, don't abort.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"phasefold/internal/cluster"
@@ -17,7 +18,7 @@ import (
 // boundary), at a fixed per-probe and per-sample cost. The paper's approach
 // exists precisely because the fine-grain column is unacceptable in
 // production.
-func T2Overhead() (*Result, error) {
+func T2Overhead(ctx context.Context) (*Result, error) {
 	res := newResult("T2", "Acquisition overhead: minimal instr + coarse sampling vs fine-grain instrumentation")
 	const (
 		probeCost  = 200 * sim.Nanosecond // counter read + buffer write
@@ -108,7 +109,7 @@ func T2Overhead() (*Result, error) {
 // T3ClusteringQuality compares plain DBSCAN against the Aggregative Cluster
 // Refinement across workloads, scoring detected structure against the known
 // region count and by SPMD sequence alignment.
-func T3ClusteringQuality() (*Result, error) {
+func T3ClusteringQuality(ctx context.Context) (*Result, error) {
 	res := newResult("T3", "Structure detection: DBSCAN vs Aggregative Cluster Refinement")
 	tb := report.NewTable("T3: clustering quality",
 		"app", "algorithm", "clusters", "true_regions", "noise_bursts", "spmd_score")
@@ -120,7 +121,7 @@ func T3ClusteringQuality() (*Result, error) {
 			cfg := defaultCfg()
 			cfg.Ranks = 8
 			cfg.Iterations = 120
-			model, run, err := analyze(name, cfg, opt)
+			model, run, err := analyze(ctx, name, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -181,7 +182,7 @@ func varyingDensityPoints() []cluster.Point {
 // F4SourceMapping measures attribution accuracy: for every detected phase
 // matched to a ground-truth phase, does the folded-stack attribution point
 // at the right routine and line?
-func F4SourceMapping() (*Result, error) {
+func F4SourceMapping(ctx context.Context) (*Result, error) {
 	res := newResult("F4", "Source-code attribution accuracy across applications")
 	tb := report.NewTable("F4: attribution",
 		"app", "region", "phases_detected", "phases_true", "line_matches", "mean_share")
@@ -189,7 +190,7 @@ func F4SourceMapping() (*Result, error) {
 	var totalMatched, totalPhases float64
 	for _, name := range apps {
 		cfg := defaultCfg()
-		model, run, err := analyze(name, cfg, core.DefaultOptions())
+		model, run, err := analyze(ctx, name, cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -243,14 +244,14 @@ func F4SourceMapping() (*Result, error) {
 // mini-app, identify the weakest phase (the optimization hint), apply the
 // guided transformation (the -opt variant), and measure the speedup —
 // validating the 10-30% band the framework papers report.
-func T4CaseStudies() (*Result, error) {
+func T4CaseStudies(ctx context.Context) (*Result, error) {
 	res := newResult("T4", "Case studies: guided optimization from phase hints")
 	tb := report.NewTable("T4: case studies",
 		"app", "hinted_phase_source", "hint_IPC", "hint_L1/KI", "base_time", "opt_time", "speedup_pct")
 	cases := [][2]string{{"cg", "cg-opt"}, {"stencil", "stencil-opt"}, {"nbody", "nbody-opt"}}
 	cfg := defaultCfg()
 	for _, pair := range cases {
-		model, run, err := analyze(pair[0], cfg, core.DefaultOptions())
+		model, run, err := analyze(ctx, pair[0], cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +263,7 @@ func T4CaseStudies() (*Result, error) {
 		}
 		hint := ref.Phase
 		baseTime := run.Trace.EndTime()
-		optModel, optRun, err := analyze(pair[1], cfg, core.DefaultOptions())
+		optModel, optRun, err := analyze(ctx, pair[1], cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -281,19 +282,19 @@ func T4CaseStudies() (*Result, error) {
 // rotating PMU, per-phase rates for counters outside the always-on basis
 // are reconstructed from a quarter of the observations. The table compares
 // them against the native (all-counters) run.
-func F5Multiplexing() (*Result, error) {
+func F5Multiplexing(ctx context.Context) (*Result, error) {
 	res := newResult("F5", "Counter multiplexing: rotated groups vs native PMU")
 	cfg := defaultCfg()
 	cfg.Iterations = 600
 
 	optNative := core.DefaultOptions()
-	native, _, err := analyze("multiphase", cfg, optNative)
+	native, _, err := analyze(ctx, "multiphase", cfg, optNative)
 	if err != nil {
 		return nil, err
 	}
 	optMux := core.DefaultOptions()
 	optMux.Schedule = counters.NewSchedule(counters.DefaultGroups())
-	mux, _, err := analyze("multiphase", cfg, optMux)
+	mux, _, err := analyze(ctx, "multiphase", cfg, optMux)
 	if err != nil {
 		return nil, err
 	}

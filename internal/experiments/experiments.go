@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,11 +35,12 @@ func newResult(id, title string) *Result {
 	return &Result{ID: id, Title: title, Metrics: make(map[string]float64)}
 }
 
-// Runner is an experiment entry point.
+// Runner is an experiment entry point. Run honours ctx: cancellation
+// interrupts the underlying analyses and returns the context's error.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func() (*Result, error)
+	Run  func(ctx context.Context) (*Result, error)
 }
 
 // All lists every experiment in DESIGN.md order.
@@ -61,6 +63,7 @@ func All() []Runner {
 		{"A1", "design-choice ablations", A1Ablations},
 		{"A2", "sampling-mode ablation", A2SamplingModes},
 		{"R1", "robustness to injected faults", R1Robustness},
+		{"R2", "execution guards under batch supervision", R2ExecutionGuards},
 	}
 }
 
@@ -81,12 +84,12 @@ func defaultCfg() simapp.Config {
 }
 
 // analyze runs an app through the pipeline.
-func analyze(appName string, cfg simapp.Config, opt core.Options) (*core.Model, *core.RunResult, error) {
+func analyze(ctx context.Context, appName string, cfg simapp.Config, opt core.Options) (*core.Model, *core.RunResult, error) {
 	app, err := simapp.NewApp(appName)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.AnalyzeApp(app, cfg, opt)
+	return core.AnalyzeAppContext(ctx, app, cfg, opt)
 }
 
 // truthMIPS returns the ground-truth MIPS profile of a region as a function

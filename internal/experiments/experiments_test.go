@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func runExp(t *testing.T, id string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -264,8 +265,8 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", r.ID)
 		}
 	}
-	if len(seen) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(seen))
 	}
 }
 
@@ -292,5 +293,38 @@ func TestR1RobustnessDegradesGracefully(t *testing.T) {
 		if res.Metrics[fmt.Sprintf("diags_%s_%g", name, 0.1)] == 0 {
 			t.Errorf("%s at 10%% produced no diagnostics", name)
 		}
+	}
+}
+
+func TestR2ExecutionGuardsBoundedAndCrashFree(t *testing.T) {
+	res := runExp(t, "R2")
+	if got := res.Metrics["crashes"]; got != 0 {
+		t.Fatalf("%v jobs crashed the process", got)
+	}
+	if got, want := res.Metrics["jobs_accounted"], res.Metrics["jobs_total"]; got != want {
+		t.Fatalf("%v of %v jobs accounted for — the supervisor lost jobs", got, want)
+	}
+	if got := res.Metrics["fault_fraction"]; got < 0.2 {
+		t.Fatalf("only %.0f%% of inputs faulted; the acceptance bar is 20%%", 100*got)
+	}
+	if res.Metrics["within_bound"] != 1 {
+		t.Errorf("batch wall clock %vms exceeded the %vms bound (2 × timeout × waves)",
+			res.Metrics["wall_ms"], res.Metrics["bound_ms"])
+	}
+	// The two hang inputs can only end via the per-job timeout.
+	if got := res.Metrics["outcome_timeout"]; got < 2 {
+		t.Errorf("%v timeouts, want at least the 2 hanging inputs", got)
+	}
+	// The panicking input must be quarantined, not fatal.
+	if got := res.Metrics["outcome_quarantined"]; got < 1 {
+		t.Errorf("panicking input was not quarantined (quarantined=%v)", got)
+	}
+	// Budget-trimmed and salvage-decoded inputs complete as degraded.
+	if got := res.Metrics["outcome_degraded"]; got < 2 {
+		t.Errorf("%v degraded outcomes, want at least 2 (budget + chop)", got)
+	}
+	// Healthy inputs (including the retried flaky one) finish clean.
+	if got := res.Metrics["outcome_ok"]; got < 13 {
+		t.Errorf("%v ok outcomes, want at least 13", got)
 	}
 }

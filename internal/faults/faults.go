@@ -19,7 +19,9 @@
 package faults
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -50,17 +52,18 @@ type StreamInjector interface {
 	ApplyStream(rng *rand.Rand, data []byte) []byte
 }
 
-// Chain is a parsed fault specification: an ordered list of trace and
-// stream injectors sharing one seed.
+// Chain is a parsed fault specification: an ordered list of trace, stream,
+// and reader injectors sharing one seed.
 type Chain struct {
 	Trace  []Injector
 	Stream []StreamInjector
+	Reader []ReaderInjector
 	Seed   uint64
 }
 
 // Empty reports whether the chain contains no injectors.
 func (c *Chain) Empty() bool {
-	return c == nil || (len(c.Trace) == 0 && len(c.Stream) == 0)
+	return c == nil || (len(c.Trace) == 0 && len(c.Stream) == 0 && len(c.Reader) == 0)
 }
 
 // String renders the chain back in spec syntax.
@@ -70,6 +73,9 @@ func (c *Chain) String() string {
 		parts = append(parts, fmt.Sprint(in))
 	}
 	for _, in := range c.Stream {
+		parts = append(parts, fmt.Sprint(in))
+	}
+	for _, in := range c.Reader {
 		parts = append(parts, fmt.Sprint(in))
 	}
 	return strings.Join(parts, ",")
@@ -98,6 +104,20 @@ func (c *Chain) ApplyStream(data []byte) []byte {
 		data = in.ApplyStream(rng, data)
 	}
 	return data
+}
+
+// WrapReader stacks the chain's reader injectors around r, in spec order.
+// Unlike trace and stream faults, reader faults cannot be baked into a file
+// on disk — they damage the act of reading — so they apply at decode time
+// and require the decode context for unblocking.
+func (c *Chain) WrapReader(ctx context.Context, r io.Reader) io.Reader {
+	if c == nil {
+		return r
+	}
+	for _, in := range c.Reader {
+		r = in.WrapReader(ctx, r)
+	}
+	return r
 }
 
 // Parse builds a Chain from the compact spec syntax: comma-separated
@@ -132,6 +152,8 @@ func Parse(spec string, seed uint64) (*Chain, error) {
 			c.Trace = append(c.Trace, in)
 		case StreamInjector:
 			c.Stream = append(c.Stream, in)
+		case ReaderInjector:
+			c.Reader = append(c.Reader, in)
 		}
 	}
 	return c, nil
@@ -150,6 +172,11 @@ var registry = map[string]func(value string) (any, error){
 	"garble":   func(v string) (any, error) { p, err := parseRate(v); return GarbleCounters{Rate: p}, err },
 	"chop":     func(v string) (any, error) { p, err := parseRate(v); return ChopStream{Frac: p}, err },
 	"corrupt":  func(v string) (any, error) { p, err := parseRate(v); return CorruptStream{Rate: p}, err },
+	"hang":     func(v string) (any, error) { p, err := parseRate(v); return HangReader{AfterFrac: p}, err },
+	"slowdecode": func(v string) (any, error) {
+		d, err := parseDuration(v)
+		return SlowReader{Delay: time.Duration(d)}, err
+	},
 }
 
 // Known returns the registered fault names, sorted.

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReaderInjector perturbs the act of reading an encoded trace rather than
+// its content — damage that cannot be serialized to disk: an NFS mount that
+// stops answering mid-file, a cold archive tier that trickles bytes. These
+// exist to exercise execution guards (per-job timeouts, cancellation), so
+// the wrapped reader must unblock when ctx ends instead of hanging a worker
+// goroutine forever.
+type ReaderInjector interface {
+	// Name returns the registry name of the fault class.
+	Name() string
+	// WrapReader returns a reader serving r's bytes with the fault applied.
+	// The returned reader fails with ctx.Err() once ctx ends.
+	WrapReader(ctx context.Context, r io.Reader) io.Reader
+}
+
+// HangReader serves the leading AfterFrac fraction of the stream normally,
+// then blocks until the caller's context ends — the unresponsive-filesystem
+// fault. The hang point is byte-count based on the bytes actually served, so
+// it is deterministic and needs no rng.
+type HangReader struct{ AfterFrac float64 }
+
+func (f HangReader) Name() string   { return "hang" }
+func (f HangReader) String() string { return fmt.Sprintf("hang=%g", f.AfterFrac) }
+
+// WrapReader implements ReaderInjector. The fraction is applied to the
+// underlying stream's total size when it is a Len()-able buffer; otherwise
+// an initial window of 64 KiB stands in for the file size.
+func (f HangReader) WrapReader(ctx context.Context, r io.Reader) io.Reader {
+	total := 64 << 10
+	if l, ok := r.(interface{ Len() int }); ok {
+		total = l.Len()
+	}
+	serve := int(float64(total) * f.AfterFrac)
+	return &hangReader{ctx: ctx, r: r, remaining: serve}
+}
+
+type hangReader struct {
+	ctx       context.Context
+	r         io.Reader
+	remaining int
+}
+
+func (h *hangReader) Read(p []byte) (int, error) {
+	if err := h.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if h.remaining <= 0 {
+		// The hang: no bytes, no EOF — only cancellation releases the
+		// caller.
+		<-h.ctx.Done()
+		return 0, h.ctx.Err()
+	}
+	if len(p) > h.remaining {
+		p = p[:h.remaining]
+	}
+	n, err := h.r.Read(p)
+	h.remaining -= n
+	return n, err
+}
+
+// SlowReader sleeps Delay before each Read — the trickle-bandwidth fault
+// that makes a decode exceed its wall-clock budget without ever failing.
+type SlowReader struct{ Delay time.Duration }
+
+func (f SlowReader) Name() string   { return "slowdecode" }
+func (f SlowReader) String() string { return fmt.Sprintf("slowdecode=%s", f.Delay) }
+
+// WrapReader implements ReaderInjector; the sleep aborts early with
+// ctx.Err() when ctx ends mid-wait.
+func (f SlowReader) WrapReader(ctx context.Context, r io.Reader) io.Reader {
+	return &slowReader{ctx: ctx, r: r, delay: f.Delay}
+}
+
+type slowReader struct {
+	ctx   context.Context
+	r     io.Reader
+	delay time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-s.ctx.Done():
+		return 0, s.ctx.Err()
+	case <-t.C:
+	}
+	return s.r.Read(p)
+}

@@ -1,6 +1,7 @@
 package pwl
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestSegmentDPIsOptimal(t *testing.T) {
 		if kmax > n {
 			kmax = n
 		}
-		_, ssePerK := segmentDP(bins, kmax)
+		_, ssePerK, _ := segmentDP(context.Background(), bins, kmax)
 		for k := 1; k <= kmax; k++ {
 			want := bruteBestSSE(acc, n, k)
 			if math.Abs(ssePerK[k-1]-want) > 1e-9*(1+want) {
@@ -65,7 +66,7 @@ func TestDPCutsReproduceSSE(t *testing.T) {
 		bins[i] = bin{x: float64(i), y: rng.Normal(0, 2), w: 1}
 	}
 	acc := newLSQAccum(bins)
-	cutsPerK, ssePerK := segmentDP(bins, 5)
+	cutsPerK, ssePerK, _ := segmentDP(context.Background(), bins, 5)
 	for k := 1; k <= 5; k++ {
 		cuts := cutsPerK[k-1]
 		if len(cuts) != k-1 {

@@ -14,6 +14,7 @@
 package pwl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -176,7 +177,17 @@ func binPoints(xs, ys []float64, nbins int) []bin {
 // Fit fits the piece-wise linear model to the folded cloud (xs[i], ys[i]).
 // xs must lie in [0,1]; the slices must have equal, non-trivial length.
 func Fit(xs, ys []float64, opt Options) (*Model, error) {
+	return FitContext(context.Background(), xs, ys, opt)
+}
+
+// FitContext is Fit under a cancellable context: the O(Bins²) breakpoint
+// search polls ctx between DP rows (and greedy split rounds), so a deadline
+// interrupts the dominant cost of a large fit promptly.
+func FitContext(ctx context.Context, xs, ys []float64, opt Options) (*Model, error) {
 	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(xs) != len(ys) {
@@ -195,9 +206,9 @@ func Fit(xs, ys []float64, opt Options) (*Model, error) {
 	var cuts []int
 	var err error
 	if opt.Greedy {
-		cuts, err = selectGreedy(bins, opt)
+		cuts, err = selectGreedy(ctx, bins, opt)
 	} else {
-		cuts, err = selectDP(bins, opt)
+		cuts, err = selectDP(ctx, bins, opt)
 	}
 	if err != nil {
 		return nil, err

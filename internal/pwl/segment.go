@@ -1,6 +1,7 @@
 package pwl
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -56,8 +57,10 @@ func (a *lsqAccum) sse(i, j int) float64 {
 
 // segmentDP computes, for every model order k in [1, kmax], the optimal cuts
 // (segment start indices) minimizing total SSE, via the classical Bellman
-// segmented-least-squares recurrence. Returns per-k cuts and SSE.
-func segmentDP(bins []bin, kmax int) (cutsPerK [][]int, ssePerK []float64) {
+// segmented-least-squares recurrence. Returns per-k cuts and SSE. The DP
+// rows poll ctx: each (k, j) cell costs O(n), so polling every 64 cells
+// bounds the work between cancellation checks.
+func segmentDP(ctx context.Context, bins []bin, kmax int) (cutsPerK [][]int, ssePerK []float64, err error) {
 	n := len(bins)
 	if kmax > n {
 		kmax = n
@@ -75,6 +78,11 @@ func segmentDP(bins []bin, kmax int) (cutsPerK [][]int, ssePerK []float64) {
 	}
 	for k := 1; k < kmax; k++ {
 		for j := 0; j < n; j++ {
+			if j%64 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, nil, cerr
+				}
+			}
 			best := math.Inf(1)
 			bestI := 0
 			// Last segment is [i..j]; previous k segments cover [0..i-1].
@@ -106,12 +114,12 @@ func segmentDP(bins []bin, kmax int) (cutsPerK [][]int, ssePerK []float64) {
 		}
 		cutsPerK[k] = cuts
 	}
-	return cutsPerK, ssePerK
+	return cutsPerK, ssePerK, nil
 }
 
 // selectDP picks the model order by a BIC-style criterion over the exact DP
 // solutions and returns the chosen cuts.
-func selectDP(bins []bin, opt Options) ([]int, error) {
+func selectDP(ctx context.Context, bins []bin, opt Options) ([]int, error) {
 	kmax := opt.MaxSegments
 	if kmax > len(bins)/2 {
 		kmax = len(bins) / 2
@@ -119,7 +127,10 @@ func selectDP(bins []bin, opt Options) ([]int, error) {
 	if kmax < 1 {
 		kmax = 1
 	}
-	cutsPerK, ssePerK := segmentDP(bins, kmax)
+	cutsPerK, ssePerK, err := segmentDP(ctx, bins, kmax)
+	if err != nil {
+		return nil, err
+	}
 	if opt.FixedSegments > 0 {
 		k := opt.FixedSegments
 		if k > len(cutsPerK) {
@@ -155,7 +166,7 @@ func chooseOrder(bins []bin, ssePerK []float64, opt Options) int {
 // Starting from one segment, it repeatedly splits the segment whose best
 // split reduces SSE the most, until MaxSegments or until the relative
 // improvement stalls.
-func selectGreedy(bins []bin, opt Options) ([]int, error) {
+func selectGreedy(ctx context.Context, bins []bin, opt Options) ([]int, error) {
 	acc := newLSQAccum(bins)
 	n := len(bins)
 	type seg struct{ lo, hi int }
@@ -166,6 +177,9 @@ func selectGreedy(bins []bin, opt Options) ([]int, error) {
 		target = opt.FixedSegments
 	}
 	for len(segs) < target {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestGain := 0.0
 		bestSeg, bestCut := -1, -1
 		for si, s := range segs {

@@ -1,6 +1,7 @@
 package pwl
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -95,7 +96,7 @@ func TestSegmentDPOptimalOnStep(t *testing.T) {
 		}
 		bins[i] = bin{x: x, y: y, w: 1}
 	}
-	cutsPerK, ssePerK := segmentDP(bins, 3)
+	cutsPerK, ssePerK, _ := segmentDP(context.Background(), bins, 3)
 	if ssePerK[1] > 1e-10 {
 		t.Fatalf("2-segment SSE on perfect step = %v", ssePerK[1])
 	}
@@ -116,7 +117,7 @@ func TestSegmentDPOptimalOnStep(t *testing.T) {
 
 func TestSegmentDPMoreSegmentsThanBins(t *testing.T) {
 	bins := []bin{{x: 0, y: 0, w: 1}, {x: 1, y: 1, w: 1}}
-	cutsPerK, ssePerK := segmentDP(bins, 10)
+	cutsPerK, ssePerK, _ := segmentDP(context.Background(), bins, 10)
 	if len(cutsPerK) != 2 || len(ssePerK) != 2 {
 		t.Fatalf("kmax not clamped to bin count: %d", len(cutsPerK))
 	}
@@ -133,7 +134,7 @@ func TestChooseOrderPenalty(t *testing.T) {
 		}
 		bins[i] = bin{x: x, y: y, w: 1}
 	}
-	_, ssePerK := segmentDP(bins, 4)
+	_, ssePerK, _ := segmentDP(context.Background(), bins, 4)
 	kSmall := chooseOrder(bins, ssePerK, Options{PenaltyScale: 1})
 	kHuge := chooseOrder(bins, ssePerK, Options{PenaltyScale: 1e9})
 	if kSmall < 2 {
@@ -197,7 +198,7 @@ func TestGreedyFixedSegments(t *testing.T) {
 		x := float64(i) / 60
 		bins[i] = bin{x: x, y: x * x, w: 1} // smooth curve: splits help everywhere
 	}
-	cuts, err := selectGreedy(bins, Options{FixedSegments: 4, MaxSegments: 4})
+	cuts, err := selectGreedy(context.Background(), bins, Options{FixedSegments: 4, MaxSegments: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,382 @@
+// Package runner supervises batches of independent jobs — typically "decode
+// one trace file and analyze it" — so that one hung, panicking, or hopeless
+// input cannot take down or stall the whole batch. It provides the execution
+// guards the single-shot pipeline cannot: a bounded worker pool, a per-job
+// wall-clock timeout, retry with exponential backoff and jitter for errors
+// the caller marks transient, a per-input circuit breaker that quarantines
+// inputs after repeated failures, and a structured per-job result record.
+//
+// The supervisor never fails as a whole: Run always returns a Summary with
+// one JobResult per job, and cancellation of the batch context marks the
+// unstarted remainder Canceled rather than abandoning it silently.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"phasefold/internal/report"
+)
+
+// ErrTransient tags errors worth retrying: the failure is a property of the
+// moment (a flaky filesystem, a contended lock), not of the input. Wrap with
+// fmt.Errorf("...: %w", runner.ErrTransient) or via Transient.
+var ErrTransient = errors.New("runner: transient failure")
+
+// Transient marks err as transient, making it eligible for retry under the
+// default Retryable policy.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrTransient, err)
+}
+
+// Outcome classifies how one job ended.
+type Outcome uint8
+
+const (
+	// OK: the job finished cleanly.
+	OK Outcome = iota
+	// Degraded: the job finished but reported degradation (e.g. the
+	// analysis absorbed faults or exceeded a resource budget).
+	Degraded
+	// Failed: every permitted attempt returned an error.
+	Failed
+	// TimedOut: the per-job timeout fired. Timeouts are never retried — a
+	// hung input would burn its timeout again on every attempt.
+	TimedOut
+	// Quarantined: the circuit breaker opened for this input (repeated
+	// failures, or a panic, which trips it immediately).
+	Quarantined
+	// Canceled: the batch context ended before the job could finish.
+	Canceled
+)
+
+var outcomeNames = [...]string{
+	OK:          "ok",
+	Degraded:    "degraded",
+	Failed:      "failed",
+	TimedOut:    "timeout",
+	Quarantined: "quarantined",
+	Canceled:    "canceled",
+}
+
+// String returns the lower-case outcome name used in reports.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Bad reports whether the outcome means the job did not produce a usable
+// result (everything except OK and Degraded).
+func (o Outcome) Bad() bool { return o != OK && o != Degraded }
+
+// Job is one unit of supervised work.
+type Job struct {
+	// Name identifies the job (typically the input path); the circuit
+	// breaker counts failures per name.
+	Name string
+	// Run does the work. It must honour ctx — the supervisor enforces the
+	// per-job timeout through it. detail is a short human-readable note for
+	// the summary table (e.g. "3 clusters, 2 diagnostics"); degraded marks a
+	// completed-but-degraded result.
+	Run func(ctx context.Context) (detail string, degraded bool, err error)
+}
+
+// Options configures the supervisor. The zero value runs every job once,
+// with GOMAXPROCS workers and no timeout.
+type Options struct {
+	// Workers bounds the worker pool; <=0 means GOMAXPROCS.
+	Workers int
+	// JobTimeout is the wall-clock allowance of a single attempt; 0 means
+	// unlimited.
+	JobTimeout time.Duration
+	// Retries is the number of extra attempts after a retryable failure.
+	Retries int
+	// Backoff is the pre-retry delay base: attempt n waits Backoff·2ⁿ,
+	// jittered ±50%. <=0 defaults to 10ms when Retries > 0.
+	Backoff time.Duration
+	// BreakerThreshold is the failure count at which an input is
+	// quarantined; <=0 defaults to Retries+2 (one full retry cycle plus one
+	// later failure). A panic trips the breaker immediately.
+	BreakerThreshold int
+	// Retryable decides whether a failure is worth another attempt; nil
+	// means errors.Is(err, ErrTransient). Timeouts and cancellation are
+	// never retried regardless of this policy.
+	Retryable func(error) bool
+	// Seed makes the backoff jitter deterministic for tests; 0 seeds from
+	// the batch start time.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = o.Retries + 2
+	}
+	if o.Retryable == nil {
+		o.Retryable = func(err error) bool { return errors.Is(err, ErrTransient) }
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// JobResult is the structured record of one supervised job.
+type JobResult struct {
+	Name     string
+	Outcome  Outcome
+	Detail   string
+	Err      error
+	Attempts int
+	Duration time.Duration
+}
+
+// Summary is the result of one supervised batch.
+type Summary struct {
+	// Results holds one record per job, in input order.
+	Results []JobResult
+	// Wall is the batch wall-clock time.
+	Wall time.Duration
+}
+
+// Counts tallies the outcomes.
+func (s *Summary) Counts() map[Outcome]int {
+	c := make(map[Outcome]int)
+	for _, r := range s.Results {
+		c[r.Outcome]++
+	}
+	return c
+}
+
+// AllAccounted reports whether every job ended in a defined outcome — the
+// batch-level invariant the supervisor guarantees.
+func (s *Summary) AllAccounted() bool {
+	for _, r := range s.Results {
+		if int(r.Outcome) >= len(outcomeNames) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the per-job results plus a tally row.
+func (s *Summary) Table() *report.Table {
+	t := report.NewTable("batch summary", "job", "outcome", "attempts", "time", "detail")
+	for _, r := range s.Results {
+		detail := r.Detail
+		if r.Err != nil {
+			detail = r.Err.Error()
+		}
+		// Decoder errors can span lines; a table cell cannot.
+		detail = strings.ReplaceAll(detail, "\n", "; ")
+		t.AddRow(r.Name, r.Outcome.String(), fmt.Sprint(r.Attempts),
+			r.Duration.Round(time.Millisecond).String(), detail)
+	}
+	counts := s.Counts()
+	var tally string
+	for o := OK; int(o) < len(outcomeNames); o++ {
+		if counts[o] > 0 {
+			if tally != "" {
+				tally += ", "
+			}
+			tally += fmt.Sprintf("%d %s", counts[o], o)
+		}
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%d jobs", len(s.Results)), "",
+		s.Wall.Round(time.Millisecond).String(), tally)
+	return t
+}
+
+// breaker is the per-input circuit breaker: once an input accumulates
+// Threshold failures it is quarantined and no further attempts are made.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	fails     map[string]int
+}
+
+func (b *breaker) open(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails[name] >= b.threshold
+}
+
+func (b *breaker) record(name string, n int) {
+	b.mu.Lock()
+	b.fails[name] += n
+	b.mu.Unlock()
+}
+
+func (b *breaker) trip(name string) {
+	b.mu.Lock()
+	b.fails[name] = b.threshold
+	b.mu.Unlock()
+}
+
+// Run supervises the jobs and always returns a complete Summary: every job
+// is accounted for with an outcome even when ctx is canceled mid-batch.
+func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
+	opt = opt.withDefaults()
+	start := time.Now()
+	sum := &Summary{Results: make([]JobResult, len(jobs))}
+	br := &breaker{threshold: opt.BreakerThreshold, fails: make(map[string]int)}
+	jitter := &lockedRand{r: rand.New(rand.NewSource(opt.Seed))}
+
+	type task struct{ i int }
+	feed := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range feed {
+				sum.Results[t.i] = supervise(ctx, jobs[t.i], opt, br, jitter)
+			}
+		}()
+	}
+	for i := range jobs {
+		feed <- task{i}
+	}
+	close(feed)
+	wg.Wait()
+	sum.Wall = time.Since(start)
+	return sum
+}
+
+// supervise runs one job through its attempt loop. The result is a named
+// return so the deferred Duration stamp applies to the value actually
+// returned.
+func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *lockedRand) (res JobResult) {
+	res = JobResult{Name: job.Name}
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			res.Outcome, res.Err = Canceled, err
+			return res
+		}
+		if br.open(job.Name) {
+			res.Outcome = Quarantined
+			if res.Err == nil {
+				res.Err = fmt.Errorf("runner: input quarantined after repeated failures")
+			}
+			return res
+		}
+		res.Attempts++
+		detail, degraded, err, panicked := attempt1(ctx, job, opt.JobTimeout)
+		switch {
+		case err == nil:
+			// A success wipes any error kept from an earlier retried attempt;
+			// the summary reports what finally happened.
+			res.Detail, res.Err = detail, nil
+			if degraded {
+				res.Outcome = Degraded
+			} else {
+				res.Outcome = OK
+			}
+			return res
+		case panicked:
+			br.trip(job.Name)
+			res.Outcome, res.Err = Quarantined, err
+			return res
+		case ctx.Err() != nil:
+			res.Outcome, res.Err = Canceled, ctx.Err()
+			return res
+		case errors.Is(err, context.DeadlineExceeded):
+			br.record(job.Name, 1)
+			res.Outcome, res.Err = TimedOut, err
+			return res
+		}
+		br.record(job.Name, 1)
+		res.Err = err
+		if attempt >= opt.Retries || !opt.Retryable(err) {
+			res.Outcome = Failed
+			return res
+		}
+		if !sleep(ctx, backoff(opt.Backoff, attempt, jitter)) {
+			res.Outcome, res.Err = Canceled, ctx.Err()
+			return res
+		}
+	}
+}
+
+// attempt1 runs a single attempt under the per-job timeout, converting a
+// panic in job.Run into an error instead of crashing the worker.
+func attempt1(ctx context.Context, job Job, timeout time.Duration) (detail string, degraded bool, err error, panicked bool) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("runner: job %s panicked: %v", job.Name, p)
+				panicked = true
+			}
+		}()
+		detail, degraded, err = job.Run(actx)
+	}()
+	// An attempt that ran into its own deadline may surface it wrapped; make
+	// it matchable.
+	if err != nil && actx.Err() != nil && ctx.Err() == nil && !panicked &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%v: %w", err, context.DeadlineExceeded)
+	}
+	return detail, degraded, err, panicked
+}
+
+// backoff returns the pre-retry delay: base·2ᵃᵗᵗᵉᵐᵖᵗ jittered ±50% so a
+// batch of retrying jobs does not thundering-herd the filesystem.
+func backoff(base time.Duration, attempt int, jitter *lockedRand) time.Duration {
+	d := base << uint(attempt)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d/2 + time.Duration(jitter.Int63n(int64(d)))
+}
+
+// sleep waits d or until ctx ends; it reports whether the full wait elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand shared by the workers' backoff
+// jitter.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// checkGoroutines fails the test if goroutines outlive the batch — the
+// supervisor must not leak workers or timers even when jobs hang or panic.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d at start, %d after batch", base, runtime.NumGoroutine())
+	})
+}
+
+func hangJob(name string) Job {
+	return Job{Name: name, Run: func(ctx context.Context) (string, bool, error) {
+		<-ctx.Done()
+		return "", false, ctx.Err()
+	}}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	checkGoroutines(t)
+	var flaky atomic.Int32
+	jobs := []Job{
+		{Name: "ok", Run: func(context.Context) (string, bool, error) { return "fine", false, nil }},
+		{Name: "degraded", Run: func(context.Context) (string, bool, error) { return "absorbed", true, nil }},
+		{Name: "failed", Run: func(context.Context) (string, bool, error) {
+			return "", false, errors.New("input rotten")
+		}},
+		{Name: "flaky", Run: func(context.Context) (string, bool, error) {
+			if flaky.Add(1) == 1 {
+				return "", false, Transient(errors.New("fs hiccup"))
+			}
+			return "second time lucky", false, nil
+		}},
+		hangJob("hang"),
+		{Name: "panics", Run: func(context.Context) (string, bool, error) { panic("boom") }},
+	}
+	sum := Run(context.Background(), jobs, Options{
+		Workers: 2, JobTimeout: 100 * time.Millisecond, Retries: 2,
+		Backoff: time.Millisecond, Seed: 1,
+	})
+	if !sum.AllAccounted() {
+		t.Fatal("batch left jobs unaccounted")
+	}
+	want := map[string]Outcome{
+		"ok": OK, "degraded": Degraded, "failed": Failed,
+		"flaky": OK, "hang": TimedOut, "panics": Quarantined,
+	}
+	for _, r := range sum.Results {
+		if r.Outcome != want[r.Name] {
+			t.Errorf("%s: outcome %v, want %v (err %v)", r.Name, r.Outcome, want[r.Name], r.Err)
+		}
+	}
+	if got := sum.Results[3]; got.Attempts != 2 {
+		t.Errorf("flaky job took %d attempts, want 2 (one retry)", got.Attempts)
+	}
+	if got := sum.Results[2]; got.Attempts != 1 {
+		t.Errorf("non-transient failure took %d attempts, want 1 (no retry)", got.Attempts)
+	}
+	if got := sum.Results[4]; got.Attempts != 1 {
+		t.Errorf("timeout took %d attempts, want 1 (timeouts are not retried)", got.Attempts)
+	}
+}
+
+func TestBreakerQuarantinesRepeatedFailures(t *testing.T) {
+	checkGoroutines(t)
+	fail := Job{Name: "same-input", Run: func(context.Context) (string, bool, error) {
+		return "", false, errors.New("always broken")
+	}}
+	sum := Run(context.Background(), []Job{fail, fail, fail}, Options{
+		Workers: 1, BreakerThreshold: 2, Seed: 1,
+	})
+	got := []Outcome{sum.Results[0].Outcome, sum.Results[1].Outcome, sum.Results[2].Outcome}
+	want := []Outcome{Failed, Failed, Quarantined}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outcomes %v, want %v", got, want)
+		}
+	}
+	if sum.Results[2].Attempts != 0 {
+		t.Errorf("quarantined job ran %d attempts, want 0", sum.Results[2].Attempts)
+	}
+}
+
+func TestPanicTripsBreakerImmediately(t *testing.T) {
+	checkGoroutines(t)
+	boom := Job{Name: "poison", Run: func(context.Context) (string, bool, error) { panic("poison pill") }}
+	sum := Run(context.Background(), []Job{boom, boom}, Options{Workers: 1, Retries: 3, Seed: 1})
+	if sum.Results[0].Outcome != Quarantined || sum.Results[0].Attempts != 1 {
+		t.Fatalf("first panic: %v after %d attempts, want quarantined after 1",
+			sum.Results[0].Outcome, sum.Results[0].Attempts)
+	}
+	if sum.Results[1].Outcome != Quarantined || sum.Results[1].Attempts != 0 {
+		t.Fatalf("second job: %v after %d attempts, want quarantined without running",
+			sum.Results[1].Outcome, sum.Results[1].Attempts)
+	}
+}
+
+func TestCancelMarksRemainder(t *testing.T) {
+	checkGoroutines(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("job%d", i), Run: func(context.Context) (string, bool, error) {
+			t.Error("job ran under a canceled batch context")
+			return "", false, nil
+		}}
+	}
+	sum := Run(ctx, jobs, Options{Workers: 4, Seed: 1})
+	for _, r := range sum.Results {
+		if r.Outcome != Canceled {
+			t.Fatalf("%s: outcome %v, want canceled", r.Name, r.Outcome)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: err %v, want context.Canceled", r.Name, r.Err)
+		}
+	}
+}
+
+func TestHangsBoundedByTimeoutTimesWaves(t *testing.T) {
+	checkGoroutines(t)
+	const (
+		nJobs   = 8
+		workers = 4
+		timeout = 50 * time.Millisecond
+	)
+	jobs := make([]Job, nJobs)
+	for i := range jobs {
+		jobs[i] = hangJob(fmt.Sprintf("hang%d", i))
+	}
+	sum := Run(context.Background(), jobs, Options{Workers: workers, JobTimeout: timeout, Seed: 1})
+	waves := (nJobs + workers - 1) / workers
+	bound := 2 * timeout * time.Duration(waves)
+	if sum.Wall > bound {
+		t.Errorf("batch of hangs took %v, want under %v (2×timeout×waves)", sum.Wall, bound)
+	}
+	for _, r := range sum.Results {
+		if r.Outcome != TimedOut {
+			t.Errorf("%s: outcome %v, want timeout", r.Name, r.Outcome)
+		}
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	checkGoroutines(t)
+	sum := Run(context.Background(), []Job{
+		{Name: "a.pft", Run: func(context.Context) (string, bool, error) { return "2 clusters", false, nil }},
+		{Name: "b.pft", Run: func(context.Context) (string, bool, error) { return "", false, errors.New("bad magic") }},
+	}, Options{Workers: 1, Seed: 1})
+	out := sum.Table().String()
+	for _, want := range []string{"a.pft", "b.pft", "2 clusters", "bad magic", "TOTAL", "1 ok, 1 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -126,7 +128,30 @@ func Encode(w io.Writer, t *Trace) error {
 
 type reader struct {
 	r   *bufio.Reader
+	ctx context.Context
+	n   int // records decoded since the last cancellation poll
 	err error
+}
+
+// pollInterval is how many records the decoder processes between context
+// polls: frequent enough that a deadline interrupts a multi-gigabyte stream
+// within milliseconds, rare enough to stay invisible in the decode profile.
+const pollInterval = 1024
+
+// poll checks the decode context every pollInterval records. It reports
+// whether decoding may continue.
+func (r *reader) poll() bool {
+	if r.err != nil {
+		return false
+	}
+	r.n++
+	if r.n%pollInterval == 0 {
+		if err := r.ctx.Err(); err != nil {
+			r.err = err
+			return false
+		}
+	}
+	return true
 }
 
 func (r *reader) uvarint() uint64 {
@@ -259,12 +284,32 @@ func Decode(rd io.Reader) (*Trace, error) {
 	return t, err
 }
 
+// DecodeContext is Decode under a cancellable context; see DecodeWithContext.
+func DecodeContext(ctx context.Context, rd io.Reader) (*Trace, error) {
+	t, _, err := DecodeWithContext(ctx, rd, DecodeOptions{})
+	return t, err
+}
+
 // DecodeWith reads a binary-format trace from rd under the given options.
 // The SalvageReport is non-nil exactly when opt.Salvage is set and any
 // records were recovered; errors wrap the package sentinels (ErrBadMagic,
 // ErrTruncated, ErrCorrupt, ErrNoRanks, ErrInvalid) for errors.Is dispatch.
 func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	r := &reader{r: bufio.NewReaderSize(rd, 1<<16)}
+	return DecodeWithContext(context.Background(), rd, opt)
+}
+
+// DecodeWithContext is DecodeWith under a cancellable context. The record
+// loop polls ctx every few thousand records, so a deadline or cancellation
+// interrupts even a multi-gigabyte stream promptly; the resulting error
+// matches errors.Is(err, context.Canceled/DeadlineExceeded) and is never
+// absorbed by salvage mode (cancellation says nothing about the input).
+// Cancellation can only interrupt a Read that returns; a reader that blocks
+// indefinitely without honoring ctx itself still blocks the decode.
+func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	r := &reader{r: bufio.NewReaderSize(rd, 1<<16), ctx: ctx}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(r.r, magic); err != nil {
 		return nil, nil, fmt.Errorf("reading magic: %w", classifyRead(err))
@@ -275,7 +320,7 @@ func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error)
 	app := r.str()
 	syms := callstack.NewSymbolTable()
 	nRoutines := r.count("routine", maxTableCount)
-	for i := 0; i < nRoutines && r.err == nil; i++ {
+	for i := 0; i < nRoutines && r.poll(); i++ {
 		rt := callstack.Routine{
 			Name:      r.str(),
 			File:      r.str(),
@@ -295,7 +340,7 @@ func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error)
 	stacks := callstack.NewInterner()
 	nStacks := r.count("stack", maxTableCount)
 	stackIDs := make([]callstack.StackID, 0, min(nStacks, 1<<16))
-	for i := 0; i < nStacks && r.err == nil; i++ {
+	for i := 0; i < nStacks && r.poll(); i++ {
 		nf := r.count("frame", maxStackFrames)
 		if r.err != nil {
 			break
@@ -331,7 +376,7 @@ func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error)
 		rd := t.Ranks[rank]
 		rd.Events = make([]Event, 0, min(nev, 1<<20))
 		var prev sim.Time
-		for i := 0; i < nev && r.err == nil; i++ {
+		for i := 0; i < nev && r.poll(); i++ {
 			prev += sim.Time(r.uvarint())
 			e := Event{
 				Time:     prev,
@@ -349,7 +394,7 @@ func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error)
 		nsmp := r.count("sample", maxDecodeCount)
 		rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
 		prev = 0
-		for i := 0; i < nsmp && r.err == nil; i++ {
+		for i := 0; i < nsmp && r.poll(); i++ {
 			prev += sim.Time(r.uvarint())
 			sid := callstack.StackID(r.varint())
 			if sid != callstack.NoStack && r.err == nil {
@@ -377,7 +422,8 @@ func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error)
 			rd.Samples = append(rd.Samples, s)
 		}
 	}
-	if r.err != nil && !opt.Salvage {
+	if r.err != nil && (!opt.Salvage ||
+		errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded)) {
 		return nil, nil, classifyRead(r.err)
 	}
 	if !opt.Salvage {

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusEntries loads the checked-in seed corpus for a fuzz target. Each file
+// is in the `go test fuzz v1` format: a version line followed by one Go
+// literal per fuzz argument.
+func corpusEntries(t *testing.T, target string) map[string][]byte {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		t.Skipf("no corpus at %s", dir)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make(map[string][]byte, len(names))
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		data, err := parseCorpusFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		entries[de.Name()] = data
+	}
+	if len(entries) == 0 {
+		t.Fatalf("corpus dir %s holds no entries", dir)
+	}
+	return entries
+}
+
+func parseCorpusFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "go test fuzz") {
+		return nil, fmt.Errorf("not a go fuzz corpus file")
+	}
+	// The decode targets take a single []byte (or string) argument.
+	lit := strings.TrimSpace(lines[1])
+	open := strings.Index(lit, "(")
+	if open < 0 || !strings.HasSuffix(lit, ")") {
+		return nil, fmt.Errorf("malformed corpus literal %q", lit)
+	}
+	quoted := lit[open+1 : len(lit)-1]
+	s, err := strconv.Unquote(quoted)
+	if err != nil {
+		return nil, fmt.Errorf("unquoting corpus literal %q: %w", quoted, err)
+	}
+	return []byte(s), nil
+}
+
+// TestDecodeCorpusReplay replays the checked-in fuzz findings on every run —
+// including -short, where `go test` does not execute fuzz seed corpora. Each
+// past crasher must stay fixed: neither strict nor salvage decode may panic,
+// whatever they accept must validate, and salvage must be at least as
+// permissive as strict.
+func TestDecodeCorpusReplay(t *testing.T) {
+	for name, data := range corpusEntries(t, "FuzzDecode") {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Decode(bytes.NewReader(data))
+			if err == nil {
+				if verr := tr.Validate(); verr != nil {
+					t.Fatalf("strict decode accepted an invalid trace: %v", verr)
+				}
+			}
+			str, rep, serr := DecodeWith(bytes.NewReader(data), DecodeOptions{Salvage: true})
+			if serr == nil {
+				if verr := str.Validate(); verr != nil {
+					t.Fatalf("salvaged trace invalid: %v", verr)
+				}
+				if rep == nil {
+					t.Fatal("salvage succeeded without a report")
+				}
+			}
+			if err == nil && serr != nil {
+				t.Fatalf("strict accepted what salvage rejected: %v", serr)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"io"
 )
@@ -38,6 +39,11 @@ func classifyRead(err error) error {
 	}
 	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
 		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrNoRanks) || errors.Is(err, ErrInvalid) {
+		return err
+	}
+	// Cancellation is the caller's deadline firing, not a statement about the
+	// input; it must stay matchable as context.Canceled/DeadlineExceeded.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {

@@ -1,0 +1,25 @@
+package trace
+
+import "unsafe"
+
+// EventBytes and SampleBytes are the in-memory sizes of one decoded record,
+// the unit of the resident-size estimates used by resource budgets.
+var (
+	EventBytes  = int64(unsafe.Sizeof(Event{}))
+	SampleBytes = int64(unsafe.Sizeof(Sample{}))
+)
+
+// EstimateBytes approximates the resident size of the trace's record
+// streams (slice backing arrays only; the shared symbol table and stack
+// interner are excluded). Budget enforcement and the batch runner use it to
+// bound memory without walking the allocator.
+func (t *Trace) EstimateBytes() int64 {
+	var total int64
+	for _, rd := range t.Ranks {
+		if rd == nil {
+			continue
+		}
+		total += int64(len(rd.Events))*EventBytes + int64(len(rd.Samples))*SampleBytes
+	}
+	return total
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -116,11 +117,27 @@ func DecodeText(rd io.Reader) (*Trace, error) {
 	return t, err
 }
 
+// DecodeTextContext is DecodeText under a cancellable context.
+func DecodeTextContext(ctx context.Context, rd io.Reader) (*Trace, error) {
+	t, _, err := DecodeTextWithContext(ctx, rd, DecodeOptions{})
+	return t, err
+}
+
 // DecodeTextWith reads a text-format trace from rd under the given options.
 // In salvage mode, malformed lines are skipped (and reported) instead of
 // failing the decode, and the recovered records are repaired with Sanitize.
 // Errors wrap the package sentinels for errors.Is dispatch.
 func DecodeTextWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	return DecodeTextWithContext(context.Background(), rd, opt)
+}
+
+// DecodeTextWithContext is DecodeTextWith under a cancellable context: the
+// line loop polls ctx every few thousand lines and aborts with its error,
+// even in salvage mode (cancellation is never damage to absorb).
+func DecodeTextWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() {
@@ -156,6 +173,11 @@ func DecodeTextWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, er
 	}
 	for sc.Scan() {
 		lineNo++
+		if lineNo%pollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -290,6 +291,12 @@ func (t *Trace) Clone() *Trace {
 // independent per-rank tracing backends) into one. All inputs must share the
 // same symbol table and stack interner; rank numbers must not collide.
 func Merge(app string, parts ...*Trace) (*Trace, error) {
+	return MergeContext(context.Background(), app, parts...)
+}
+
+// MergeContext is Merge under a cancellable context, polled once per merged
+// part so a deadline interrupts a fleet-sized merge between inputs.
+func MergeContext(ctx context.Context, app string, parts ...*Trace) (*Trace, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("%w: nothing to merge", ErrMergeMismatch)
 	}
@@ -322,6 +329,9 @@ func Merge(app string, parts ...*Trace) (*Trace, error) {
 	out := New(app, maxRank+1, syms, stacks)
 	seen := make([]bool, maxRank+1)
 	for _, p := range parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, rd := range p.Ranks {
 			if rd == nil || (len(rd.Events) == 0 && len(rd.Samples) == 0) {
 				continue

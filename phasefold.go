@@ -27,6 +27,7 @@
 package phasefold
 
 import (
+	"context"
 	"io"
 
 	"phasefold/internal/core"
@@ -155,10 +156,23 @@ func RunApp(app App, cfg Config, opt Options) (*RunResult, error) {
 // Analyze runs the analysis pipeline over an acquired trace.
 func Analyze(tr *Trace, opt Options) (*Model, error) { return core.Analyze(tr, opt) }
 
+// AnalyzeContext is Analyze under a cancellable context: cancellation
+// interrupts decoding-independent stages (extraction, clustering, folding,
+// fitting) promptly and returns the context's error.
+func AnalyzeContext(ctx context.Context, tr *Trace, opt Options) (*Model, error) {
+	return core.AnalyzeContext(ctx, tr, opt)
+}
+
 // AnalyzeApp runs a simulated application and analyzes its trace in one
 // call.
 func AnalyzeApp(app App, cfg Config, opt Options) (*Model, *RunResult, error) {
 	return core.AnalyzeApp(app, cfg, opt)
+}
+
+// AnalyzeAppContext is AnalyzeApp under a cancellable context. The simulated
+// acquisition itself is not interruptible; the analysis stages are.
+func AnalyzeAppContext(ctx context.Context, app App, cfg Config, opt Options) (*Model, *RunResult, error) {
+	return core.AnalyzeAppContext(ctx, app, cfg, opt)
 }
 
 // Spectral-analysis re-exports: markerless analysis of sampling-only
@@ -220,6 +234,13 @@ type (
 
 	// FaultChain is a parsed, seeded sequence of trace perturbators.
 	FaultChain = faults.Chain
+
+	// Budget caps what an analysis may consume (records, ranks, resident
+	// bytes, per-stage wall-clock); see Options.Budget. The zero value is
+	// unlimited. In lenient mode an exceeded budget degrades the analysis
+	// with budget_exceeded diagnostics; with Options.Strict it fails fast
+	// wrapping ErrBudget.
+	Budget = core.Budget
 )
 
 // Quality grades and diagnostic severities.
@@ -242,6 +263,11 @@ var (
 	ErrNoRanks       = trace.ErrNoRanks
 	ErrInvalid       = trace.ErrInvalid
 	ErrMergeMismatch = trace.ErrMergeMismatch
+
+	// ErrBudget tags strict-mode analyses that exceeded their Budget;
+	// ErrPanic tags strict-mode analyses that recovered an internal panic.
+	ErrBudget = core.ErrBudget
+	ErrPanic  = core.ErrPanic
 )
 
 // DecodeTraceWith reads a binary-format trace under the given options; with
@@ -249,6 +275,17 @@ var (
 // repairs instead of failing.
 func DecodeTraceWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	return trace.DecodeWith(r, opt)
+}
+
+// DecodeTraceContext is DecodeTraceWith under a cancellable context, polled
+// throughout the record loop; salvage never absorbs a cancellation.
+func DecodeTraceContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	return trace.DecodeWithContext(ctx, r, opt)
+}
+
+// DecodeTraceTextContext is DecodeTraceTextWith under a cancellable context.
+func DecodeTraceTextContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+	return trace.DecodeTextWithContext(ctx, r, opt)
 }
 
 // DecodeTraceTextWith reads a text-format trace under the given options.
