@@ -10,6 +10,14 @@
 //	foldctl -i damaged.pft -salvage      # recover what a truncated/corrupt file still holds
 //	foldctl -i suspect.pft -strict       # fail fast on any damage
 //	foldctl -batch 'traces/*.pft' -jobs 4 -job-timeout 30s -retries 1
+//	foldctl -i cg.pft -metrics metrics.prom -manifest run.json -log-level warn
+//
+// Observability is opt-in: -metrics writes the run's metrics in the
+// Prometheus text format at exit, -manifest writes a JSON run manifest
+// (options fingerprint, input sizes, per-stage durations, diagnostics),
+// -log-level enables structured events on stderr, and -pprof serves
+// /debug/pprof, /debug/vars, and a live /metrics endpoint for the run's
+// duration.
 //
 // Batch mode supervises one analysis job per matched file: a bounded worker
 // pool, a per-job wall-clock timeout, retries for transient I/O failures,
@@ -41,6 +49,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/obs"
 	"phasefold/internal/runner"
 	"phasefold/internal/sim"
 	"phasefold/internal/trace"
@@ -78,6 +87,11 @@ func main() {
 		maxRecords   = flag.Int("max-records", 0, "resource budget: max records analyzed per trace (0 = unlimited)")
 		maxRanks     = flag.Int("max-ranks", 0, "resource budget: max ranks analyzed per trace (0 = unlimited)")
 		stageTimeout = flag.Duration("stage-timeout", 0, "resource budget: per-stage wall-clock allowance (0 = unlimited)")
+
+		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
+		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
+		logLevel   = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
 	)
 	flag.Parse()
 	if (*in == "") == (*batch == "") {
@@ -93,6 +107,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var err error
+	ctx, tel, err = obs.Config{
+		MetricsPath: *metricsOut, ManifestPath: *manifest,
+		LogLevel: *logLevel, PprofAddr: *pprofAddr, Tool: "foldctl",
+	}.Init(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foldctl:", err)
+		os.Exit(exitUsage)
+	}
+
 	opt := core.DefaultOptions()
 	opt.Strict = *strict
 	opt.UseRefinement = *refine
@@ -102,15 +126,20 @@ func main() {
 	opt.PWL.MaxSegments = *maxSeg
 	opt.MinBurstDuration = sim.Duration(*minBurst)
 	opt.Budget = core.Budget{MaxRecords: *maxRecords, MaxRanks: *maxRanks, StageTimeout: *stageTimeout}
+	if tel != nil {
+		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
+	}
 	dopt := trace.DecodeOptions{Salvage: *salvage}
 	isText := func(path string) bool {
 		return *format == "text" || (*format == "" && strings.HasSuffix(path, ".pftxt"))
 	}
 
 	if *batch != "" {
-		os.Exit(runBatch(ctx, *batch, opt, dopt, isText, runner.Options{
+		code, outcome := runBatch(ctx, *batch, opt, dopt, isText, runner.Options{
 			Workers: *jobs, JobTimeout: *jobTimeout, Retries: *retries,
-		}))
+		})
+		finishTel(outcome)
+		os.Exit(code)
 	}
 
 	f, err := os.Open(*in)
@@ -132,10 +161,23 @@ func main() {
 			fatal(exitSignal, errors.New("interrupted while decoding"))
 		}
 		explainDecodeError(err, *salvage)
+		finishTel("error")
 		os.Exit(exitInput)
 	}
 	if rep != nil && !rep.Complete() {
 		fmt.Printf("salvage: %s\n\n", rep.Summary())
+	}
+	if tel != nil {
+		info := obs.InputInfo{Path: *in, Ranks: tr.NumRanks()}
+		if st, serr := f.Stat(); serr == nil {
+			info.Bytes = st.Size()
+		}
+		for _, rd := range tr.Ranks {
+			info.Events += len(rd.Events)
+			info.Samples += len(rd.Samples)
+		}
+		tel.Report.Input = info
+		tel.Report.App = tr.AppName
 	}
 
 	model, err := core.AnalyzeContext(ctx, tr, opt)
@@ -196,20 +238,43 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *csvOut)
 	}
+	if tel != nil {
+		for _, d := range model.Diagnostics {
+			tel.Report.Diagnostics = append(tel.Report.Diagnostics, d.String())
+		}
+	}
+	outcome := "ok"
+	if model.Degraded() {
+		outcome = "degraded"
+	}
+	finishTel(outcome)
+}
+
+// tel is the run's telemetry session (nil unless requested); it lives at
+// package level so fatal can seal the manifest on every exit path.
+var tel *obs.Session
+
+// finishTel seals the telemetry session with the run's outcome; telemetry
+// write failures are reported but never change the exit code.
+func finishTel(outcome string) {
+	if err := tel.Finish(outcome); err != nil {
+		fmt.Fprintln(os.Stderr, "foldctl: telemetry:", err)
+	}
 }
 
 // runBatch analyzes every file matching the glob under the supervisor and
 // prints the batch summary table. Cancellation (SIGINT/SIGTERM) still prints
-// the partial summary before exiting 130.
-func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.DecodeOptions, isText func(string) bool, ropt runner.Options) int {
+// the partial summary before exiting 130. The second return is the outcome
+// recorded in the run manifest: the per-outcome tally, or "interrupted".
+func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.DecodeOptions, isText func(string) bool, ropt runner.Options) (int, string) {
 	files, err := filepath.Glob(pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foldctl:", err)
-		return exitUsage
+		return exitUsage, "error"
 	}
 	if len(files) == 0 {
 		fmt.Fprintf(os.Stderr, "foldctl: no files match %q\n", pattern)
-		return exitInput
+		return exitInput, "error"
 	}
 	sort.Strings(files)
 	rjobs := make([]runner.Job, len(files))
@@ -220,19 +285,26 @@ func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.
 		}}
 	}
 	sum := runner.Run(ctx, rjobs, ropt)
+	counts := sum.Counts()
+	var tally []string
+	for o := runner.OK; o <= runner.Canceled; o++ {
+		if counts[o] > 0 {
+			tally = append(tally, fmt.Sprintf("%d %s", counts[o], o))
+		}
+	}
+	outcome := strings.Join(tally, ", ")
 	if err := sum.Table().Render(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "foldctl:", err)
-		return exitAnalysis
+		return exitAnalysis, outcome
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "foldctl: interrupted; summary above covers the jobs that ran")
-		return exitSignal
+		return exitSignal, "interrupted"
 	}
-	counts := sum.Counts()
 	if counts[runner.Failed]+counts[runner.TimedOut]+counts[runner.Quarantined]+counts[runner.Canceled] > 0 {
-		return exitAnalysis
+		return exitAnalysis, outcome
 	}
-	return 0
+	return 0, outcome
 }
 
 // analyzeOne is the batch job body: decode one file and analyze it, honoring
@@ -308,6 +380,11 @@ func explainDecodeError(err error, salvaging bool) {
 }
 
 func fatal(code int, err error) {
+	outcome := "error"
+	if code == exitSignal {
+		outcome = "interrupted"
+	}
+	finishTel(outcome)
 	fmt.Fprintln(os.Stderr, "foldctl:", oneLine(err))
 	os.Exit(code)
 }

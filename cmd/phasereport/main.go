@@ -11,6 +11,12 @@
 //	phasereport -i cg.pft            # report on a trace file instead
 //	phasereport -i damaged.pft -salvage
 //	phasereport -i suspect.pft -strict
+//	phasereport -metrics metrics.prom -manifest run.json -log-level warn
+//
+// The observability flags match foldctl's: -metrics writes the Prometheus
+// text exposition at exit, -manifest writes the JSON run manifest,
+// -log-level enables structured events on stderr, and -pprof serves the
+// debug HTTP surface for the run's duration.
 //
 // SIGINT/SIGTERM cancel the running experiment or analysis promptly; the
 // output produced so far is kept. Exit codes: 0 success, 1 failure,
@@ -31,6 +37,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/experiments"
+	"phasefold/internal/obs"
 	"phasefold/internal/trace"
 )
 
@@ -44,6 +51,11 @@ func main() {
 		in      = flag.String("i", "", "report on a trace file instead of running experiments")
 		strict  = flag.Bool("strict", false, "with -i: fail fast on any damage instead of repairing and reporting")
 		salvage = flag.Bool("salvage", false, "with -i: recover what a truncated or corrupt trace file still holds")
+
+		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
+		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
+		logLevel   = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
 	)
 	flag.Parse()
 
@@ -60,8 +72,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var err error
+	ctx, tel, err = obs.Config{
+		MetricsPath: *metricsOut, ManifestPath: *manifest,
+		LogLevel: *logLevel, PprofAddr: *pprofAddr, Tool: "phasereport",
+	}.Init(ctx)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *in != "" {
 		reportTrace(ctx, *in, *strict, *salvage)
+		finishTel("ok")
 		return
 	}
 
@@ -87,6 +109,7 @@ func main() {
 		if err != nil {
 			if canceled(err) {
 				fmt.Fprintf(os.Stderr, "phasereport: interrupted during %s; earlier output is complete\n", r.ID)
+				finishTel("interrupted")
 				os.Exit(exitSignal)
 			}
 			fatal(fmt.Errorf("%s: %w", r.ID, err))
@@ -128,6 +151,17 @@ func main() {
 			fmt.Println()
 		}
 	}
+	finishTel("ok")
+}
+
+// tel is the run's telemetry session (nil unless requested); package level
+// so fatal can seal the manifest on every exit path.
+var tel *obs.Session
+
+func finishTel(outcome string) {
+	if err := tel.Finish(outcome); err != nil {
+		fmt.Fprintln(os.Stderr, "phasereport: telemetry:", err)
+	}
 }
 
 // reportTrace decodes one trace file — honoring -strict/-salvage exactly
@@ -151,6 +185,7 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool) {
 	if err != nil {
 		if canceled(err) {
 			fmt.Fprintln(os.Stderr, "phasereport: interrupted while decoding")
+			finishTel("interrupted")
 			os.Exit(exitSignal)
 		}
 		if !salvage && (errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) || errors.Is(err, trace.ErrInvalid)) {
@@ -161,12 +196,28 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool) {
 	if rep != nil && !rep.Complete() {
 		fmt.Printf("salvage: %s\n\n", rep.Summary())
 	}
+	if tel != nil {
+		info := obs.InputInfo{Path: path, Ranks: tr.NumRanks()}
+		if st, serr := f.Stat(); serr == nil {
+			info.Bytes = st.Size()
+		}
+		for _, rd := range tr.Ranks {
+			info.Events += len(rd.Events)
+			info.Samples += len(rd.Samples)
+		}
+		tel.Report.Input = info
+		tel.Report.App = tr.AppName
+	}
 	opt := core.DefaultOptions()
 	opt.Strict = strict
+	if tel != nil {
+		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
+	}
 	model, err := core.AnalyzeContext(ctx, tr, opt)
 	if err != nil {
 		if canceled(err) {
 			fmt.Fprintln(os.Stderr, "phasereport: interrupted during analysis; no partial model available")
+			finishTel("interrupted")
 			os.Exit(exitSignal)
 		}
 		fatal(err)
@@ -181,6 +232,7 @@ func canceled(err error) bool {
 }
 
 func fatal(err error) {
+	finishTel("error")
 	fmt.Fprintln(os.Stderr, "phasereport:", strings.ReplaceAll(err.Error(), "\n", ": "))
 	os.Exit(1)
 }

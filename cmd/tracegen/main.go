@@ -26,6 +26,7 @@ import (
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
 	"phasefold/internal/faults"
+	"phasefold/internal/obs"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
 	"phasefold/internal/trace"
@@ -49,6 +50,7 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injectors")
 		listF     = flag.Bool("list-faults", false, "list available fault classes and exit")
 		list      = flag.Bool("list", false, "list available applications and exit")
+		logLevel  = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,11 @@ func main() {
 		fmt.Println(strings.Join(faults.Known(), "\n"))
 		return
 	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := obs.NewLogger(os.Stderr, lvl)
 	chain, err := faults.Parse(*faultSpec, *faultSeed)
 	if err != nil {
 		fatal(err)
@@ -85,10 +92,12 @@ func main() {
 		opt.Schedule = counters.NewSchedule(counters.DefaultGroups())
 	}
 	cfg := simapp.Config{Ranks: *ranks, Iterations: *iters, Seed: *seed, FreqGHz: *freq}
+	log.Info("simulating", "app", *appName, "ranks", *ranks, "iters", *iters, "seed", *seed)
 	run, err := core.RunApp(app, cfg, opt)
 	if err != nil {
 		fatal(err)
 	}
+	log.Info("trace generated", "events", run.Trace.NumEvents(), "samples", run.Trace.NumSamples())
 
 	chain.ApplyTrace(run.Trace)
 

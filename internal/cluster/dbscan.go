@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"phasefold/internal/obs"
 )
 
 // Noise is the label DBSCAN assigns to points in no cluster.
@@ -200,6 +202,11 @@ func DBSCANContext(ctx context.Context, pts []Point, opt DBSCANOptions) ([]int, 
 			}
 		}
 	}
+	// Expansion volume is DBSCAN's real cost driver (points alone hide the
+	// density); surface it to the caller's telemetry.
+	obs.SpanFromContext(ctx).AddInt("dbscan_expansions", int64(expanded))
+	obs.Metrics(ctx).Counter(obs.MetricDBSCANExpansions,
+		"DBSCAN neighbourhood expansions performed.").Add(int64(expanded))
 	return labels, nil
 }
 

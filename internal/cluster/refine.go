@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"phasefold/internal/obs"
 )
 
 // RefineOptions parameterizes the Aggregative Cluster Refinement: an
@@ -97,11 +99,13 @@ func RefineContext(ctx context.Context, pts []Point, opt RefineOptions) ([]int, 
 		return labels, nil
 	}
 	var accepted [][]int
+	rounds := int64(0)
 	var refine func(members []int, eps float64, step, depth int) error
 	refine = func(members []int, eps float64, step, depth int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		rounds++
 		sub := make([]Point, len(members))
 		for k, i := range members {
 			sub[k] = pts[i]
@@ -187,6 +191,11 @@ func RefineContext(ctx context.Context, pts []Point, opt RefineOptions) ([]int, 
 	if err := refine(allIndices(len(pts)), opt.EpsMax, 0, 0); err != nil {
 		return nil, err
 	}
+	// Each round is one DBSCAN re-clustering of some subset; the total tells
+	// how hard the ladder worked on this density landscape.
+	obs.SpanFromContext(ctx).AddInt("refine_rounds", rounds)
+	obs.Metrics(ctx).Counter(obs.MetricRefineRounds,
+		"Aggregative-refinement re-clustering rounds run.").Add(rounds)
 	// Deterministic cluster numbering: sort accepted clusters by size
 	// descending, then by smallest member index.
 	sort.Slice(accepted, func(a, b int) bool {

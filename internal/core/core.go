@@ -20,6 +20,7 @@ import (
 	"phasefold/internal/folding"
 	"phasefold/internal/instr"
 	"phasefold/internal/metrics"
+	"phasefold/internal/obs"
 	"phasefold/internal/pwl"
 	"phasefold/internal/sampler"
 	"phasefold/internal/sim"
@@ -268,7 +269,31 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ds := &diagSink{}
+	ctx, aspan := obs.StartSpan(ctx, spanAnalyze)
+	m, err := analyze(ctx, tr, opt)
+	outcome := "ok"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case m.Degraded():
+		outcome = "degraded"
+	}
+	aspan.SetAttr("outcome", outcome)
+	aspan.End()
+	obs.Metrics(ctx).Counter(obs.MetricAnalyses, "Analyses run, by outcome.",
+		obs.Label{K: "outcome", V: outcome}).Inc()
+	if m != nil {
+		obs.Logger(ctx).Info("analysis complete",
+			"app", m.App, "outcome", outcome,
+			"bursts", m.NumBursts, "clusters", m.NumClusters,
+			"diagnostics", len(m.Diagnostics))
+	}
+	return m, err
+}
+
+// analyze is the AnalyzeContext body, under the run's "analyze" span.
+func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) {
+	ds := newDiagSink(ctx)
 	if opt.Strict {
 		if err := tr.Validate(); err != nil {
 			return nil, fmt.Errorf("core: validating trace: %w", err)
@@ -277,12 +302,20 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 			return nil, err
 		}
 	} else {
+		_, pspan, endPrepare := startStage(ctx, spanPrepare)
 		tr = prepare(tr, ds)
 		runHealthChecks(tr, ds)
 		tr = applyBudget(tr, opt.Budget, ds)
+		pspan.SetAttr("ranks", int64(tr.NumRanks()))
+		pspan.SetAttr("records", int64(tr.NumEvents()+tr.NumSamples()))
+		endPrepare()
 	}
 
-	bursts, err := extractAll(ctx, tr, opt, ds)
+	ectx, espan, endExtract := startStage(ctx, spanExtract)
+	bursts, err := extractAll(ectx, tr, opt, ds)
+	espan.SetAttr("ranks", int64(tr.NumRanks()))
+	espan.SetAttr("bursts", int64(len(bursts)))
+	endExtract()
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +325,12 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 		return nil, fmt.Errorf("core: trace contains no computation bursts (%w)", trace.ErrInvalid)
 	}
 	trace.SortBursts(bursts)
+	obs.Metrics(ctx).Counter(obs.MetricBurstsExtracted,
+		"Computation bursts extracted from traces.").Add(int64(len(bursts)))
 
-	labels, err := clusterBursts(ctx, bursts, opt, ds)
+	cctx, cspan, endCluster := startStage(ctx, spanCluster)
+	labels, err := clusterBursts(cctx, bursts, opt, ds)
+	endCluster()
 	if err != nil {
 		return nil, err
 	}
@@ -306,9 +343,21 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 	}
 	_, model.NoiseBursts = cluster.Sizes(labels)
 	model.SPMDScore = spmdScore(tr.NumRanks(), bursts)
+	cspan.SetAttr("clusters", int64(model.NumClusters))
+	cspan.SetAttr("noise_bursts", int64(model.NoiseBursts))
+	obs.Metrics(ctx).Counter(obs.MetricClustersFound, "Clusters detected.").Add(int64(model.NumClusters))
+	obs.Metrics(ctx).Counter(obs.MetricNoiseBursts, "Bursts left unclustered as noise.").Add(int64(model.NoiseBursts))
 
 	stats := cluster.Stats(bursts)
-	foldByLabel, err := foldAll(ctx, tr, bursts, stats, opt, ds)
+	fdctx, fdspan, endFold := startStage(ctx, spanFold)
+	foldByLabel, err := foldAll(fdctx, tr, bursts, stats, opt, ds)
+	fdspan.SetAttr("clusters_folded", int64(len(foldByLabel)))
+	var foldedPoints int64
+	for _, f := range foldByLabel {
+		foldedPoints += int64(f.TotalPoints())
+	}
+	fdspan.SetAttr("folded_points", foldedPoints)
+	endFold()
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +365,9 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 	// folded cloud); fit them concurrently, bounded by the CPU count. The
 	// result order and content stay deterministic: slots are pre-assigned
 	// by cluster rank and the fits themselves are pure.
-	fctx, cancelFit := stageContext(ctx, opt.Budget)
+	ftctx, fitSpan, endFit := startStage(ctx, spanFit)
+	defer endFit()
+	fctx, cancelFit := stageContext(ftctx, opt.Budget)
 	defer cancelFit()
 	model.Clusters = make([]*ClusterAnalysis, len(stats))
 	var (
@@ -336,12 +387,18 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 		go func(ca *ClusterAnalysis) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Each cluster's fit gets its own child span; the DP inside pwl
+			// attaches its cell count to whatever span its context carries.
+			clctx, clspan := obs.StartSpan(fctx, fmt.Sprintf("fit_cluster_%d", ca.Label))
+			clspan.SetAttr("cluster", int64(ca.Label))
+			defer clspan.End()
 			err := capture(fmt.Sprintf("fit cluster %d", ca.Label), func() error {
 				if testHookFit != nil {
 					testHookFit(ca.Label)
 				}
-				return fitCluster(fctx, tr, ca, opt)
+				return fitCluster(clctx, tr, ca, opt)
 			})
+			fitSpan.AddInt("clusters_fit", 1)
 			if err == nil {
 				return
 			}
@@ -365,13 +422,13 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, 
 			case stageBudgetExceeded(ctx, err):
 				ca.Quality = QualityRejected
 				ca.QualityReason = "budget_exceeded:fitting"
-				ds.add("budget", SeverityError, -1, ca.Label, "budget_exceeded:fitting: %v", err)
+				ds.add("budget", KindBudgetExceeded, SeverityError, -1, ca.Label, "budget_exceeded:fitting: %v", err)
 			default:
 				// Lenient: the cluster is rejected, the rest of the model
 				// survives. Panics arrive here wrapped in ErrPanic.
 				ca.Quality = QualityRejected
 				ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
-				ds.add("fit", SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
+				ds.add("fit", KindFitFailed, SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
 			}
 		}(ca)
 	}
@@ -402,7 +459,7 @@ func prepare(tr *trace.Trace, ds *diagSink) *trace.Trace {
 		if err := work.ValidateRank(r); err != nil {
 			work.Ranks[r].Events = nil
 			work.Ranks[r].Samples = nil
-			ds.add("validate", SeverityError, r, -1, "rank unrepairable, dropped: %v", err)
+			ds.add("validate", KindRankDropped, SeverityError, r, -1, "rank unrepairable, dropped: %v", err)
 		}
 	}
 	return work
@@ -453,7 +510,7 @@ func extractAll(ctx context.Context, tr *trace.Trace, opt Options, ds *diagSink)
 			// partial answer for the unabsorbable no-bursts failure in
 			// AnalyzeContext).
 			if r > 0 {
-				ds.add("budget", SeverityWarn, r, -1,
+				ds.add("budget", KindBudgetExceeded, SeverityWarn, r, -1,
 					"budget_exceeded:extract: stage timeout after %d of %d ranks", r, len(tr.Ranks))
 				break
 			}
@@ -469,7 +526,7 @@ func extractAll(ctx context.Context, tr *trace.Trace, opt Options, ds *diagSink)
 			return e
 		})
 		if err != nil {
-			ds.add("extract", SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
+			ds.add("extract", KindExtractFailed, SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
 			continue
 		}
 		bursts = append(bursts, rb...)
@@ -511,7 +568,7 @@ func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats [
 	for i, st := range stats {
 		if err := sctx.Err(); err != nil {
 			if stageBudgetExceeded(ctx, err) {
-				ds.add("budget", SeverityWarn, -1, -1,
+				ds.add("budget", KindBudgetExceeded, SeverityWarn, -1, -1,
 					"budget_exceeded:folding: stage timeout after %d of %d clusters", i, len(stats))
 				break
 			}
@@ -525,7 +582,7 @@ func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats [
 			return e
 		})
 		if err != nil {
-			ds.add("fold", SeverityError, -1, st.Label, "folding failed: %v", err)
+			ds.add("fold", KindFoldFailed, SeverityError, -1, st.Label, "folding failed: %v", err)
 			continue
 		}
 		byLabel[st.Label] = f
@@ -549,7 +606,7 @@ func gradeClusters(m *Model, opt Options, ds *diagSink) {
 			ca.QualityReason = fmt.Sprintf("folded cloud too sparse to fit (%d points, need %d)",
 				len(ca.Folded.Points[counters.Instructions]), opt.MinFoldedPoints)
 			if !opt.Strict {
-				ds.add("fit", SeverityWarn, -1, ca.Label, "%s; phase model skipped", ca.QualityReason)
+				ds.add("fit", KindSparseCloud, SeverityWarn, -1, ca.Label, "%s; phase model skipped", ca.QualityReason)
 			}
 		default:
 			ca.Quality = QualityOK
@@ -608,9 +665,9 @@ func clusterBursts(ctx context.Context, bursts []trace.Burst, opt Options, ds *d
 		return nil, fmt.Errorf("core: structure detection: %w", err)
 	}
 	if timedOut {
-		ds.add("budget", SeverityError, -1, -1, "budget_exceeded:structure: %v; bursts left unclustered", err)
+		ds.add("budget", KindBudgetExceeded, SeverityError, -1, -1, "budget_exceeded:structure: %v; bursts left unclustered", err)
 	} else {
-		ds.add("cluster", SeverityError, -1, -1, "structure detection failed, bursts left unclustered: %v", err)
+		ds.add("cluster", KindStructureFailed, SeverityError, -1, -1, "structure detection failed, bursts left unclustered: %v", err)
 	}
 	labels = make([]int, len(bursts))
 	for i := range labels {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
+	"phasefold/internal/obs"
 	"phasefold/internal/sim"
 	"phasefold/internal/trace"
 )
@@ -32,13 +35,54 @@ func (s Severity) String() string {
 	return fmt.Sprintf("severity(%d)", uint8(s))
 }
 
+// Diagnostic kinds: the machine-matchable classification of what the
+// degraded-mode analysis absorbed. Historically this lived inside the
+// free-form message text in inconsistent kind:detail spellings; the Kind
+// field makes it a stable contract while String() keeps the old rendering.
+const (
+	KindRepair          = "repair"           // sanitize fixed damaged records
+	KindRankDropped     = "rank_dropped"     // a rank stayed invalid after repair
+	KindRankEmpty       = "rank_empty"       // a rank carries no records at all
+	KindRankTruncated   = "rank_truncated"   // a rank's stream ends early
+	KindSampleLoss      = "sample_loss"      // the sampling stream looks lossy
+	KindClockSkew       = "clock_skew"       // per-rank clocks disagree
+	KindBudgetExceeded  = "budget_exceeded"  // a resource budget trimmed the run
+	KindExtractFailed   = "extract_failed"   // per-rank burst extraction failed
+	KindStructureFailed = "structure_failed" // clustering failed or timed out
+	KindFoldFailed      = "fold_failed"      // per-cluster folding failed
+	KindFitFailed       = "fit_failed"       // per-cluster PWL fit failed
+	KindSparseCloud     = "sparse_cloud"     // folded cloud too sparse to fit
+)
+
+// Diag is the structured core of a Diagnostic: what happened (Kind), where
+// in the pipeline (Stage), and the human-readable detail. It is the shape
+// emitted as a structured event and the one downstream tools should match
+// on instead of parsing message strings.
+type Diag struct {
+	Kind   string
+	Stage  string
+	Detail string
+}
+
+// String renders the structured diagnostic as kind/stage: detail.
+func (d Diag) String() string {
+	if d.Kind == "" {
+		return fmt.Sprintf("%s: %s", d.Stage, d.Detail)
+	}
+	return fmt.Sprintf("%s/%s: %s", d.Kind, d.Stage, d.Detail)
+}
+
 // Diagnostic records one fault the degraded-mode analysis absorbed instead
 // of failing: damaged input it repaired, a rank it dropped, a cluster it
 // could not fit. The zero Rank/Cluster sentinels are -1 ("not applicable").
 type Diagnostic struct {
 	// Stage names the pipeline stage that raised the diagnostic:
-	// "sanitize", "validate", "health", "extract", "fold", or "fit".
+	// "sanitize", "validate", "health", "budget", "extract", "cluster",
+	// "fold", or "fit".
 	Stage string
+	// Kind is the machine-matchable classification (see the Kind*
+	// constants); Message carries the human-readable detail.
+	Kind string
 	// Severity grades the impact.
 	Severity Severity
 	// Rank is the affected process, or -1.
@@ -49,6 +93,8 @@ type Diagnostic struct {
 	Message string
 }
 
+// String renders the diagnostic exactly as it always has (the Kind is a
+// parallel structured channel, not a format change).
 func (d Diagnostic) String() string {
 	where := ""
 	if d.Rank >= 0 {
@@ -58,6 +104,11 @@ func (d Diagnostic) String() string {
 		where += fmt.Sprintf(" cluster %d:", d.Cluster)
 	}
 	return fmt.Sprintf("[%s] %s:%s %s", d.Severity, d.Stage, where, d.Message)
+}
+
+// Diag returns the structured form of the diagnostic.
+func (d Diagnostic) Diag() Diag {
+	return Diag{Kind: d.Kind, Stage: d.Stage, Detail: d.Message}
 }
 
 // Quality grades how trustworthy one cluster's analysis is after degraded-
@@ -92,20 +143,47 @@ func (q Quality) String() string {
 }
 
 // diagSink accumulates diagnostics; Analyze owns one per run and threads it
-// through the stages (behind a mutex where stages run concurrently).
-type diagSink struct{ diags []Diagnostic }
+// through the stages (behind a mutex where stages run concurrently). Every
+// diagnostic is simultaneously emitted as a structured event on the run's
+// logger and counted in the run's metrics registry, both no-ops when the
+// caller attached no telemetry.
+type diagSink struct {
+	diags []Diagnostic
+	log   *slog.Logger
+	reg   *obs.Registry
+}
 
-func (ds *diagSink) add(stage string, sev Severity, rank, cluster int, format string, args ...any) {
-	ds.diags = append(ds.diags, Diagnostic{
-		Stage: stage, Severity: sev, Rank: rank, Cluster: cluster,
+func newDiagSink(ctx context.Context) *diagSink {
+	return &diagSink{log: obs.Logger(ctx), reg: obs.Metrics(ctx)}
+}
+
+var severityLevels = [...]slog.Level{
+	SeverityInfo:  slog.LevelInfo,
+	SeverityWarn:  slog.LevelWarn,
+	SeverityError: slog.LevelError,
+}
+
+func (ds *diagSink) add(stage, kind string, sev Severity, rank, cluster int, format string, args ...any) {
+	d := Diagnostic{
+		Stage: stage, Kind: kind, Severity: sev, Rank: rank, Cluster: cluster,
 		Message: fmt.Sprintf(format, args...),
-	})
+	}
+	ds.diags = append(ds.diags, d)
+	if ds.log != nil {
+		ds.log.LogAttrs(context.Background(), severityLevels[sev], "diagnostic",
+			slog.String("kind", d.Kind), slog.String("stage", d.Stage),
+			slog.Int("rank", d.Rank), slog.Int("cluster", d.Cluster),
+			slog.String("detail", d.Message))
+	}
+	ds.reg.Counter(obs.MetricDiagnostics,
+		"Degraded-mode diagnostics recorded, by kind.",
+		obs.Label{K: "kind", V: kind}).Inc()
 }
 
 // fromProblems converts trace.Sanitize repairs into diagnostics.
 func (ds *diagSink) fromProblems(probs []trace.Problem) {
 	for _, p := range probs {
-		ds.add("sanitize", SeverityWarn, p.Rank, -1, "%s: %d records (%s)", p.Kind, p.Count, p.Detail)
+		ds.add("sanitize", KindRepair, SeverityWarn, p.Rank, -1, "%s: %d records (%s)", p.Kind, p.Count, p.Detail)
 	}
 }
 
@@ -128,17 +206,17 @@ func runHealthChecks(tr *trace.Trace, ds *diagSink) {
 	end := tr.EndTime()
 	for r, rd := range tr.Ranks {
 		if len(rd.Events) == 0 && len(rd.Samples) == 0 {
-			ds.add("health", SeverityWarn, r, -1, "rank carries no records (process lost or stream dropped)")
+			ds.add("health", KindRankEmpty, SeverityWarn, r, -1, "rank carries no records (process lost or stream dropped)")
 			continue
 		}
 		if rankEnd := rankEndTime(rd); end > 0 && float64(rankEnd) < healthEarlyEndFrac*float64(end) {
-			ds.add("health", SeverityWarn, r, -1,
+			ds.add("health", KindRankTruncated, SeverityWarn, r, -1,
 				"rank ends at %s, %.0f%% into the trace (stream truncated?)",
 				rankEnd, 100*float64(rankEnd)/float64(end))
 		}
 		if missing, expected := estimateSampleLoss(rd.Samples); missing >= healthLossMin &&
 			float64(missing) >= healthLossFrac*float64(expected) {
-			ds.add("health", SeverityWarn, r, -1,
+			ds.add("health", KindSampleLoss, SeverityWarn, r, -1,
 				"~%d of ~%d expected samples missing (sampling stream lossy?)", missing, expected)
 		}
 	}
@@ -229,7 +307,7 @@ func checkClockSkew(tr *trace.Trace, ds *diagSink) {
 	sort.Slice(marks, func(i, j int) bool { return marks[i].rank < marks[j].rank })
 	for _, m := range marks {
 		if off := float64(m.t) - ref; off > threshold || off < -threshold {
-			ds.add("health", SeverityWarn, m.rank, -1,
+			ds.add("health", KindClockSkew, SeverityWarn, m.rank, -1,
 				"first iteration marker offset by %s from the median rank (clock skew?)",
 				sim.Duration(off).String())
 		}

@@ -139,7 +139,7 @@ func applyBudget(tr *trace.Trace, b Budget, ds *diagSink) *trace.Trace {
 	default:
 		stage = "memory"
 	}
-	ds.add("budget", SeverityWarn, -1, -1,
+	ds.add("budget", KindBudgetExceeded, SeverityWarn, -1, -1,
 		"budget_exceeded:%s: analyzing first %d of %d ranks (%d records kept)",
 		stage, keep, tr.NumRanks(), records)
 	return out

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"phasefold/internal/obs"
+)
+
+// Stage span names, as they appear in manifests and the stage-duration
+// histogram's stage label. DESIGN.md documents the mapping from pipeline
+// stage to span and metric names; keep the two in sync.
+const (
+	spanAnalyze = "analyze"
+	spanPrepare = "prepare"
+	spanExtract = "extract"
+	spanCluster = "cluster"
+	spanFold    = "fold"
+	spanFit     = "fit"
+)
+
+// startStage opens one pipeline-stage span under ctx. The returned closer
+// stamps the span and feeds the per-stage duration histogram; both the
+// span and the closer are inert when ctx carries no telemetry.
+func startStage(ctx context.Context, name string) (context.Context, *obs.Span, func()) {
+	sctx, span := obs.StartSpan(ctx, name)
+	end := func() {
+		if span == nil {
+			return
+		}
+		span.End()
+		obs.Metrics(ctx).Histogram(obs.MetricStageDuration,
+			"Pipeline stage wall-clock time in seconds.", obs.DurationBuckets(),
+			obs.Label{K: "stage", V: name}).Observe(span.Duration().Seconds())
+	}
+	return sctx, span, end
+}

@@ -89,6 +89,16 @@ func (f *Folded) NumPoints(id counters.ID) int {
 	return len(f.Points[id])
 }
 
+// TotalPoints returns the folded observation count summed over all
+// counters — the cloud-size figure the telemetry layer records per fold.
+func (f *Folded) TotalPoints() int {
+	n := 0
+	for id := range f.Points {
+		n += len(f.Points[id])
+	}
+	return n
+}
+
 // RateScale returns the factor converting a normalized slope (dy/dx of the
 // folded cloud) into an absolute rate in counts/second for counter id:
 // rate = slope * total / duration. ok is false when the counter was never

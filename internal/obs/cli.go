@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// Config bundles the standard observability CLI flags. The zero value —
+// no paths, no address, empty level — disables everything, which is the
+// commands' default: telemetry is strictly opt-in.
+type Config struct {
+	// MetricsPath receives the Prometheus text exposition at exit.
+	MetricsPath string
+	// ManifestPath receives the RunReport JSON at exit.
+	ManifestPath string
+	// LogLevel is the structured-event threshold: debug, info, warn,
+	// error, or off/"".
+	LogLevel string
+	// PprofAddr serves /debug/pprof, /debug/vars, and /metrics on this
+	// address for the duration of the run (long batches want it).
+	PprofAddr string
+	// Tool names the command in the manifest.
+	Tool string
+}
+
+// Enabled reports whether any observability surface was requested.
+func (c Config) Enabled() bool {
+	if c.MetricsPath != "" || c.ManifestPath != "" || c.PprofAddr != "" {
+		return true
+	}
+	lvl, err := ParseLevel(c.LogLevel)
+	return err == nil && lvl < LevelOff
+}
+
+// Session is one CLI run's live telemetry: the registry and recorder
+// wired into the context, the event logger, and the manifest under
+// construction. A nil *Session is valid and inert, so commands call
+// Finish unconditionally.
+type Session struct {
+	Registry *Registry
+	Recorder *Recorder
+	Logger   *slog.Logger
+	// Report is the manifest under construction; the command fills App,
+	// Input, OptionsFingerprint, and Diagnostics as it learns them.
+	Report RunReport
+
+	cfg      Config
+	server   *http.Server
+	finished bool
+}
+
+// Init validates cfg and, when any surface is enabled, attaches a
+// recorder, registry, and logger to ctx and starts the debug server. With
+// everything disabled it returns ctx unchanged and a nil session.
+func (c Config) Init(ctx context.Context) (context.Context, *Session, error) {
+	lvl, err := ParseLevel(c.LogLevel)
+	if err != nil {
+		return ctx, nil, err
+	}
+	if !c.Enabled() {
+		return ctx, nil, nil
+	}
+	s := &Session{
+		Registry: NewRegistry(),
+		Recorder: NewRecorder(),
+		Logger:   NewLogger(os.Stderr, lvl),
+		Report:   RunReport{Tool: c.Tool, Start: time.Now()},
+		cfg:      c,
+	}
+	ctx = WithTelemetry(ctx, s.Recorder, s.Registry)
+	ctx = WithLogger(ctx, s.Logger)
+	if c.PprofAddr != "" {
+		if err := s.serveDebug(c.PprofAddr); err != nil {
+			return ctx, nil, err
+		}
+	}
+	return ctx, s, nil
+}
+
+// serveDebug starts the debug HTTP server: pprof profiles, expvar, and the
+// live Prometheus exposition. Listening errors surface immediately (a bad
+// address must not fail silently); serving errors after that only end the
+// debug surface, never the run.
+func (s *Session) serveDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.Registry.WritePrometheus(w)
+	})
+	s.server = &http.Server{Handler: mux}
+	s.Logger.Info("debug server listening", "addr", ln.Addr().String())
+	go func() { _ = s.server.Serve(ln) }()
+	return nil
+}
+
+// Finish seals the session: stamps the manifest with the outcome and the
+// recorded stages, writes the metrics and manifest files, and stops the
+// debug server. Safe on a nil session and idempotent, so error paths and
+// the happy path can both call it.
+func (s *Session) Finish(outcome string) error {
+	if s == nil || s.finished {
+		return nil
+	}
+	s.finished = true
+	if s.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = s.server.Shutdown(ctx)
+		cancel()
+	}
+	s.Report.Outcome = outcome
+	s.Report.Finish(s.Recorder)
+	var firstErr error
+	if s.cfg.MetricsPath != "" {
+		if err := writeFileWith(s.cfg.MetricsPath, s.Registry.WritePrometheus); err != nil {
+			firstErr = err
+		}
+	}
+	if s.cfg.ManifestPath != "" {
+		if err := writeFileWith(s.cfg.ManifestPath, s.Report.WriteJSON); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// nopHandler drops every record; it backs the logger returned when a
+// context carries none, so instrumented code can log unconditionally.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards everything.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// WithLogger attaches a structured event logger to ctx; nil attaches the
+// no-op logger.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		l = nopLogger
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the event logger carried by ctx; when none is attached it
+// returns a no-op logger, never nil.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, _ := ctx.Value(loggerKey).(*slog.Logger); l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+// LevelOff disables logging entirely; it sits above every slog level.
+const LevelOff = slog.Level(127)
+
+// ParseLevel maps a CLI -log-level value onto a slog level. "off" (and "")
+// disable logging.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none":
+		return LevelOff, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error, or off)", s)
+}
+
+// NewLogger returns a structured text logger writing records at or above
+// level to w; LevelOff yields the no-op logger.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if level >= LevelOff {
+		return nopLogger
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+)
+
+// StageReport is the serialized form of one span: name, wall-clock
+// duration, attributes, and nested stages.
+type StageReport struct {
+	Name string `json:"name"`
+	// DurationNS is the stage wall-clock time in nanoseconds (JSON-stable;
+	// DurationSec is the same figure in seconds for human readers).
+	DurationNS  int64          `json:"duration_ns"`
+	DurationSec float64        `json:"duration_sec"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+	Stages      []StageReport  `json:"stages,omitempty"`
+}
+
+// SpanReport converts one span tree into its manifest form.
+func SpanReport(s *Span) StageReport {
+	d := s.Duration()
+	r := StageReport{
+		Name:        s.Name(),
+		DurationNS:  d.Nanoseconds(),
+		DurationSec: d.Seconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		r.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			r.Attrs[a.Key] = attrValue(a.Value)
+		}
+	}
+	for _, c := range s.Children() {
+		r.Stages = append(r.Stages, SpanReport(c))
+	}
+	return r
+}
+
+// attrValue normalizes attribute values for JSON: durations become their
+// string form, everything else passes through.
+func attrValue(v any) any {
+	if d, ok := v.(time.Duration); ok {
+		return d.String()
+	}
+	return v
+}
+
+// InputInfo describes one analyzed input in the manifest.
+type InputInfo struct {
+	Path    string `json:"path,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Ranks   int    `json:"ranks,omitempty"`
+	Events  int    `json:"events,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+}
+
+// RunReport is the per-run manifest: what ran, over what input, under which
+// options, how long each stage took, and how it ended. It is the artefact a
+// benchmark job or CI run archives next to its metrics.
+type RunReport struct {
+	// Tool names the producing command (foldctl, phasereport, tracegen).
+	Tool string `json:"tool"`
+	// App is the analyzed application name, when known.
+	App string `json:"app,omitempty"`
+	// Start stamps when the run began; WallNS is its total wall-clock time.
+	Start   time.Time `json:"start"`
+	WallNS  int64     `json:"wall_ns"`
+	WallSec float64   `json:"wall_sec"`
+	// OptionsFingerprint is a stable hash of the effective pipeline
+	// options, so manifests from different configurations never compare as
+	// like-for-like.
+	OptionsFingerprint string `json:"options_fingerprint,omitempty"`
+	// Input describes the analyzed input (absent for generators).
+	Input InputInfo `json:"input,omitempty"`
+	// Outcome is the run's final state: "ok", "degraded", "error",
+	// "interrupted", or a batch tally like "18 ok, 2 failed".
+	Outcome string `json:"outcome"`
+	// Stages holds the recorded span trees, in start order. Top-level
+	// stages are sequential, so their durations sum to ~the wall-clock.
+	Stages []StageReport `json:"stages,omitempty"`
+	// Diagnostics carries the degraded-mode diagnostics, stringified.
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// Finish stamps the wall-clock (from Start) and collects the recorder's
+// span trees into Stages. A nil recorder leaves Stages empty.
+func (r *RunReport) Finish(rec *Recorder) {
+	wall := time.Since(r.Start)
+	r.WallNS = wall.Nanoseconds()
+	r.WallSec = wall.Seconds()
+	for _, s := range rec.Roots() {
+		s.End() // idempotent: an abandoned span still gets a duration
+		r.Stages = append(r.Stages, SpanReport(s))
+	}
+}
+
+// StageDurationSum returns the summed duration of the top-level stages —
+// the figure that must track the wall-clock when the spans cover the run.
+func (r *RunReport) StageDurationSum() time.Duration {
+	var total int64
+	for _, s := range r.Stages {
+		total += s.DurationNS
+	}
+	return time.Duration(total)
+}
+
+// WriteJSON writes the manifest, indented.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Fingerprint returns a short stable hash of v's rendered value — the
+// options fingerprint recorded in manifests. Two runs with identical
+// options produce identical fingerprints within one build.
+func Fingerprint(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

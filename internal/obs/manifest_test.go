@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunReportFinish(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, decode := StartSpan(ctx, "decode")
+	decode.SetAttr("events", 100)
+	time.Sleep(2 * time.Millisecond)
+	decode.End()
+	actx, analyze := StartSpan(ctx, "analyze")
+	_, fit := StartSpan(actx, "fit")
+	fit.End()
+	// analyze deliberately left un-Ended: Finish must still stamp it.
+
+	r := RunReport{Tool: "test", Start: time.Now().Add(-10 * time.Millisecond)}
+	r.Finish(rec)
+	if len(r.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(r.Stages))
+	}
+	if r.Stages[0].Name != "decode" || r.Stages[0].Attrs["events"] != 100 {
+		t.Errorf("decode stage = %+v", r.Stages[0])
+	}
+	if len(r.Stages[1].Stages) != 1 || r.Stages[1].Stages[0].Name != "fit" {
+		t.Errorf("analyze stage children = %+v", r.Stages[1].Stages)
+	}
+	if r.Stages[1].DurationNS <= 0 {
+		t.Error("abandoned span got no duration")
+	}
+	if r.WallNS < r.Stages[0].DurationNS {
+		t.Errorf("wall %d < decode %d", r.WallNS, r.Stages[0].DurationNS)
+	}
+	if got := r.StageDurationSum(); got != time.Duration(r.Stages[0].DurationNS+r.Stages[1].DurationNS) {
+		t.Errorf("StageDurationSum = %v", got)
+	}
+	analyze.End()
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	r := RunReport{
+		Tool: "foldctl", App: "cg", Start: time.Now(),
+		OptionsFingerprint: Fingerprint(struct{ A int }{1}),
+		Input:              InputInfo{Path: "x.pft", Ranks: 4, Events: 10},
+		Outcome:            "ok",
+		Diagnostics:        []string{"[warn] sanitize: fixed stuff"},
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Tool != "foldctl" || back.App != "cg" || back.Input.Ranks != 4 ||
+		back.Outcome != "ok" || len(back.Diagnostics) != 1 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type opts struct {
+		Eps  float64
+		Bins int
+	}
+	a := Fingerprint(opts{0.05, 120})
+	b := Fingerprint(opts{0.05, 120})
+	c := Fingerprint(opts{0.06, 120})
+	if a != b {
+		t.Errorf("identical options fingerprint differently: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Error("different options share a fingerprint")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex chars", a)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want any
+	}{
+		{"", LevelOff}, {"off", LevelOff}, {"debug", nil}, {"warn", nil},
+	} {
+		lvl, err := ParseLevel(tc.in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", tc.in, err)
+		}
+		if tc.want == LevelOff && lvl != LevelOff {
+			t.Errorf("ParseLevel(%q) = %v, want off", tc.in, lvl)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

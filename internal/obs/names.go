@@ -1,0 +1,33 @@
+package obs
+
+// Canonical metric names. Every instrumented package pulls its names from
+// here so the exposition, the manifests, and the documentation can never
+// drift apart. All series carry the phasefold_ prefix; durations are in
+// seconds (Prometheus convention).
+const (
+	// Decoders (internal/trace).
+	MetricRecordsDecoded = "phasefold_records_decoded_total"   // counter: events+samples decoded
+	MetricDecodePasses   = "phasefold_decode_passes_total"     // counter{format,mode}: decode calls
+	MetricSalvageRepairs = "phasefold_salvage_repairs_total"   // counter: records repaired or cleared by salvage
+	MetricDecodeDuration = "phasefold_decode_duration_seconds" // histogram{format}
+	// Pipeline stages (internal/core).
+	MetricStageDuration   = "phasefold_stage_duration_seconds" // histogram{stage}
+	MetricAnalyses        = "phasefold_analyses_total"         // counter{outcome}: ok|degraded|error
+	MetricBurstsExtracted = "phasefold_bursts_extracted_total" // counter
+	MetricClustersFound   = "phasefold_clusters_found_total"   // counter
+	MetricNoiseBursts     = "phasefold_noise_bursts_total"     // counter
+	MetricDiagnostics     = "phasefold_diagnostics_total"      // counter{kind}
+	// Structure detection (internal/cluster).
+	MetricDBSCANExpansions = "phasefold_dbscan_expansions_total" // counter: neighbourhood expansions
+	MetricRefineRounds     = "phasefold_refine_rounds_total"     // counter: refinement ladder steps
+	// Piece-wise linear fits (internal/pwl).
+	MetricDPCells  = "phasefold_pwl_dp_cells_total"   // counter: DP cells evaluated
+	MetricPWLFits  = "phasefold_pwl_fits_total"       // counter: successful fits
+	MetricFitIters = "phasefold_pwl_fit_points_total" // counter: points consumed by completed fits
+	// Batch supervisor (internal/runner).
+	MetricJobs         = "phasefold_runner_jobs_total"           // counter{outcome}
+	MetricJobAttempts  = "phasefold_runner_attempts_total"       // counter
+	MetricJobRetries   = "phasefold_runner_retries_total"        // counter
+	MetricBreakerTrips = "phasefold_runner_breaker_trips_total"  // counter
+	MetricJobDuration  = "phasefold_runner_job_duration_seconds" // histogram{outcome}
+)

@@ -1,0 +1,61 @@
+// Package obs is the pipeline's self-observability layer: stage spans,
+// a metrics registry, structured event logging, and per-run manifests.
+//
+// The analysis system is itself a performance-analysis tool, so it must be
+// able to explain its own behavior: where a run spent its time, how much
+// data each stage consumed and produced, and which faults the degraded-mode
+// machinery absorbed. obs provides that without any dependency beyond the
+// standard library, and without imposing cost on callers that do not ask
+// for it: every entry point is carried in a context.Context, and when the
+// context carries no telemetry, every call is a cheap no-op (a nil check).
+//
+// The four ingredients:
+//
+//   - Stage spans (Recorder, StartSpan): nested wall-clock timers with
+//     typed attributes — records decoded, bursts extracted, clusters found,
+//     DP cells evaluated — recorded for every pipeline stage, decoder pass,
+//     and supervised batch job. A nil *Span is valid and inert, so call
+//     sites never branch on whether telemetry is enabled.
+//
+//   - A metrics registry (Registry): counters, gauges, and fixed-bucket
+//     histograms, optionally labelled, exported in both the Prometheus text
+//     exposition format and JSON.
+//
+//   - Structured events (WithLogger, Logger): a log/slog logger carried in
+//     context. Degraded-mode diagnostics, budget trims, salvage repairs,
+//     retries, and recovered panics become typed events instead of silent
+//     strings.
+//
+//   - Run manifests (RunReport): the options fingerprint, input sizes,
+//     stage durations, outcome, and diagnostics of one run, serializable to
+//     JSON — the artefact a benchmark or CI job archives.
+//
+// The CLI half (Config, Session) bundles the standard -metrics, -manifest,
+// -log-level, and -pprof flags' behavior so the commands stay thin.
+package obs
+
+import "context"
+
+// ctxKey discriminates the context slots obs uses. Each facet (recorder,
+// current span, registry, logger) travels separately so callers can enable
+// any subset.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+	registryKey
+	loggerKey
+)
+
+// WithTelemetry attaches both a span recorder and a metrics registry to
+// ctx; either may be nil to enable only the other.
+func WithTelemetry(ctx context.Context, rec *Recorder, reg *Registry) context.Context {
+	if rec != nil {
+		ctx = WithRecorder(ctx, rec)
+	}
+	if reg != nil {
+		ctx = WithMetrics(ctx, reg)
+	}
+	return ctx
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutRecorder(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "noop")
+	if s != nil {
+		t.Fatal("expected nil span without a recorder")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context must pass through unchanged without a recorder")
+	}
+	// Nil spans absorb everything.
+	s.SetAttr("k", 1)
+	s.AddInt("n", 2)
+	s.End()
+	if s.Name() != "" || s.Duration() != 0 {
+		t.Fatal("nil span must be fully inert")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "analyze")
+	cctx, child := StartSpan(ctx, "extract")
+	_, grand := StartSpan(cctx, "rank_0")
+	grand.End()
+	child.End()
+	// A sibling started from the root's context nests under the root, not
+	// under the finished child.
+	_, sib := StartSpan(ctx, "cluster")
+	sib.End()
+	root.End()
+
+	roots := rec.Roots()
+	if len(roots) != 1 || roots[0].Name() != "analyze" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "extract" || kids[1].Name() != "cluster" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = k.Name()
+		}
+		t.Fatalf("children = %v, want [extract cluster]", names)
+	}
+	if g := roots[0].Child("extract").Child("rank_0"); g == nil {
+		t.Fatal("grandchild rank_0 not recorded")
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, s := StartSpan(ctx, "stage")
+	s.SetAttr("clusters", 4)
+	s.SetAttr("clusters", 5) // replace, not append
+	s.SetAttr("mode", "strict")
+	if v, ok := s.Attr("clusters"); !ok || v.(int) != 5 {
+		t.Errorf("clusters attr = %v, %v", v, ok)
+	}
+	if got := len(s.Attrs()); got != 2 {
+		t.Errorf("attr count = %d, want 2", got)
+	}
+	s.End()
+}
+
+func TestSpanAddIntConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, s := StartSpan(ctx, "fit")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.AddInt("dp_cells", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	s.End()
+	if v, _ := s.Attr("dp_cells"); v.(int64) != 8*500*2 {
+		t.Errorf("dp_cells = %v, want %d", v, 8*500*2)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewRecorder()
+	_, s := StartSpan(WithRecorder(context.Background(), rec), "x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(5 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Errorf("second End moved the stamp: %v -> %v", d, s.Duration())
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"phasefold/internal/obs"
 )
 
 // Options controls the fit.
@@ -237,6 +239,12 @@ func FitContext(ctx context.Context, xs, ys []float64, opt Options) (*Model, err
 	if opt.MonotoneRepair {
 		m.repairMonotone()
 	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		sp.AddInt("fit_points", int64(len(xs)))
+		sp.AddInt("fit_segments", int64(m.K()))
+	}
+	obs.Metrics(ctx).Counter(obs.MetricPWLFits, "Piece-wise linear fits completed.").Inc()
+	obs.Metrics(ctx).Counter(obs.MetricFitIters, "Points consumed by completed fits.").Add(int64(len(xs)))
 	return m, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"phasefold/internal/obs"
 )
 
 // lsqAccum answers weighted least-squares line-fit queries over bin ranges
@@ -73,6 +75,7 @@ func segmentDP(ctx context.Context, bins []bin, kmax int) (cutsPerK [][]int, sse
 		cost[k] = make([]float64, n)
 		from[k] = make([]int, n)
 	}
+	cells := int64(n)
 	for j := 0; j < n; j++ {
 		cost[0][j] = acc.sse(0, j)
 	}
@@ -83,6 +86,7 @@ func segmentDP(ctx context.Context, bins []bin, kmax int) (cutsPerK [][]int, sse
 					return nil, nil, cerr
 				}
 			}
+			cells++
 			best := math.Inf(1)
 			bestI := 0
 			// Last segment is [i..j]; previous k segments cover [0..i-1].
@@ -97,6 +101,11 @@ func segmentDP(ctx context.Context, bins []bin, kmax int) (cutsPerK [][]int, sse
 			from[k][j] = bestI
 		}
 	}
+	// Report the DP volume to whatever telemetry the caller attached: the
+	// cell count lands on the enclosing span and the run-wide counter.
+	obs.SpanFromContext(ctx).AddInt("dp_cells", cells)
+	obs.Metrics(ctx).Counter(obs.MetricDPCells,
+		"Segmented-least-squares DP cells evaluated.").Add(cells)
 	cutsPerK = make([][]int, kmax)
 	ssePerK = make([]float64, kmax)
 	for k := 0; k < kmax; k++ {

@@ -15,12 +15,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"phasefold/internal/obs"
 	"phasefold/internal/report"
 )
 
@@ -178,9 +180,42 @@ func (s *Summary) AllAccounted() bool {
 	return true
 }
 
-// Table renders the per-job results plus a tally row.
+// DurationStats summarizes the wall-clock durations of one outcome's jobs.
+type DurationStats struct {
+	Count          int
+	Min, Mean, Max time.Duration
+}
+
+// OutcomeDurations returns per-outcome duration statistics across the batch —
+// the spread that a single mean hides (one hung job dominates a batch of
+// fast ones).
+func (s *Summary) OutcomeDurations() map[Outcome]DurationStats {
+	sums := make(map[Outcome]time.Duration)
+	out := make(map[Outcome]DurationStats)
+	for _, r := range s.Results {
+		st := out[r.Outcome]
+		if st.Count == 0 || r.Duration < st.Min {
+			st.Min = r.Duration
+		}
+		if r.Duration > st.Max {
+			st.Max = r.Duration
+		}
+		st.Count++
+		sums[r.Outcome] += r.Duration
+		out[r.Outcome] = st
+	}
+	for o, st := range out {
+		st.Mean = sums[o] / time.Duration(st.Count)
+		out[o] = st
+	}
+	return out
+}
+
+// Table renders the per-job results, per-outcome duration statistics, and a
+// tally row.
 func (s *Summary) Table() *report.Table {
-	t := report.NewTable("batch summary", "job", "outcome", "attempts", "time", "detail")
+	t := report.NewTable("batch summary",
+		"job", "outcome", "attempts", "time", "min", "mean", "max", "detail")
 	for _, r := range s.Results {
 		detail := r.Detail
 		if r.Err != nil {
@@ -189,7 +224,17 @@ func (s *Summary) Table() *report.Table {
 		// Decoder errors can span lines; a table cell cannot.
 		detail = strings.ReplaceAll(detail, "\n", "; ")
 		t.AddRow(r.Name, r.Outcome.String(), fmt.Sprint(r.Attempts),
-			r.Duration.Round(time.Millisecond).String(), detail)
+			r.Duration.Round(time.Millisecond).String(), "", "", "", detail)
+	}
+	ms := func(d time.Duration) string { return d.Round(time.Millisecond).String() }
+	stats := s.OutcomeDurations()
+	for o := OK; int(o) < len(outcomeNames); o++ {
+		st, ok := stats[o]
+		if !ok {
+			continue
+		}
+		t.AddRow("["+o.String()+"]", fmt.Sprintf("%d jobs", st.Count), "", "",
+			ms(st.Min), ms(st.Mean), ms(st.Max), "")
 	}
 	counts := s.Counts()
 	var tally string
@@ -202,7 +247,7 @@ func (s *Summary) Table() *report.Table {
 		}
 	}
 	t.AddRow("TOTAL", fmt.Sprintf("%d jobs", len(s.Results)), "",
-		s.Wall.Round(time.Millisecond).String(), tally)
+		s.Wall.Round(time.Millisecond).String(), "", "", "", tally)
 	return t
 }
 
@@ -220,16 +265,23 @@ func (b *breaker) open(name string) bool {
 	return b.fails[name] >= b.threshold
 }
 
-func (b *breaker) record(name string, n int) {
+// record adds n failures for name and reports whether this crossed the
+// threshold — i.e. whether the breaker just opened.
+func (b *breaker) record(name string, n int) bool {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	before := b.fails[name]
 	b.fails[name] += n
-	b.mu.Unlock()
+	return before < b.threshold && b.fails[name] >= b.threshold
 }
 
-func (b *breaker) trip(name string) {
+// trip opens the breaker immediately; it reports whether it was closed before.
+func (b *breaker) trip(name string) bool {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	before := b.fails[name]
 	b.fails[name] = b.threshold
-	b.mu.Unlock()
+	return before < b.threshold
 }
 
 // Run supervises the jobs and always returns a complete Summary: every job
@@ -264,11 +316,33 @@ func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
 
 // supervise runs one job through its attempt loop. The result is a named
 // return so the deferred Duration stamp applies to the value actually
-// returned.
+// returned; the same defer lands the job's span, outcome counter, and
+// duration histogram on whatever telemetry the batch context carries.
 func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *lockedRand) (res JobResult) {
 	res = JobResult{Name: job.Name}
+	ctx, span := obs.StartSpan(ctx, "job:"+job.Name)
+	log := obs.Logger(ctx)
+	reg := obs.Metrics(ctx)
 	start := time.Now()
-	defer func() { res.Duration = time.Since(start) }()
+	defer func() {
+		res.Duration = time.Since(start)
+		span.SetAttr("outcome", res.Outcome.String())
+		span.SetAttr("attempts", res.Attempts)
+		span.End()
+		reg.Counter(obs.MetricJobs, "Supervised jobs finished, by outcome.",
+			obs.Label{K: "outcome", V: res.Outcome.String()}).Inc()
+		reg.Histogram(obs.MetricJobDuration, "Supervised job wall time in seconds.",
+			obs.DurationBuckets(), obs.Label{K: "outcome", V: res.Outcome.String()}).
+			Observe(res.Duration.Seconds())
+	}()
+	tripped := func(opened bool) {
+		if !opened {
+			return
+		}
+		reg.Counter(obs.MetricBreakerTrips, "Circuit-breaker openings.").Inc()
+		log.LogAttrs(context.Background(), slog.LevelWarn, "breaker opened",
+			slog.String("job", job.Name))
+	}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			res.Outcome, res.Err = Canceled, err
@@ -282,6 +356,7 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 			return res
 		}
 		res.Attempts++
+		reg.Counter(obs.MetricJobAttempts, "Job attempts started (including retries).").Inc()
 		detail, degraded, err, panicked := attempt1(ctx, job, opt.JobTimeout)
 		switch {
 		case err == nil:
@@ -295,23 +370,31 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 			}
 			return res
 		case panicked:
-			br.trip(job.Name)
+			tripped(br.trip(job.Name))
+			log.LogAttrs(context.Background(), slog.LevelError, "job panicked",
+				slog.String("job", job.Name), slog.String("error", err.Error()))
 			res.Outcome, res.Err = Quarantined, err
 			return res
 		case ctx.Err() != nil:
 			res.Outcome, res.Err = Canceled, ctx.Err()
 			return res
 		case errors.Is(err, context.DeadlineExceeded):
-			br.record(job.Name, 1)
+			tripped(br.record(job.Name, 1))
+			log.LogAttrs(context.Background(), slog.LevelWarn, "job timed out",
+				slog.String("job", job.Name), slog.Int("attempt", res.Attempts))
 			res.Outcome, res.Err = TimedOut, err
 			return res
 		}
-		br.record(job.Name, 1)
+		tripped(br.record(job.Name, 1))
 		res.Err = err
 		if attempt >= opt.Retries || !opt.Retryable(err) {
 			res.Outcome = Failed
 			return res
 		}
+		reg.Counter(obs.MetricJobRetries, "Job retries scheduled after transient failures.").Inc()
+		log.LogAttrs(context.Background(), slog.LevelWarn, "retrying job",
+			slog.String("job", job.Name), slog.Int("attempt", res.Attempts),
+			slog.String("error", err.Error()))
 		if !sleep(ctx, backoff(opt.Backoff, attempt, jitter)) {
 			res.Outcome, res.Err = Canceled, ctx.Err()
 			return res

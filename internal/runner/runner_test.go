@@ -173,3 +173,40 @@ func TestSummaryTable(t *testing.T) {
 		}
 	}
 }
+
+func TestOutcomeDurations(t *testing.T) {
+	// Hand-built summary so the statistics are exact, not timing-dependent.
+	sum := &Summary{Results: []JobResult{
+		{Name: "a", Outcome: OK, Duration: 10 * time.Millisecond},
+		{Name: "b", Outcome: OK, Duration: 30 * time.Millisecond},
+		{Name: "c", Outcome: OK, Duration: 20 * time.Millisecond},
+		{Name: "d", Outcome: Failed, Duration: 5 * time.Millisecond},
+	}}
+	stats := sum.OutcomeDurations()
+	ok := stats[OK]
+	if ok.Count != 3 || ok.Min != 10*time.Millisecond || ok.Mean != 20*time.Millisecond || ok.Max != 30*time.Millisecond {
+		t.Errorf("OK stats = %+v", ok)
+	}
+	failed := stats[Failed]
+	if failed.Count != 1 || failed.Min != 5*time.Millisecond || failed.Mean != 5*time.Millisecond || failed.Max != 5*time.Millisecond {
+		t.Errorf("Failed stats = %+v", failed)
+	}
+	if len(stats) != 2 {
+		t.Errorf("stats for %d outcomes, want 2", len(stats))
+	}
+}
+
+func TestSummaryTableOutcomeRows(t *testing.T) {
+	checkGoroutines(t)
+	sum := Run(context.Background(), []Job{
+		{Name: "a.pft", Run: func(context.Context) (string, bool, error) { return "done", false, nil }},
+		{Name: "b.pft", Run: func(context.Context) (string, bool, error) { return "done", false, nil }},
+		{Name: "c.pft", Run: func(context.Context) (string, bool, error) { return "", false, errors.New("bad") }},
+	}, Options{Workers: 2, Seed: 1})
+	out := sum.Table().String()
+	for _, want := range []string{"[ok]", "[failed]", "2 jobs", "1 jobs", "min", "mean", "max", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

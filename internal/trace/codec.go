@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
+	"phasefold/internal/obs"
 	"phasefold/internal/sim"
 )
 
@@ -309,6 +311,9 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "decode")
+	defer span.End()
+	finish := startDecodePass(ctx, span, "binary", opt)
 	r := &reader{r: bufio.NewReaderSize(rd, 1<<16), ctx: ctx}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(r.r, magic); err != nil {
@@ -430,6 +435,7 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 		if err := t.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("decoded trace invalid: %w", err)
 		}
+		finish(t, nil)
 		return t, nil, nil
 	}
 
@@ -462,5 +468,51 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 	if err := t.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("salvaged trace still invalid: %w", err)
 	}
+	finish(t, report)
 	return t, report, nil
+}
+
+// startDecodePass counts one decoder invocation and returns the closure a
+// successful decode calls to land its volume on the caller's telemetry —
+// record counts as span attributes and run-wide counters, plus the decode
+// latency histogram. All of it is inert when the context carries no
+// telemetry.
+func startDecodePass(ctx context.Context, span *obs.Span, format string, opt DecodeOptions) func(*Trace, *SalvageReport) {
+	mode := "strict"
+	if opt.Salvage {
+		mode = "salvage"
+	}
+	span.SetAttr("format", format)
+	span.SetAttr("mode", mode)
+	reg := obs.Metrics(ctx)
+	reg.Counter(obs.MetricDecodePasses, "Decoder passes run, by format and mode.",
+		obs.Label{K: "format", V: format}, obs.Label{K: "mode", V: mode}).Inc()
+	start := time.Now()
+	return func(t *Trace, report *SalvageReport) {
+		reg.Histogram(obs.MetricDecodeDuration, "Trace decode duration in seconds.",
+			obs.DurationBuckets(), obs.Label{K: "format", V: format}).
+			Observe(time.Since(start).Seconds())
+		events, samples := 0, 0
+		for _, rd := range t.Ranks {
+			events += len(rd.Events)
+			samples += len(rd.Samples)
+		}
+		span.SetAttr("ranks", len(t.Ranks))
+		span.SetAttr("events", events)
+		span.SetAttr("samples", samples)
+		reg.Counter(obs.MetricRecordsDecoded, "Trace records (events and samples) decoded.").
+			Add(int64(events + samples))
+		if report == nil {
+			return
+		}
+		repairs := int64(0)
+		for _, p := range report.Problems {
+			repairs += int64(p.Count)
+		}
+		if repairs > 0 {
+			span.SetAttr("salvage_repairs", repairs)
+			reg.Counter(obs.MetricSalvageRepairs,
+				"Records repaired or cleared by salvage decoding.").Add(repairs)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
+	"phasefold/internal/obs"
 	"phasefold/internal/sim"
 )
 
@@ -138,6 +139,9 @@ func DecodeTextWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "decode")
+	defer span.End()
+	finish := startDecodePass(ctx, span, "text", opt)
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() {
@@ -353,6 +357,7 @@ func DecodeTextWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions)
 		if err := t.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("decoded text trace invalid: %w", err)
 		}
+		finish(t, nil)
 		return t, nil, nil
 	}
 	report := &SalvageReport{Err: firstBad, Events: len(events), Samples: len(samples)}
@@ -366,5 +371,6 @@ func DecodeTextWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions)
 	if err := t.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("salvaged trace still invalid: %w", err)
 	}
+	finish(t, report)
 	return t, report, nil
 }

@@ -29,10 +29,12 @@ package phasefold
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
 	"phasefold/internal/faults"
+	"phasefold/internal/obs"
 	"phasefold/internal/query"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
@@ -292,6 +294,67 @@ func DecodeTraceTextContext(ctx context.Context, r io.Reader, opt DecodeOptions)
 func DecodeTraceTextWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	return trace.DecodeTextWith(r, opt)
 }
+
+// Observability re-exports: stage spans, the metrics registry, structured
+// event logging, and per-run manifests. Attach any subset to the context
+// passed into AnalyzeContext (or the decoders) and the pipeline records
+// itself; with nothing attached every instrumentation point is a no-op.
+type (
+	// MetricsRegistry holds a run's counters, gauges, and histograms; export
+	// with WritePrometheus (text exposition format) or MarshalJSON.
+	MetricsRegistry = obs.Registry
+	// SpanRecorder collects the run's stage span trees.
+	SpanRecorder = obs.Recorder
+	// Span is one timed, attributed, possibly nested unit of pipeline work.
+	Span = obs.Span
+	// RunReport is the per-run manifest: options fingerprint, input sizes,
+	// stage durations, outcome, and diagnostics, serializable to JSON.
+	RunReport = obs.RunReport
+	// StageReport is the serialized form of one recorded span.
+	StageReport = obs.StageReport
+	// InputInfo describes one analyzed input in a RunReport.
+	InputInfo = obs.InputInfo
+	// Diag is the structured (kind, stage, detail) core of a Diagnostic —
+	// the shape to match on instead of parsing message strings.
+	Diag = core.Diag
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanRecorder returns an empty stage-span recorder.
+func NewSpanRecorder() *SpanRecorder { return obs.NewRecorder() }
+
+// WithTelemetry attaches a span recorder and a metrics registry to ctx;
+// either may be nil to enable only the other.
+func WithTelemetry(ctx context.Context, rec *SpanRecorder, reg *MetricsRegistry) context.Context {
+	return obs.WithTelemetry(ctx, rec, reg)
+}
+
+// WithLogger attaches a structured event logger (log/slog) to ctx; the
+// pipeline emits diagnostics, budget trims, salvage repairs, retries, and
+// recovered panics as typed events on it.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return obs.WithLogger(ctx, l)
+}
+
+// StartSpan opens a span nested under the context's current span (or as a
+// new root when none). It returns ctx unchanged and a nil (inert) span when
+// the context carries no SpanRecorder; the caller must End the span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFromContext(ctx) }
+
+// MetricsFromContext returns the metrics registry carried by ctx, or nil —
+// whose instruments are all inert.
+func MetricsFromContext(ctx context.Context) *MetricsRegistry { return obs.Metrics(ctx) }
+
+// Fingerprint returns a short stable hash of v's rendered value — the
+// options fingerprint recorded in run manifests.
+func Fingerprint(v any) string { return obs.Fingerprint(v) }
 
 // ParseFaults parses a fault-injection spec like "drop=0.2,skew=50us" into a
 // deterministic seeded chain; see KnownFaults for the registry.
