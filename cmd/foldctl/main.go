@@ -11,6 +11,19 @@
 //	foldctl -i suspect.pft -strict       # fail fast on any damage
 //	foldctl -batch 'traces/*.pft' -jobs 4 -job-timeout 30s -retries 1
 //	foldctl -i cg.pft -metrics metrics.prom -manifest run.json -log-level warn
+//	foldctl -i cg.pft -perfetto trace.json -flame flame.folded -snapshot phases.prom
+//	foldctl -i cg.pft -serve :8080              # interactive HTML report
+//	foldctl -batch 'traces/*.pft' -serve :8080  # live batch progress over SSE
+//
+// Exports render the finished model: -perfetto writes a Chrome
+// trace-event timeline (load it in ui.perfetto.dev), -flame writes folded
+// stacks for flamegraph.pl or speedscope (weighted by phase time, or by a
+// counter via -flame-weight), and -snapshot writes the per-phase metrics
+// in the OpenMetrics text format (or JSON with a .json path). -serve
+// renders the same results as an interactive HTML report — phase
+// timeline, sortable tables, artifact downloads — and, in batch mode,
+// streams per-job progress over SSE; every exported file is indexed in
+// the run manifest with its size.
 //
 // Observability is opt-in: -metrics writes the run's metrics in the
 // Prometheus text format at exit, -manifest writes a JSON run manifest
@@ -47,8 +60,11 @@ import (
 	"syscall"
 	"time"
 
+	"io"
+
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/export"
 	"phasefold/internal/obs"
 	"phasefold/internal/runner"
 	"phasefold/internal/sim"
@@ -87,6 +103,12 @@ func main() {
 		maxRecords   = flag.Int("max-records", 0, "resource budget: max records analyzed per trace (0 = unlimited)")
 		maxRanks     = flag.Int("max-ranks", 0, "resource budget: max ranks analyzed per trace (0 = unlimited)")
 		stageTimeout = flag.Duration("stage-timeout", 0, "resource budget: per-stage wall-clock allowance (0 = unlimited)")
+
+		perfettoOut = flag.String("perfetto", "", "write the phase timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		flameOut    = flag.String("flame", "", "write per-phase folded stacks for flamegraph.pl / speedscope")
+		flameWeight = flag.String("flame-weight", "", "flamegraph weight: a counter name (default: phase time)")
+		snapshotOut = flag.String("snapshot", "", "write the per-phase metrics snapshot (.json = JSON, else OpenMetrics text)")
+		serveAddr   = flag.String("serve", "", "serve the interactive HTML report (timeline, tables, artifacts, live batch progress) on this address until interrupted")
 
 		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
 		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
@@ -134,10 +156,29 @@ func main() {
 		return *format == "text" || (*format == "" && strings.HasSuffix(path, ".pftxt"))
 	}
 
+	var srv *export.Server
+	if *serveAddr != "" {
+		srv = export.NewServer()
+		srv.MountDebug(tel.DebugMux())
+		addr, serr := srv.ListenAndServe(*serveAddr)
+		if serr != nil {
+			fatal(exitUsage, serr)
+		}
+		fmt.Fprintf(os.Stderr, "foldctl: report server listening on http://%s\n", addr)
+	}
+
 	if *batch != "" {
-		code, outcome := runBatch(ctx, *batch, opt, dopt, isText, runner.Options{
-			Workers: *jobs, JobTimeout: *jobTimeout, Retries: *retries,
-		})
+		ropt := runner.Options{Workers: *jobs, JobTimeout: *jobTimeout, Retries: *retries}
+		if srv != nil {
+			ropt.Progress = srv.PublishJob
+		}
+		code, outcome := runBatch(ctx, *batch, opt, dopt, isText, ropt, srv)
+		if srv != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "foldctl: batch done; report server still serving (interrupt to stop)")
+			<-ctx.Done()
+			code = exitSignal
+		}
+		shutdownServer(srv)
 		finishTel(outcome)
 		os.Exit(code)
 	}
@@ -237,7 +278,38 @@ func main() {
 			}
 		}
 		fmt.Printf("\nwrote %s\n", *csvOut)
+		tel.RecordArtifact("csv", *csvOut)
 	}
+
+	// Exports render a stable view of the finished model; the view is built
+	// at most once, and only when an export surface was requested.
+	var view *core.ExportView
+	getView := func() *core.ExportView {
+		if view == nil {
+			view = model.Export(tr)
+		}
+		return view
+	}
+	if *perfettoOut != "" {
+		writeExport(*perfettoOut, "perfetto", func(w io.Writer) error {
+			return export.WritePerfetto(w, getView())
+		})
+	}
+	if *flameOut != "" {
+		writeExport(*flameOut, "flamegraph", func(w io.Writer) error {
+			return export.WriteFlamegraph(w, getView(), *flameWeight)
+		})
+	}
+	if *snapshotOut != "" {
+		write, kind := export.WriteOpenMetrics, "snapshot"
+		if strings.HasSuffix(*snapshotOut, ".json") {
+			write, kind = export.WriteSnapshotJSON, "snapshot-json"
+		}
+		writeExport(*snapshotOut, kind, func(w io.Writer) error {
+			return write(w, getView())
+		})
+	}
+
 	if tel != nil {
 		for _, d := range model.Diagnostics {
 			tel.Report.Diagnostics = append(tel.Report.Diagnostics, d.String())
@@ -247,7 +319,45 @@ func main() {
 	if model.Degraded() {
 		outcome = "degraded"
 	}
+	if srv != nil {
+		srv.SetView(getView())
+		fmt.Fprintln(os.Stderr, "foldctl: report ready; interrupt to stop serving")
+		<-ctx.Done()
+		shutdownServer(srv)
+		finishTel(outcome)
+		os.Exit(exitSignal)
+	}
 	finishTel(outcome)
+}
+
+// writeExport writes one export artifact, records it in the manifest, and
+// confirms it on stdout. Export failures are analysis failures: the model
+// is fine but the requested output could not be produced.
+func writeExport(path, kind string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(exitAnalysis, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(exitAnalysis, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(exitAnalysis, err)
+	}
+	tel.RecordArtifact(kind, path)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// shutdownServer drains the report server with a short grace period; a nil
+// server is a no-op.
+func shutdownServer(srv *export.Server) {
+	if srv == nil {
+		return
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
 }
 
 // tel is the run's telemetry session (nil unless requested); it lives at
@@ -266,7 +376,7 @@ func finishTel(outcome string) {
 // prints the batch summary table. Cancellation (SIGINT/SIGTERM) still prints
 // the partial summary before exiting 130. The second return is the outcome
 // recorded in the run manifest: the per-outcome tally, or "interrupted".
-func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.DecodeOptions, isText func(string) bool, ropt runner.Options) (int, string) {
+func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.DecodeOptions, isText func(string) bool, ropt runner.Options, srv *export.Server) (int, string) {
 	files, err := filepath.Glob(pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foldctl:", err)
@@ -281,7 +391,7 @@ func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.
 	for i, path := range files {
 		path := path
 		rjobs[i] = runner.Job{Name: path, Run: func(jctx context.Context) (string, bool, error) {
-			return analyzeOne(jctx, path, opt, dopt, isText(path))
+			return analyzeOne(jctx, path, opt, dopt, isText(path), srv)
 		}}
 	}
 	sum := runner.Run(ctx, rjobs, ropt)
@@ -308,8 +418,9 @@ func runBatch(ctx context.Context, pattern string, opt core.Options, dopt trace.
 }
 
 // analyzeOne is the batch job body: decode one file and analyze it, honoring
-// the job's context for timeout and cancellation.
-func analyzeOne(ctx context.Context, path string, opt core.Options, dopt trace.DecodeOptions, text bool) (string, bool, error) {
+// the job's context for timeout and cancellation. With a report server, the
+// finished model becomes the served view (last completed job wins).
+func analyzeOne(ctx context.Context, path string, opt core.Options, dopt trace.DecodeOptions, text bool, srv *export.Server) (string, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -333,6 +444,9 @@ func analyzeOne(ctx context.Context, path string, opt core.Options, dopt trace.D
 	model, err := core.AnalyzeContext(ctx, tr, opt)
 	if err != nil {
 		return "", false, err
+	}
+	if srv != nil {
+		srv.SetView(model.Export(tr))
 	}
 	detail := fmt.Sprintf("%d clusters, %d bursts", model.NumClusters, model.NumBursts)
 	degraded := model.Degraded()

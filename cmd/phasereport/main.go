@@ -11,7 +11,15 @@
 //	phasereport -i cg.pft            # report on a trace file instead
 //	phasereport -i damaged.pft -salvage
 //	phasereport -i suspect.pft -strict
+//	phasereport -i cg.pft -perfetto trace.json -flame flame.folded
+//	phasereport -i cg.pft -serve :8080   # interactive HTML report
 //	phasereport -metrics metrics.prom -manifest run.json -log-level warn
+//
+// With -i, the export flags match foldctl's: -perfetto writes a Chrome
+// trace-event timeline, -flame writes folded flamegraph stacks, -snapshot
+// writes the per-phase OpenMetrics snapshot, and -serve renders the
+// interactive HTML report until interrupted. Exported files are indexed
+// in the run manifest.
 //
 // The observability flags match foldctl's: -metrics writes the Prometheus
 // text exposition at exit, -manifest writes the JSON run manifest,
@@ -28,15 +36,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"phasefold/internal/core"
 	"phasefold/internal/experiments"
+	"phasefold/internal/export"
 	"phasefold/internal/obs"
 	"phasefold/internal/trace"
 )
@@ -51,6 +62,12 @@ func main() {
 		in      = flag.String("i", "", "report on a trace file instead of running experiments")
 		strict  = flag.Bool("strict", false, "with -i: fail fast on any damage instead of repairing and reporting")
 		salvage = flag.Bool("salvage", false, "with -i: recover what a truncated or corrupt trace file still holds")
+
+		perfettoOut = flag.String("perfetto", "", "with -i: write the phase timeline as Chrome trace-event JSON")
+		flameOut    = flag.String("flame", "", "with -i: write per-phase folded stacks for flamegraph.pl / speedscope")
+		flameWeight = flag.String("flame-weight", "", "flamegraph weight: a counter name (default: phase time)")
+		snapshotOut = flag.String("snapshot", "", "with -i: write the per-phase metrics snapshot (.json = JSON, else OpenMetrics text)")
+		serveAddr   = flag.String("serve", "", "with -i: serve the interactive HTML report on this address until interrupted")
 
 		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
 		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
@@ -82,9 +99,17 @@ func main() {
 	}
 
 	if *in != "" {
-		reportTrace(ctx, *in, *strict, *salvage)
+		reportTrace(ctx, *in, *strict, *salvage, exportFlags{
+			perfetto: *perfettoOut, flame: *flameOut, flameWeight: *flameWeight,
+			snapshot: *snapshotOut, serve: *serveAddr,
+		})
 		finishTel("ok")
 		return
+	}
+	for _, f := range []string{*perfettoOut, *flameOut, *snapshotOut, *serveAddr} {
+		if f != "" {
+			fatal(errors.New("export flags (-perfetto, -flame, -snapshot, -serve) require -i"))
+		}
 	}
 
 	var runners []experiments.Runner
@@ -164,9 +189,15 @@ func finishTel(outcome string) {
 	}
 }
 
+// exportFlags carries the -i mode export surfaces into reportTrace.
+type exportFlags struct {
+	perfetto, flame, flameWeight, snapshot, serve string
+}
+
 // reportTrace decodes one trace file — honoring -strict/-salvage exactly
-// like foldctl — and renders the standard model report.
-func reportTrace(ctx context.Context, path string, strict, salvage bool) {
+// like foldctl — and renders the standard model report plus any requested
+// exports.
+func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exportFlags) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -225,6 +256,67 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool) {
 	if err := model.WriteReport(os.Stdout); err != nil {
 		fatal(err)
 	}
+
+	var view *core.ExportView
+	getView := func() *core.ExportView {
+		if view == nil {
+			view = model.Export(tr)
+		}
+		return view
+	}
+	if exp.perfetto != "" {
+		writeExport(exp.perfetto, "perfetto", func(w io.Writer) error {
+			return export.WritePerfetto(w, getView())
+		})
+	}
+	if exp.flame != "" {
+		writeExport(exp.flame, "flamegraph", func(w io.Writer) error {
+			return export.WriteFlamegraph(w, getView(), exp.flameWeight)
+		})
+	}
+	if exp.snapshot != "" {
+		write, kind := export.WriteOpenMetrics, "snapshot"
+		if strings.HasSuffix(exp.snapshot, ".json") {
+			write, kind = export.WriteSnapshotJSON, "snapshot-json"
+		}
+		writeExport(exp.snapshot, kind, func(w io.Writer) error {
+			return write(w, getView())
+		})
+	}
+	if exp.serve != "" {
+		srv := export.NewServer()
+		srv.SetView(getView())
+		srv.MountDebug(tel.DebugMux())
+		addr, err := srv.ListenAndServe(exp.serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phasereport: report server listening on http://%s (interrupt to stop)\n", addr)
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(sctx)
+		cancel()
+		finishTel("ok")
+		os.Exit(exitSignal)
+	}
+}
+
+// writeExport writes one export artifact, records it in the run manifest,
+// and confirms it on stdout.
+func writeExport(path, kind string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	tel.RecordArtifact(kind, path)
+	fmt.Printf("wrote %s\n", path)
 }
 
 func canceled(err error) bool {

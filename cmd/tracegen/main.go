@@ -8,6 +8,7 @@
 //	tracegen -app multiphase -format text -o trace.pftxt
 //	tracegen -faults "drop=0.2,skew=50us" -o damaged.pft
 //	tracegen -faults "chop=0.3" -fault-seed 7 -o truncated.pft
+//	tracegen -o cg.pft -manifest gen.json   # manifest indexes the trace as an artifact
 //	tracegen -list
 package main
 
@@ -51,6 +52,7 @@ func main() {
 		listF     = flag.Bool("list-faults", false, "list available fault classes and exit")
 		list      = flag.Bool("list", false, "list available applications and exit")
 		logLevel  = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
+		manifest  = flag.String("manifest", "", "write the run manifest (JSON, with the generated trace indexed as an artifact) to this file at exit")
 	)
 	flag.Parse()
 
@@ -83,6 +85,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, tel, err = obs.Config{ManifestPath: *manifest, Tool: "tracegen"}.Init(ctx)
+	if err != nil {
+		fatal(err)
+	}
 	opt := core.DefaultOptions()
 	opt.SamplingPeriod = sim.Duration(*period)
 	opt.SamplingJitter = *jitter
@@ -92,6 +98,10 @@ func main() {
 		opt.Schedule = counters.NewSchedule(counters.DefaultGroups())
 	}
 	cfg := simapp.Config{Ranks: *ranks, Iterations: *iters, Seed: *seed, FreqGHz: *freq}
+	if tel != nil {
+		tel.Report.App = *appName
+		tel.Report.OptionsFingerprint = obs.Fingerprint(cfg)
+	}
 	log.Info("simulating", "app", *appName, "ranks", *ranks, "iters", *iters, "seed", *seed)
 	run, err := core.RunApp(app, cfg, opt)
 	if err != nil {
@@ -105,6 +115,7 @@ func main() {
 	// a half-written trace is worse than none.
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "tracegen: interrupted; no output written")
+		finishTel("interrupted")
 		os.Exit(130)
 	}
 	f, err := os.Create(*out)
@@ -137,9 +148,25 @@ func main() {
 	if !chain.Empty() {
 		fmt.Printf("injected faults: %s (seed %d)\n", chain, *faultSeed)
 	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	tel.RecordArtifact("trace", *out)
+	finishTel("ok")
+}
+
+// tel is the run's telemetry session (nil unless -manifest was given);
+// package level so fatal can seal the manifest on every exit path.
+var tel *obs.Session
+
+func finishTel(outcome string) {
+	if err := tel.Finish(outcome); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: telemetry:", err)
+	}
 }
 
 func fatal(err error) {
+	finishTel("error")
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/counters"
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// ExportView is the stable, serialization-friendly projection of a Model:
+// every internal identifier (routine ids, interned stacks, counter/metric
+// enums) resolved to strings, every slice ordered deterministically. It is
+// the contract the export formats (Perfetto timelines, folded flamegraphs,
+// metric snapshots, the report server) render from, so they never reach
+// back into pipeline internals and stay insulated from Model refactors.
+type ExportView struct {
+	// App names the analyzed application; Ranks is the trace's rank count.
+	App   string
+	Ranks int
+	// End is the latest burst end — the timeline's right edge.
+	End sim.Time
+	// TotalComputation, SPMD, and the burst tallies mirror the Model
+	// headline figures.
+	TotalComputation sim.Duration
+	SPMD             float64
+	NumBursts        int
+	NumClusters      int
+	NoiseBursts      int
+	// Clusters is ordered by descending total time (the Model's triage
+	// order); Bursts by (rank, start).
+	Clusters []ExportCluster
+	Bursts   []ExportBurst
+	// Diagnostics are the absorbed faults, stringified in Model order.
+	Diagnostics []ExportDiag
+}
+
+// ExportBurst is one labelled computation burst on the timeline.
+type ExportBurst struct {
+	Rank    int32
+	Start   sim.Time
+	End     sim.Time
+	Cluster int // -1 for noise
+	Region  int64
+	Iter    int64
+}
+
+// ExportCluster is the flattened analysis of one cluster.
+type ExportCluster struct {
+	Label         int
+	Region        int64
+	Size          int
+	TotalTime     sim.Duration
+	MedianDur     sim.Duration
+	RepDuration   sim.Duration
+	MeanIPC       float64
+	Quality       string
+	QualityReason string
+	Fitted        bool
+	// Phases are the detected phases in time order (empty when unfitted).
+	Phases []ExportPhase
+	// Stacks is the folded call-stack timeline with frames rendered
+	// outermost→leaf (the leaf carries its source line); sorted by X.
+	Stacks []ExportStack
+	// CounterTotals holds the representative per-burst counter deltas for
+	// every captured counter, in counter-id order — the per-metric
+	// flamegraph weights.
+	CounterTotals []ExportCounterTotal
+}
+
+// ExportPhase is one detected phase with resolved attribution and metrics.
+type ExportPhase struct {
+	Index    int
+	X0, X1   float64
+	Duration sim.Duration
+	// Source is the attributed construct ("" when unattributed); Share its
+	// dominance; Samples the folded stack samples behind it.
+	Source  string
+	Share   float64
+	Samples int
+	// Metrics holds the computable derived metrics (MIPS, IPC, ...) by
+	// name, in metric-id order.
+	Metrics []ExportValue
+}
+
+// ExportStack is one folded stack sample at normalized time X.
+type ExportStack struct {
+	X      float64
+	Frames []string
+}
+
+// ExportCounterTotal is one captured counter's representative total delta.
+type ExportCounterTotal struct {
+	Counter string
+	Total   int64
+}
+
+// ExportValue is a named numeric value.
+type ExportValue struct {
+	Name  string
+	Value float64
+}
+
+// ExportDiag is one stringified diagnostic.
+type ExportDiag struct {
+	Severity string
+	Stage    string
+	Message  string
+}
+
+// Export builds the stable export view of the model. tr must be the trace
+// the model was analyzed from (it supplies the rank count, symbol table,
+// and interned stacks); a nil tr yields a view without rank count, stack
+// frames, or attribution-independent extras, which still renders timelines
+// and metric snapshots.
+func (m *Model) Export(tr *trace.Trace) *ExportView {
+	v := &ExportView{
+		App:              m.App,
+		TotalComputation: m.TotalComputation,
+		SPMD:             m.SPMDScore,
+		NumBursts:        m.NumBursts,
+		NumClusters:      m.NumClusters,
+		NoiseBursts:      m.NoiseBursts,
+	}
+	var syms *callstack.SymbolTable
+	var stacks *callstack.Interner
+	if tr != nil {
+		v.Ranks = tr.NumRanks()
+		syms = tr.Symbols
+		stacks = tr.Stacks
+	}
+	v.Bursts = make([]ExportBurst, 0, len(m.Bursts))
+	for i := range m.Bursts {
+		b := &m.Bursts[i]
+		if b.End > v.End {
+			v.End = b.End
+		}
+		if int(b.Rank)+1 > v.Ranks {
+			v.Ranks = int(b.Rank) + 1
+		}
+		cl := b.Cluster
+		if cl < 0 {
+			cl = -1
+		}
+		v.Bursts = append(v.Bursts, ExportBurst{
+			Rank: b.Rank, Start: b.Start, End: b.End,
+			Cluster: cl, Region: b.Region, Iter: b.Iter,
+		})
+	}
+	sort.Slice(v.Bursts, func(i, j int) bool {
+		if v.Bursts[i].Rank != v.Bursts[j].Rank {
+			return v.Bursts[i].Rank < v.Bursts[j].Rank
+		}
+		return v.Bursts[i].Start < v.Bursts[j].Start
+	})
+	for _, ca := range m.Clusters {
+		v.Clusters = append(v.Clusters, exportCluster(ca, syms, stacks))
+	}
+	for _, d := range m.Diagnostics {
+		v.Diagnostics = append(v.Diagnostics, ExportDiag{
+			Severity: d.Severity.String(),
+			Stage:    d.Stage,
+			Message:  d.Message,
+		})
+	}
+	return v
+}
+
+func exportCluster(ca *ClusterAnalysis, syms *callstack.SymbolTable, stacks *callstack.Interner) ExportCluster {
+	ec := ExportCluster{
+		Label:         ca.Label,
+		Region:        ca.Stat.Region,
+		Size:          ca.Stat.Size,
+		TotalTime:     ca.Stat.TotalTime,
+		MedianDur:     ca.Stat.MedianDur,
+		MeanIPC:       ca.Stat.MeanIPC,
+		Quality:       ca.Quality.String(),
+		QualityReason: ca.QualityReason,
+		Fitted:        ca.Fit != nil,
+	}
+	if ca.Folded != nil {
+		ec.RepDuration = ca.Folded.RepDuration
+		for id := counters.ID(0); id < counters.NumIDs; id++ {
+			if total, ok := ca.Folded.TotalDelta.Get(id); ok {
+				ec.CounterTotals = append(ec.CounterTotals, ExportCounterTotal{
+					Counter: id.String(), Total: total,
+				})
+			}
+		}
+		if stacks != nil {
+			ec.Stacks = make([]ExportStack, 0, len(ca.Folded.Stacks))
+			for _, ss := range ca.Folded.Stacks {
+				st, ok := stacks.Get(ss.Stack)
+				if !ok || len(st) == 0 {
+					continue
+				}
+				ec.Stacks = append(ec.Stacks, ExportStack{X: ss.X, Frames: renderFrames(st, syms)})
+			}
+		}
+	}
+	for i := range ca.Phases {
+		ph := &ca.Phases[i]
+		ep := ExportPhase{
+			Index: i, X0: ph.X0, X1: ph.X1, Duration: ph.Duration,
+		}
+		if ph.Attributed {
+			ep.Source = ph.Source
+			ep.Share = ph.Attribution.Share
+			ep.Samples = ph.Attribution.Samples
+		}
+		for mid := counters.Metric(0); mid < counters.NumMetrics; mid++ {
+			if ph.MetricsOK[mid] {
+				ep.Metrics = append(ep.Metrics, ExportValue{Name: mid.String(), Value: ph.Metrics[mid]})
+			}
+		}
+		ec.Phases = append(ec.Phases, ep)
+	}
+	return ec
+}
+
+// renderFrames formats a stack outermost→leaf: callers by routine name,
+// the leaf as "routine:line" (the construct the sample executed).
+func renderFrames(st callstack.Stack, syms *callstack.SymbolTable) []string {
+	out := make([]string, len(st))
+	for i, f := range st {
+		name := "??"
+		if syms != nil {
+			if r, ok := syms.Lookup(f.Routine); ok {
+				name = r.Name
+			}
+		}
+		if i == len(st)-1 {
+			out[i] = fmt.Sprintf("%s:%d", name, f.Line)
+		} else {
+			out[i] = name
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"phasefold/internal/simapp"
+)
+
+// TestModelExport checks the stable export view against the model it was
+// built from: headline figures mirrored, bursts ordered, identifiers
+// resolved to strings, and stacks rendered outermost→leaf.
+func TestModelExport(t *testing.T) {
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
+	model, run, err := AnalyzeApp(app, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := model.Export(run.Trace)
+
+	if v.App != model.App {
+		t.Errorf("App = %q, want %q", v.App, model.App)
+	}
+	if v.Ranks != run.Trace.NumRanks() {
+		t.Errorf("Ranks = %d, want %d", v.Ranks, run.Trace.NumRanks())
+	}
+	if v.NumBursts != model.NumBursts || len(v.Bursts) != model.NumBursts {
+		t.Errorf("bursts: view %d/%d, model %d", v.NumBursts, len(v.Bursts), model.NumBursts)
+	}
+	if len(v.Clusters) != len(model.Clusters) {
+		t.Fatalf("clusters: view %d, model %d", len(v.Clusters), len(model.Clusters))
+	}
+	if v.SPMD != model.SPMDScore || v.TotalComputation != model.TotalComputation {
+		t.Errorf("headline figures differ: %v/%v vs %v/%v",
+			v.SPMD, v.TotalComputation, model.SPMDScore, model.TotalComputation)
+	}
+
+	for i := 1; i < len(v.Bursts); i++ {
+		a, b := v.Bursts[i-1], v.Bursts[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Start > b.Start) {
+			t.Fatalf("bursts not ordered by (rank, start) at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, b := range v.Bursts {
+		if b.End > v.End {
+			t.Errorf("burst end %v past view End %v", b.End, v.End)
+		}
+		if b.Cluster < -1 {
+			t.Errorf("burst cluster %d: noise must be normalized to -1", b.Cluster)
+		}
+		if int(b.Rank) >= v.Ranks {
+			t.Errorf("burst rank %d outside Ranks=%d", b.Rank, v.Ranks)
+		}
+	}
+
+	var sawFit, sawMetric, sawStack, sawAttr bool
+	for _, c := range v.Clusters {
+		if c.Quality == "" {
+			t.Errorf("cluster %d: empty quality string", c.Label)
+		}
+		if !c.Fitted {
+			continue
+		}
+		sawFit = true
+		if len(c.Phases) == 0 {
+			t.Errorf("fitted cluster %d has no phases", c.Label)
+		}
+		for _, p := range c.Phases {
+			if p.X1 <= p.X0 {
+				t.Errorf("cluster %d phase %d: degenerate [%v,%v]", c.Label, p.Index, p.X0, p.X1)
+			}
+			for _, m := range p.Metrics {
+				if m.Name == "" {
+					t.Errorf("cluster %d phase %d: unnamed metric", c.Label, p.Index)
+				}
+				sawMetric = true
+			}
+			if p.Source != "" {
+				sawAttr = true
+			}
+		}
+		for _, s := range c.Stacks {
+			if len(s.Frames) == 0 {
+				t.Errorf("cluster %d: empty stack frames", c.Label)
+			}
+			leaf := s.Frames[len(s.Frames)-1]
+			if !strings.Contains(leaf, ":") {
+				t.Errorf("cluster %d: leaf %q lacks the :line suffix", c.Label, leaf)
+			}
+			sawStack = true
+		}
+	}
+	if !sawFit {
+		t.Error("no fitted cluster in the multiphase fixture")
+	}
+	if !sawMetric {
+		t.Error("no per-phase metrics exported")
+	}
+	if !sawStack {
+		t.Error("no folded stacks exported")
+	}
+	if !sawAttr {
+		t.Error("no phase attribution exported")
+	}
+}
+
+// TestModelExportNilTrace: exporting without the trace still yields a
+// renderable view — ranks derived from the bursts, no stacks.
+func TestModelExportNilTrace(t *testing.T) {
+	app, err := simapp.NewApp("multiphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
+	model, _, err := AnalyzeApp(app, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := model.Export(nil)
+	if v.Ranks != 2 {
+		t.Errorf("Ranks = %d, want 2 (derived from bursts)", v.Ranks)
+	}
+	for _, c := range v.Clusters {
+		if len(c.Stacks) != 0 {
+			t.Errorf("cluster %d: stacks rendered without an interner", c.Label)
+		}
+	}
+}

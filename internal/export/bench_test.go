@@ -1,0 +1,55 @@
+package export
+
+import (
+	"io"
+	"testing"
+
+	"phasefold/internal/core"
+)
+
+// The benchmark pair mirrors the obs on/off pair: BenchmarkAnalyzeNoExport
+// is the pipeline alone, BenchmarkAnalyzeWithExports adds the full export
+// surface (view + all three formats). Exporting is strictly post-analysis,
+// so the "no export" run must not pay anything for the export layer's
+// existence; compare the two to see what exporting itself costs.
+func BenchmarkAnalyzeNoExport(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(fixTrace, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeWithExports(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Analyze(fixTrace, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := m.Export(fixTrace)
+		if err := WritePerfetto(io.Discard, v); err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteFlamegraph(io.Discard, v, WeightTime); err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteOpenMetrics(io.Discard, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExportView isolates the view construction.
+func BenchmarkExportView(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := fixModel.Export(fixTrace); v == nil {
+			b.Fatal("nil view")
+		}
+	}
+}

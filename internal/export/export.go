@@ -1,0 +1,21 @@
+// Package export renders analysis results (core.ExportView) into standard
+// observability formats, so the phase structure the pipeline recovers can
+// be consumed by industry tooling instead of only ASCII reports:
+//
+//   - Chrome trace-event / Perfetto JSON timelines (WritePerfetto): phases
+//     and bursts as duration events per rank, the folded representative
+//     burst of each cluster as a synthetic track, diagnostics as instant
+//     events — loadable directly in ui.perfetto.dev or chrome://tracing.
+//   - Brendan Gregg folded-stack flamegraph output (WriteFlamegraph),
+//     driven by the call-stack attribution: one line per distinct stack,
+//     weighted by wall-clock time or by any captured counter.
+//   - OpenMetrics/JSON per-phase metric snapshots (Snapshot), built on the
+//     obs registry so naming composes with the pipeline's self-telemetry.
+//   - An embedded HTML report server (Server) with an interactive phase
+//     timeline, sortable tables, artifact downloads, and SSE push of batch
+//     progress — stdlib net/http + html/template only.
+//
+// Everything here is strictly post-analysis: nothing in this package runs,
+// allocates, or starts goroutines unless an export is explicitly requested,
+// so the analyze path is untouched when exports are off.
+package export

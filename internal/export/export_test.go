@@ -1,0 +1,68 @@
+package export
+
+import (
+	"sync"
+	"testing"
+
+	"phasefold/internal/core"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// The quickstart-style fixture every export test renders: one analyzed
+// multiphase run, built once per test binary.
+var (
+	fixOnce  sync.Once
+	fixView  *core.ExportView
+	fixModel *core.Model
+	fixTrace *trace.Trace
+	fixErr   error
+)
+
+func fixture(t testing.TB) *core.ExportView {
+	t.Helper()
+	fixOnce.Do(func() {
+		app, err := simapp.NewApp("multiphase")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
+		model, run, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixModel, fixTrace = model, run.Trace
+		fixView = model.Export(run.Trace)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixView
+}
+
+// syntheticView is a tiny hand-built view with known numbers, for golden
+// (byte-exact) format tests.
+func syntheticView() *core.ExportView {
+	return &core.ExportView{
+		App:   "app",
+		Ranks: 1,
+		Clusters: []core.ExportCluster{
+			{
+				Label:     0,
+				Size:      2,
+				TotalTime: 100,
+				Stacks: []core.ExportStack{
+					{X: 0.1, Frames: []string{"main", "compute:10"}},
+					{X: 0.5, Frames: []string{"main", "compute:20"}},
+					{X: 0.9, Frames: []string{"main", "compute:10"}},
+				},
+				CounterTotals: []core.ExportCounterTotal{
+					{Counter: "instructions", Total: 7},
+				},
+			},
+			{Label: 1, Size: 1, TotalTime: 11},
+		},
+	}
+}

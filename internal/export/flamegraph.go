@@ -1,0 +1,100 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"phasefold/internal/core"
+)
+
+// WeightTime selects wall-clock weighting for WriteFlamegraph: each
+// cluster's total computation time, in nanoseconds, distributed over its
+// folded stack samples.
+const WeightTime = ""
+
+// WriteFlamegraph renders the view's folded call stacks in Brendan Gregg's
+// folded-stack format — one "frame;frame;...;leaf weight" line per distinct
+// stack, ready for flamegraph.pl, inferno, or speedscope.
+//
+// weight selects the profile: WeightTime weights by wall-clock time (every
+// line's weight is in nanoseconds and the weights sum exactly to the summed
+// cluster computation time), or a captured counter's name (e.g.
+// "instructions") to weight by that counter's representative per-burst
+// total scaled by cluster size. Stacks are rooted at the app name followed
+// by a cluster frame, so per-cluster subtrees stay separable in the graph.
+// A cluster without stack samples contributes a single "[no stacks]" line
+// carrying its whole weight, keeping the total exact. Output lines are
+// sorted lexicographically; the rendering is deterministic for a view.
+func WriteFlamegraph(w io.Writer, v *core.ExportView, weight string) error {
+	acc := make(map[string]int64)
+	for i := range v.Clusters {
+		c := &v.Clusters[i]
+		total, ok := clusterWeight(c, weight)
+		if !ok {
+			continue // counter never captured for this cluster
+		}
+		root := fmt.Sprintf("%s;cluster_%d", v.App, c.Label)
+		if len(c.Stacks) == 0 {
+			if total > 0 {
+				acc[root+";[no stacks]"] += total
+			}
+			continue
+		}
+		// Partition the cluster weight across its samples exactly: sample i
+		// gets floor(T·(i+1)/n) − floor(T·i/n), which telescopes to T.
+		n := int64(len(c.Stacks))
+		for si := range c.Stacks {
+			i64 := int64(si)
+			share := total*(i64+1)/n - total*i64/n
+			if share == 0 {
+				continue
+			}
+			acc[root+";"+strings.Join(c.Stacks[si].Frames, ";")] += share
+		}
+	}
+	lines := make([]string, 0, len(acc))
+	for stack, n := range acc {
+		lines = append(lines, fmt.Sprintf("%s %d", stack, n))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterWeight returns the total weight of one cluster under the selected
+// profile. Time weighting always succeeds; counter weighting fails for
+// clusters that never captured the counter.
+func clusterWeight(c *core.ExportCluster, weight string) (int64, bool) {
+	if weight == WeightTime {
+		return int64(c.TotalTime), true
+	}
+	for _, ct := range c.CounterTotals {
+		if ct.Counter == weight {
+			return ct.Total * int64(c.Size), true
+		}
+	}
+	return 0, false
+}
+
+// FlamegraphWeights lists the weighting profiles available for a view:
+// WeightTime plus every counter captured by at least one cluster.
+func FlamegraphWeights(v *core.ExportView) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for i := range v.Clusters {
+		for _, ct := range v.Clusters[i].CounterTotals {
+			if !seen[ct.Counter] {
+				seen[ct.Counter] = true
+				names = append(names, ct.Counter)
+			}
+		}
+	}
+	sort.Strings(names)
+	return append([]string{WeightTime}, names...)
+}

@@ -1,0 +1,106 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWriteFlamegraphGolden pins the folded-stack rendering byte-for-byte
+// on a hand-built view: exact integer weight partition (100 over 3 samples
+// = 33+33+34), stack merging, the cluster_N root frames, the [no stacks]
+// synthetic frame, and lexicographic line order.
+func TestWriteFlamegraphGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlamegraph(&buf, syntheticView(), WeightTime); err != nil {
+		t.Fatal(err)
+	}
+	want := "app;cluster_0;main;compute:10 67\n" +
+		"app;cluster_0;main;compute:20 33\n" +
+		"app;cluster_1;[no stacks] 11\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestWriteFlamegraphCounterWeight pins the counter-weighted rendering:
+// weight = representative total × cluster size (7×2 = 14 over 3 samples),
+// and clusters without the counter are dropped entirely.
+func TestWriteFlamegraphCounterWeight(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlamegraph(&buf, syntheticView(), "instructions"); err != nil {
+		t.Fatal(err)
+	}
+	want := "app;cluster_0;main;compute:10 9\n" +
+		"app;cluster_0;main;compute:20 5\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestFlamegraphWeightsSumExact: on the real fixture, the time-weighted
+// line weights sum exactly to the summed cluster computation time — no
+// rounding drift, however the samples divide.
+func TestFlamegraphWeightsSumExact(t *testing.T) {
+	v := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteFlamegraph(&buf, v, WeightTime); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad weight in %q: %v", line, err)
+		}
+		if n <= 0 {
+			t.Errorf("non-positive weight in %q", line)
+		}
+		if !strings.HasPrefix(line, v.App+";cluster_") {
+			t.Errorf("line %q not rooted at app;cluster_N", line)
+		}
+		got += n
+	}
+	var want int64
+	for _, c := range v.Clusters {
+		want += int64(c.TotalTime)
+	}
+	if got != want {
+		t.Errorf("weights sum to %d, want exactly %d", got, want)
+	}
+}
+
+// TestFlamegraphWeights: the available profiles are time plus every
+// captured counter, and each one renders.
+func TestFlamegraphWeights(t *testing.T) {
+	v := fixture(t)
+	weights := FlamegraphWeights(v)
+	if len(weights) < 2 || weights[0] != WeightTime {
+		t.Fatalf("weights = %q, want time plus counters", weights)
+	}
+	seen := make(map[string]bool)
+	for _, w := range weights {
+		if seen[w] {
+			t.Errorf("duplicate weight %q", w)
+		}
+		seen[w] = true
+		var buf bytes.Buffer
+		if err := WriteFlamegraph(&buf, v, w); err != nil {
+			t.Errorf("weight %q: %v", w, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("weight %q: empty profile", w)
+		}
+	}
+	if !seen["PAPI_TOT_INS"] {
+		t.Errorf("weights %q missing the instructions counter", weights)
+	}
+}

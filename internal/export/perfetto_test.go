@@ -1,0 +1,168 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// decodedTrace mirrors the subset of the Chrome trace-event schema the
+// tests verify.
+type decodedTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		Ts   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Cat  string          `json:"cat"`
+		S    string          `json:"s"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWritePerfettoDeterministic: two renders of the same view are
+// byte-for-byte identical — the property the CI golden artifacts rely on.
+func TestWritePerfettoDeterministic(t *testing.T) {
+	v := fixture(t)
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same view differ")
+	}
+}
+
+// TestWritePerfettoSchema validates the trace-event schema: the time unit,
+// the event types and their required fields, the fixed pid layout, and
+// that every track's complete events are monotonic and non-overlapping.
+func TestWritePerfettoSchema(t *testing.T) {
+	v := fixture(t)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	var dec decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &dec); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if dec.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", dec.DisplayTimeUnit)
+	}
+	if len(dec.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	type track struct{ pid, tid int }
+	complete := make(map[track][][2]float64) // [ts, ts+dur] per track
+	sawMeta, sawBurst, sawPhase, sawFolded := false, false, false, false
+	inEvents := true
+	for i, e := range dec.TraceEvents {
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+			if !inEvents {
+				t.Errorf("event %d: metadata after non-metadata events", i)
+			}
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Errorf("event %d: unexpected metadata %q", i, e.Name)
+			}
+		case "X":
+			inEvents = false
+			if e.Name == "" {
+				t.Errorf("event %d: complete event without a name", i)
+			}
+			if e.Dur < 0 {
+				t.Errorf("event %d: negative dur %v", i, e.Dur)
+			}
+			complete[track{e.Pid, e.Tid}] = append(complete[track{e.Pid, e.Tid}], [2]float64{e.Ts, e.Ts + e.Dur})
+			switch e.Cat {
+			case "burst":
+				sawBurst = true
+				if e.Pid != pidRanks {
+					t.Errorf("event %d: burst on pid %d, want %d", i, e.Pid, pidRanks)
+				}
+				if e.Tid < 0 || e.Tid >= v.Ranks {
+					t.Errorf("event %d: burst tid %d outside rank range", i, e.Tid)
+				}
+			case "phase":
+				sawPhase = true
+				if e.Pid != pidPhases {
+					t.Errorf("event %d: phase on pid %d, want %d", i, e.Pid, pidPhases)
+				}
+			case "folded":
+				sawFolded = true
+				if e.Pid != pidClusters {
+					t.Errorf("event %d: folded on pid %d, want %d", i, e.Pid, pidClusters)
+				}
+			default:
+				t.Errorf("event %d: complete event with cat %q", i, e.Cat)
+			}
+		case "i":
+			inEvents = false
+			if e.S != "g" {
+				t.Errorf("event %d: instant scope %q, want g", i, e.S)
+			}
+			if e.Pid != pidDiagnostics {
+				t.Errorf("event %d: instant on pid %d, want %d", i, e.Pid, pidDiagnostics)
+			}
+		default:
+			t.Errorf("event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	if !sawMeta || !sawBurst || !sawPhase || !sawFolded {
+		t.Errorf("missing event kinds: meta=%v burst=%v phase=%v folded=%v",
+			sawMeta, sawBurst, sawPhase, sawFolded)
+	}
+
+	// Per-track events must read monotonically without overlap (a sliver of
+	// float tolerance: breakpoints are exact but scaling is float math).
+	const eps = 1e-6
+	for tr, spans := range complete {
+		if !sort.SliceIsSorted(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] }) {
+			t.Errorf("track %+v: events not sorted by ts", tr)
+			continue
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i][0] < spans[i-1][1]-eps {
+				t.Errorf("track %+v: event %d (ts %v) overlaps previous (ends %v)",
+					tr, i, spans[i][0], spans[i-1][1])
+			}
+		}
+	}
+}
+
+// TestWritePerfettoRankNames: every rank gets a thread_name on both the
+// burst and the phase process.
+func TestWritePerfettoRankNames(t *testing.T) {
+	v := fixture(t)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	var dec decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &dec); err != nil {
+		t.Fatal(err)
+	}
+	named := make(map[string]bool)
+	for _, e := range dec.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			named[fmt.Sprintf("%d/%d", e.Pid, e.Tid)] = true
+		}
+	}
+	for r := 0; r < v.Ranks; r++ {
+		for _, pid := range []int{pidRanks, pidPhases} {
+			if !named[fmt.Sprintf("%d/%d", pid, r)] {
+				t.Errorf("rank %d missing thread_name on pid %d", r, pid)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package export
+
+import (
+	"fmt"
+	"io"
+
+	"phasefold/internal/core"
+	"phasefold/internal/obs"
+)
+
+// Snapshot builds the per-phase metrics snapshot of a view as an obs
+// registry: phase durations, derived per-phase metrics (MIPS, IPC, miss
+// ratios, ...), attribution shares, per-cluster totals and quality grades,
+// and the model headline figures, all as gauges under the phasefold_
+// naming scheme. Export it with WriteOpenMetrics (Prometheus/OpenMetrics
+// text) or the registry's WriteJSON.
+func Snapshot(v *core.ExportView) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge(obs.MetricModelSPMD, "Sequence-alignment structure-quality score in [0,1].").Set(v.SPMD)
+	reg.Gauge(obs.MetricModelBursts, "Computation bursts extracted.").Set(float64(v.NumBursts))
+	reg.Gauge(obs.MetricModelClusters, "Clusters detected.").Set(float64(v.NumClusters))
+	reg.Gauge(obs.MetricModelNoise, "Bursts left unclustered as noise.").Set(float64(v.NoiseBursts))
+	reg.Gauge(obs.MetricModelComputeSec, "Summed burst computation time in seconds.").Set(v.TotalComputation.Seconds())
+	for i := range v.Clusters {
+		c := &v.Clusters[i]
+		cl := obs.Label{K: "cluster", V: fmt.Sprint(c.Label)}
+		reg.Gauge(obs.MetricClusterSeconds, "Summed member computation time in seconds.", cl).Set(c.TotalTime.Seconds())
+		reg.Gauge(obs.MetricClusterBursts, "Member burst count.", cl).Set(float64(c.Size))
+		reg.Gauge(obs.MetricClusterQuality, "1 for the cluster's quality grade.",
+			cl, obs.Label{K: "quality", V: c.Quality}).Set(1)
+		for pi := range c.Phases {
+			p := &c.Phases[pi]
+			pl := obs.Label{K: "phase", V: fmt.Sprint(p.Index)}
+			reg.Gauge(obs.MetricPhaseDuration,
+				"Phase share of the representative burst duration, in seconds.", cl, pl).
+				Set(p.Duration.Seconds())
+			for _, m := range p.Metrics {
+				reg.Gauge(obs.MetricPhaseMetric, "Derived per-phase metric, by name.",
+					cl, pl, obs.Label{K: "metric", V: m.Name}).Set(m.Value)
+			}
+			if p.Source != "" {
+				reg.Gauge(obs.MetricPhaseShare, "Dominant source construct's sample share.",
+					cl, pl, obs.Label{K: "source", V: p.Source}).Set(p.Share)
+			}
+		}
+	}
+	return reg
+}
+
+// WriteOpenMetrics writes the snapshot registry in the Prometheus text
+// exposition format (OpenMetrics-compatible gauges).
+func WriteOpenMetrics(w io.Writer, v *core.ExportView) error {
+	return Snapshot(v).WritePrometheus(w)
+}
+
+// WriteSnapshotJSON writes the snapshot registry as indented JSON.
+func WriteSnapshotJSON(w io.Writer, v *core.ExportView) error {
+	return Snapshot(v).WriteJSON(w)
+}

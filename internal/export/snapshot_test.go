@@ -1,0 +1,81 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"phasefold/internal/obs"
+)
+
+// TestSnapshotOpenMetrics: the text exposition carries the model headline
+// gauges and the per-phase series under the phasefold_ naming scheme.
+func TestSnapshotOpenMetrics(t *testing.T) {
+	v := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		obs.MetricModelSPMD,
+		obs.MetricModelBursts,
+		obs.MetricModelClusters,
+		obs.MetricModelComputeSec,
+		obs.MetricPhaseDuration,
+		obs.MetricPhaseMetric,
+		obs.MetricClusterSeconds,
+		obs.MetricClusterQuality,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "# TYPE") || !strings.Contains(out, "# HELP") {
+		t.Error("exposition missing TYPE/HELP comments")
+	}
+	if !strings.Contains(out, `cluster="`) || !strings.Contains(out, `phase="`) {
+		t.Error("exposition missing cluster/phase labels")
+	}
+}
+
+// TestSnapshotJSON: the JSON form parses and carries the same series.
+func TestSnapshotJSON(t *testing.T) {
+	v := fixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshotJSON(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	var any interface{}
+	if err := json.Unmarshal(buf.Bytes(), &any); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if !strings.Contains(buf.String(), obs.MetricPhaseMetric) {
+		t.Errorf("JSON snapshot missing %s", obs.MetricPhaseMetric)
+	}
+}
+
+// TestSnapshotValues spot-checks gauge values against the view.
+func TestSnapshotValues(t *testing.T) {
+	v := fixture(t)
+	reg := Snapshot(v)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The burst tally is an integer gauge: find its sample line and compare.
+	want := ""
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, obs.MetricModelBursts+" ") {
+			want = strings.TrimPrefix(line, obs.MetricModelBursts+" ")
+		}
+	}
+	if want == "" {
+		t.Fatalf("no sample line for %s", obs.MetricModelBursts)
+	}
+	if got := strings.TrimSpace(want); !strings.HasPrefix(got, strconv.Itoa(v.NumBursts)) {
+		t.Errorf("%s = %s, want %d", obs.MetricModelBursts, got, v.NumBursts)
+	}
+}

@@ -85,15 +85,11 @@ func (c Config) Init(ctx context.Context) (context.Context, *Session, error) {
 	return ctx, s, nil
 }
 
-// serveDebug starts the debug HTTP server: pprof profiles, expvar, and the
-// live Prometheus exposition. Listening errors surface immediately (a bad
-// address must not fail silently); serving errors after that only end the
-// debug surface, never the run.
-func (s *Session) serveDebug(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("obs: debug server: %w", err)
-	}
+// DebugMux builds the standard debug routing table: pprof profiles under
+// /debug/pprof, expvar at /debug/vars, and reg's live Prometheus
+// exposition at /metrics. It is exported so other servers (the export
+// report server) can mount the same surface on a shared listener.
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -103,12 +99,48 @@ func (s *Session) serveDebug(addr string) error {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = s.Registry.WritePrometheus(w)
+		_ = reg.WritePrometheus(w)
 	})
-	s.server = &http.Server{Handler: mux}
+	return mux
+}
+
+// DebugMux returns the session's debug routing table (pprof, expvar,
+// /metrics), or nil on a nil session — for mounting onto another server.
+func (s *Session) DebugMux() http.Handler {
+	if s == nil {
+		return nil
+	}
+	return DebugMux(s.Registry)
+}
+
+// serveDebug starts the debug HTTP server: pprof profiles, expvar, and the
+// live Prometheus exposition. Listening errors surface immediately (a bad
+// address must not fail silently); serving errors after that only end the
+// debug surface, never the run.
+func (s *Session) serveDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: debug server: %w", err)
+	}
+	s.server = &http.Server{Handler: DebugMux(s.Registry)}
 	s.Logger.Info("debug server listening", "addr", ln.Addr().String())
 	go func() { _ = s.server.Serve(ln) }()
 	return nil
+}
+
+// RecordArtifact adds an exported file to the manifest's artifact index,
+// stat-ing it for its size (a missing file records with size 0 — the path
+// is still worth indexing). Safe on a nil session, so export call-sites
+// don't need telemetry guards.
+func (s *Session) RecordArtifact(kind, path string) {
+	if s == nil {
+		return
+	}
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	s.Report.AddArtifact(kind, path, size)
 }
 
 // Finish seals the session: stamps the manifest with the outcome and the
@@ -131,6 +163,10 @@ func (s *Session) Finish(outcome string) error {
 	if s.cfg.MetricsPath != "" {
 		if err := writeFileWith(s.cfg.MetricsPath, s.Registry.WritePrometheus); err != nil {
 			firstErr = err
+		} else {
+			// The metrics file is itself a run output: index it so the
+			// manifest alone is enough to locate every artifact.
+			s.RecordArtifact("metrics", s.cfg.MetricsPath)
 		}
 	}
 	if s.cfg.ManifestPath != "" {

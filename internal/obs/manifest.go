@@ -84,6 +84,25 @@ type RunReport struct {
 	Stages []StageReport `json:"stages,omitempty"`
 	// Diagnostics carries the degraded-mode diagnostics, stringified.
 	Diagnostics []string `json:"diagnostics,omitempty"`
+	// Artifacts lists every file the run exported (traces, flamegraphs,
+	// snapshots, metrics), so the manifest is a complete index of the run's
+	// outputs for archiving.
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+}
+
+// Artifact records one exported file: what it is, where it went, and how
+// big it came out.
+type Artifact struct {
+	// Kind identifies the format: "perfetto", "flamegraph", "snapshot",
+	// "snapshot-json", "metrics", "manifest", "trace", ...
+	Kind  string `json:"kind"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+// AddArtifact appends an exported file to the manifest's artifact index.
+func (r *RunReport) AddArtifact(kind, path string, bytes int64) {
+	r.Artifacts = append(r.Artifacts, Artifact{Kind: kind, Path: path, Bytes: bytes})
 }
 
 // Finish stamps the wall-clock (from Start) and collects the recorder's

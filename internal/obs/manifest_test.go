@@ -3,6 +3,8 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -63,6 +65,58 @@ func TestRunReportJSONRoundTrip(t *testing.T) {
 		back.Outcome != "ok" || len(back.Diagnostics) != 1 {
 		t.Errorf("round-trip lost fields: %+v", back)
 	}
+}
+
+// TestSessionRecordsArtifacts: every exported file lands in the manifest
+// with its kind, path, and on-disk byte size — including the metrics file
+// the session writes itself — so a run is reconstructable from its
+// manifest alone.
+func TestSessionRecordsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.json")
+	metrics := filepath.Join(dir, "run.prom")
+	_, s, err := Config{ManifestPath: manifest, MetricsPath: metrics, Tool: "test"}.
+		Init(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flame := filepath.Join(dir, "out.folded")
+	if err := os.WriteFile(flame, []byte("app;main 10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordArtifact("flamegraph", flame)
+	s.RecordArtifact("perfetto", filepath.Join(dir, "missing.json")) // size 0, still indexed
+	s.Registry.Counter("phasefold_test_total", "test counter").Inc() // so run.prom is non-empty
+	if err := s.Finish("ok"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string]Artifact{}
+	for _, a := range back.Artifacts {
+		byKind[a.Kind] = a
+	}
+	if a := byKind["flamegraph"]; a.Path != flame || a.Bytes != int64(len("app;main 10\n")) {
+		t.Errorf("flamegraph artifact = %+v", a)
+	}
+	if a := byKind["perfetto"]; a.Bytes != 0 {
+		t.Errorf("missing file should record size 0, got %+v", a)
+	}
+	if a := byKind["metrics"]; a.Path != metrics || a.Bytes == 0 {
+		t.Errorf("metrics file not indexed with its size: %+v", a)
+	}
+
+	// Nil sessions absorb artifact records, like every other surface.
+	var nilS *Session
+	nilS.RecordArtifact("perfetto", flame)
 }
 
 func TestFingerprintStable(t *testing.T) {

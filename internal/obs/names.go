@@ -24,6 +24,21 @@ const (
 	MetricDPCells  = "phasefold_pwl_dp_cells_total"   // counter: DP cells evaluated
 	MetricPWLFits  = "phasefold_pwl_fits_total"       // counter: successful fits
 	MetricFitIters = "phasefold_pwl_fit_points_total" // counter: points consumed by completed fits
+	// Result exports (internal/export): per-phase analysis snapshots. These
+	// describe the analyzed application, not the tool, but share the naming
+	// scheme so a run's self-telemetry and its result snapshot can live in
+	// the same scrape without colliding.
+	MetricPhaseDuration   = "phasefold_phase_duration_seconds"    // gauge{cluster,phase}: phase share of the representative burst
+	MetricPhaseMetric     = "phasefold_phase_metric"              // gauge{cluster,phase,metric}: derived per-phase metric (MIPS, IPC, ...)
+	MetricPhaseShare      = "phasefold_phase_attribution_share"   // gauge{cluster,phase,source}: dominant-construct share
+	MetricClusterSeconds  = "phasefold_cluster_total_seconds"     // gauge{cluster}: summed member computation time
+	MetricClusterBursts   = "phasefold_cluster_bursts"            // gauge{cluster}: member burst count
+	MetricClusterQuality  = "phasefold_cluster_quality"           // gauge{cluster,quality}: 1 for the cluster's grade
+	MetricModelSPMD       = "phasefold_model_spmd_score"          // gauge: structure-quality score in [0,1]
+	MetricModelBursts     = "phasefold_model_bursts"              // gauge: extracted computation bursts
+	MetricModelClusters   = "phasefold_model_clusters"            // gauge: detected clusters
+	MetricModelNoise      = "phasefold_model_noise_bursts"        // gauge: unclustered bursts
+	MetricModelComputeSec = "phasefold_model_computation_seconds" // gauge: summed burst time
 	// Batch supervisor (internal/runner).
 	MetricJobs         = "phasefold_runner_jobs_total"           // counter{outcome}
 	MetricJobAttempts  = "phasefold_runner_attempts_total"       // counter

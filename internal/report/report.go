@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -108,27 +109,20 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV writes the table as comma-separated values (headers first). Cells
-// containing commas or quotes are quoted.
+// CSV writes the table as RFC 4180 comma-separated values (headers
+// first): cells containing commas, quotes, newlines, or carriage returns
+// are quoted, with embedded quotes doubled, so any compliant reader
+// round-trips the cells exactly.
 func (t *Table) CSV(w io.Writer) error {
-	writeLine := func(cells []string) error {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if strings.ContainsAny(c, ",\"\n") {
-				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
-			}
-			parts[i] = c
-		}
-		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
-		return err
-	}
-	if err := writeLine(t.headers); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
 		return err
 	}
 	for _, row := range t.rows {
-		if err := writeLine(row); err != nil {
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }

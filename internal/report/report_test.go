@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -63,6 +64,49 @@ func TestCSV(t *testing.T) {
 	}
 	if lines[2] != `"with""quote",7` {
 		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+// TestCSVRFC4180 pins the full RFC 4180 quoting rules — commas, quotes,
+// newlines, and carriage returns — and proves round-trip fidelity through
+// a compliant reader. The pre-fix encoder left bare \r cells unquoted,
+// which splits rows in strict readers.
+func TestCSVRFC4180(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	rows := [][]string{
+		{"plain", "with,comma", "with\"quote"},
+		{"line\nbreak", "carriage\rreturn", "crlf\r\nboth"},
+		{"", `all,"of\nit`, "trailing space "},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1], r[2])
+	}
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not parse as RFC 4180 CSV: %v", err)
+	}
+	want := append([][]string{{"a", "b", "c"}}, rows...)
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d:\n%s", len(got), len(want), b.String())
+	}
+	for i := range want {
+		for j := range want[i] {
+			// encoding/csv normalizes \r\n inside quoted cells to \n on
+			// read (RFC 4180 line endings); compare modulo that.
+			wantCell := strings.ReplaceAll(want[i][j], "\r\n", "\n")
+			gotCell := strings.ReplaceAll(got[i][j], "\r\n", "\n")
+			if gotCell != wantCell {
+				t.Errorf("record %d field %d = %q, want %q", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// The bare-\r cell specifically must have been quoted.
+	if !strings.Contains(b.String(), `"carriage`) {
+		t.Errorf("cell with a bare carriage return was not quoted:\n%s", b.String())
 	}
 }
 

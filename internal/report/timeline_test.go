@@ -75,6 +75,80 @@ func TestClusterCode(t *testing.T) {
 	}
 }
 
+// TestTimelineZeroRanks: a timeline with no ranks renders the no-data
+// banner even when segments were added and the end is set — it must not
+// panic indexing an empty row set.
+func TestTimelineZeroRanks(t *testing.T) {
+	tl := NewTimeline("x", 0, 100)
+	tl.Add(TimelineSeg{Rank: 0, Start: 0, End: 50, Code: '0'})
+	if !strings.Contains(tl.String(), "no data") {
+		t.Fatalf("zero-rank timeline should say no data:\n%s", tl.String())
+	}
+}
+
+// TestTimelineZeroEnd: ranks without an extent is equally empty (the
+// column mapping would divide by End).
+func TestTimelineZeroEnd(t *testing.T) {
+	tl := NewTimeline("x", 3, 0)
+	tl.Add(TimelineSeg{Rank: 1, Start: 0, End: 50, Code: '0'})
+	if !strings.Contains(tl.String(), "no data") {
+		t.Fatalf("zero-end timeline should say no data:\n%s", tl.String())
+	}
+}
+
+// TestTimelineNoSegments: ranks with no occupancy render blank strips —
+// one row per rank plus the axis, nothing drawn.
+func TestTimelineNoSegments(t *testing.T) {
+	tl := NewTimeline("idle", 2, 100*sim.Microsecond)
+	out := tl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 ranks + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:3] {
+		strip := l[strings.IndexByte(l, '|')+1 : strings.LastIndexByte(l, '|')]
+		if strings.TrimSpace(strip) != "" {
+			t.Fatalf("empty timeline drew %q", strip)
+		}
+	}
+}
+
+// TestTimelineRightEdgeSegment: a segment ending exactly at End lands in
+// the final cell without running past the strip.
+func TestTimelineRightEdgeSegment(t *testing.T) {
+	tl := NewTimeline("edge", 1, 100)
+	tl.Add(TimelineSeg{Rank: 0, Start: 99, End: 100, Code: 'E'})
+	out := tl.String()
+	row := strings.Split(out, "\n")[1]
+	strip := row[strings.IndexByte(row, '|')+1 : strings.LastIndexByte(row, '|')]
+	if strip[len(strip)-1] != 'E' {
+		t.Fatalf("right-edge segment not in the last cell: %q", strip)
+	}
+	if strings.Count(out, "E") != 1 {
+		t.Fatalf("right-edge segment drawn outside its cell:\n%s", out)
+	}
+}
+
+// TestClusterCodeOverflow pins the label→glyph boundaries: the last
+// alphanumeric codes, the first overflow label, and arbitrarily large
+// labels all stay printable single bytes.
+func TestClusterCodeOverflow(t *testing.T) {
+	cases := map[int]byte{
+		34:      'y',
+		35:      'z',
+		36:      '#',
+		37:      '#',
+		1 << 20: '#',
+		-1:      '.',
+		-99:     '.', // any negative label is noise
+	}
+	for label, want := range cases {
+		if got := ClusterCode(label); got != want {
+			t.Errorf("ClusterCode(%d) = %c, want %c", label, got, want)
+		}
+	}
+}
+
 func TestScatterSeries(t *testing.T) {
 	p := NewPlot("scatter", "y")
 	p.Add(Series{Name: "cloud", Xs: []float64{0, 0.5, 1}, Values: []float64{0, 0.5, 1}, Marker: '.'})

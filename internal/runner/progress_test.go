@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProgressFiresForEveryOutcome drives one batch through every outcome
+// the supervisor can produce — ok, degraded, failed, timeout, quarantined
+// (both after attempts and without any), and canceled — and checks the
+// Progress hook delivers exactly one JobStarted and one JobFinished per
+// job, in start-before-finish order, with the finish carrying the same
+// result the summary records.
+func TestProgressFiresForEveryOutcome(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := []Job{
+		{Name: "ok", Run: func(context.Context) (string, bool, error) { return "fine", false, nil }},
+		{Name: "degraded", Run: func(context.Context) (string, bool, error) { return "meh", true, nil }},
+		{Name: "failed", Run: func(context.Context) (string, bool, error) { return "", false, errors.New("broken") }},
+		{Name: "hang", Run: func(jctx context.Context) (string, bool, error) {
+			<-jctx.Done()
+			return "", false, jctx.Err()
+		}},
+		{Name: "poison", Run: func(context.Context) (string, bool, error) { panic("poison pill") }},
+		// Same input again: the tripped breaker quarantines it without an
+		// attempt — the hook must still see a start and a finish.
+		{Name: "poison", Run: func(context.Context) (string, bool, error) { return "", false, nil }},
+		{Name: "trigger", Run: func(context.Context) (string, bool, error) {
+			cancel() // everything after this job is canceled before running
+			return "canceling", false, nil
+		}},
+		{Name: "after-cancel", Run: func(context.Context) (string, bool, error) { return "", false, nil }},
+	}
+
+	var mu sync.Mutex
+	starts := make(map[int]int)
+	finishes := make(map[int]*JobResult)
+	order := make(map[int]bool) // start seen before finish
+	sum := Run(ctx, jobs, Options{
+		Workers: 1, JobTimeout: 20 * time.Millisecond, Retries: 0, Seed: 1,
+		Progress: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Total != len(jobs) {
+				t.Errorf("event Total = %d, want %d", ev.Total, len(jobs))
+			}
+			switch ev.Type {
+			case JobStarted:
+				starts[ev.Index]++
+				if ev.Name != jobs[ev.Index].Name {
+					t.Errorf("start %d: name %q, want %q", ev.Index, ev.Name, jobs[ev.Index].Name)
+				}
+				if finishes[ev.Index] != nil {
+					t.Errorf("job %d: finish before start", ev.Index)
+				}
+			case JobFinished:
+				if ev.Result == nil {
+					t.Errorf("finish %d: nil Result", ev.Index)
+					return
+				}
+				finishes[ev.Index] = ev.Result
+				order[ev.Index] = starts[ev.Index] == 1
+			}
+		},
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Outcome{OK, Degraded, Failed, TimedOut, Quarantined, Quarantined, OK, Canceled}
+	for i := range jobs {
+		if starts[i] != 1 {
+			t.Errorf("job %d (%s): %d start events, want 1", i, jobs[i].Name, starts[i])
+		}
+		res := finishes[i]
+		if res == nil {
+			t.Errorf("job %d (%s): no finish event", i, jobs[i].Name)
+			continue
+		}
+		if !order[i] {
+			t.Errorf("job %d (%s): finish fired before start", i, jobs[i].Name)
+		}
+		if res.Outcome != want[i] {
+			t.Errorf("job %d (%s): outcome %v, want %v", i, jobs[i].Name, res.Outcome, want[i])
+		}
+		if res.Outcome != sum.Results[i].Outcome {
+			t.Errorf("job %d: event outcome %v differs from summary %v",
+				i, res.Outcome, sum.Results[i].Outcome)
+		}
+		if res.Name != jobs[i].Name {
+			t.Errorf("job %d: finish name %q, want %q", i, res.Name, jobs[i].Name)
+		}
+	}
+}
+
+// TestProgressNilIsSafe: a batch without a Progress hook runs as before.
+func TestProgressNilIsSafe(t *testing.T) {
+	jobs := []Job{{Name: "j", Run: func(context.Context) (string, bool, error) { return "", false, nil }}}
+	sum := Run(context.Background(), jobs, Options{Workers: 1})
+	if sum.Results[0].Outcome != OK {
+		t.Fatalf("outcome = %v", sum.Results[0].Outcome)
+	}
+}
+
+// TestProgressEventResultIsCopy: mutating the Result delivered to the hook
+// must not corrupt the summary.
+func TestProgressEventResultIsCopy(t *testing.T) {
+	jobs := []Job{{Name: "j", Run: func(context.Context) (string, bool, error) { return "detail", false, nil }}}
+	sum := Run(context.Background(), jobs, Options{
+		Workers: 1,
+		Progress: func(ev Event) {
+			if ev.Type == JobFinished {
+				ev.Result.Detail = "clobbered"
+			}
+		},
+	})
+	if sum.Results[0].Detail != "detail" {
+		t.Fatalf("summary detail = %q; Progress hook mutated the shared record", sum.Results[0].Detail)
+	}
+}

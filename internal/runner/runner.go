@@ -118,6 +118,38 @@ type Options struct {
 	// Seed makes the backoff jitter deterministic for tests; 0 seeds from
 	// the batch start time.
 	Seed int64
+	// Progress, when non-nil, receives one JobStarted event as each job is
+	// picked up and one JobFinished event when its outcome is decided —
+	// every job produces exactly one of each, whatever the outcome
+	// (including quarantined and canceled). Callbacks run on the worker
+	// goroutines, possibly concurrently; they must be fast and must not
+	// block, or they stall the pool.
+	Progress func(Event)
+}
+
+// EventType discriminates progress notifications.
+type EventType uint8
+
+const (
+	// JobStarted fires when a worker picks the job up, before its first
+	// attempt (a job that is quarantined or canceled without attempting
+	// still fires it).
+	JobStarted EventType = iota
+	// JobFinished fires once the job's outcome is decided; Result is set.
+	JobFinished
+)
+
+// Event is one batch progress notification.
+type Event struct {
+	Type EventType
+	// Index is the job's position in the input order; Total the batch size.
+	Index int
+	Total int
+	// Name is the job name.
+	Name string
+	// Result is the job's final record (JobFinished only; nil for
+	// JobStarted). It is a copy — safe to retain.
+	Result *JobResult
 }
 
 func (o Options) withDefaults() Options {
@@ -301,7 +333,15 @@ func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
 		go func() {
 			defer wg.Done()
 			for t := range feed {
-				sum.Results[t.i] = supervise(ctx, jobs[t.i], opt, br, jitter)
+				if opt.Progress != nil {
+					opt.Progress(Event{Type: JobStarted, Index: t.i, Total: len(jobs), Name: jobs[t.i].Name})
+				}
+				res := supervise(ctx, jobs[t.i], opt, br, jitter)
+				sum.Results[t.i] = res
+				if opt.Progress != nil {
+					rc := res
+					opt.Progress(Event{Type: JobFinished, Index: t.i, Total: len(jobs), Name: res.Name, Result: &rc})
+				}
 			}
 		}()
 	}

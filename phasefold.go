@@ -33,6 +33,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/export"
 	"phasefold/internal/faults"
 	"phasefold/internal/obs"
 	"phasefold/internal/query"
@@ -355,6 +356,48 @@ func MetricsFromContext(ctx context.Context) *MetricsRegistry { return obs.Metri
 // Fingerprint returns a short stable hash of v's rendered value — the
 // options fingerprint recorded in run manifests.
 func Fingerprint(v any) string { return obs.Fingerprint(v) }
+
+// Export re-exports: rendering a finished Model into interchange formats
+// (Perfetto timelines, folded flamegraph stacks, OpenMetrics snapshots)
+// and the interactive HTML report server. Everything here is strictly
+// post-analysis: a pipeline that never exports pays nothing for it.
+type (
+	// ExportView is the stable, self-contained export representation of a
+	// Model — every label, frame, and metric resolved to plain values.
+	ExportView = core.ExportView
+	// ReportServer serves the interactive HTML report (timeline, sortable
+	// tables, artifact downloads, SSE batch progress).
+	ReportServer = export.Server
+)
+
+// ExportModel builds the stable export view of a finished model; tr (the
+// analyzed trace) supplies rank extents and symbol names and may be nil.
+func ExportModel(m *Model, tr *Trace) *ExportView { return m.Export(tr) }
+
+// WritePerfetto writes the view as Chrome trace-event JSON, loadable in
+// ui.perfetto.dev: one track per rank (bursts and phase subdivisions),
+// one per cluster (representative burst), diagnostics as instants.
+func WritePerfetto(w io.Writer, v *ExportView) error { return export.WritePerfetto(w, v) }
+
+// WriteFlamegraph writes the view's per-phase attribution as folded stacks
+// (flamegraph.pl / speedscope input). weight is "" for phase time or a
+// captured counter name; see FlamegraphWeights.
+func WriteFlamegraph(w io.Writer, v *ExportView, weight string) error {
+	return export.WriteFlamegraph(w, v, weight)
+}
+
+// FlamegraphWeights lists the weightings available for a view: phase time
+// ("") plus each captured counter.
+func FlamegraphWeights(v *ExportView) []string { return export.FlamegraphWeights(v) }
+
+// SnapshotMetrics renders the view's per-phase results as a metrics
+// registry (gauges under phasefold_); export with WritePrometheus or
+// WriteJSON.
+func SnapshotMetrics(v *ExportView) *MetricsRegistry { return export.Snapshot(v) }
+
+// NewReportServer returns an HTML report server; call SetView, then
+// ListenAndServe.
+func NewReportServer() *ReportServer { return export.NewServer() }
 
 // ParseFaults parses a fault-injection spec like "drop=0.2,skew=50us" into a
 // deterministic seeded chain; see KnownFaults for the registry.
