@@ -71,20 +71,22 @@ import (
 	"phasefold/internal/trace"
 )
 
+// Exit codes are the shared contract in internal/obs/exit.go; the aliases
+// keep call sites short.
 const (
-	exitAnalysis = 1
-	exitUsage    = 2
-	exitInput    = 3
-	exitSignal   = 130
+	exitAnalysis = obs.ExitAnalysis
+	exitUsage    = obs.ExitUsage
+	exitInput    = obs.ExitInput
+	exitSignal   = obs.ExitSignal
 )
 
 func main() {
+	cf := obs.RegisterCommonFlags(flag.CommandLine)
 	var (
 		in       = flag.String("i", "", "input trace file")
 		batch    = flag.String("batch", "", "glob of trace files to analyze under the batch supervisor")
 		format   = flag.String("format", "", "input format: binary or text (default: by extension, .pftxt = text)")
-		strict   = flag.Bool("strict", false, "fail fast on any damage instead of repairing and reporting")
-		salvage  = flag.Bool("salvage", false, "recover what a truncated or corrupt trace file still holds")
+		parallel = flag.Int("parallel", 0, "worker cap for the parallel pipeline stages (0 = CPU count, 1 = serial)")
 		refine   = flag.Bool("refine", false, "use Aggregative Cluster Refinement instead of DBSCAN")
 		eps      = flag.Float64("eps", 0.05, "DBSCAN neighbourhood radius (normalized)")
 		minPts   = flag.Int("minpts", 4, "DBSCAN core-point threshold")
@@ -108,12 +110,6 @@ func main() {
 		flameOut    = flag.String("flame", "", "write per-phase folded stacks for flamegraph.pl / speedscope")
 		flameWeight = flag.String("flame-weight", "", "flamegraph weight: a counter name (default: phase time)")
 		snapshotOut = flag.String("snapshot", "", "write the per-phase metrics snapshot (.json = JSON, else OpenMetrics text)")
-		serveAddr   = flag.String("serve", "", "serve the interactive HTML report (timeline, tables, artifacts, live batch progress) on this address until interrupted")
-
-		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
-		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
-		logLevel   = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
 	)
 	flag.Parse()
 	if (*in == "") == (*batch == "") {
@@ -121,26 +117,25 @@ func main() {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
-	if *strict && *salvage {
-		fmt.Fprintln(os.Stderr, "foldctl: -strict and -salvage are mutually exclusive")
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "foldctl:", err)
 		os.Exit(exitUsage)
 	}
+	serveAddr := &cf.Serve
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var err error
-	ctx, tel, err = obs.Config{
-		MetricsPath: *metricsOut, ManifestPath: *manifest,
-		LogLevel: *logLevel, PprofAddr: *pprofAddr, Tool: "foldctl",
-	}.Init(ctx)
+	ctx, tel, err = cf.Config("foldctl").Init(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foldctl:", err)
 		os.Exit(exitUsage)
 	}
 
 	opt := core.DefaultOptions()
-	opt.Strict = *strict
+	opt.Strict = cf.Strict
+	opt.Parallelism = *parallel
 	opt.UseRefinement = *refine
 	opt.DBSCAN.Eps = *eps
 	opt.DBSCAN.MinPts = *minPts
@@ -151,7 +146,7 @@ func main() {
 	if tel != nil {
 		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
 	}
-	dopt := trace.DecodeOptions{Salvage: *salvage}
+	dopt := trace.DecodeOptions{Salvage: cf.Salvage, Parallelism: *parallel}
 	isText := func(path string) bool {
 		return *format == "text" || (*format == "" && strings.HasSuffix(path, ".pftxt"))
 	}
@@ -193,17 +188,17 @@ func main() {
 		rep *trace.SalvageReport
 	)
 	if isText(*in) {
-		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+		tr, rep, err = trace.DecodeText(ctx, f, dopt)
 	} else {
-		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+		tr, rep, err = trace.Decode(ctx, f, dopt)
 	}
 	if err != nil {
 		if canceled(err) {
 			fatal(exitSignal, errors.New("interrupted while decoding"))
 		}
-		explainDecodeError(err, *salvage)
+		explainDecodeError(err, cf.Salvage)
 		finishTel("error")
-		os.Exit(exitInput)
+		os.Exit(obs.ExitFor(err, trace.ErrFormat))
 	}
 	if rep != nil && !rep.Complete() {
 		fmt.Printf("salvage: %s\n\n", rep.Summary())
@@ -221,16 +216,12 @@ func main() {
 		tel.Report.App = tr.AppName
 	}
 
-	model, err := core.AnalyzeContext(ctx, tr, opt)
+	model, err := core.Analyze(ctx, tr, opt)
 	if err != nil {
 		if canceled(err) {
 			fatal(exitSignal, errors.New("interrupted during analysis; no partial model available"))
 		}
-		code := exitAnalysis
-		if errors.Is(err, trace.ErrInvalid) {
-			code = exitInput
-		}
-		fatal(code, err)
+		fatal(obs.ExitFor(err, trace.ErrInvalid), err)
 	}
 	if err := model.WriteReport(os.Stdout); err != nil {
 		fatal(exitAnalysis, err)
@@ -434,14 +425,14 @@ func analyzeOne(ctx context.Context, path string, opt core.Options, dopt trace.D
 		rep *trace.SalvageReport
 	)
 	if text {
-		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+		tr, rep, err = trace.DecodeText(ctx, f, dopt)
 	} else {
-		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+		tr, rep, err = trace.Decode(ctx, f, dopt)
 	}
 	if err != nil {
 		return "", false, err
 	}
-	model, err := core.AnalyzeContext(ctx, tr, opt)
+	model, err := core.Analyze(ctx, tr, opt)
 	if err != nil {
 		return "", false, err
 	}

@@ -52,27 +52,21 @@ import (
 	"phasefold/internal/trace"
 )
 
-const exitSignal = 130
+// exitSignal aliases the shared exit contract in internal/obs/exit.go.
+const exitSignal = obs.ExitSignal
 
 func main() {
+	cf := obs.RegisterCommonFlags(flag.CommandLine)
 	var (
-		expIDs  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
-		in      = flag.String("i", "", "report on a trace file instead of running experiments")
-		strict  = flag.Bool("strict", false, "with -i: fail fast on any damage instead of repairing and reporting")
-		salvage = flag.Bool("salvage", false, "with -i: recover what a truncated or corrupt trace file still holds")
+		expIDs = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+		in     = flag.String("i", "", "report on a trace file instead of running experiments")
 
 		perfettoOut = flag.String("perfetto", "", "with -i: write the phase timeline as Chrome trace-event JSON")
 		flameOut    = flag.String("flame", "", "with -i: write per-phase folded stacks for flamegraph.pl / speedscope")
 		flameWeight = flag.String("flame-weight", "", "flamegraph weight: a counter name (default: phase time)")
 		snapshotOut = flag.String("snapshot", "", "with -i: write the per-phase metrics snapshot (.json = JSON, else OpenMetrics text)")
-		serveAddr   = flag.String("serve", "", "with -i: serve the interactive HTML report on this address until interrupted")
-
-		metricsOut = flag.String("metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
-		manifest   = flag.String("manifest", "", "write the run manifest (JSON) to this file at exit")
-		logLevel   = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
 	)
 	flag.Parse()
 
@@ -82,31 +76,28 @@ func main() {
 		}
 		return
 	}
-	if *strict && *salvage {
-		fatal(errors.New("-strict and -salvage are mutually exclusive"))
+	if err := cf.Validate(); err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var err error
-	ctx, tel, err = obs.Config{
-		MetricsPath: *metricsOut, ManifestPath: *manifest,
-		LogLevel: *logLevel, PprofAddr: *pprofAddr, Tool: "phasereport",
-	}.Init(ctx)
+	ctx, tel, err = cf.Config("phasereport").Init(ctx)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *in != "" {
-		reportTrace(ctx, *in, *strict, *salvage, exportFlags{
+		reportTrace(ctx, *in, cf.Strict, cf.Salvage, exportFlags{
 			perfetto: *perfettoOut, flame: *flameOut, flameWeight: *flameWeight,
-			snapshot: *snapshotOut, serve: *serveAddr,
+			snapshot: *snapshotOut, serve: cf.Serve,
 		})
 		finishTel("ok")
 		return
 	}
-	for _, f := range []string{*perfettoOut, *flameOut, *snapshotOut, *serveAddr} {
+	for _, f := range []string{*perfettoOut, *flameOut, *snapshotOut, cf.Serve} {
 		if f != "" {
 			fatal(errors.New("export flags (-perfetto, -flame, -snapshot, -serve) require -i"))
 		}
@@ -209,9 +200,9 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exp
 		rep *trace.SalvageReport
 	)
 	if strings.HasSuffix(path, ".pftxt") {
-		tr, rep, err = trace.DecodeTextWithContext(ctx, f, dopt)
+		tr, rep, err = trace.DecodeText(ctx, f, dopt)
 	} else {
-		tr, rep, err = trace.DecodeWithContext(ctx, f, dopt)
+		tr, rep, err = trace.Decode(ctx, f, dopt)
 	}
 	if err != nil {
 		if canceled(err) {
@@ -244,7 +235,7 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exp
 	if tel != nil {
 		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
 	}
-	model, err := core.AnalyzeContext(ctx, tr, opt)
+	model, err := core.Analyze(ctx, tr, opt)
 	if err != nil {
 		if canceled(err) {
 			fmt.Fprintln(os.Stderr, "phasereport: interrupted during analysis; no partial model available")

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -27,7 +29,7 @@ func analyze(name string) (*phasefold.Model, *phasefold.RunResult) {
 	}
 	cfg := phasefold.DefaultConfig()
 	cfg.Iterations = 300
-	model, run, err := phasefold.AnalyzeApp(app, cfg, phasefold.DefaultOptions())
+	model, run, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

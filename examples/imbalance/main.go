@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"bytes"
 	"fmt"
 	"log"
@@ -43,7 +45,7 @@ func main() {
 	}
 	fmt.Printf("trace container: %d events + %d samples -> %d KiB\n\n",
 		run.Trace.NumEvents(), run.Trace.NumSamples(), buf.Len()/1024)
-	tr, err := phasefold.DecodeTrace(&buf)
+	tr, _, err := phasefold.Decode(context.Background(), &buf)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	for _, refined := range []bool{false, true} {
 		opt := phasefold.DefaultOptions()
 		opt.UseRefinement = refined
-		model, err := phasefold.Analyze(tr, opt)
+		model, err := phasefold.Analyze(context.Background(), tr, phasefold.WithOptions(opt))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -23,10 +25,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := phasefold.DefaultConfig()  // 4 ranks, 200 iterations
-	opt := phasefold.DefaultOptions() // 1 ms sampling, stacks on
+	cfg := phasefold.DefaultConfig() // 4 ranks, 200 iterations
 
-	model, run, err := phasefold.AnalyzeApp(app, cfg, opt)
+	// Default options: 1 ms sampling, stacks on, DBSCAN + BIC-selected PWL.
+	model, run, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

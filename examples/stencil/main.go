@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 	cfg := phasefold.DefaultConfig()
 	cfg.Ranks = 8
 	cfg.Iterations = 250
-	model, _, err := phasefold.AnalyzeApp(app, cfg, phasefold.DefaultOptions())
+	model, _, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,37 +49,69 @@ func (o DBSCANOptions) Validate() error {
 	return nil
 }
 
+// maxGridDim bounds the dimensionality the grid index handles with its
+// fixed-size cell coordinates. Every feature space in this package is 2-5
+// dimensional; higher-dimensional callers fall back to a linear scan (where
+// a 3^dim cell walk would lose to brute force anyway).
+const maxGridDim = 6
+
+// cellCoord addresses one grid cell; dimensions past the point dimension
+// stay zero. A comparable array key hashes without any per-query string
+// encoding or allocation.
+type cellCoord [maxGridDim]int64
+
 // gridIndex is a uniform-grid neighbourhood index with cell size eps: all
 // eps-neighbours of a point lie in its 3^d adjacent cells. For the 2-3
-// dimensional feature spaces used here this makes range queries near O(1).
+// dimensional feature spaces used here this makes range queries near O(1)
+// when the data spreads over many cells. A nil cells map means the index
+// declined to build (dimension too high, or density so degenerate the grid
+// could not prune) and queries scan pts linearly.
 type gridIndex struct {
 	eps   float64
 	dim   int
-	cells map[string][]int
+	cells map[cellCoord][]int
 	pts   []Point
 }
 
-func cellKey(p Point, eps float64) string {
-	key := make([]byte, 0, 32)
-	for _, v := range p {
-		c := int64(math.Floor(v / eps))
-		for i := 0; i < 8; i++ {
-			key = append(key, byte(c>>(8*i)))
-		}
+func (g *gridIndex) cellOf(p Point) cellCoord {
+	var c cellCoord
+	for j, v := range p {
+		c[j] = int64(math.Floor(v / g.eps))
 	}
-	return string(key)
+	return c
 }
 
 func newGridIndex(pts []Point, eps float64) *gridIndex {
-	g := &gridIndex{eps: eps, cells: make(map[string][]int), pts: pts}
+	g := &gridIndex{eps: eps, pts: pts}
 	if len(pts) > 0 {
 		g.dim = len(pts[0])
 	}
+	if g.dim > maxGridDim {
+		return g // nil cells: neighbors falls back to scanning pts
+	}
+	g.cells = make(map[cellCoord][]int, len(pts)/4+1)
 	for i, p := range pts {
-		k := cellKey(p, eps)
-		g.cells[k] = append(g.cells[k], i)
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], i)
+	}
+	// Degenerate density: when eps is large relative to the data's spread,
+	// the points collapse into a handful of cells and every query would walk
+	// essentially all of them anyway — through 3^dim map lookups. A plain
+	// scan is the same asymptotic cost without the constant, so drop the
+	// cells and let neighbors take the linear path.
+	if len(g.cells) <= pow3(g.dim) {
+		g.cells = nil
 	}
 	return g
+}
+
+// pow3 returns 3^d for the small dimensions the grid handles.
+func pow3(d int) int {
+	p := 1
+	for i := 0; i < d; i++ {
+		p *= 3
+	}
+	return p
 }
 
 // neighbors appends to out the indices of points within eps of pts[i]
@@ -87,36 +119,38 @@ func newGridIndex(pts []Point, eps float64) *gridIndex {
 func (g *gridIndex) neighbors(i int, out []int) []int {
 	p := g.pts[i]
 	eps2 := g.eps * g.eps
-	// Enumerate the 3^dim adjacent cells.
-	offsets := make([]int64, g.dim)
-	for j := range offsets {
-		offsets[j] = -1
-	}
-	base := make([]int64, g.dim)
-	for j, v := range p {
-		base[j] = int64(math.Floor(v / g.eps))
-	}
-	key := make([]byte, 8*g.dim)
-	for {
-		for j := 0; j < g.dim; j++ {
-			c := base[j] + offsets[j]
-			for b := 0; b < 8; b++ {
-				key[8*j+b] = byte(c >> (8 * b))
-			}
-		}
-		for _, cand := range g.cells[string(key)] {
+	if g.cells == nil {
+		for cand := range g.pts {
 			if dist2(p, g.pts[cand]) <= eps2 {
 				out = append(out, cand)
 			}
 		}
-		// Advance the mixed-radix odometer over {-1,0,1}^dim.
+		return out
+	}
+	base := g.cellOf(p)
+	// Enumerate the 3^dim adjacent cells with a mixed-radix odometer over
+	// {-1,0,1}^dim.
+	var off cellCoord
+	for j := 0; j < g.dim; j++ {
+		off[j] = -1
+	}
+	for {
+		var key cellCoord
+		for j := 0; j < g.dim; j++ {
+			key[j] = base[j] + off[j]
+		}
+		for _, cand := range g.cells[key] {
+			if dist2(p, g.pts[cand]) <= eps2 {
+				out = append(out, cand)
+			}
+		}
 		j := 0
 		for ; j < g.dim; j++ {
-			offsets[j]++
-			if offsets[j] <= 1 {
+			off[j]++
+			if off[j] <= 1 {
 				break
 			}
-			offsets[j] = -1
+			off[j] = -1
 		}
 		if j == g.dim {
 			break
@@ -125,9 +159,16 @@ func (g *gridIndex) neighbors(i int, out []int) []int {
 	return out
 }
 
-// dbscanPoll is how many neighbourhood expansions run between context polls
-// inside DBSCANContext's breadth-first growth loop.
-const dbscanPoll = 2048
+// dbscanPoll is how many points the outer scan visits between context
+// polls; expansionPoll is how many queue pops run between polls inside the
+// breadth-first growth loop. Expansions are far heavier than scan steps —
+// each one is a full range query, up to O(n) on dense data — so the
+// expansion interval is much tighter to keep cancellation latency bounded
+// by tens of queries, not thousands.
+const (
+	dbscanPoll    = 2048
+	expansionPoll = 64
+)
 
 // DBSCAN labels each point with a cluster id in [0, k) or Noise. Labels are
 // deterministic: clusters are numbered in order of discovery scanning points
@@ -158,7 +199,7 @@ func DBSCANContext(ctx context.Context, pts []Point, opt DBSCANOptions) ([]int, 
 	}
 	g := newGridIndex(pts, opt.Eps)
 	visited := make([]bool, n)
-	var scratch []int
+	var scratch, queue []int
 	next := 0
 	expanded := 0
 	for i := 0; i < n; i++ {
@@ -175,30 +216,27 @@ func DBSCANContext(ctx context.Context, pts []Point, opt DBSCANOptions) ([]int, 
 		if len(scratch) < opt.MinPts {
 			continue // remains noise unless later absorbed as a border point
 		}
-		// Start a new cluster and expand it breadth-first.
+		// Start a new cluster and expand it breadth-first. Each point enters
+		// the queue at most once: neighbours are claimed (visited + labeled)
+		// at enqueue time, so on dense data the queue is O(n) rather than
+		// O(sum of neighbourhood sizes) — the latter is quadratic and was
+		// the stage's dominant memory traffic.
 		c := next
 		next++
 		labels[i] = c
-		queue := append([]int(nil), scratch...)
+		queue = queue[:0]
+		queue = claimNeighbors(scratch, c, labels, visited, queue)
 		for qi := 0; qi < len(queue); qi++ {
 			expanded++
-			if expanded%dbscanPoll == 0 {
+			if expanded%expansionPoll == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
 			j := queue[qi]
-			if labels[j] == Noise {
-				labels[j] = c // border point
-			}
-			if visited[j] {
-				continue
-			}
-			visited[j] = true
-			labels[j] = c
 			scratch = g.neighbors(j, scratch[:0])
 			if len(scratch) >= opt.MinPts {
-				queue = append(queue, scratch...)
+				queue = claimNeighbors(scratch, c, labels, visited, queue)
 			}
 		}
 	}
@@ -208,6 +246,26 @@ func DBSCANContext(ctx context.Context, pts []Point, opt DBSCANOptions) ([]int, 
 	obs.Metrics(ctx).Counter(obs.MetricDBSCANExpansions,
 		"DBSCAN neighbourhood expansions performed.").Add(int64(expanded))
 	return labels, nil
+}
+
+// claimNeighbors folds one range query's result into cluster c: noise
+// points (visited or not) are absorbed as members, and unvisited points are
+// additionally claimed and enqueued for their own expansion. Claiming at
+// enqueue time keeps every point in the queue at most once. An unvisited
+// point can never carry another cluster's label — expansion runs each
+// cluster to fixpoint, visiting everything it labels, before the next seed
+// is considered — so absorbing and claiming both write label c.
+func claimNeighbors(neighbors []int, c int, labels []int, visited []bool, queue []int) []int {
+	for _, j := range neighbors {
+		if !visited[j] {
+			visited[j] = true
+			labels[j] = c
+			queue = append(queue, j)
+		} else if labels[j] == Noise {
+			labels[j] = c // border point of an earlier non-core probe
+		}
+	}
+	return queue
 }
 
 // NumClusters returns the number of distinct non-noise labels.

@@ -164,3 +164,36 @@ func TestVaryingDensityFailureMode(t *testing.T) {
 		t.Logf("tight blob size %d (tolerated)", sizes[0])
 	}
 }
+
+// TestDBSCANHighDimensionalFallback drives point sets past the grid index's
+// fixed dimensionality (maxGridDim), where neighbourhood queries fall back
+// to a linear scan: labels must come out exactly as in the gridded regime.
+func TestDBSCANHighDimensionalFallback(t *testing.T) {
+	rng := sim.NewRNG(3)
+	dim := maxGridDim + 2
+	pad := func(pts []Point) []Point {
+		out := make([]Point, len(pts))
+		for i, p := range pts {
+			q := make(Point, dim)
+			copy(q, p)
+			out[i] = q
+		}
+		return out
+	}
+	var pts []Point
+	pts = append(pts, blob(rng, 60, 0, 0, 0.02)...)
+	pts = append(pts, blob(rng, 60, 1, 1, 0.02)...)
+	want, err := DBSCAN(pts, DBSCANOptions{Eps: 0.1, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DBSCAN(pad(pts), DBSCANOptions{Eps: 0.1, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("point %d: label %d gridded vs %d high-dimensional", i, want[i], got[i])
+		}
+	}
+}

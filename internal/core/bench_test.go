@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"phasefold/internal/simapp"
@@ -34,7 +36,7 @@ func BenchmarkAnalyzeTrace(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Analyze(run.Trace, opt); err != nil {
+		if _, err := Analyze(context.Background(), run.Trace, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +51,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 	opt := DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := AnalyzeApp(app, cfg, opt); err != nil {
+		if _, _, err := AnalyzeApp(context.Background(), app, cfg, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

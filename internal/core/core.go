@@ -10,8 +10,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"phasefold/internal/align"
 	"phasefold/internal/callstack"
@@ -21,6 +19,7 @@ import (
 	"phasefold/internal/instr"
 	"phasefold/internal/metrics"
 	"phasefold/internal/obs"
+	"phasefold/internal/par"
 	"phasefold/internal/pwl"
 	"phasefold/internal/sampler"
 	"phasefold/internal/sim"
@@ -77,6 +76,15 @@ type Options struct {
 	// exceeded budget degrades the analysis in lenient mode and aborts it
 	// (wrapping ErrBudget) in strict mode.
 	Budget Budget
+	// Parallelism caps the worker goroutines of every parallel stage —
+	// per-rank burst extraction, per-cluster folding, per-cluster PWL
+	// fitting (and, plumbed through to the decoder, per-rank section
+	// decode). Zero or negative means runtime.GOMAXPROCS(0). The analysis
+	// result is identical at any setting: parallel stages write into
+	// pre-assigned slots and every merge point iterates them in fixed
+	// order, so Parallelism trades wall-clock only, never output. With
+	// Parallelism 1 the stages run inline on the calling goroutine.
+	Parallelism int
 }
 
 // DefaultOptions returns the configuration used throughout the experiments:
@@ -243,7 +251,8 @@ func RunApp(app simapp.App, cfg simapp.Config, opt Options) (*RunResult, error) 
 	return &RunResult{Trace: tr, Truth: truth, Stats: tracer.Stats()}, nil
 }
 
-// Analyze runs the analysis pipeline over an acquired trace.
+// Analyze runs the analysis pipeline over an acquired trace, under ctx and
+// the execution guards of opt.Budget.
 //
 // In the default (lenient) mode it is a degraded-mode analyzer: a trace that
 // fails validation is sanitized on a private copy, ranks that cannot be
@@ -254,18 +263,14 @@ func RunApp(app simapp.App, cfg simapp.Config, opt Options) (*RunResult, error) 
 // reported in Model.Diagnostics and as per-cluster Quality grades; the input
 // trace is never modified. With opt.Strict set, any of those conditions
 // aborts with an error instead.
-func Analyze(tr *trace.Trace, opt Options) (*Model, error) {
-	return AnalyzeContext(context.Background(), tr, opt)
-}
-
-// AnalyzeContext is Analyze under a cancellable context and the execution
-// guards of opt.Budget. Cancellation is polled inside every expensive loop
-// (extraction, DBSCAN, refinement ladder, DP fitting) and returns the
-// context's error promptly; it is never absorbed as degradation. Per-rank
-// extraction and per-cluster folding/fitting panics are recovered: lenient
-// mode isolates them as Diagnostics, strict mode returns an error wrapping
-// ErrPanic.
-func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) {
+//
+// Cancellation is polled inside every expensive loop (extraction, DBSCAN,
+// refinement ladder, DP fitting) and returns the context's error promptly;
+// it is never absorbed as degradation. Per-rank extraction and per-cluster
+// folding/fitting panics are recovered: lenient mode isolates them as
+// Diagnostics, strict mode returns an error wrapping ErrPanic. Parallel
+// stages honor opt.Parallelism; the model is identical at any worker count.
+func Analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -362,82 +367,65 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 		return nil, err
 	}
 	// Per-cluster fitting is independent work (each cluster has its own
-	// folded cloud); fit them concurrently, bounded by the CPU count. The
-	// result order and content stay deterministic: slots are pre-assigned
-	// by cluster rank and the fits themselves are pure.
+	// folded cloud); fit them concurrently on the opt.Parallelism pool.
+	// The result order and content stay deterministic: slots are
+	// pre-assigned by cluster rank, the fits themselves are pure, and
+	// errors resolve to diagnostics only after the pool joins, in slot
+	// order — never in completion order.
 	ftctx, fitSpan, endFit := startStage(ctx, spanFit)
 	defer endFit()
 	fctx, cancelFit := stageContext(ftctx, opt.Budget)
 	defer cancelFit()
 	model.Clusters = make([]*ClusterAnalysis, len(stats))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
-		firstErr error
-	)
 	for i, st := range stats {
-		ca := &ClusterAnalysis{Label: st.Label, Stat: st, Folded: foldByLabel[st.Label]}
-		model.Clusters[i] = ca
+		model.Clusters[i] = &ClusterAnalysis{Label: st.Label, Stat: st, Folded: foldByLabel[st.Label]}
+	}
+	fitErrs := make([]error, len(stats))
+	par.ForEach(par.N(opt.Parallelism), len(stats), func(_, i int) {
+		ca := model.Clusters[i]
 		if ca.Folded == nil {
+			return
+		}
+		// Each cluster's fit gets its own child span; the DP inside pwl
+		// attaches its cell count to whatever span its context carries.
+		clctx, clspan := obs.StartSpan(fctx, fmt.Sprintf("fit_cluster_%d", ca.Label))
+		clspan.SetAttr("cluster", int64(ca.Label))
+		defer clspan.End()
+		fitErrs[i] = capture(fmt.Sprintf("fit cluster %d", ca.Label), func() error {
+			if testHookFit != nil {
+				testHookFit(ca.Label)
+			}
+			return fitCluster(clctx, tr, ca, opt)
+		})
+		fitSpan.AddInt("clusters_fit", 1)
+	})
+	if err := ctx.Err(); err != nil {
+		// The caller's context ended; cancellation is never absorbed as
+		// degradation, not even in lenient mode.
+		return nil, err
+	}
+	for i, err := range fitErrs {
+		if err == nil {
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ca *ClusterAnalysis) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// Each cluster's fit gets its own child span; the DP inside pwl
-			// attaches its cell count to whatever span its context carries.
-			clctx, clspan := obs.StartSpan(fctx, fmt.Sprintf("fit_cluster_%d", ca.Label))
-			clspan.SetAttr("cluster", int64(ca.Label))
-			defer clspan.End()
-			err := capture(fmt.Sprintf("fit cluster %d", ca.Label), func() error {
-				if testHookFit != nil {
-					testHookFit(ca.Label)
-				}
-				return fitCluster(clctx, tr, ca, opt)
-			})
-			fitSpan.AddInt("clusters_fit", 1)
-			if err == nil {
-				return
+		ca := model.Clusters[i]
+		switch {
+		case opt.Strict:
+			if stageBudgetExceeded(ctx, err) {
+				return nil, fmt.Errorf("%w: cluster %d fit exceeded stage timeout", ErrBudget, ca.Label)
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case ctx.Err() != nil:
-				// The caller's context ended; cancellation is never absorbed
-				// as degradation, not even in lenient mode.
-				if firstErr == nil {
-					firstErr = ctx.Err()
-				}
-			case opt.Strict:
-				if firstErr == nil {
-					if stageBudgetExceeded(ctx, err) {
-						firstErr = fmt.Errorf("%w: cluster %d fit exceeded stage timeout", ErrBudget, ca.Label)
-					} else {
-						firstErr = fmt.Errorf("core: cluster %d: %w", ca.Label, err)
-					}
-				}
-			case stageBudgetExceeded(ctx, err):
-				ca.Quality = QualityRejected
-				ca.QualityReason = "budget_exceeded:fitting"
-				ds.add("budget", KindBudgetExceeded, SeverityError, -1, ca.Label, "budget_exceeded:fitting: %v", err)
-			default:
-				// Lenient: the cluster is rejected, the rest of the model
-				// survives. Panics arrive here wrapped in ErrPanic.
-				ca.Quality = QualityRejected
-				ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
-				ds.add("fit", KindFitFailed, SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
-			}
-		}(ca)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+			return nil, fmt.Errorf("core: cluster %d: %w", ca.Label, err)
+		case stageBudgetExceeded(ctx, err):
+			ca.Quality = QualityRejected
+			ca.QualityReason = "budget_exceeded:fitting"
+			ds.add("budget", KindBudgetExceeded, SeverityError, -1, ca.Label, "budget_exceeded:fitting: %v", err)
+		default:
+			// Lenient: the cluster is rejected, the rest of the model
+			// survives. Panics arrive here wrapped in ErrPanic.
+			ca.Quality = QualityRejected
+			ca.QualityReason = fmt.Sprintf("fit failed: %v", err)
+			ds.add("fit", KindFitFailed, SeverityError, -1, ca.Label, "piece-wise linear fit failed: %v", err)
+		}
 	}
 	gradeClusters(model, opt, ds)
 	model.Diagnostics = ds.diags
@@ -465,127 +453,189 @@ func prepare(tr *trace.Trace, ds *diagSink) *trace.Trace {
 	return work
 }
 
-// extractAll extracts computation bursts under the extraction stage guard.
-// Strict mode delegates to trace.ExtractBursts and fails on the first error
-// (panics included, wrapped in ErrPanic); lenient mode extracts rank by rank
-// inside a per-rank panic isolation boundary and drops (with a diagnostic)
-// only the ranks that fail. A stage timeout keeps the ranks extracted so
-// far; the caller's own cancellation propagates.
+// rankExtract is one rank's extraction outcome slot. stopped marks ranks
+// the stage guard prevented from starting (stage timeout or cancellation);
+// the merge scan turns the first stopped rank into the same error or
+// diagnostic the serial loop would have produced at that point.
+type rankExtract struct {
+	bursts  []trace.Burst
+	err     error
+	stopped bool
+}
+
+// extractAll extracts computation bursts under the extraction stage guard,
+// fanning ranks out over opt.Parallelism workers. Every rank's result lands
+// in its own slot and the merge scan walks slots in rank order, so the
+// burst list is identical to a serial extraction. Strict mode fails on the
+// first (lowest-rank) error, panics included, wrapped in ErrPanic; lenient
+// mode drops failing ranks with a diagnostic. A stage timeout keeps the
+// longest clean prefix of extracted ranks — rank 0 is always extracted,
+// even under an already-expired budget: a timeout degrades the analysis to
+// a subset, never to nothing (that would trade a partial answer for the
+// unabsorbable no-bursts failure in Analyze). The caller's own cancellation
+// propagates.
 func extractAll(ctx context.Context, tr *trace.Trace, opt Options, ds *diagSink) ([]trace.Burst, error) {
 	sctx, cancel := stageContext(ctx, opt.Budget)
 	defer cancel()
 	bopt := trace.BurstOptions{MinDuration: opt.MinBurstDuration}
-	if opt.Strict {
-		var bursts []trace.Burst
-		err := capture("extract", func() error {
+	n := len(tr.Ranks)
+	workers := par.N(opt.Parallelism)
+	if workers > n {
+		workers = n
+	}
+	_, wspans := workerSpans(ctx, "extract_worker", workers)
+	perRank := make([]rankExtract, n)
+	par.ForEach(workers, n, func(worker, r int) {
+		if err := sctx.Err(); err != nil && r > 0 {
+			perRank[r].stopped, perRank[r].err = true, err
+			return
+		}
+		rd := tr.Ranks[r]
+		perRank[r].err = capture(fmt.Sprintf("extract rank %d", r), func() error {
 			if testHookExtract != nil {
-				for r := range tr.Ranks {
-					testHookExtract(r)
-				}
+				testHookExtract(r)
 			}
 			var e error
-			bursts, e = trace.ExtractBursts(tr, bopt)
+			perRank[r].bursts, e = trace.ExtractRankBursts(rd, bopt)
 			return e
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: extracting bursts: %w", err)
+		wspans[worker].AddInt("ranks", 1)
+		wspans[worker].AddInt("bursts", int64(len(perRank[r].bursts)))
+	})
+	for _, s := range wspans {
+		s.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var bursts []trace.Burst
+	for r := 0; r < n; r++ {
+		if perRank[r].stopped {
+			if !stageBudgetExceeded(ctx, perRank[r].err) {
+				return nil, perRank[r].err
+			}
+			if opt.Strict {
+				return nil, fmt.Errorf("%w: extraction exceeded stage timeout", ErrBudget)
+			}
+			ds.add("budget", KindBudgetExceeded, SeverityWarn, r, -1,
+				"budget_exceeded:extract: stage timeout after %d of %d ranks", r, n)
+			break
 		}
+		if err := perRank[r].err; err != nil {
+			if opt.Strict {
+				return nil, fmt.Errorf("core: extracting bursts: %w", err)
+			}
+			ds.add("extract", KindExtractFailed, SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
+			continue
+		}
+		bursts = append(bursts, perRank[r].bursts...)
+	}
+	if opt.Strict {
 		if err := sctx.Err(); err != nil {
 			if stageBudgetExceeded(ctx, err) {
 				return nil, fmt.Errorf("%w: extraction exceeded stage timeout", ErrBudget)
 			}
 			return nil, err
 		}
-		return bursts, nil
-	}
-	var bursts []trace.Burst
-	for r, rd := range tr.Ranks {
-		if err := sctx.Err(); err != nil {
-			if !stageBudgetExceeded(ctx, err) {
-				return nil, err
-			}
-			// The first rank is always extracted, even under an already-
-			// expired stage budget: a timeout degrades the analysis to a
-			// subset, it never degrades it to nothing (that would trade a
-			// partial answer for the unabsorbable no-bursts failure in
-			// AnalyzeContext).
-			if r > 0 {
-				ds.add("budget", KindBudgetExceeded, SeverityWarn, r, -1,
-					"budget_exceeded:extract: stage timeout after %d of %d ranks", r, len(tr.Ranks))
-				break
-			}
-		}
-		rd := rd
-		var rb []trace.Burst
-		err := capture(fmt.Sprintf("extract rank %d", r), func() error {
-			if testHookExtract != nil {
-				testHookExtract(r)
-			}
-			var e error
-			rb, e = trace.ExtractRankBursts(rd, bopt)
-			return e
-		})
-		if err != nil {
-			ds.add("extract", KindExtractFailed, SeverityError, r, -1, "burst extraction failed, rank dropped: %v", err)
-			continue
-		}
-		bursts = append(bursts, rb...)
 	}
 	return bursts, nil
 }
 
-// foldAll folds every cluster under the folding stage guard. Strict mode
-// delegates to folding.FoldAll and fails on the first error; lenient mode
-// folds label by label inside a per-cluster panic isolation boundary and
-// records a diagnostic for each cluster that cannot be folded (it will be
-// graded QualityRejected; the others proceed). A stage timeout keeps the
-// folds finished so far; unfolded clusters grade Rejected downstream.
+// workerSpans opens one child span per pool worker under ctx's current
+// span — per worker, not per item, so span volume stays bounded however
+// large the trace is. Each worker owns its span exclusively; Span methods
+// are also mutex-protected, so concurrent children under one parent are
+// safe. Callers must End every returned span after the pool joins. With
+// telemetry absent from ctx the spans are nil and every operation on them
+// is a no-op.
+func workerSpans(ctx context.Context, prefix string, workers int) ([]context.Context, []*obs.Span) {
+	if workers < 1 {
+		workers = 1
+	}
+	ctxs := make([]context.Context, workers)
+	spans := make([]*obs.Span, workers)
+	for w := range ctxs {
+		ctxs[w], spans[w] = obs.StartSpan(ctx, fmt.Sprintf("%s_%d", prefix, w))
+	}
+	return ctxs, spans
+}
+
+// clusterFold is one cluster's folding outcome slot; see rankExtract for
+// the stopped convention.
+type clusterFold struct {
+	folded  *folding.Folded
+	err     error
+	stopped bool
+}
+
+// foldAll folds every cluster under the folding stage guard, fanning
+// clusters out over opt.Parallelism workers. Each cluster's fold lands in
+// its own slot and the merge scan walks slots in stats order, so the result
+// is identical to a serial fold. Strict mode fails on the first
+// (lowest-index) error; lenient mode records a diagnostic for each cluster
+// that cannot be folded (it will be graded QualityRejected; the others
+// proceed). A stage timeout keeps the longest clean prefix of folded
+// clusters; unfolded clusters grade Rejected downstream. The first cluster
+// is always folded, even under an already-expired budget, mirroring
+// extraction's at-least-one-rank rule.
 func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
 	sctx, cancel := stageContext(ctx, opt.Budget)
 	defer cancel()
 	byLabel := make(map[int]*folding.Folded, len(stats))
-	if opt.Strict {
-		var folds []*folding.Folded
-		err := capture("folding", func() error {
+	n := len(stats)
+	workers := par.N(opt.Parallelism)
+	if workers > n {
+		workers = n
+	}
+	_, wspans := workerSpans(ctx, "fold_worker", workers)
+	perCluster := make([]clusterFold, n)
+	par.ForEach(workers, n, func(worker, i int) {
+		if err := sctx.Err(); err != nil && (i > 0 || opt.Strict) {
+			perCluster[i].stopped, perCluster[i].err = true, err
+			return
+		}
+		st := stats[i]
+		perCluster[i].err = capture(fmt.Sprintf("fold cluster %d", st.Label), func() error {
 			var e error
-			folds, e = folding.FoldAll(tr, bursts, opt.Folding)
+			perCluster[i].folded, e = folding.Fold(tr, bursts, st.Label, opt.Folding)
 			return e
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: folding: %w", err)
+		wspans[worker].AddInt("clusters", 1)
+	})
+	for _, s := range wspans {
+		s.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if perCluster[i].stopped {
+			if !stageBudgetExceeded(ctx, perCluster[i].err) {
+				return nil, perCluster[i].err
+			}
+			if opt.Strict {
+				return nil, fmt.Errorf("%w: folding exceeded stage timeout", ErrBudget)
+			}
+			ds.add("budget", KindBudgetExceeded, SeverityWarn, -1, -1,
+				"budget_exceeded:folding: stage timeout after %d of %d clusters", i, n)
+			break
 		}
+		if err := perCluster[i].err; err != nil {
+			if opt.Strict {
+				return nil, fmt.Errorf("core: folding: %w", err)
+			}
+			ds.add("fold", KindFoldFailed, SeverityError, -1, stats[i].Label, "folding failed: %v", err)
+			continue
+		}
+		byLabel[stats[i].Label] = perCluster[i].folded
+	}
+	if opt.Strict {
 		if err := sctx.Err(); err != nil {
 			if stageBudgetExceeded(ctx, err) {
 				return nil, fmt.Errorf("%w: folding exceeded stage timeout", ErrBudget)
 			}
 			return nil, err
 		}
-		for _, f := range folds {
-			byLabel[f.Cluster] = f
-		}
-		return byLabel, nil
-	}
-	for i, st := range stats {
-		if err := sctx.Err(); err != nil {
-			if stageBudgetExceeded(ctx, err) {
-				ds.add("budget", KindBudgetExceeded, SeverityWarn, -1, -1,
-					"budget_exceeded:folding: stage timeout after %d of %d clusters", i, len(stats))
-				break
-			}
-			return nil, err
-		}
-		st := st
-		var f *folding.Folded
-		err := capture(fmt.Sprintf("fold cluster %d", st.Label), func() error {
-			var e error
-			f, e = folding.Fold(tr, bursts, st.Label, opt.Folding)
-			return e
-		})
-		if err != nil {
-			ds.add("fold", KindFoldFailed, SeverityError, -1, st.Label, "folding failed: %v", err)
-			continue
-		}
-		byLabel[st.Label] = f
 	}
 	return byLabel, nil
 }
@@ -614,20 +664,16 @@ func gradeClusters(m *Model, opt Options, ds *diagSink) {
 	}
 }
 
-// AnalyzeApp is the one-call convenience: run the app and analyze the trace.
-func AnalyzeApp(app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
-	return AnalyzeAppContext(context.Background(), app, cfg, opt)
-}
-
-// AnalyzeAppContext is AnalyzeApp with the analysis half under a cancellable
-// context (the simulated acquisition itself is not interruptible; it is
-// bounded by the workload's configured size).
-func AnalyzeAppContext(ctx context.Context, app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
+// AnalyzeApp is the one-call convenience: run the app and analyze the
+// trace. Only the analysis half is under ctx (the simulated acquisition
+// itself is not interruptible; it is bounded by the workload's configured
+// size).
+func AnalyzeApp(ctx context.Context, app simapp.App, cfg simapp.Config, opt Options) (*Model, *RunResult, error) {
 	run, err := RunApp(app, cfg, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := AnalyzeContext(ctx, run.Trace, opt)
+	m, err := Analyze(ctx, run.Trace, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -17,7 +19,7 @@ func analyzeApp(t *testing.T, name string, cfg simapp.Config, opt Options) (*Mod
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, run, err := AnalyzeApp(app, cfg, opt)
+	model, run, err := AnalyzeApp(context.Background(), app, cfg, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ func TestRefinementPathWorks(t *testing.T) {
 
 func TestAnalyzeRejectsEmptyTrace(t *testing.T) {
 	tr := trace.New("empty", 1, nil, nil)
-	if _, err := Analyze(tr, DefaultOptions()); err == nil {
+	if _, err := Analyze(context.Background(), tr, DefaultOptions()); err == nil {
 		t.Fatal("empty trace analyzed without error")
 	}
 }

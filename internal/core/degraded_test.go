@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"testing"
@@ -55,7 +57,7 @@ func damage(t *testing.T, base *trace.Trace, spec string) *trace.Trace {
 
 func TestPristineTraceYieldsNoDiagnostics(t *testing.T) {
 	tr := acquireTrace(t)
-	model, err := Analyze(tr, DefaultOptions())
+	model, err := Analyze(context.Background(), tr, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestEveryFaultClassIsAbsorbed(t *testing.T) {
 	} {
 		t.Run(spec, func(t *testing.T) {
 			tr := damage(t, base, spec)
-			model, err := Analyze(tr, DefaultOptions())
+			model, err := Analyze(context.Background(), tr, DefaultOptions())
 			if err != nil {
 				t.Fatalf("lenient Analyze failed: %v", err)
 			}
@@ -115,13 +117,13 @@ func TestStrictModeRejectsDamage(t *testing.T) {
 	// Counter wrap breaks the monotone-counter invariant; strict mode must
 	// refuse the trace with a matchable sentinel.
 	tr := damage(t, base, "wrap=30")
-	if _, err := Analyze(tr, opt); err == nil {
+	if _, err := Analyze(context.Background(), tr, opt); err == nil {
 		t.Fatal("strict Analyze accepted a wrapped-counter trace")
 	} else if !errors.Is(err, trace.ErrInvalid) {
 		t.Fatalf("strict error %v does not match trace.ErrInvalid", err)
 	}
 	// And a pristine trace must still pass, identically to lenient mode.
-	if _, err := Analyze(base, opt); err != nil {
+	if _, err := Analyze(context.Background(), base, opt); err != nil {
 		t.Fatalf("strict Analyze rejected a pristine trace: %v", err)
 	}
 }
@@ -130,7 +132,7 @@ func TestLenientAnalyzeDoesNotModifyCallerTrace(t *testing.T) {
 	base := acquireTrace(t)
 	tr := damage(t, base, "garble=0.1")
 	before := encodeTrace(t, tr)
-	if _, err := Analyze(tr, DefaultOptions()); err != nil {
+	if _, err := Analyze(context.Background(), tr, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(encodeTrace(t, tr), before) {
@@ -142,7 +144,7 @@ func TestSparseClustersGradeDegraded(t *testing.T) {
 	tr := acquireTrace(t)
 	opt := DefaultOptions()
 	opt.MinFoldedPoints = 1 << 30 // nothing can be this dense
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

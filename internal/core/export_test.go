@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -16,7 +18,7 @@ func TestModelExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-	model, run, err := AnalyzeApp(app, cfg, DefaultOptions())
+	model, run, err := AnalyzeApp(context.Background(), app, cfg, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestModelExportNilTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-	model, _, err := AnalyzeApp(app, cfg, DefaultOptions())
+	model, _, err := AnalyzeApp(context.Background(), app, cfg, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func TestBudgetMaxRanksTrimsLenient(t *testing.T) {
 	tr := acquireTrace(t) // 4 ranks
 	opt := DefaultOptions()
 	opt.Budget = Budget{MaxRanks: 2}
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestBudgetMaxRecordsTrimsAtRankGranularity(t *testing.T) {
 	total := tr.NumEvents() + tr.NumSamples()
 	opt := DefaultOptions()
 	opt.Budget = Budget{MaxRecords: total / 2}
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestBudgetMaxBytesTrims(t *testing.T) {
 	tr := acquireTrace(t)
 	opt := DefaultOptions()
 	opt.Budget = Budget{MaxBytes: tr.EstimateBytes() / 2}
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestBudgetKeepsAtLeastOneRank(t *testing.T) {
 	tr := acquireTrace(t)
 	opt := DefaultOptions()
 	opt.Budget = Budget{MaxRecords: 1} // smaller than any single rank
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatalf("an impossible record budget must degrade, not fail: %v", err)
 	}
@@ -104,7 +104,7 @@ func TestBudgetStrictFailsFast(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Strict = true
 	opt.Budget = Budget{MaxRanks: 2}
-	if _, err := Analyze(tr, opt); !errors.Is(err, ErrBudget) {
+	if _, err := Analyze(context.Background(), tr, opt); !errors.Is(err, ErrBudget) {
 		t.Fatalf("strict over-budget analysis returned %v, want ErrBudget", err)
 	}
 }
@@ -115,7 +115,7 @@ func TestBudgetUnlimitedZeroValue(t *testing.T) {
 	}
 	tr := acquireTrace(t)
 	opt := DefaultOptions() // zero budget
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestStageTimeoutDegradesFitting(t *testing.T) {
 	// loops may still finish a unit of work, but fitting must reject its
 	// clusters with the budget reason rather than fail the analysis.
 	opt.Budget = Budget{StageTimeout: time.Nanosecond}
-	model, err := Analyze(tr, opt)
+	model, err := Analyze(context.Background(), tr, opt)
 	if err != nil {
 		t.Fatalf("stage timeout must degrade, not fail: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestPanicInFitIsolatedPerCluster(t *testing.T) {
 		}
 	}
 	defer func() { testHookFit = nil }()
-	model, err := Analyze(tr, DefaultOptions())
+	model, err := Analyze(context.Background(), tr, DefaultOptions())
 	if err != nil {
 		t.Fatalf("lenient analysis must absorb a per-cluster panic: %v", err)
 	}
@@ -189,7 +189,7 @@ func TestPanicInFitStrictReturnsErrPanic(t *testing.T) {
 	defer func() { testHookFit = nil }()
 	opt := DefaultOptions()
 	opt.Strict = true
-	if _, err := Analyze(tr, opt); !errors.Is(err, ErrPanic) {
+	if _, err := Analyze(context.Background(), tr, opt); !errors.Is(err, ErrPanic) {
 		t.Fatalf("strict analysis returned %v, want ErrPanic", err)
 	}
 }
@@ -202,7 +202,7 @@ func TestPanicInExtractIsolatedPerRank(t *testing.T) {
 		}
 	}
 	defer func() { testHookExtract = nil }()
-	model, err := Analyze(tr, DefaultOptions())
+	model, err := Analyze(context.Background(), tr, DefaultOptions())
 	if err != nil {
 		t.Fatalf("lenient analysis must absorb a per-rank panic: %v", err)
 	}
@@ -230,7 +230,7 @@ func TestAnalyzeCancelsPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	_, err = AnalyzeContext(ctx, run.Trace, DefaultOptions())
+	_, err = Analyze(ctx, run.Trace, DefaultOptions())
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled analysis returned %v, want context.Canceled", err)
 	}
@@ -242,7 +242,7 @@ func TestAnalyzeCancelsPromptly(t *testing.T) {
 	ctx, cancel = context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := AnalyzeContext(ctx, run.Trace, DefaultOptions())
+		_, err := Analyze(ctx, run.Trace, DefaultOptions())
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)

@@ -20,7 +20,7 @@ func analyzeWithTelemetry(t *testing.T) (*Model, *obs.Recorder, *obs.Registry) {
 	rec := obs.NewRecorder()
 	reg := obs.NewRegistry()
 	ctx := obs.WithTelemetry(context.Background(), rec, reg)
-	model, err := AnalyzeContext(ctx, tr, DefaultOptions())
+	model, err := Analyze(ctx, tr, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestDiagnosticsCarryKindsAndEvents(t *testing.T) {
 	reg := obs.NewRegistry()
 	ctx = obs.WithTelemetry(ctx, nil, reg)
 
-	model, err := AnalyzeContext(ctx, tr, DefaultOptions())
+	model, err := Analyze(ctx, tr, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestTelemetryDisabledIsInert(t *testing.T) {
 	// Without telemetry in the context the same call paths must run
 	// untouched: nil spans, nil registry, no-op logger.
 	tr := acquireTrace(t)
-	model, err := AnalyzeContext(context.Background(), tr, DefaultOptions())
+	model, err := Analyze(context.Background(), tr, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func BenchmarkAnalyzeTelemetryOff(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := AnalyzeContext(ctx, tr, DefaultOptions()); err != nil {
+		if _, err := Analyze(ctx, tr, DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +211,7 @@ func BenchmarkAnalyzeTelemetryOn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := obs.WithTelemetry(context.Background(), obs.NewRecorder(), obs.NewRegistry())
-		if _, err := AnalyzeContext(ctx, tr, DefaultOptions()); err != nil {
+		if _, err := Analyze(ctx, tr, DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}

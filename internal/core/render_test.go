@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -107,7 +109,7 @@ func TestSourceProfileTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, run, err := AnalyzeApp(app, cfg, DefaultOptions())
+	model, run, err := AnalyzeApp(context.Background(), app, cfg, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

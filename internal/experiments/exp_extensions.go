@@ -276,7 +276,7 @@ func F9Tracking(ctx context.Context) (*Result, error) {
 		app := simapp.NewCGSolver()
 		app.RowsScale = s
 		cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-		model, _, err := core.AnalyzeAppContext(ctx, app, cfg, core.DefaultOptions())
+		model, _, err := core.AnalyzeApp(ctx, app, cfg, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}

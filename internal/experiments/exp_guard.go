@@ -63,11 +63,11 @@ func R2ExecutionGuards(ctx context.Context) (*Result, error) {
 	// from memory so the experiment needs no scratch files.
 	analyzeJob := func(open func(jctx context.Context) io.Reader, o core.Options, dopt trace.DecodeOptions) func(context.Context) (string, bool, error) {
 		return func(jctx context.Context) (string, bool, error) {
-			tr, rep, err := trace.DecodeWithContext(jctx, open(jctx), dopt)
+			tr, rep, err := trace.Decode(jctx, open(jctx), dopt)
 			if err != nil {
 				return "", false, err
 			}
-			model, err := core.AnalyzeContext(jctx, tr, o)
+			model, err := core.Analyze(jctx, tr, o)
 			if err != nil {
 				return "", false, err
 			}

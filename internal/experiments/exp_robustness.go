@@ -69,7 +69,7 @@ func R1Robustness(ctx context.Context) (*Result, error) {
 			}
 			tr := run.Trace.Clone()
 			chain.ApplyTrace(tr)
-			model, err := core.AnalyzeContext(ctx, tr, opt)
+			model, err := core.Analyze(ctx, tr, opt)
 			if err != nil {
 				// Lenient analysis refusing a ≤20%-damaged trace is exactly
 				// the cliff R1 exists to rule out; count it, don't abort.

@@ -89,7 +89,7 @@ func analyze(ctx context.Context, appName string, cfg simapp.Config, opt core.Op
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.AnalyzeAppContext(ctx, app, cfg, opt)
+	return core.AnalyzeApp(ctx, app, cfg, opt)
 }
 
 // truthMIPS returns the ground-truth MIPS profile of a region as a function

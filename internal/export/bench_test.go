@@ -1,6 +1,8 @@
 package export
 
 import (
+	"context"
+
 	"io"
 	"testing"
 
@@ -16,7 +18,7 @@ func BenchmarkAnalyzeNoExport(b *testing.B) {
 	fixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(fixTrace, core.DefaultOptions()); err != nil {
+		if _, err := core.Analyze(context.Background(), fixTrace, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -26,7 +28,7 @@ func BenchmarkAnalyzeWithExports(b *testing.B) {
 	fixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := core.Analyze(fixTrace, core.DefaultOptions())
+		m, err := core.Analyze(context.Background(), fixTrace, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package export
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -28,7 +30,7 @@ func fixture(t testing.TB) *core.ExportView {
 			return
 		}
 		cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-		model, run, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+		model, run, err := core.AnalyzeApp(context.Background(), app, cfg, core.DefaultOptions())
 		if err != nil {
 			fixErr = err
 			return

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -150,7 +151,7 @@ func TestStreamInjectors(t *testing.T) {
 	if len(chopped) >= len(data) {
 		t.Fatalf("chop did not shrink the stream: %d -> %d", len(data), len(chopped))
 	}
-	if _, err := trace.Decode(bytes.NewReader(chopped)); err == nil {
+	if _, _, err := trace.Decode(context.Background(), bytes.NewReader(chopped), trace.DecodeOptions{}); err == nil {
 		t.Fatal("strict decode accepted a chopped stream")
 	} else if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrInvalid) {
 		t.Fatalf("chopped decode error %v carries no sentinel", err)
@@ -163,7 +164,7 @@ func TestStreamInjectors(t *testing.T) {
 	}
 	// The decode may or may not fail depending on where the flips landed,
 	// but it must never panic.
-	_, _, _ = trace.DecodeWith(bytes.NewReader(bad), trace.DecodeOptions{Salvage: true})
+	_, _, _ = trace.Decode(context.Background(), bytes.NewReader(bad), trace.DecodeOptions{Salvage: true})
 }
 
 func TestTruncateShortensRanks(t *testing.T) {

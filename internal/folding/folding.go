@@ -21,12 +21,36 @@ package folding
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
 	"phasefold/internal/sim"
 	"phasefold/internal/trace"
 )
+
+// foldScratch is the per-call working set of Fold — the member list, the
+// duration vector, and one delta vector per counter id. The analysis
+// pipeline folds many clusters concurrently, so the scratch is pooled: a
+// steady-state Fold allocates only the Folded result it returns. The
+// relaxed-band retry inside Fold recurses, which is safe — the inner call
+// simply draws a second scratch from the pool.
+type foldScratch struct {
+	members []*trace.Burst
+	durs    []float64
+	deltas  [counters.NumIDs][]float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(foldScratch) }}
+
+func putScratch(sc *foldScratch) {
+	sc.members = sc.members[:0]
+	sc.durs = sc.durs[:0]
+	for i := range sc.deltas {
+		sc.deltas[i] = sc.deltas[i][:0]
+	}
+	scratchPool.Put(sc)
+}
 
 // Point is one folded observation for one counter.
 type Point struct {
@@ -118,27 +142,31 @@ func Fold(tr *trace.Trace, bursts []trace.Burst, label int, opt Options) (*Folde
 	if label < 0 {
 		return nil, fmt.Errorf("folding: cannot fold noise label %d", label)
 	}
-	members := make([]*trace.Burst, 0, 64)
+	sc := scratchPool.Get().(*foldScratch)
+	defer putScratch(sc)
+	members := sc.members[:0]
 	for i := range bursts {
 		if bursts[i].Cluster == label {
 			members = append(members, &bursts[i])
 		}
 	}
+	sc.members = members
 	if len(members) == 0 {
 		return nil, fmt.Errorf("folding: cluster %d has no bursts", label)
 	}
 	f := &Folded{Cluster: label, NumBursts: len(members)}
 
 	// Representative duration and outlier band from the full membership.
-	durs := make([]float64, len(members))
-	for i, b := range members {
-		durs[i] = float64(b.Duration())
+	durs := sc.durs[:0]
+	for _, b := range members {
+		durs = append(durs, float64(b.Duration()))
 	}
+	sc.durs = durs
 	medDur := sim.Median(durs)
 	f.RepDuration = sim.Duration(medDur)
 
 	// Collect per-counter deltas of the used bursts for the medians.
-	var deltas [counters.NumIDs][]float64
+	deltas := &sc.deltas
 	for _, b := range members {
 		if opt.DurationBand > 0 {
 			dev := (float64(b.Duration()) - medDur) / medDur

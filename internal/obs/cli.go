@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"expvar"
+	"flag"
 	"fmt"
 	"io"
 	"log/slog"
@@ -12,6 +13,54 @@ import (
 	"os"
 	"time"
 )
+
+// CommonFlags is the flag set every command shares: the observability
+// surfaces (-metrics, -manifest, -log-level, -pprof), the report server
+// (-serve), and the damage policy (-strict, -salvage). Registering them in
+// one place keeps names, help strings, and validation identical across
+// foldctl and phasereport.
+type CommonFlags struct {
+	Metrics  string
+	Manifest string
+	LogLevel string
+	Pprof    string
+	Serve    string
+	Strict   bool
+	Salvage  bool
+}
+
+// RegisterCommonFlags installs the shared flag set on fs and returns the
+// destination struct, read after fs.Parse.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	cf := &CommonFlags{}
+	fs.StringVar(&cf.Metrics, "metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
+	fs.StringVar(&cf.Manifest, "manifest", "", "write the run manifest (JSON) to this file at exit")
+	fs.StringVar(&cf.LogLevel, "log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
+	fs.StringVar(&cf.Pprof, "pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
+	fs.StringVar(&cf.Serve, "serve", "", "serve the interactive HTML report on this address until interrupted")
+	fs.BoolVar(&cf.Strict, "strict", false, "fail fast on any damage instead of repairing and reporting")
+	fs.BoolVar(&cf.Salvage, "salvage", false, "recover what a truncated or corrupt trace file still holds")
+	return cf
+}
+
+// Validate reports combinations the shared flags rule out.
+func (cf *CommonFlags) Validate() error {
+	if cf.Strict && cf.Salvage {
+		return fmt.Errorf("-strict and -salvage are mutually exclusive")
+	}
+	return nil
+}
+
+// Config derives the observability Config from the shared flags.
+func (cf *CommonFlags) Config(tool string) Config {
+	return Config{
+		MetricsPath:  cf.Metrics,
+		ManifestPath: cf.Manifest,
+		LogLevel:     cf.LogLevel,
+		PprofAddr:    cf.Pprof,
+		Tool:         tool,
+	}
+}
 
 // Config bundles the standard observability CLI flags. The zero value —
 // no paths, no address, empty level — disables everything, which is the

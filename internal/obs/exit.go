@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"errors"
+)
+
+// Process exit codes shared by every command. This block is the single
+// source of truth for the CLI exit contract:
+//
+//	0   success (possibly degraded — check diagnostics in the manifest)
+//	1   analysis failed (budget exhausted, internal panic, pipeline error)
+//	2   usage error (bad flags or arguments)
+//	3   input error (unreadable, truncated, or malformed trace)
+//	130 interrupted (signal or context cancellation), following the shell
+//	    convention of 128+SIGINT
+const (
+	ExitOK       = 0
+	ExitAnalysis = 1
+	ExitUsage    = 2
+	ExitInput    = 3
+	ExitSignal   = 130
+)
+
+// ExitFor maps a pipeline error to its exit code: nil is ExitOK, context
+// cancellation or deadline expiry is ExitSignal, an error matching any of
+// the given input-class sentinels (callers pass trace.ErrFormat; this
+// package sits below the trace package and cannot name it) is ExitInput,
+// and anything else is ExitAnalysis.
+func ExitFor(err error, inputSentinels ...error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ExitSignal
+	}
+	for _, s := range inputSentinels {
+		if s != nil && errors.Is(err, s) {
+			return ExitInput
+		}
+	}
+	return ExitAnalysis
+}

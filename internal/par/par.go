@@ -1,0 +1,75 @@
+// Package par provides the bounded worker-pool primitive the parallel
+// analysis pipeline is built on. Every parallel stage in phasefold follows
+// the same discipline: items are claimed in ascending order, results land in
+// caller-owned slots indexed by item, and merge points iterate those slots
+// in fixed order — so pipeline output never depends on goroutine scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a parallelism knob: n itself when positive, otherwise
+// runtime.GOMAXPROCS(0), the pipeline-wide default.
+func N(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(worker, item) for every item in [0, n) on at most
+// N(workers) goroutines. Items are claimed in ascending order; each worker
+// index in [0, workers) is owned by exactly one goroutine, so fn may keep
+// per-worker scratch (spans, buffers) without locking. With one worker or
+// one item, fn runs inline on the calling goroutine — the single-worker
+// path is indistinguishable from a plain loop, which is what makes
+// Parallelism=1 exactly the serial pipeline. ForEach returns only after
+// every started fn call has returned; if any fn panics, the pool drains and
+// the first recovered value is re-raised on the caller's goroutine.
+func ForEach(workers, n int, fn func(worker, item int)) {
+	workers = N(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

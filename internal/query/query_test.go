@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -16,7 +18,7 @@ func cgModel(t *testing.T) *core.Model {
 		t.Fatal(err)
 	}
 	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-	model, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+	model, _, err := core.AnalyzeApp(context.Background(), app, cfg, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestOptimizationHintMatchesT4(t *testing.T) {
 	// The stencil hint is the load sweep.
 	app, _ := simapp.NewApp("stencil")
 	cfg := simapp.Config{Ranks: 2, Iterations: 120, Seed: 7, FreqGHz: 2}
-	sm, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+	sm, _, err := core.AnalyzeApp(context.Background(), app, cfg, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -37,7 +38,7 @@ func BenchmarkDecodeBinary(b *testing.B) {
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+		if _, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,7 +34,7 @@ func TestDecodeCancelsPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	_, _, err := DecodeWithContext(ctx, bytes.NewReader(data), DecodeOptions{})
+	_, _, err := Decode(ctx, bytes.NewReader(data), DecodeOptions{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled decode returned %v, want context.Canceled", err)
 	}
@@ -46,7 +46,7 @@ func TestDecodeCancelsPromptly(t *testing.T) {
 	ctx, cancel = context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := DecodeWithContext(ctx, bytes.NewReader(data), DecodeOptions{})
+		_, _, err := Decode(ctx, bytes.NewReader(data), DecodeOptions{})
 		done <- err
 	}()
 	cancel()
@@ -70,7 +70,7 @@ func TestDecodeSalvageNeverAbsorbsCancellation(t *testing.T) {
 	data := bigEncodedTrace(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := DecodeWithContext(ctx, bytes.NewReader(data), DecodeOptions{Salvage: true})
+	_, _, err := Decode(ctx, bytes.NewReader(data), DecodeOptions{Salvage: true})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("salvage decode turned cancellation into %v, want context.Canceled", err)
 	}
@@ -83,7 +83,7 @@ func TestDecodeTextCancels(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := DecodeTextWithContext(ctx, bytes.NewReader(buf.Bytes()), DecodeOptions{})
+	_, _, err := DecodeText(ctx, bytes.NewReader(buf.Bytes()), DecodeOptions{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled text decode returned %v, want context.Canceled", err)
 	}
@@ -93,7 +93,7 @@ func TestDecodeDeadlinePropagates(t *testing.T) {
 	data := bigEncodedTrace(t)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	_, _, err := DecodeWithContext(ctx, bytes.NewReader(data), DecodeOptions{})
+	_, _, err := Decode(ctx, bytes.NewReader(data), DecodeOptions{})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired decode returned %v, want context.DeadlineExceeded", err)
 	}

@@ -2,37 +2,56 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
 	"phasefold/internal/obs"
+	"phasefold/internal/par"
 	"phasefold/internal/sim"
 )
 
-// Binary trace format ("PFT1"): a compact varint-based encoding analogous in
+// Binary trace format ("PFT2"): a compact varint-based encoding analogous in
 // role to Paraver's .prv container. Layout:
 //
-//	magic "PFT1"
+//	magic "PFT2"
 //	app name (string)
 //	symbol table: count, then {name, file, startLine, endLine}
 //	stack table:  count, then {frames: count, {routine, line}...}
 //	rank count
-//	per rank: event count, events (delta-coded times), sample count, samples
+//	per rank: section byte length, then the section:
+//	  event count, events (delta-coded times), sample count, samples
+//
+// The per-rank byte-length prefix is what makes the container parallel:
+// sections are sliced off the stream sequentially (I/O is one pipe) but
+// decoded concurrently, each into its own rank slot, so the merged trace is
+// identical at any worker count. The legacy "PFT1" layout — same header,
+// rank bodies concatenated with no length prefixes — still decodes, on a
+// single-goroutine path, because existing files and the fuzz corpus carry it.
 //
 // Counter snapshots are encoded as a presence bitmap plus varint values so
 // multiplexed traces (mostly-Missing sets) stay small.
 
-const binaryMagic = "PFT1"
+const (
+	binaryMagic   = "PFT1" // legacy: one sequential varint stream
+	binaryMagicV2 = "PFT2" // current: length-prefixed per-rank sections
+)
+
+type stringWriter interface {
+	io.Writer
+	io.StringWriter
+}
 
 type writer struct {
-	w   *bufio.Writer
+	w   stringWriter
 	buf [binary.MaxVarintLen64]byte
 	err error
 }
@@ -61,6 +80,13 @@ func (w *writer) str(s string) {
 	_, w.err = w.w.WriteString(s)
 }
 
+func (w *writer) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
 func (w *writer) counterSet(s counters.Set) {
 	var mask uint64
 	for i, v := range s {
@@ -76,12 +102,57 @@ func (w *writer) counterSet(s counters.Set) {
 	}
 }
 
-// Encode writes t to w in the binary trace format.
+// sectionPool recycles the per-rank section buffers used by both Encode and
+// Decode. Batch runs decode hundreds of traces back to back; without reuse
+// every pass re-grows multi-megabyte buffers just to throw them away.
+var sectionPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledSection bounds what goes back in the pool: one pathological
+// multi-gigabyte trace must not pin its buffers for the process lifetime.
+const maxPooledSection = 16 << 20
+
+func getSectionBuf() *bytes.Buffer {
+	b := sectionPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putSectionBuf(b *bytes.Buffer) {
+	if b != nil && b.Cap() <= maxPooledSection {
+		sectionPool.Put(b)
+	}
+}
+
+// Encode writes t to w in the current binary trace format ("PFT2").
+// Rank sections are independent byte ranges, so their payloads are encoded
+// concurrently and written out in rank order; the emitted bytes are
+// identical at any worker count.
 func Encode(w io.Writer, t *Trace) error {
-	bw := &writer{w: bufio.NewWriterSize(w, 1<<16)}
-	if _, err := bw.w.WriteString(binaryMagic); err != nil {
+	out := bufio.NewWriterSize(w, 1<<16)
+	bw := &writer{w: out}
+	if _, err := out.WriteString(binaryMagicV2); err != nil {
 		return err
 	}
+	encodeHeader(bw, t)
+	sections := make([]*bytes.Buffer, len(t.Ranks))
+	par.ForEach(0, len(t.Ranks), func(_, i int) {
+		sections[i] = encodeRankSection(t.Ranks[i])
+	})
+	for _, sec := range sections {
+		bw.uvarint(uint64(sec.Len()))
+		bw.bytes(sec.Bytes())
+		putSectionBuf(sec)
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return out.Flush()
+}
+
+// encodeHeader writes everything up to the rank sections: app name, symbol
+// table, stack table, and the rank count. The header is byte-identical
+// between the "PFT1" and "PFT2" layouts; only what follows differs.
+func encodeHeader(bw *writer, t *Trace) {
 	bw.str(t.AppName)
 	routines := t.Symbols.Routines()
 	bw.uvarint(uint64(len(routines)))
@@ -101,35 +172,42 @@ func Encode(w io.Writer, t *Trace) error {
 		}
 	}
 	bw.uvarint(uint64(len(t.Ranks)))
-	for _, rd := range t.Ranks {
-		bw.uvarint(uint64(len(rd.Events)))
-		var prev sim.Time
-		for _, e := range rd.Events {
-			bw.uvarint(uint64(e.Time - prev))
-			prev = e.Time
-			bw.uvarint(uint64(e.Type))
-			bw.varint(e.Value)
-			bw.uvarint(uint64(e.Group))
-			bw.counterSet(e.Counters)
-		}
-		bw.uvarint(uint64(len(rd.Samples)))
-		prev = 0
-		for _, s := range rd.Samples {
-			bw.uvarint(uint64(s.Time - prev))
-			prev = s.Time
-			bw.varint(int64(s.Stack))
-			bw.uvarint(uint64(s.Group))
-			bw.counterSet(s.Counters)
-		}
+}
+
+func encodeRankSection(rd *RankData) *bytes.Buffer {
+	buf := getSectionBuf()
+	bw := &writer{w: buf}
+	bw.uvarint(uint64(len(rd.Events)))
+	var prev sim.Time
+	for _, e := range rd.Events {
+		bw.uvarint(uint64(e.Time - prev))
+		prev = e.Time
+		bw.uvarint(uint64(e.Type))
+		bw.varint(e.Value)
+		bw.uvarint(uint64(e.Group))
+		bw.counterSet(e.Counters)
 	}
-	if bw.err != nil {
-		return bw.err
+	bw.uvarint(uint64(len(rd.Samples)))
+	prev = 0
+	for _, s := range rd.Samples {
+		bw.uvarint(uint64(s.Time - prev))
+		prev = s.Time
+		bw.varint(int64(s.Stack))
+		bw.uvarint(uint64(s.Group))
+		bw.counterSet(s.Counters)
 	}
-	return bw.w.Flush()
+	return buf
+}
+
+// byteReader is what the decoder needs from its source: the stream path
+// supplies a *bufio.Reader, the per-section path a *bytes.Reader.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 type reader struct {
-	r   *bufio.Reader
+	r   byteReader
 	ctx context.Context
 	n   int // records decoded since the last cancellation poll
 	err error
@@ -218,9 +296,10 @@ func (r *reader) counterSet() counters.Set {
 // count before enough bytes to justify it have actually been read; these
 // caps bound the damage a single fabricated count can do.
 const (
-	maxDecodeCount = 1 << 28 // events/samples per rank
-	maxTableCount  = 1 << 22 // routines, stacks, ranks
-	maxStackFrames = 1 << 12 // frames per call stack
+	maxDecodeCount  = 1 << 28 // events/samples per rank
+	maxTableCount   = 1 << 22 // routines, stacks, ranks
+	maxStackFrames  = 1 << 12 // frames per call stack
+	maxSectionBytes = 1 << 36 // bytes per rank section (v2 length prefix)
 )
 
 func (r *reader) count(what string, limit uint64) int {
@@ -240,11 +319,17 @@ func (r *reader) count(what string, limit uint64) int {
 // DecodeOptions configures trace decoding.
 type DecodeOptions struct {
 	// Salvage enables lenient decoding: instead of failing on a truncated
-	// or corrupt stream, DecodeWith keeps every record decoded before the
+	// or corrupt stream, Decode keeps every record decoded before the
 	// damage, repairs the result with Sanitize, and reports what happened
 	// in the SalvageReport. The header (magic, symbol and stack tables)
 	// must still decode — without it the records are uninterpretable.
 	Salvage bool
+	// Parallelism caps the goroutines decoding per-rank sections of the
+	// current ("PFT2") container; zero or negative means
+	// runtime.GOMAXPROCS(0). Legacy single-stream ("PFT1") input decodes
+	// on one goroutine regardless. The decoded trace — and in salvage
+	// mode the report — is identical at any setting.
+	Parallelism int
 }
 
 // SalvageReport describes what a lenient decode recovered.
@@ -280,34 +365,21 @@ func (sr *SalvageReport) Summary() string {
 	return s
 }
 
-// Decode reads a binary-format trace from rd, failing on any damage.
-func Decode(rd io.Reader) (*Trace, error) {
-	t, _, err := DecodeWith(rd, DecodeOptions{})
-	return t, err
-}
-
-// DecodeContext is Decode under a cancellable context; see DecodeWithContext.
-func DecodeContext(ctx context.Context, rd io.Reader) (*Trace, error) {
-	t, _, err := DecodeWithContext(ctx, rd, DecodeOptions{})
-	return t, err
-}
-
-// DecodeWith reads a binary-format trace from rd under the given options.
-// The SalvageReport is non-nil exactly when opt.Salvage is set and any
-// records were recovered; errors wrap the package sentinels (ErrBadMagic,
-// ErrTruncated, ErrCorrupt, ErrNoRanks, ErrInvalid) for errors.Is dispatch.
-func DecodeWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return DecodeWithContext(context.Background(), rd, opt)
-}
-
-// DecodeWithContext is DecodeWith under a cancellable context. The record
-// loop polls ctx every few thousand records, so a deadline or cancellation
-// interrupts even a multi-gigabyte stream promptly; the resulting error
-// matches errors.Is(err, context.Canceled/DeadlineExceeded) and is never
-// absorbed by salvage mode (cancellation says nothing about the input).
-// Cancellation can only interrupt a Read that returns; a reader that blocks
-// indefinitely without honoring ctx itself still blocks the decode.
-func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+// Decode reads a binary-format trace from rd under ctx and opt. It accepts
+// both the current "PFT2" container (per-rank sections decoded concurrently,
+// opt.Parallelism workers) and the legacy "PFT1" stream; either way the
+// result is deterministic. The SalvageReport is non-nil exactly when
+// opt.Salvage is set and any records were recovered; errors wrap the package
+// sentinels (ErrBadMagic, ErrTruncated, ErrCorrupt, ErrNoRanks, ErrInvalid —
+// all matching ErrFormat) for errors.Is dispatch.
+//
+// The record loops poll ctx every few thousand records, so a deadline or
+// cancellation interrupts even a multi-gigabyte stream promptly; the
+// resulting error matches errors.Is(err, context.Canceled/DeadlineExceeded)
+// and is never absorbed by salvage mode (cancellation says nothing about the
+// input). Cancellation can only interrupt a Read that returns; a reader that
+// blocks indefinitely without honoring ctx itself still blocks the decode.
+func Decode(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -319,11 +391,40 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 	if _, err := io.ReadFull(r.r, magic); err != nil {
 		return nil, nil, fmt.Errorf("reading magic: %w", classifyRead(err))
 	}
-	if string(magic) != binaryMagic {
+	var sectioned bool
+	switch string(magic) {
+	case binaryMagic:
+	case binaryMagicV2:
+		sectioned = true
+	default:
 		return nil, nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
 	}
-	app := r.str()
-	syms := callstack.NewSymbolTable()
+	app, syms, stacks, stackIDs, nRanks, err := decodeHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := NewChecked(app, nRanks, syms, stacks)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sectioned {
+		return decodeRankSections(ctx, r, t, stackIDs, opt, finish)
+	}
+	// Legacy stream: rank bodies are back to back with no framing, so the
+	// only possible decode order is sequential.
+	danglingStacks := 0
+	for rank := 0; rank < nRanks && r.err == nil; rank++ {
+		danglingStacks += decodeRankBody(r, t.Ranks[rank], rank, stackIDs, opt)
+	}
+	return sealDecode(t, r.err, danglingStacks, opt, finish)
+}
+
+// decodeHeader reads everything up to the rank sections: app name, symbol
+// table, stack table, and the rank count. Header damage is never
+// salvageable — the tables interpret every record downstream.
+func decodeHeader(r *reader) (app string, syms *callstack.SymbolTable, stacks *callstack.Interner, stackIDs []callstack.StackID, nRanks int, err error) {
+	app = r.str()
+	syms = callstack.NewSymbolTable()
 	nRoutines := r.count("routine", maxTableCount)
 	for i := 0; i < nRoutines && r.poll(); i++ {
 		rt := callstack.Routine{
@@ -342,9 +443,9 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 			syms.Define(rt)
 		}
 	}
-	stacks := callstack.NewInterner()
+	stacks = callstack.NewInterner()
 	nStacks := r.count("stack", maxTableCount)
-	stackIDs := make([]callstack.StackID, 0, min(nStacks, 1<<16))
+	stackIDs = make([]callstack.StackID, 0, min(nStacks, 1<<16))
 	for i := 0; i < nStacks && r.poll(); i++ {
 		nf := r.count("frame", maxStackFrames)
 		if r.err != nil {
@@ -362,74 +463,175 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 		}
 		stackIDs = append(stackIDs, stacks.Intern(st))
 	}
-	nRanks := r.count("rank", maxTableCount)
+	nRanks = r.count("rank", maxTableCount)
 	if r.err != nil {
-		// Header damage: the symbol and stack tables interpret every
-		// record, so nothing downstream is salvageable without them.
-		return nil, nil, classifyRead(r.err)
+		return app, syms, stacks, stackIDs, 0, classifyRead(r.err)
 	}
 	if nRanks == 0 {
-		return nil, nil, fmt.Errorf("%w: decoded trace has no ranks", ErrNoRanks)
+		return app, syms, stacks, stackIDs, 0, fmt.Errorf("%w: decoded trace has no ranks", ErrNoRanks)
 	}
-	t, err := NewChecked(app, nRanks, syms, stacks)
-	if err != nil {
+	return app, syms, stacks, stackIDs, nRanks, nil
+}
+
+// decodeRankBody decodes one rank's events and samples from r into rd and
+// returns how many dangling stack references it cleared (salvage mode only;
+// strict mode records them as r.err instead). On error the records decoded
+// before the damage stay in rd — that prefix is exactly what salvage keeps.
+func decodeRankBody(r *reader, rd *RankData, rank int, stackIDs []callstack.StackID, opt DecodeOptions) (danglingStacks int) {
+	nev := r.count("event", maxDecodeCount)
+	rd.Events = make([]Event, 0, min(nev, 1<<20))
+	var prev sim.Time
+	for i := 0; i < nev && r.poll(); i++ {
+		prev += sim.Time(r.uvarint())
+		e := Event{
+			Time:     prev,
+			Rank:     int32(rank),
+			Type:     EventType(r.uvarint()),
+			Value:    r.varint(),
+			Group:    uint8(r.uvarint()),
+			Counters: r.counterSet(),
+		}
+		if r.err != nil {
+			break // discard the partially-read record
+		}
+		rd.Events = append(rd.Events, e)
+	}
+	nsmp := r.count("sample", maxDecodeCount)
+	rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
+	prev = 0
+	for i := 0; i < nsmp && r.poll(); i++ {
+		prev += sim.Time(r.uvarint())
+		sid := callstack.StackID(r.varint())
+		if sid != callstack.NoStack && r.err == nil {
+			if sid < 0 || int(sid) >= len(stackIDs) {
+				if !opt.Salvage {
+					r.err = fmt.Errorf("%w: sample references stack %d of %d", ErrCorrupt, sid, len(stackIDs))
+					break
+				}
+				danglingStacks++
+				sid = callstack.NoStack
+			} else {
+				sid = stackIDs[sid]
+			}
+		}
+		s := Sample{
+			Time:     prev,
+			Rank:     int32(rank),
+			Stack:    sid,
+			Group:    uint8(r.uvarint()),
+			Counters: r.counterSet(),
+		}
+		if r.err != nil {
+			break
+		}
+		rd.Samples = append(rd.Samples, s)
+	}
+	return danglingStacks
+}
+
+// decodeRankSections is the "PFT2" record path: slice the length-prefixed
+// sections off the stream in rank order (the stream is one pipe — I/O stays
+// sequential), then decode them concurrently, each worker writing only its
+// claimed rank's slot. Slot indexing plus a fixed error-precedence scan make
+// the result byte-identical to a serial decode.
+func decodeRankSections(ctx context.Context, r *reader, t *Trace, stackIDs []callstack.StackID, opt DecodeOptions, finish func(*Trace, *SalvageReport)) (*Trace, *SalvageReport, error) {
+	nRanks := len(t.Ranks)
+	bufs := make([]*bytes.Buffer, nRanks)
+	defer func() {
+		for _, b := range bufs {
+			putSectionBuf(b)
+		}
+	}()
+	var streamErr error
+	loaded := 0 // sections actually sliced off the stream (prefix of ranks)
+	for rank := 0; rank < nRanks; rank++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		n := r.uvarint()
+		if r.err != nil {
+			streamErr = r.err
+			break
+		}
+		if n > maxSectionBytes {
+			streamErr = fmt.Errorf("%w: rank %d section claims %d bytes, exceeds sanity limit %d",
+				ErrCorrupt, rank, n, uint64(maxSectionBytes))
+			break
+		}
+		buf := getSectionBuf()
+		bufs[rank] = buf
+		// Grow only as bytes actually arrive: a hostile length prefix must
+		// not turn into an up-front allocation.
+		m, err := buf.ReadFrom(io.LimitReader(r.r, int64(n)))
+		loaded = rank + 1
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if m < int64(n) {
+			// The stream ended inside this section; its prefix still
+			// decodes below, which is what salvage keeps.
+			streamErr = io.ErrUnexpectedEOF
+			break
+		}
+	}
+	workers := par.N(opt.Parallelism)
+	if workers > loaded {
+		workers = loaded
+	}
+	// One child span per worker, not per rank: a million-rank trace must
+	// not allocate a million spans. Each worker owns its span exclusively.
+	wctxs := make([]context.Context, max(workers, 1))
+	wspans := make([]*obs.Span, max(workers, 1))
+	for w := range wctxs {
+		wctxs[w], wspans[w] = obs.StartSpan(ctx, fmt.Sprintf("decode_worker_%d", w))
+	}
+	rankErrs := make([]error, nRanks)
+	rankDangling := make([]int, nRanks)
+	par.ForEach(workers, loaded, func(worker, rank int) {
+		br := bytes.NewReader(bufs[rank].Bytes())
+		rr := &reader{r: br, ctx: wctxs[worker]}
+		rankDangling[rank] = decodeRankBody(rr, t.Ranks[rank], rank, stackIDs, opt)
+		if rr.err == nil && br.Len() > 0 {
+			// The section framing promised more bytes than the records
+			// consumed: the length prefix and the content disagree.
+			rr.err = fmt.Errorf("%w: rank %d section carries %d trailing bytes",
+				ErrCorrupt, rank, br.Len())
+		}
+		rankErrs[rank] = rr.err
+		wspans[worker].AddInt("ranks", 1)
+		wspans[worker].AddInt("records", int64(len(t.Ranks[rank].Events)+len(t.Ranks[rank].Samples)))
+	})
+	for _, s := range wspans {
+		s.End()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	danglingStacks := 0
-	for rank := 0; rank < nRanks && r.err == nil; rank++ {
-		nev := r.count("event", maxDecodeCount)
-		rd := t.Ranks[rank]
-		rd.Events = make([]Event, 0, min(nev, 1<<20))
-		var prev sim.Time
-		for i := 0; i < nev && r.poll(); i++ {
-			prev += sim.Time(r.uvarint())
-			e := Event{
-				Time:     prev,
-				Rank:     int32(rank),
-				Type:     EventType(r.uvarint()),
-				Value:    r.varint(),
-				Group:    uint8(r.uvarint()),
-				Counters: r.counterSet(),
-			}
-			if r.err != nil {
-				break // discard the partially-read record
-			}
-			rd.Events = append(rd.Events, e)
-		}
-		nsmp := r.count("sample", maxDecodeCount)
-		rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
-		prev = 0
-		for i := 0; i < nsmp && r.poll(); i++ {
-			prev += sim.Time(r.uvarint())
-			sid := callstack.StackID(r.varint())
-			if sid != callstack.NoStack && r.err == nil {
-				if sid < 0 || int(sid) >= len(stackIDs) {
-					if !opt.Salvage {
-						r.err = fmt.Errorf("%w: sample references stack %d of %d", ErrCorrupt, sid, len(stackIDs))
-						break
-					}
-					danglingStacks++
-					sid = callstack.NoStack
-				} else {
-					sid = stackIDs[sid]
-				}
-			}
-			s := Sample{
-				Time:     prev,
-				Rank:     int32(rank),
-				Stack:    sid,
-				Group:    uint8(r.uvarint()),
-				Counters: r.counterSet(),
-			}
-			if r.err != nil {
-				break
-			}
-			rd.Samples = append(rd.Samples, s)
+	// Fixed error precedence keeps strict-mode failures deterministic:
+	// the lowest-rank section error wins, then any stream-level one.
+	decodeErr := streamErr
+	for rank := 0; rank < loaded; rank++ {
+		if rankErrs[rank] != nil {
+			decodeErr = rankErrs[rank]
+			break
 		}
 	}
-	if r.err != nil && (!opt.Salvage ||
-		errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded)) {
-		return nil, nil, classifyRead(r.err)
+	danglingStacks := 0
+	for _, d := range rankDangling {
+		danglingStacks += d
+	}
+	return sealDecode(t, decodeErr, danglingStacks, opt, finish)
+}
+
+// sealDecode finishes a decode whose records are in place: strict mode
+// validates and returns, salvage mode repairs what was recovered and
+// reports. decodeErr is the first damage hit while decoding records (nil
+// for a clean stream).
+func sealDecode(t *Trace, decodeErr error, danglingStacks int, opt DecodeOptions, finish func(*Trace, *SalvageReport)) (*Trace, *SalvageReport, error) {
+	if decodeErr != nil && (!opt.Salvage ||
+		errors.Is(decodeErr, context.Canceled) || errors.Is(decodeErr, context.DeadlineExceeded)) {
+		return nil, nil, classifyRead(decodeErr)
 	}
 	if !opt.Salvage {
 		if err := t.Validate(); err != nil {
@@ -440,7 +642,7 @@ func DecodeWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*T
 	}
 
 	// Salvage path: keep what was recovered, repair it, and report.
-	report := &SalvageReport{Err: classifyRead(r.err)}
+	report := &SalvageReport{Err: classifyRead(decodeErr)}
 	if danglingStacks > 0 {
 		report.Problems = append(report.Problems, Problem{
 			Rank: -1, Kind: ProblemDanglingStack, Count: danglingStacks,

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -102,7 +103,7 @@ func TestBinaryRoundtrip(t *testing.T) {
 	if err := Encode(&buf, orig); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Decode(&buf)
+	got, _, err := Decode(context.Background(), &buf, DecodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestBinaryRoundtripManySeeds(t *testing.T) {
 		if err := Encode(&buf, orig); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		got, err := Decode(&buf)
+		got, _, err := Decode(context.Background(), &buf, DecodeOptions{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -125,7 +126,7 @@ func TestBinaryRoundtripManySeeds(t *testing.T) {
 }
 
 func TestDecodeRejectsBadMagic(t *testing.T) {
-	if _, err := Decode(strings.NewReader("NOPE....")); err == nil {
+	if _, _, err := Decode(context.Background(), strings.NewReader("NOPE...."), DecodeOptions{}); err == nil {
 		t.Fatal("bad magic accepted")
 	}
 }
@@ -138,7 +139,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	for _, cut := range []int{5, len(raw) / 2, len(raw) - 1} {
-		if _, err := Decode(bytes.NewReader(raw[:cut])); err == nil {
+		if _, _, err := Decode(context.Background(), bytes.NewReader(raw[:cut]), DecodeOptions{}); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
@@ -150,7 +151,7 @@ func TestTextRoundtrip(t *testing.T) {
 	if err := EncodeText(&buf, orig); err != nil {
 		t.Fatal(err)
 	}
-	got, err := DecodeText(&buf)
+	got, _, err := DecodeText(context.Background(), &buf, DecodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestTextFormatIsLineOriented(t *testing.T) {
 
 func TestDecodeTextSkipsCommentsAndBlanks(t *testing.T) {
 	in := "#PFTEXT1 app\n\n# a comment\nE 0 10 iter_begin 0 0 -\nE 0 20 iter_end 0 0 -\n"
-	tr, err := DecodeText(strings.NewReader(in))
+	tr, _, err := DecodeText(context.Background(), strings.NewReader(in), DecodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestDecodeTextRejectsGarbage(t *testing.T) {
 		"#PFTEXT1 app\nE 0 x iter_begin 0 0 -\n", // bad number
 	}
 	for _, in := range cases {
-		if _, err := DecodeText(strings.NewReader(in)); err == nil {
+		if _, _, err := DecodeText(context.Background(), strings.NewReader(in), DecodeOptions{}); err == nil {
 			t.Errorf("garbage accepted: %q", in)
 		}
 	}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// These tests pin the "PFT2" sectioned container: parallel decode must be
+// indistinguishable from serial, the legacy "PFT1" layout must keep
+// decoding, and section framing must fail loudly when it lies.
+
+// encodeV1 renders t in the legacy "PFT1" layout — same header, rank bodies
+// concatenated with no length prefixes — so the single-goroutine decode path
+// stays covered even as tools only ever write "PFT2" now.
+func encodeV1(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	bw := &writer{w: &buf}
+	encodeHeader(bw, tr)
+	for _, rd := range tr.Ranks {
+		sec := encodeRankSection(rd)
+		bw.bytes(sec.Bytes())
+		putSectionBuf(sec)
+	}
+	if bw.err != nil {
+		t.Fatalf("encodeV1: %v", bw.err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeParallelMatchesSerial(t *testing.T) {
+	tr := randomTrace(t, 7, 6, 40)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, workers := range []int{1, 2, 3, 8} {
+		got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		equalTraces(t, tr, got)
+	}
+}
+
+func TestDecodeLegacyV1(t *testing.T) {
+	tr := randomTrace(t, 11, 3, 20)
+	raw := encodeV1(t, tr)
+	got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	equalTraces(t, tr, got)
+}
+
+// A byte of damage inside one rank's section must not take down the other
+// ranks in salvage mode: section framing isolates the blast radius, which
+// the unframed v1 stream could never do.
+func TestSectionDamageIsolatedPerRank(t *testing.T) {
+	tr := randomTrace(t, 3, 2, 30)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The stream ends with: uvarint(len0) sec0 uvarint(len1) sec1. Setting
+	// the continuation bit on sec0's final byte makes its last varint run
+	// off the section end — guaranteed damage confined to rank 0.
+	sec1 := encodeRankSection(tr.Ranks[1])
+	l1 := sec1.Len()
+	putSectionBuf(sec1)
+	prefix1 := uvarintLen(uint64(l1))
+	sec0End := len(raw) - l1 - prefix1
+	raw[sec0End-1] = 0xFF
+
+	if _, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: 4}); err == nil {
+		t.Fatal("strict decode accepted a damaged section")
+	} else if !errors.Is(err, ErrFormat) {
+		t.Fatalf("damage error %v does not match ErrFormat", err)
+	}
+
+	got, rep, err := Decode(context.Background(), bytes.NewReader(raw),
+		DecodeOptions{Salvage: true, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	if rep == nil || rep.Err == nil {
+		t.Fatal("salvage did not report the damage")
+	}
+	if len(got.Ranks[1].Events) != len(tr.Ranks[1].Events) ||
+		len(got.Ranks[1].Samples) != len(tr.Ranks[1].Samples) {
+		t.Fatalf("rank 1 lost records to rank 0's damage: %d/%d events, %d/%d samples",
+			len(got.Ranks[1].Events), len(tr.Ranks[1].Events),
+			len(got.Ranks[1].Samples), len(tr.Ranks[1].Samples))
+	}
+	total := len(got.Ranks[0].Events) + len(got.Ranks[0].Samples)
+	want := len(tr.Ranks[0].Events) + len(tr.Ranks[0].Samples)
+	if total >= want {
+		t.Fatalf("rank 0 kept %d of %d records despite damage", total, want)
+	}
+}
+
+// Truncating the stream mid-section must salvage every fully-loaded rank
+// plus the damaged rank's decoded prefix, and fail strict decode.
+func TestSectionTruncationSalvage(t *testing.T) {
+	tr := randomTrace(t, 5, 4, 25)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cut := raw[:len(raw)*2/3]
+	if _, _, err := Decode(context.Background(), bytes.NewReader(cut), DecodeOptions{Parallelism: 4}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated stream: got %v, want ErrTruncated", err)
+	}
+	got, rep, err := Decode(context.Background(), bytes.NewReader(cut),
+		DecodeOptions{Salvage: true, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("salvage of truncated stream: %v", err)
+	}
+	if rep.Err == nil || rep.RanksLost == 0 {
+		t.Fatalf("report did not note the truncation: %+v", rep)
+	}
+	if len(got.Ranks[0].Events) == 0 {
+		t.Fatal("salvage lost rank 0 to tail truncation")
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -72,13 +73,13 @@ func parseCorpusFile(path string) ([]byte, error) {
 func TestDecodeCorpusReplay(t *testing.T) {
 	for name, data := range corpusEntries(t, "FuzzDecode") {
 		t.Run(name, func(t *testing.T) {
-			tr, err := Decode(bytes.NewReader(data))
+			tr, _, err := Decode(context.Background(), bytes.NewReader(data), DecodeOptions{})
 			if err == nil {
 				if verr := tr.Validate(); verr != nil {
 					t.Fatalf("strict decode accepted an invalid trace: %v", verr)
 				}
 			}
-			str, rep, serr := DecodeWith(bytes.NewReader(data), DecodeOptions{Salvage: true})
+			str, rep, serr := Decode(context.Background(), bytes.NewReader(data), DecodeOptions{Salvage: true})
 			if serr == nil {
 				if verr := str.Validate(); verr != nil {
 					t.Fatalf("salvaged trace invalid: %v", verr)

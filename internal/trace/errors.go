@@ -8,24 +8,43 @@ import (
 
 // Structured error taxonomy of the trace container. Decode, DecodeText,
 // Merge, and Validate wrap these sentinels so callers can dispatch with
-// errors.Is instead of string matching — foldctl maps them to exit codes,
+// errors.Is instead of string matching — the CLIs map them to exit codes,
 // and the degraded-mode analyzer decides per sentinel whether a rank is
 // recoverable.
+
+// ErrFormat is the umbrella sentinel for every way an input can fail to be
+// a usable trace: errors.Is(err, ErrFormat) matches bad magic, truncation,
+// corruption, missing ranks, and invariant violations alike, so callers
+// that only care about "the input, not my code or my deadline" need one
+// check instead of five.
+var ErrFormat = errors.New("trace: malformed input")
+
+// formatError is a sentinel that additionally matches ErrFormat under
+// errors.Is while keeping its own message (no "malformed input:" prefix on
+// every rejection).
+type formatError struct{ msg string }
+
+func (e *formatError) Error() string { return e.msg }
+
+func (e *formatError) Is(target error) bool { return target == ErrFormat }
+
 var (
 	// ErrBadMagic marks input that is not a trace container at all.
-	ErrBadMagic = errors.New("trace: bad magic")
+	ErrBadMagic error = &formatError{"trace: bad magic"}
 	// ErrTruncated marks a well-formed stream that ends mid-record.
-	ErrTruncated = errors.New("trace: truncated input")
+	ErrTruncated error = &formatError{"trace: truncated input"}
 	// ErrCorrupt marks a stream whose content violates the format
 	// (impossible counts, unresolvable references, malformed records).
-	ErrCorrupt = errors.New("trace: corrupt input")
+	ErrCorrupt error = &formatError{"trace: corrupt input"}
 	// ErrNoRanks marks a decoded container carrying no process data.
-	ErrNoRanks = errors.New("trace: no ranks")
+	ErrNoRanks error = &formatError{"trace: no ranks"}
 	// ErrInvalid marks a structurally decodable trace that violates the
 	// container invariants (record order, nesting, references).
-	ErrInvalid = errors.New("trace: invalid structure")
+	ErrInvalid error = &formatError{"trace: invalid structure"}
 	// ErrMergeMismatch marks merge inputs that cannot be combined
-	// (different symbol tables, colliding ranks, nothing to merge).
+	// (different symbol tables, colliding ranks, nothing to merge). It is
+	// a usage error, not an input-format one, so it does not match
+	// ErrFormat.
 	ErrMergeMismatch = errors.New("trace: merge mismatch")
 )
 

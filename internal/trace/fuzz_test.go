@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"phasefold/internal/callstack"
@@ -44,13 +45,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(binaryMagic))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tr, err := Decode(bytes.NewReader(data))
+		tr, _, err := Decode(context.Background(), bytes.NewReader(data), DecodeOptions{})
 		if err == nil {
 			if verr := tr.Validate(); verr != nil {
 				t.Fatalf("strict decode accepted an invalid trace: %v", verr)
 			}
 		}
-		str, rep, serr := DecodeWith(bytes.NewReader(data), DecodeOptions{Salvage: true})
+		str, rep, serr := Decode(context.Background(), bytes.NewReader(data), DecodeOptions{Salvage: true})
 		if serr == nil {
 			if verr := str.Validate(); verr != nil {
 				t.Fatalf("salvaged trace invalid: %v", verr)
@@ -78,13 +79,13 @@ func FuzzDecodeText(f *testing.F) {
 	f.Add(textMagic + "\nE 0 bogus\n")
 	f.Add("")
 	f.Fuzz(func(t *testing.T, data string) {
-		tr, err := DecodeText(bytes.NewReader([]byte(data)))
+		tr, _, err := DecodeText(context.Background(), bytes.NewReader([]byte(data)), DecodeOptions{})
 		if err == nil {
 			if verr := tr.Validate(); verr != nil {
 				t.Fatalf("strict text decode accepted an invalid trace: %v", verr)
 			}
 		}
-		str, rep, serr := DecodeTextWith(bytes.NewReader([]byte(data)), DecodeOptions{Salvage: true})
+		str, rep, serr := DecodeText(context.Background(), bytes.NewReader([]byte(data)), DecodeOptions{Salvage: true})
 		if serr == nil {
 			if verr := str.Validate(); verr != nil {
 				t.Fatalf("salvaged text trace invalid: %v", verr)

@@ -112,30 +112,15 @@ var eventTypeByName = func() map[string]EventType {
 // must not translate into an absurd allocation.
 const maxTextRank = 1 << 20
 
-// DecodeText reads a text-format trace from rd, failing on any damage.
-func DecodeText(rd io.Reader) (*Trace, error) {
-	t, _, err := DecodeTextWith(rd, DecodeOptions{})
-	return t, err
-}
-
-// DecodeTextContext is DecodeText under a cancellable context.
-func DecodeTextContext(ctx context.Context, rd io.Reader) (*Trace, error) {
-	t, _, err := DecodeTextWithContext(ctx, rd, DecodeOptions{})
-	return t, err
-}
-
-// DecodeTextWith reads a text-format trace from rd under the given options.
-// In salvage mode, malformed lines are skipped (and reported) instead of
+// DecodeText reads a text-format trace from rd under ctx and opt. In
+// salvage mode, malformed lines are skipped (and reported) instead of
 // failing the decode, and the recovered records are repaired with Sanitize.
-// Errors wrap the package sentinels for errors.Is dispatch.
-func DecodeTextWith(rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return DecodeTextWithContext(context.Background(), rd, opt)
-}
-
-// DecodeTextWithContext is DecodeTextWith under a cancellable context: the
-// line loop polls ctx every few thousand lines and aborts with its error,
-// even in salvage mode (cancellation is never damage to absorb).
-func DecodeTextWithContext(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
+// Errors wrap the package sentinels for errors.Is dispatch. The line loop
+// polls ctx every few thousand lines and aborts with its error, even in
+// salvage mode (cancellation is never damage to absorb). The format is
+// line-oriented with no framing, so text decoding is single-goroutine;
+// opt.Parallelism is ignored here.
+func DecodeText(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package tracking
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -17,7 +19,7 @@ func cgSweep(t *testing.T, scales []float64) []Snapshot {
 		app := simapp.NewCGSolver()
 		app.RowsScale = s
 		cfg := simapp.Config{Ranks: 2, Iterations: 100, Seed: 7, FreqGHz: 2}
-		model, _, err := core.AnalyzeApp(app, cfg, core.DefaultOptions())
+		model, _, err := core.AnalyzeApp(context.Background(), app, cfg, core.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +114,7 @@ func TestNewBehaviourStartsNewTrack(t *testing.T) {
 	cg := cgSweep(t, []float64{1})[0]
 	st := simapp.NewStencil()
 	cfg := simapp.Config{Ranks: 2, Iterations: 100, Seed: 7, FreqGHz: 2}
-	model, _, err := core.AnalyzeApp(st, cfg, core.DefaultOptions())
+	model, _, err := core.AnalyzeApp(context.Background(), st, cfg, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

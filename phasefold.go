@@ -16,10 +16,13 @@
 //
 //	app, _ := phasefold.NewApp("multiphase")
 //	cfg := phasefold.DefaultConfig()
-//	opt := phasefold.DefaultOptions()
-//	model, _, err := phasefold.AnalyzeApp(app, cfg, opt)
+//	model, _, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
 //	// model.Clusters[0].Phases now lists the detected phases with their
 //	// MIPS/IPC/miss-rate profile and source attribution.
+//
+// Every entry point is context-first and takes functional options
+// (WithStrict, WithSalvage, WithBudget, WithParallelism, WithTelemetry,
+// WithLogger); the pre-redesign names remain as thin deprecated wrappers.
 //
 // The package is a facade over the internal packages; everything needed to
 // acquire traces from the bundled simulated applications, analyze them, and
@@ -156,26 +159,123 @@ func RunApp(app App, cfg Config, opt Options) (*RunResult, error) {
 	return core.RunApp(app, cfg, opt)
 }
 
-// Analyze runs the analysis pipeline over an acquired trace.
-func Analyze(tr *Trace, opt Options) (*Model, error) { return core.Analyze(tr, opt) }
+// Option tunes one call to a canonical entry point (Decode, DecodeText,
+// Analyze, AnalyzeApp). Options compose left to right; the empty set means
+// DefaultOptions, strict-format decoding, and no attached telemetry.
+type Option func(*settings)
 
-// AnalyzeContext is Analyze under a cancellable context: cancellation
-// interrupts decoding-independent stages (extraction, clustering, folding,
-// fitting) promptly and returns the context's error.
-func AnalyzeContext(ctx context.Context, tr *Trace, opt Options) (*Model, error) {
-	return core.AnalyzeContext(ctx, tr, opt)
+// settings is the resolved form of an Option list: the analysis Options,
+// the decoder DecodeOptions, and any context attachments, kept in one place
+// so every entry point interprets the same options the same way.
+type settings struct {
+	opt    Options
+	decode DecodeOptions
+	ctx    []func(context.Context) context.Context
+}
+
+func newSettings(opts []Option) *settings {
+	s := &settings{opt: core.DefaultOptions()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// context applies the accumulated attachments (telemetry, logger) to ctx.
+func (s *settings) context(ctx context.Context) context.Context {
+	for _, fn := range s.ctx {
+		ctx = fn(ctx)
+	}
+	return ctx
+}
+
+// WithOptions replaces the whole analysis Options struct — the escape hatch
+// for knobs without a dedicated functional option. Options listed after it
+// still apply on top.
+func WithOptions(opt Options) Option {
+	return func(s *settings) { s.opt = opt }
+}
+
+// WithSalvage makes decoding recover what a damaged stream still holds and
+// report the repairs in the SalvageReport instead of failing.
+func WithSalvage() Option {
+	return func(s *settings) { s.decode.Salvage = true }
+}
+
+// WithStrict makes the analysis fail fast instead of degrading: budget
+// overruns wrap ErrBudget, recovered stage panics wrap ErrPanic, and
+// damaged per-rank input is an error rather than a diagnostic.
+func WithStrict() Option {
+	return func(s *settings) { s.opt.Strict = true }
+}
+
+// WithBudget caps what the analysis may consume (records, ranks, resident
+// bytes, per-stage wall-clock); see Budget.
+func WithBudget(b Budget) Option {
+	return func(s *settings) { s.opt.Budget = b }
+}
+
+// WithParallelism caps the worker count of every parallel stage: sectioned
+// trace decode, burst extraction, per-cluster folding, and PWL fitting.
+// Zero or negative means one worker per available CPU; 1 runs every stage
+// inline on the calling goroutine. The result is identical at any setting.
+func WithParallelism(n int) Option {
+	return func(s *settings) {
+		s.opt.Parallelism = n
+		s.decode.Parallelism = n
+	}
+}
+
+// WithTelemetry attaches a span recorder and a metrics registry to the
+// call's context; either may be nil to enable only the other.
+func WithTelemetry(rec *SpanRecorder, reg *MetricsRegistry) Option {
+	return func(s *settings) {
+		s.ctx = append(s.ctx, func(ctx context.Context) context.Context {
+			return obs.WithTelemetry(ctx, rec, reg)
+		})
+	}
+}
+
+// WithLogger attaches a structured event logger (log/slog) to the call's
+// context; the pipeline emits diagnostics, budget trims, salvage repairs,
+// retries, and recovered panics as typed events on it.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *settings) {
+		s.ctx = append(s.ctx, func(ctx context.Context) context.Context {
+			return obs.WithLogger(ctx, l)
+		})
+	}
+}
+
+// Analyze runs the analysis pipeline over an acquired trace. Cancelling ctx
+// interrupts every stage promptly; the returned error then matches
+// ErrCanceled (or the context's deadline error).
+func Analyze(ctx context.Context, tr *Trace, opts ...Option) (*Model, error) {
+	s := newSettings(opts)
+	return core.Analyze(s.context(ctx), tr, s.opt)
 }
 
 // AnalyzeApp runs a simulated application and analyzes its trace in one
-// call.
-func AnalyzeApp(app App, cfg Config, opt Options) (*Model, *RunResult, error) {
-	return core.AnalyzeApp(app, cfg, opt)
+// call. The simulated acquisition itself is not interruptible; the analysis
+// stages are.
+func AnalyzeApp(ctx context.Context, app App, cfg Config, opts ...Option) (*Model, *RunResult, error) {
+	s := newSettings(opts)
+	return core.AnalyzeApp(s.context(ctx), app, cfg, s.opt)
 }
 
-// AnalyzeAppContext is AnalyzeApp under a cancellable context. The simulated
-// acquisition itself is not interruptible; the analysis stages are.
+// AnalyzeContext runs the pipeline with an explicit Options struct.
+//
+// Deprecated: use Analyze(ctx, tr, WithOptions(opt)).
+func AnalyzeContext(ctx context.Context, tr *Trace, opt Options) (*Model, error) {
+	return Analyze(ctx, tr, WithOptions(opt))
+}
+
+// AnalyzeAppContext runs and analyzes a simulated application with an
+// explicit Options struct.
+//
+// Deprecated: use AnalyzeApp(ctx, app, cfg, WithOptions(opt)).
 func AnalyzeAppContext(ctx context.Context, app App, cfg Config, opt Options) (*Model, *RunResult, error) {
-	return core.AnalyzeAppContext(ctx, app, cfg, opt)
+	return AnalyzeApp(ctx, app, cfg, WithOptions(opt))
 }
 
 // Spectral-analysis re-exports: markerless analysis of sampling-only
@@ -257,49 +357,89 @@ const (
 	SeverityError = core.SeverityError
 )
 
-// Decode-failure sentinels for errors.Is dispatch on DecodeTrace and
-// Analyze errors.
+// Failure sentinels for errors.Is dispatch on Decode and Analyze errors.
+// The four umbrella sentinels — ErrFormat, ErrBudget, ErrPanic, ErrCanceled
+// — partition every pipeline failure; the remaining names refine ErrFormat.
 var (
-	ErrBadMagic      = trace.ErrBadMagic
-	ErrTruncated     = trace.ErrTruncated
-	ErrCorrupt       = trace.ErrCorrupt
-	ErrNoRanks       = trace.ErrNoRanks
-	ErrInvalid       = trace.ErrInvalid
+	// ErrFormat is the umbrella every malformed-input sentinel below
+	// matches under errors.Is: dispatch on it when all decode failures are
+	// handled alike, or on a specific sentinel to refine.
+	ErrFormat = trace.ErrFormat
+
+	ErrBadMagic  = trace.ErrBadMagic
+	ErrTruncated = trace.ErrTruncated
+	ErrCorrupt   = trace.ErrCorrupt
+	ErrNoRanks   = trace.ErrNoRanks
+	ErrInvalid   = trace.ErrInvalid
+
+	// ErrMergeMismatch flags incompatible traces passed to a merge — a
+	// usage error, deliberately outside the ErrFormat umbrella.
 	ErrMergeMismatch = trace.ErrMergeMismatch
 
 	// ErrBudget tags strict-mode analyses that exceeded their Budget;
 	// ErrPanic tags strict-mode analyses that recovered an internal panic.
 	ErrBudget = core.ErrBudget
 	ErrPanic  = core.ErrPanic
+
+	// ErrCanceled tags analyses and decodes interrupted by their context —
+	// context.Canceled re-exported so callers can dispatch on every
+	// pipeline failure class with one import. Deadline expiry still
+	// surfaces as context.DeadlineExceeded.
+	ErrCanceled = context.Canceled
 )
 
-// DecodeTraceWith reads a binary-format trace under the given options; with
-// Salvage set it recovers what a damaged file still holds and reports the
-// repairs instead of failing.
+// Decode reads a binary-format trace — the sectioned "PFT2" container
+// (decoded rank-parallel under WithParallelism) or the legacy "PFT1"
+// layout. Cancellation is polled throughout and never absorbed by salvage.
+// The SalvageReport is non-nil only under WithSalvage, which recovers what
+// a damaged stream still holds and reports the repairs instead of failing.
+func Decode(ctx context.Context, r io.Reader, opts ...Option) (*Trace, *SalvageReport, error) {
+	s := newSettings(opts)
+	return trace.Decode(s.context(ctx), r, s.decode)
+}
+
+// DecodeText reads a text-format trace; options as for Decode. The
+// line-oriented format decodes on a single goroutine regardless of
+// WithParallelism.
+func DecodeText(ctx context.Context, r io.Reader, opts ...Option) (*Trace, *SalvageReport, error) {
+	s := newSettings(opts)
+	return trace.DecodeText(s.context(ctx), r, s.decode)
+}
+
+// DecodeTraceWith reads a binary-format trace under explicit options.
+//
+// Deprecated: use Decode(ctx, r, WithSalvage()...).
 func DecodeTraceWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeWith(r, opt)
+	return trace.Decode(context.Background(), r, opt)
 }
 
-// DecodeTraceContext is DecodeTraceWith under a cancellable context, polled
-// throughout the record loop; salvage never absorbs a cancellation.
+// DecodeTraceContext reads a binary-format trace under explicit options.
+//
+// Deprecated: use Decode.
 func DecodeTraceContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeWithContext(ctx, r, opt)
+	return trace.Decode(ctx, r, opt)
 }
 
-// DecodeTraceTextContext is DecodeTraceTextWith under a cancellable context.
+// DecodeTraceTextContext reads a text-format trace under explicit options.
+//
+// Deprecated: use DecodeText.
 func DecodeTraceTextContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeTextWithContext(ctx, r, opt)
+	return trace.DecodeText(ctx, r, opt)
 }
 
-// DecodeTraceTextWith reads a text-format trace under the given options.
+// DecodeTraceTextWith reads a text-format trace under explicit options.
+//
+// Deprecated: use DecodeText(ctx, r, WithSalvage()...).
 func DecodeTraceTextWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeTextWith(r, opt)
+	return trace.DecodeText(context.Background(), r, opt)
 }
 
 // Observability re-exports: stage spans, the metrics registry, structured
-// event logging, and per-run manifests. Attach any subset to the context
-// passed into AnalyzeContext (or the decoders) and the pipeline records
-// itself; with nothing attached every instrumentation point is a no-op.
+// event logging, and per-run manifests. Attach any subset via the
+// WithTelemetry/WithLogger options on Analyze or the decoders (or directly
+// on a context with ContextWithTelemetry/ContextWithLogger) and the
+// pipeline records itself; with nothing attached every instrumentation
+// point is a no-op.
 type (
 	// MetricsRegistry holds a run's counters, gauges, and histograms; export
 	// with WritePrometheus (text exposition format) or MarshalJSON.
@@ -326,16 +466,17 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewSpanRecorder returns an empty stage-span recorder.
 func NewSpanRecorder() *SpanRecorder { return obs.NewRecorder() }
 
-// WithTelemetry attaches a span recorder and a metrics registry to ctx;
-// either may be nil to enable only the other.
-func WithTelemetry(ctx context.Context, rec *SpanRecorder, reg *MetricsRegistry) context.Context {
+// ContextWithTelemetry attaches a span recorder and a metrics registry to
+// ctx directly — for contexts that outlive one call; the WithTelemetry
+// option is usually more convenient. Either may be nil to enable only the
+// other.
+func ContextWithTelemetry(ctx context.Context, rec *SpanRecorder, reg *MetricsRegistry) context.Context {
 	return obs.WithTelemetry(ctx, rec, reg)
 }
 
-// WithLogger attaches a structured event logger (log/slog) to ctx; the
-// pipeline emits diagnostics, budget trims, salvage repairs, retries, and
-// recovered panics as typed events on it.
-func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+// ContextWithLogger attaches a structured event logger (log/slog) to ctx
+// directly; see the WithLogger option.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
 	return obs.WithLogger(ctx, l)
 }
 
@@ -408,14 +549,25 @@ func ParseFaults(spec string, seed uint64) (*FaultChain, error) {
 // KnownFaults lists the registered fault classes.
 func KnownFaults() []string { return faults.Known() }
 
-// EncodeTrace writes a trace in the binary container format.
+// EncodeTrace writes a trace in the binary container format (sectioned
+// "PFT2", encoded rank-parallel).
 func EncodeTrace(w io.Writer, tr *Trace) error { return trace.Encode(w, tr) }
 
 // DecodeTrace reads a binary-format trace.
-func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+//
+// Deprecated: use Decode(ctx, r).
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	tr, _, err := Decode(context.Background(), r)
+	return tr, err
+}
 
 // EncodeTraceText writes a trace in the human-readable text format.
 func EncodeTraceText(w io.Writer, tr *Trace) error { return trace.EncodeText(w, tr) }
 
 // DecodeTraceText reads a text-format trace.
-func DecodeTraceText(r io.Reader) (*Trace, error) { return trace.DecodeText(r) }
+//
+// Deprecated: use DecodeText(ctx, r).
+func DecodeTraceText(r io.Reader) (*Trace, error) {
+	tr, _, err := DecodeText(context.Background(), r)
+	return tr, err
+}

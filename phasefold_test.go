@@ -1,6 +1,8 @@
 package phasefold_test
 
 import (
+	"context"
+
 	"bytes"
 	"strings"
 	"testing"
@@ -13,7 +15,7 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, run, err := phasefold.AnalyzeApp(app, phasefold.DefaultConfig(), phasefold.DefaultOptions())
+	model, run, err := phasefold.AnalyzeApp(context.Background(), app, phasefold.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +73,12 @@ func TestPublicAPITraceRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Both decoded traces must analyze identically to the original.
-	want, err := phasefold.Analyze(run.Trace, phasefold.DefaultOptions())
+	want, err := phasefold.Analyze(context.Background(), run.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, tr := range []*phasefold.Trace{fromBin, fromTxt} {
-		got, err := phasefold.Analyze(tr, phasefold.DefaultOptions())
+		got, err := phasefold.Analyze(context.Background(), tr)
 		if err != nil {
 			t.Fatalf("decoded trace %d: %v", i, err)
 		}
@@ -94,7 +96,7 @@ func TestPublicAPIMultiplexedOptions(t *testing.T) {
 	}
 	cfg := phasefold.DefaultConfig()
 	cfg.Iterations = 400
-	model, _, err := phasefold.AnalyzeApp(app, cfg, phasefold.MultiplexedOptions())
+	model, _, err := phasefold.AnalyzeApp(context.Background(), app, cfg, phasefold.WithOptions(phasefold.MultiplexedOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestPublicAPIOptimizationHint(t *testing.T) {
 	}
 	cfg := phasefold.DefaultConfig()
 	cfg.Iterations = 120
-	model, _, err := phasefold.AnalyzeApp(app, cfg, phasefold.DefaultOptions())
+	model, _, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
