@@ -118,9 +118,17 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Shutdown stops the listener gracefully and ends every SSE stream.
+// shutdownEvent is the terminal SSE frame flushed to every connected
+// client on drain, so pages learn the stream ended deliberately (and can
+// stop reconnecting) instead of waiting out a read timeout.
+const shutdownEvent = "event: shutdown\ndata: {\"reason\":\"drain\"}\n\n"
+
+// Shutdown drains the server deterministically: every SSE subscriber is
+// sent a terminal shutdown event and has its channel closed — which makes
+// the /events handlers return immediately — and only then is the HTTP
+// listener shut down, so the drain never waits on a client-side timeout.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.broker.close()
+	s.broker.close(shutdownEvent)
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -437,15 +445,27 @@ func (b *broker) publish(msg string) {
 	}
 }
 
-// close ends every stream; further publishes are dropped.
-func (b *broker) close() {
+// close ends every stream; further publishes are dropped. A non-empty
+// terminal message is delivered to every subscriber before its channel
+// closes (best effort: a subscriber whose buffer is full still sees the
+// close) and appended to the history so post-close subscribers replay it.
+func (b *broker) close(terminal string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
 	b.closed = true
+	if terminal != "" {
+		b.history = append(b.history, terminal)
+	}
 	for ch := range b.subs {
+		if terminal != "" {
+			select {
+			case ch <- terminal:
+			default:
+			}
+		}
 		delete(b.subs, ch)
 		close(ch)
 	}

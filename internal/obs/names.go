@@ -40,9 +40,18 @@ const (
 	MetricModelNoise      = "phasefold_model_noise_bursts"        // gauge: unclustered bursts
 	MetricModelComputeSec = "phasefold_model_computation_seconds" // gauge: summed burst time
 	// Batch supervisor (internal/runner).
-	MetricJobs         = "phasefold_runner_jobs_total"           // counter{outcome}
-	MetricJobAttempts  = "phasefold_runner_attempts_total"       // counter
-	MetricJobRetries   = "phasefold_runner_retries_total"        // counter
-	MetricBreakerTrips = "phasefold_runner_breaker_trips_total"  // counter
-	MetricJobDuration  = "phasefold_runner_job_duration_seconds" // histogram{outcome}
+	MetricJobs               = "phasefold_runner_jobs_total"               // counter{outcome}
+	MetricJobAttempts        = "phasefold_runner_attempts_total"           // counter
+	MetricJobRetries         = "phasefold_runner_retries_total"            // counter
+	MetricBreakerTrips       = "phasefold_runner_breaker_trips_total"      // counter
+	MetricBreakerTransitions = "phasefold_runner_breaker_state_total"      // counter{to}: closed|open|half-open
+	MetricJobDuration        = "phasefold_runner_job_duration_seconds"     // histogram{outcome}
+	// Analysis daemon (internal/service).
+	MetricHTTPRequests  = "phasefold_http_requests_total"        // counter{route,code}
+	MetricAdmitRejected = "phasefold_admission_rejected_total"   // counter{reason}: quota|queue_full|draining|body
+	MetricQueueDepth    = "phasefold_service_queue_depth"        // gauge: queued + running jobs
+	MetricCacheEvents   = "phasefold_service_cache_events_total" // counter{event}: hit|miss|coalesced|evicted
+	MetricCacheEntries  = "phasefold_service_cache_entries"      // gauge
+	MetricCacheBytes    = "phasefold_service_cache_bytes"        // gauge
+	MetricUploadBytes   = "phasefold_service_upload_bytes_total" // counter: accepted request-body bytes
 )

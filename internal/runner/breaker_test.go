@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"phasefold/internal/obs"
+)
+
+// breakerSupervisor builds a persistent supervisor with a fake clock so
+// the cooldown can be crossed without sleeping.
+func breakerSupervisor(t *testing.T, opt Options) (*Supervisor, *time.Time) {
+	t.Helper()
+	sup := NewSupervisor(opt)
+	now := time.Unix(1000, 0)
+	sup.br.now = func() time.Time { return now }
+	return sup, &now
+}
+
+func failJob(name string) Job {
+	return Job{Name: name, Run: func(context.Context) (string, bool, error) {
+		return "", false, errors.New("always broken")
+	}}
+}
+
+func okJob(name string) Job {
+	return Job{Name: name, Run: func(context.Context) (string, bool, error) {
+		return "fine", false, nil
+	}}
+}
+
+// TestBreakerFullLifecycle walks the whole state machine:
+// closed → open (threshold failures) → stays open inside the cooldown →
+// half-open probe after the cooldown → closed on probe success — and the
+// counters that observe it.
+func TestBreakerFullLifecycle(t *testing.T) {
+	checkGoroutines(t)
+	sup, now := breakerSupervisor(t, Options{
+		Workers: 1, BreakerThreshold: 2, BreakerCooldown: time.Minute, Seed: 1,
+	})
+	reg := obs.NewRegistry()
+	ctx := obs.WithTelemetry(context.Background(), nil, reg)
+	name := "input-a"
+
+	// Two failures in closed state open the breaker.
+	if got := sup.Do(ctx, failJob(name)).Outcome; got != Failed {
+		t.Fatalf("first failure outcome %v, want failed", got)
+	}
+	if st := sup.BreakerState(name); st != BreakerClosed {
+		t.Fatalf("state after one failure %v, want closed", st)
+	}
+	if got := sup.Do(ctx, failJob(name)).Outcome; got != Failed {
+		t.Fatalf("second failure outcome %v, want failed", got)
+	}
+	if st := sup.BreakerState(name); st != BreakerOpen {
+		t.Fatalf("state after threshold failures %v, want open", st)
+	}
+
+	// Open + inside the cooldown: attempts are refused without running.
+	res := sup.Do(ctx, okJob(name))
+	if res.Outcome != Quarantined || res.Attempts != 0 {
+		t.Fatalf("open-state job: outcome %v attempts %d, want quarantined/0", res.Outcome, res.Attempts)
+	}
+
+	// Past the cooldown the breaker half-opens and admits one probe; its
+	// success closes the breaker.
+	*now = now.Add(time.Minute)
+	res = sup.Do(ctx, okJob(name))
+	if res.Outcome != OK || res.Attempts != 1 {
+		t.Fatalf("probe job: outcome %v attempts %d, want ok/1", res.Outcome, res.Attempts)
+	}
+	if st := sup.BreakerState(name); st != BreakerClosed {
+		t.Fatalf("state after probe success %v, want closed", st)
+	}
+
+	// Closed again with a wiped failure count: one failure does not re-open.
+	if sup.Do(ctx, failJob(name)); sup.BreakerState(name) != BreakerClosed {
+		t.Fatalf("state after single post-recovery failure: %v, want closed", sup.BreakerState(name))
+	}
+
+	// Outcome counters: 3 failed, 1 quarantined, 1 ok.
+	for _, c := range []struct {
+		outcome string
+		want    int64
+	}{{"failed", 3}, {"quarantined", 1}, {"ok", 1}} {
+		got := reg.Counter(obs.MetricJobs, "", obs.Label{K: "outcome", V: c.outcome}).Value()
+		if got != c.want {
+			t.Errorf("jobs{outcome=%s} = %d, want %d", c.outcome, got, c.want)
+		}
+	}
+	// Transition counters: one open, one half-open, one close.
+	for _, c := range []struct {
+		to   string
+		want int64
+	}{{"open", 1}, {"half-open", 1}, {"closed", 1}} {
+		got := reg.Counter(obs.MetricBreakerTransitions, "", obs.Label{K: "to", V: c.to}).Value()
+		if got != c.want {
+			t.Errorf("breaker transitions{to=%s} = %d, want %d", c.to, got, c.want)
+		}
+	}
+	if got := reg.Counter(obs.MetricBreakerTrips, "").Value(); got != 1 {
+		t.Errorf("breaker trips = %d, want 1", got)
+	}
+}
+
+// TestBreakerReopensOnProbeFailure: a failed half-open probe re-opens the
+// breaker immediately for a full new cooldown.
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	checkGoroutines(t)
+	sup, now := breakerSupervisor(t, Options{
+		Workers: 1, BreakerThreshold: 2, BreakerCooldown: time.Minute, Seed: 1,
+	})
+	reg := obs.NewRegistry()
+	ctx := obs.WithTelemetry(context.Background(), nil, reg)
+	name := "input-b"
+
+	sup.Do(ctx, failJob(name))
+	sup.Do(ctx, failJob(name))
+	if st := sup.BreakerState(name); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+
+	// Probe fails → immediately open again, no second probe until another
+	// full cooldown.
+	*now = now.Add(time.Minute)
+	if got := sup.Do(ctx, failJob(name)).Outcome; got != Failed {
+		t.Fatalf("probe outcome %v, want failed", got)
+	}
+	if st := sup.BreakerState(name); st != BreakerOpen {
+		t.Fatalf("state after probe failure %v, want open", st)
+	}
+	if got := sup.Do(ctx, okJob(name)).Outcome; got != Quarantined {
+		t.Fatalf("post-reopen outcome %v, want quarantined", got)
+	}
+	*now = now.Add(30 * time.Second) // half the cooldown: still open
+	if got := sup.Do(ctx, okJob(name)).Outcome; got != Quarantined {
+		t.Fatalf("mid-cooldown outcome %v, want quarantined", got)
+	}
+	*now = now.Add(30 * time.Second) // cooldown complete: probe admitted
+	if got := sup.Do(ctx, okJob(name)).Outcome; got != OK {
+		t.Fatalf("second probe outcome %v, want ok", got)
+	}
+	if st := sup.BreakerState(name); st != BreakerClosed {
+		t.Fatalf("final state %v, want closed", st)
+	}
+	// Two opens (threshold + probe failure), two half-opens, one close.
+	for _, c := range []struct {
+		to   string
+		want int64
+	}{{"open", 2}, {"half-open", 2}, {"closed", 1}} {
+		got := reg.Counter(obs.MetricBreakerTransitions, "", obs.Label{K: "to", V: c.to}).Value()
+		if got != c.want {
+			t.Errorf("breaker transitions{to=%s} = %d, want %d", c.to, got, c.want)
+		}
+	}
+}
+
+// TestBreakerZeroCooldownStaysOpen: the batch default (no cooldown) keeps
+// a quarantined input quarantined for the supervisor's lifetime.
+func TestBreakerZeroCooldownStaysOpen(t *testing.T) {
+	checkGoroutines(t)
+	sup, now := breakerSupervisor(t, Options{Workers: 1, BreakerThreshold: 1, Seed: 1})
+	ctx := context.Background()
+	sup.Do(ctx, failJob("x"))
+	*now = now.Add(24 * time.Hour)
+	if got := sup.Do(ctx, okJob("x")).Outcome; got != Quarantined {
+		t.Fatalf("outcome %v, want quarantined (no cooldown configured)", got)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while a probe is in flight, concurrent
+// attempts on the same input stay refused.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	checkGoroutines(t)
+	sup, now := breakerSupervisor(t, Options{
+		Workers: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute, Seed: 1,
+	})
+	ctx := context.Background()
+	sup.Do(ctx, failJob("x"))
+	*now = now.Add(time.Minute)
+
+	probeRunning := make(chan struct{})
+	release := make(chan struct{})
+	probeDone := make(chan JobResult, 1)
+	go func() {
+		probeDone <- sup.Do(ctx, Job{Name: "x", Run: func(context.Context) (string, bool, error) {
+			close(probeRunning)
+			<-release
+			return "", false, nil
+		}})
+	}()
+	<-probeRunning
+	// Second attempt while the probe holds the half-open slot: refused.
+	if got := sup.Do(ctx, okJob("x")).Outcome; got != Quarantined {
+		t.Fatalf("concurrent-with-probe outcome %v, want quarantined", got)
+	}
+	close(release)
+	if got := (<-probeDone).Outcome; got != OK {
+		t.Fatalf("probe outcome %v, want ok", got)
+	}
+}
+
+// TestBackoffClampAndFullJitter: the delay never exceeds MaxBackoff
+// whatever the attempt number (including shift-overflow territory), and
+// full jitter spans down to zero.
+func TestBackoffClamp(t *testing.T) {
+	jit := &lockedRand{r: rand.New(rand.NewSource(7))}
+	max := 50 * time.Millisecond
+	sawLow := false
+	for attempt := 0; attempt < 80; attempt++ {
+		d := backoff(time.Millisecond, max, attempt, jit)
+		if d < 0 || d > max {
+			t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, max)
+		}
+		if attempt > 10 && d < max/4 {
+			sawLow = true // full jitter reaches the low end even at the clamp
+		}
+	}
+	if !sawLow {
+		t.Error("full jitter never produced a low delay at the clamp; looks like equal-jitter")
+	}
+}
+
+// TestRetryBackoffHonorsCancellation: canceling the batch context releases
+// a pending retry sleep immediately — a canceled batch never waits out its
+// backoff.
+func TestRetryBackoffHonorsCancellation(t *testing.T) {
+	checkGoroutines(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempted := make(chan struct{}, 4)
+	job := Job{Name: "slow-retry", Run: func(context.Context) (string, bool, error) {
+		attempted <- struct{}{}
+		return "", false, Transient(errors.New("flaky"))
+	}}
+	done := make(chan JobResult, 1)
+	sup := NewSupervisor(Options{
+		Workers: 1, Retries: 3, Backoff: time.Hour, MaxBackoff: time.Hour, Seed: 1,
+	})
+	go func() { done <- sup.Do(ctx, job) }()
+	<-attempted // first attempt failed; the supervisor is now in backoff
+	start := time.Now()
+	cancel()
+	select {
+	case res := <-done:
+		if res.Outcome != Canceled {
+			t.Fatalf("outcome %v, want canceled", res.Outcome)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("cancellation took %v to release the backoff sleep", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled retry still sleeping after 5s: backoff ignores the context")
+	}
+}

@@ -104,13 +104,25 @@ type Options struct {
 	JobTimeout time.Duration
 	// Retries is the number of extra attempts after a retryable failure.
 	Retries int
-	// Backoff is the pre-retry delay base: attempt n waits Backoff·2ⁿ,
-	// jittered ±50%. <=0 defaults to 10ms when Retries > 0.
+	// Backoff is the pre-retry delay base: attempt n waits a full-jitter
+	// delay drawn uniformly from [0, min(Backoff·2ⁿ, MaxBackoff)]. <=0
+	// defaults to 10ms when Retries > 0.
 	Backoff time.Duration
+	// MaxBackoff clamps the exponential growth of the pre-retry delay;
+	// <=0 defaults to 1s. The backoff sleep honours the batch context, so
+	// cancellation never waits out a pending retry.
+	MaxBackoff time.Duration
 	// BreakerThreshold is the failure count at which an input is
 	// quarantined; <=0 defaults to Retries+2 (one full retry cycle plus one
 	// later failure). A panic trips the breaker immediately.
 	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker stays open before it
+	// half-opens and admits a single probe attempt: a probe success closes
+	// the breaker (the input is healthy again), a probe failure re-opens
+	// it for another cooldown. 0 (the default) keeps an open breaker open
+	// for the supervisor's lifetime — the right semantics for a one-shot
+	// batch, where a quarantined input stays quarantined.
+	BreakerCooldown time.Duration
 	// Retryable decides whether a failure is worth another attempt; nil
 	// means errors.Is(err, ErrTransient). Timeouts and cancellation are
 	// never retried regardless of this policy.
@@ -161,6 +173,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
 	}
 	if o.BreakerThreshold <= 0 {
 		o.BreakerThreshold = o.Retries + 2
@@ -283,47 +298,209 @@ func (s *Summary) Table() *report.Table {
 	return t
 }
 
+// BreakerState is the per-input circuit breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: attempts flow normally; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the input is quarantined; attempts are refused.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe attempt is
+	// admitted to test whether the input recovered.
+	BreakerHalfOpen
+)
+
+var breakerStateNames = [...]string{
+	BreakerClosed:   "closed",
+	BreakerOpen:     "open",
+	BreakerHalfOpen: "half-open",
+}
+
+// String returns the lower-case state name used in metrics labels.
+func (s BreakerState) String() string {
+	if int(s) < len(breakerStateNames) {
+		return breakerStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// breakerEntry is one input's breaker record.
+type breakerEntry struct {
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	// probing marks a half-open probe attempt in flight; concurrent
+	// attempts on the same input stay refused until the probe resolves.
+	probing bool
+}
+
 // breaker is the per-input circuit breaker: once an input accumulates
-// Threshold failures it is quarantined and no further attempts are made.
+// Threshold failures it opens and attempts are refused. With a nonzero
+// cooldown an open breaker half-opens after the cooldown and admits one
+// probe attempt; a probe success closes it again, a probe failure re-opens
+// it for another cooldown.
 type breaker struct {
 	mu        sync.Mutex
 	threshold int
-	fails     map[string]int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+	entries   map[string]*breakerEntry
 }
 
-func (b *breaker) open(name string) bool {
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+func (b *breaker) entry(name string) *breakerEntry {
+	e := b.entries[name]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[name] = e
+	}
+	return e
+}
+
+// acquire decides whether an attempt on name may run. probe marks the
+// attempt as a half-open probe (its outcome moves the state machine);
+// halfOpened reports that this call performed the open → half-open
+// transition (for metrics).
+func (b *breaker) acquire(name string) (allowed, probe, halfOpened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.fails[name] >= b.threshold
+	e := b.entry(name)
+	switch e.state {
+	case BreakerClosed:
+		return true, false, false
+	case BreakerOpen:
+		if b.cooldown > 0 && b.now().Sub(e.openedAt) >= b.cooldown {
+			e.state = BreakerHalfOpen
+			e.probing = true
+			return true, true, true
+		}
+		return false, false, false
+	default: // BreakerHalfOpen
+		if e.probing {
+			return false, false, false
+		}
+		e.probing = true
+		return true, true, false
+	}
 }
 
-// record adds n failures for name and reports whether this crossed the
-// threshold — i.e. whether the breaker just opened.
-func (b *breaker) record(name string, n int) bool {
+// succeed records a successful attempt; a probe success closes the breaker
+// and wipes the failure count. It reports whether the breaker just closed.
+func (b *breaker) succeed(name string, probe bool) bool {
+	if !probe {
+		return false
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	before := b.fails[name]
-	b.fails[name] += n
-	return before < b.threshold && b.fails[name] >= b.threshold
+	e := b.entry(name)
+	e.state = BreakerClosed
+	e.fails = 0
+	e.probing = false
+	return true
 }
 
-// trip opens the breaker immediately; it reports whether it was closed before.
+// fail records a failed attempt and reports whether the breaker just
+// opened (a probe failure re-opens immediately; a closed-state failure
+// opens once the threshold is reached).
+func (b *breaker) fail(name string, probe bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(name)
+	if probe {
+		e.state = BreakerOpen
+		e.openedAt = b.now()
+		e.probing = false
+		if e.fails < b.threshold {
+			e.fails = b.threshold
+		}
+		return true
+	}
+	e.fails++
+	if e.state == BreakerClosed && e.fails >= b.threshold {
+		e.state = BreakerOpen
+		e.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// trip opens the breaker immediately (a panic leaves no doubt about the
+// input); it reports whether it was not already open.
 func (b *breaker) trip(name string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	before := b.fails[name]
-	b.fails[name] = b.threshold
-	return before < b.threshold
+	e := b.entry(name)
+	opened := e.state != BreakerOpen
+	e.state = BreakerOpen
+	e.openedAt = b.now()
+	e.probing = false
+	if e.fails < b.threshold {
+		e.fails = b.threshold
+	}
+	return opened
+}
+
+// state returns the breaker state for name (for tests and introspection).
+func (b *breaker) state(name string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[name]; e != nil {
+		return e.state
+	}
+	return BreakerClosed
+}
+
+// Supervisor is the persistent form of the batch guards: the retry policy,
+// backoff jitter, and per-input circuit breaker live across calls, so a
+// long-lived caller (the analysis daemon's worker pool) gets the same
+// supervision Run gives a one-shot batch — including breaker memory between
+// jobs that share an input name.
+type Supervisor struct {
+	opt    Options
+	br     *breaker
+	jitter *lockedRand
+}
+
+// NewSupervisor returns a persistent supervisor with opt's guards.
+func NewSupervisor(opt Options) *Supervisor {
+	opt = opt.withDefaults()
+	return &Supervisor{
+		opt:    opt,
+		br:     newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		jitter: &lockedRand{r: rand.New(rand.NewSource(opt.Seed))},
+	}
+}
+
+// Do runs one job under the supervisor's guards — per-attempt timeout,
+// retry with clamped full-jitter backoff, panic capture, and the shared
+// circuit breaker — and returns its structured result. It is safe for
+// concurrent use; Options.Workers does not apply (the caller owns its own
+// pool).
+func (s *Supervisor) Do(ctx context.Context, job Job) JobResult {
+	return supervise(ctx, job, s.opt, s.br, s.jitter)
+}
+
+// BreakerState reports the circuit-breaker state for an input name.
+func (s *Supervisor) BreakerState(name string) BreakerState {
+	return s.br.state(name)
 }
 
 // Run supervises the jobs and always returns a complete Summary: every job
 // is accounted for with an outcome even when ctx is canceled mid-batch.
 func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
-	opt = opt.withDefaults()
+	sup := NewSupervisor(opt)
+	opt = sup.opt
 	start := time.Now()
 	sum := &Summary{Results: make([]JobResult, len(jobs))}
-	br := &breaker{threshold: opt.BreakerThreshold, fails: make(map[string]int)}
-	jitter := &lockedRand{r: rand.New(rand.NewSource(opt.Seed))}
 
 	type task struct{ i int }
 	feed := make(chan task)
@@ -336,7 +513,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
 				if opt.Progress != nil {
 					opt.Progress(Event{Type: JobStarted, Index: t.i, Total: len(jobs), Name: jobs[t.i].Name})
 				}
-				res := supervise(ctx, jobs[t.i], opt, br, jitter)
+				res := sup.Do(ctx, jobs[t.i])
 				sum.Results[t.i] = res
 				if opt.Progress != nil {
 					rc := res
@@ -375,20 +552,29 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 			obs.DurationBuckets(), obs.Label{K: "outcome", V: res.Outcome.String()}).
 			Observe(res.Duration.Seconds())
 	}()
+	transition := func(to BreakerState) {
+		reg.Counter(obs.MetricBreakerTransitions, "Circuit-breaker state transitions, by destination state.",
+			obs.Label{K: "to", V: to.String()}).Inc()
+		log.LogAttrs(context.Background(), slog.LevelWarn, "breaker "+to.String(),
+			slog.String("job", job.Name))
+	}
 	tripped := func(opened bool) {
 		if !opened {
 			return
 		}
 		reg.Counter(obs.MetricBreakerTrips, "Circuit-breaker openings.").Inc()
-		log.LogAttrs(context.Background(), slog.LevelWarn, "breaker opened",
-			slog.String("job", job.Name))
+		transition(BreakerOpen)
 	}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			res.Outcome, res.Err = Canceled, err
 			return res
 		}
-		if br.open(job.Name) {
+		allowed, probe, halfOpened := br.acquire(job.Name)
+		if halfOpened {
+			transition(BreakerHalfOpen)
+		}
+		if !allowed {
 			res.Outcome = Quarantined
 			if res.Err == nil {
 				res.Err = fmt.Errorf("runner: input quarantined after repeated failures")
@@ -400,6 +586,9 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 		detail, degraded, err, panicked := attempt1(ctx, job, opt.JobTimeout)
 		switch {
 		case err == nil:
+			if br.succeed(job.Name, probe) {
+				transition(BreakerClosed)
+			}
 			// A success wipes any error kept from an earlier retried attempt;
 			// the summary reports what finally happened.
 			res.Detail, res.Err = detail, nil
@@ -419,13 +608,13 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 			res.Outcome, res.Err = Canceled, ctx.Err()
 			return res
 		case errors.Is(err, context.DeadlineExceeded):
-			tripped(br.record(job.Name, 1))
+			tripped(br.fail(job.Name, probe))
 			log.LogAttrs(context.Background(), slog.LevelWarn, "job timed out",
 				slog.String("job", job.Name), slog.Int("attempt", res.Attempts))
 			res.Outcome, res.Err = TimedOut, err
 			return res
 		}
-		tripped(br.record(job.Name, 1))
+		tripped(br.fail(job.Name, probe))
 		res.Err = err
 		if attempt >= opt.Retries || !opt.Retryable(err) {
 			res.Outcome = Failed
@@ -435,7 +624,7 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 		log.LogAttrs(context.Background(), slog.LevelWarn, "retrying job",
 			slog.String("job", job.Name), slog.Int("attempt", res.Attempts),
 			slog.String("error", err.Error()))
-		if !sleep(ctx, backoff(opt.Backoff, attempt, jitter)) {
+		if !sleep(ctx, backoff(opt.Backoff, opt.MaxBackoff, attempt, jitter)) {
 			res.Outcome, res.Err = Canceled, ctx.Err()
 			return res
 		}
@@ -469,14 +658,26 @@ func attempt1(ctx context.Context, job Job, timeout time.Duration) (detail strin
 	return detail, degraded, err, panicked
 }
 
-// backoff returns the pre-retry delay: base·2ᵃᵗᵗᵉᵐᵖᵗ jittered ±50% so a
-// batch of retrying jobs does not thundering-herd the filesystem.
-func backoff(base time.Duration, attempt int, jitter *lockedRand) time.Duration {
-	d := base << uint(attempt)
-	if d > time.Second {
-		d = time.Second
+// backoff returns the pre-retry delay: uniformly random in
+// [0, min(base·2ᵃᵗᵗᵉᵐᵖᵗ, max)]. Full jitter decorrelates a batch of
+// retrying jobs completely (no thundering herd against the filesystem),
+// and the clamp keeps a long retry ladder from sleeping unboundedly.
+func backoff(base, max time.Duration, attempt int, jitter *lockedRand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+		if d <= 0 { // shift overflow: clamp
+			d = max
+			break
+		}
 	}
-	return d/2 + time.Duration(jitter.Int63n(int64(d)))
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(jitter.Int63n(int64(d) + 1))
 }
 
 // sleep waits d or until ctx ends; it reports whether the full wait elapsed.

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is one tenant's admission budget: capacity `burst` tokens,
+// refilled continuously at `rate` tokens per second. Take spends one token
+// when available; otherwise it reports how long until one accrues, which
+// becomes the Retry-After hint.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	used   time.Time // last Take, for idle-tenant eviction
+}
+
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last, b.used = now, now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// No refill configured: the tenant is hard-blocked; suggest a
+		// generous retry rather than advertising "never".
+		return false, time.Minute
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// admission is the per-tenant token-bucket admission controller. The
+// tenant map is bounded: past maxTenants the stalest bucket is evicted, so
+// a hostile client cycling tenant names cannot grow the map without bound
+// (it only ever evicts buckets it forced in, refreshed tenants stay).
+type admission struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      float64
+	maxTenants int
+	now        func() time.Time
+	buckets    map[string]*tokenBucket
+}
+
+func newAdmission(rate float64, burst int, maxTenants int) *admission {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxTenants < 1 {
+		maxTenants = 1024
+	}
+	return &admission{
+		rate:       rate,
+		burst:      float64(burst),
+		maxTenants: maxTenants,
+		now:        time.Now,
+		buckets:    make(map[string]*tokenBucket),
+	}
+}
+
+// admit spends one admission token for tenant, creating its bucket (full)
+// on first contact. On refusal retryAfter is the time until a token
+// accrues.
+func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		a.evictStalest()
+		b = &tokenBucket{rate: a.rate, burst: a.burst, tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	return b.take(now)
+}
+
+// evictStalest drops least-recently-used buckets until a slot is free.
+// Callers hold the mutex. Linear scan: the cap is small and eviction only
+// happens when a new tenant arrives at the cap.
+func (a *admission) evictStalest() {
+	for len(a.buckets) >= a.maxTenants {
+		var victim string
+		var oldest time.Time
+		first := true
+		for name, b := range a.buckets {
+			if first || b.used.Before(oldest) {
+				victim, oldest, first = name, b.used, false
+			}
+		}
+		delete(a.buckets, victim)
+	}
+}
+
+// tenants reports the tracked tenant count (for /v1/stats).
+func (a *admission) tenants() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}
+
+// retryAfterSeconds rounds a Retry-After hint up to whole seconds, with a
+// floor of 1 — the header carries integer seconds.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

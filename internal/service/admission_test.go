@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClockAdmission pins the admission table to a controllable clock.
+func fakeClockAdmission(rate float64, burst, maxTenants int) (*admission, *time.Time) {
+	a := newAdmission(rate, burst, maxTenants)
+	now := time.Unix(5000, 0)
+	a.now = func() time.Time { return now }
+	return a, &now
+}
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	a, now := fakeClockAdmission(2, 4, 16) // 2/sec sustained, burst of 4
+	tenant := "t1"
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := a.admit(tenant); !ok {
+			t.Fatalf("request %d inside burst refused", i)
+		}
+	}
+	ok, retry := a.admit(tenant)
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	// Empty bucket at 2 tokens/sec: the next token is ~500ms away.
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry hint %v, want (0, 1s]", retry)
+	}
+
+	// Half a second later one token has dripped in: exactly one admit.
+	*now = now.Add(500 * time.Millisecond)
+	if ok, _ := a.admit(tenant); !ok {
+		t.Error("refilled token refused")
+	}
+	if ok, _ := a.admit(tenant); ok {
+		t.Error("second request admitted on a single refilled token")
+	}
+
+	// A long idle period refills to the burst cap, not beyond.
+	*now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := a.admit(tenant); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("after long idle: %d admits, want the burst cap 4", admitted)
+	}
+}
+
+func TestRetryAfterSecondsRounding(t *testing.T) {
+	for _, c := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAdmissionTenantTableBounded(t *testing.T) {
+	a, now := fakeClockAdmission(1, 1, 8)
+	for i := 0; i < 100; i++ {
+		a.admit(fmt.Sprintf("churner-%d", i))
+		*now = now.Add(time.Millisecond)
+	}
+	if n := a.tenants(); n > 8 {
+		t.Fatalf("tenant table grew to %d under id churn, bound is 8", n)
+	}
+}
+
+func TestAdmissionEvictsStalestTenant(t *testing.T) {
+	a, now := fakeClockAdmission(0.001, 2, 2)
+	a.admit("old")
+	*now = now.Add(time.Second)
+	a.admit("fresh")
+	*now = now.Add(time.Second)
+	a.admit("newcomer") // table full: "old" (stalest) must make room
+
+	a.mu.Lock()
+	_, oldThere := a.buckets["old"]
+	_, freshThere := a.buckets["fresh"]
+	_, newThere := a.buckets["newcomer"]
+	a.mu.Unlock()
+	if oldThere || !freshThere || !newThere {
+		t.Errorf("eviction kept old=%v fresh=%v newcomer=%v, want the stalest gone", oldThere, freshThere, newThere)
+	}
+
+	// Eviction must not grant a quota reset: the evicted tenant returning
+	// starts a fresh bucket (full burst), which is the accepted cost, but
+	// the surviving tenants keep their drained state.
+	if ok, _ := a.admit("fresh"); !ok {
+		t.Log("fresh still has burst tokens") // burst=2, one spent: should admit
+	}
+}
+
+func TestAdmissionZeroRateHardBlocks(t *testing.T) {
+	a, now := fakeClockAdmission(0, 0, 4)
+	// Burst floors at 1: the first request spends it...
+	if ok, _ := a.admit("anyone"); !ok {
+		t.Fatal("first request refused despite the burst floor of 1")
+	}
+	// ...and with no refill the tenant is blocked from then on, with a
+	// finite retry hint rather than "never".
+	for i := 0; i < 3; i++ {
+		*now = now.Add(time.Hour)
+		ok, retry := a.admit("anyone")
+		if ok {
+			t.Fatal("zero-rate bucket refilled")
+		}
+		if retry <= 0 {
+			t.Errorf("zero-rate retry hint %v, want positive", retry)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fakeResult(digest string, bytes int) *result {
+	r := &result{
+		key:     cacheKey{Digest: digest, Fingerprint: "fp"},
+		outcome: "ok",
+		code:    200,
+		report:  make([]byte, bytes),
+	}
+	r.weigh()
+	return r
+}
+
+func TestCacheLRUEntryBound(t *testing.T) {
+	c := newCache(3, 0, nil)
+	for i := 0; i < 5; i++ {
+		c.put(fakeResult(fmt.Sprintf("d%d", i), 10))
+	}
+	entries, _, evictions := c.stats()
+	if entries != 3 || evictions != 2 {
+		t.Fatalf("entries %d evictions %d, want 3 and 2", entries, evictions)
+	}
+	// The two oldest are gone, the three newest remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(cacheKey{Digest: fmt.Sprintf("d%d", i), Fingerprint: "fp"}); ok {
+			t.Errorf("d%d survived past the entry bound", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.get(cacheKey{Digest: fmt.Sprintf("d%d", i), Fingerprint: "fp"}); !ok {
+			t.Errorf("d%d evicted while hotter entries existed", i)
+		}
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := newCache(2, 0, nil)
+	c.put(fakeResult("a", 10))
+	c.put(fakeResult("b", 10))
+	c.get(cacheKey{Digest: "a", Fingerprint: "fp"}) // a is now hottest
+	c.put(fakeResult("c", 10))                      // evicts b, not a
+	if _, ok := c.get(cacheKey{Digest: "a", Fingerprint: "fp"}); !ok {
+		t.Error("recently-read entry evicted")
+	}
+	if _, ok := c.get(cacheKey{Digest: "b", Fingerprint: "fp"}); ok {
+		t.Error("cold entry survived")
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newCache(100, 250, nil)
+	c.put(fakeResult("a", 100))
+	c.put(fakeResult("b", 100))
+	c.put(fakeResult("c", 100)) // 300 bytes > 250: "a" must go
+	entries, bytes, _ := c.stats()
+	if entries != 2 || bytes != 200 {
+		t.Fatalf("entries %d bytes %d, want 2 and 200", entries, bytes)
+	}
+	if _, ok := c.get(cacheKey{Digest: "a", Fingerprint: "fp"}); ok {
+		t.Error("oldest entry survived the byte bound")
+	}
+
+	// An entry bigger than the whole budget is refused outright — caching
+	// it would only flush everything else.
+	c.put(fakeResult("huge", 1000))
+	if _, ok := c.get(cacheKey{Digest: "huge", Fingerprint: "fp"}); ok {
+		t.Error("over-budget entry was cached")
+	}
+	if entries, _, _ := c.stats(); entries != 2 {
+		t.Errorf("over-budget put disturbed the cache: %d entries", entries)
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := newCache(10, 0, nil)
+	c.put(fakeResult("a", 100))
+	c.put(fakeResult("a", 40)) // same key, smaller render
+	entries, bytes, _ := c.stats()
+	if entries != 1 || bytes != 40 {
+		t.Fatalf("after replace: entries %d bytes %d, want 1 and 40", entries, bytes)
+	}
+}
+
+func TestFlightGroupLeaderAndWaiters(t *testing.T) {
+	g := newFlightGroup()
+	k := cacheKey{Digest: "d", Fingerprint: "fp"}
+	fl, leader := g.join(k)
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	fl2, leader2 := g.join(k)
+	if leader2 || fl2 != fl {
+		t.Fatal("second join did not coalesce onto the first flight")
+	}
+
+	want := fakeResult("d", 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-fl.done
+			if fl.res != want {
+				t.Error("waiter saw a different result")
+			}
+		}()
+	}
+	g.complete(k, want)
+	wg.Wait()
+
+	// The flight is retired: the next join starts fresh.
+	if _, leader := g.join(k); !leader {
+		t.Error("flight not retired after complete")
+	}
+}
+
+func TestFlightGroupAbortReleasesWaitersNil(t *testing.T) {
+	g := newFlightGroup()
+	k := cacheKey{Digest: "d", Fingerprint: "fp"}
+	fl, _ := g.join(k)
+	g.abort(k)
+	<-fl.done
+	if fl.res != nil {
+		t.Fatal("aborted flight carries a result")
+	}
+	// Aborting an unknown key is a no-op, not a panic.
+	g.abort(cacheKey{Digest: "ghost", Fingerprint: "fp"})
+}

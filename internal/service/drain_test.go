@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDrainFinishesInFlightWork: a drain with headroom lets queued jobs
+// finish — their waiters get real results — while new uploads are refused
+// with 503, and readiness flips to draining.
+func TestDrainFinishesInFlightWork(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestService(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 8
+	})
+	s.testJobGate = gate
+
+	// One upload in flight, parked at the gate.
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := upload(t, ts.URL, pristineTrace(t), nil)
+		done <- resp.StatusCode
+	}()
+	waitCond(t, "worker holds the job", func() bool { return s.pool.depth.Load() == 1 })
+
+	// Drain concurrently with generous headroom; release the job once the
+	// drain has begun.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitCond(t, "drain started", func() bool { return s.Draining() })
+
+	// While draining: new uploads are shed immediately...
+	resp, _ := upload(t, ts.URL, secondTrace(t), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("upload during drain: status %d, want 503", resp.StatusCode)
+	}
+	// ...and readiness reports draining.
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503", r.StatusCode)
+	}
+
+	gate <- struct{}{} // let the in-flight job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain with headroom returned %v, want nil", err)
+	}
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Errorf("in-flight upload finished with %d, want 200: drains must not drop live work", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight upload's waiter never answered")
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: when the drain deadline expires with
+// work still running, the service cancels it rather than hanging — Drain
+// returns the context error, and the straggler's waiter still gets an
+// answer (a 503-class result, not a hang).
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	gate := make(chan struct{}) // never fed: the job would park forever
+	s, ts := newTestService(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 8
+	})
+	s.testJobGate = gate
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := upload(t, ts.URL, pristineTrace(t), nil)
+		done <- resp.StatusCode
+	}()
+	waitCond(t, "worker holds the job", func() bool { return s.pool.depth.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Drain(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("deadline-forced drain returned %v, want context.DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("forced drain took %v; cancellation should be prompt", took)
+	}
+
+	select {
+	case code := <-done:
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("canceled job's waiter got %d, want 503", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled job's waiter never answered: drain left a request hanging")
+	}
+}
+
+// TestDrainIdempotent: repeated drains are safe and the first result wins.
+func TestDrainIdempotent(t *testing.T) {
+	s, _ := newTestService(t, nil)
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,274 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"phasefold/internal/obs"
+)
+
+// Handler returns the daemon's routing table.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/traces", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("GET /v1/results/{digest}", s.instrument("result", s.handleResult))
+	mux.HandleFunc("GET /v1/results/{digest}/{artifact}", s.instrument("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Debug != nil {
+		mux.Handle("/debug/", s.cfg.Debug)
+		mux.Handle("/metrics", s.cfg.Debug)
+	}
+	return mux
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-route request counter.
+func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.reg.Counter(obs.MetricHTTPRequests, "HTTP requests, by route and status code.",
+			obs.Label{K: "route", V: route},
+			obs.Label{K: "code", V: strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+// reject answers an error as JSON, with Retry-After when the condition is
+// temporary, and tallies the admission reject counter.
+func (s *Service) reject(w http.ResponseWriter, code int, reason string, retryAfter int, msg string) {
+	s.nRejected.Add(1)
+	s.reg.Counter(obs.MetricAdmitRejected, "Uploads rejected before analysis, by reason.",
+		obs.Label{K: "reason", V: reason}).Inc()
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q,\"reason\":%q}\n", msg, reason)
+}
+
+// tenantOf extracts the caller's tenant id; anonymous callers share one
+// bucket (they also share one quota — identify yourself for your own).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		if len(t) > 128 {
+			t = t[:128]
+		}
+		return t
+	}
+	return "anonymous"
+}
+
+// handleAnalyze is the upload path: admission → spool+hash → cache →
+// single-flight → queue → wait → serve. The accept loop never blocks on a
+// full queue; each rejection point answers with the right status and a
+// Retry-After hint.
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", 5, "service is draining")
+		return
+	}
+	tenant := tenantOf(r)
+	if ok, retry := s.adm.admit(tenant); !ok {
+		s.reject(w, http.StatusTooManyRequests, "quota",
+			retryAfterSeconds(retry), "tenant quota exhausted")
+		return
+	}
+	s.nAdmitted.Add(1)
+
+	text := r.URL.Query().Get("format") == "text"
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spool, err := os.CreateTemp(s.spoolDir(), "phasefoldd-upload-*")
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, "spool", 0, "cannot spool upload: "+err.Error())
+		return
+	}
+	spoolPath := spool.Name()
+	// The spool file is owned by the job once enqueued; every earlier exit
+	// removes it here.
+	removeSpool := func() { os.Remove(spoolPath) }
+
+	hash := sha256.New()
+	n, err := io.Copy(io.MultiWriter(hash, spool), body)
+	closeErr := spool.Close()
+	if err != nil {
+		removeSpool()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge, "body",
+				0, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.reject(w, http.StatusBadRequest, "body", 0, "reading body: "+err.Error())
+		return
+	}
+	if closeErr != nil {
+		removeSpool()
+		s.reject(w, http.StatusInternalServerError, "spool", 0, "spooling upload: "+closeErr.Error())
+		return
+	}
+	if n == 0 {
+		removeSpool()
+		s.reject(w, http.StatusBadRequest, "body", 0, "empty body")
+		return
+	}
+	s.reg.Counter(obs.MetricUploadBytes, "Accepted request-body bytes.").Add(n)
+
+	key := cacheKey{Digest: hex.EncodeToString(hash.Sum(nil)), Fingerprint: s.fingerprint(text)}
+	if res, ok := s.cache.get(key); ok {
+		removeSpool()
+		s.nHits.Add(1)
+		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
+			obs.Label{K: "event", V: "hit"}).Inc()
+		s.serveResult(w, res, "hit")
+		return
+	}
+
+	fl, leader := s.fly.join(key)
+	if !leader {
+		// An identical upload is already in flight: coalesce onto it.
+		removeSpool()
+		s.nCoalesced.Add(1)
+		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
+			obs.Label{K: "event", V: "coalesced"}).Inc()
+		s.awaitFlight(w, r, fl, "coalesced")
+		return
+	}
+
+	j := &job{key: key, tenant: tenant, path: spoolPath, text: text, size: n}
+	if err := s.pool.enqueue(j); err != nil {
+		removeSpool()
+		s.fly.abort(key)
+		s.reject(w, http.StatusServiceUnavailable, "queue_full", 2, "analysis queue is full")
+		return
+	}
+	s.nMisses.Add(1)
+	s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
+		obs.Label{K: "event", V: "miss"}).Inc()
+	s.awaitFlight(w, r, fl, "miss")
+}
+
+// awaitFlight waits for the in-flight analysis and serves its result. A
+// client that disconnects first stops waiting, but the job keeps running —
+// its result still lands in the cache for the retry.
+func (s *Service) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight, cacheState string) {
+	select {
+	case <-fl.done:
+	case <-r.Context().Done():
+		return
+	}
+	if fl.res == nil {
+		// The leader could not enqueue (queue full raced us here).
+		s.reject(w, http.StatusServiceUnavailable, "queue_full", 2, "analysis queue is full")
+		return
+	}
+	s.serveResult(w, fl.res, cacheState)
+}
+
+// serveResult writes a finished result: the stored JSON document, its
+// status, and the cache disposition header.
+func (s *Service) serveResult(w http.ResponseWriter, res *result, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("X-Trace-Digest", res.key.Digest)
+	if res.code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "5")
+	}
+	w.WriteHeader(res.code)
+	w.Write(res.report)
+}
+
+// lookupDigest finds a cached result by digest under either input-format
+// fingerprint (the daemon's analysis options are fixed, so the digest is
+// unambiguous per format).
+func (s *Service) lookupDigest(digest string) (*result, bool) {
+	if res, ok := s.cache.get(cacheKey{Digest: digest, Fingerprint: s.fpBinary}); ok {
+		return res, true
+	}
+	return s.cache.get(cacheKey{Digest: digest, Fingerprint: s.fpText})
+}
+
+// handleResult serves the stored report document for a digest.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.lookupDigest(r.PathValue("digest"))
+	if !ok {
+		http.Error(w, "unknown digest (result evicted or never analyzed)", http.StatusNotFound)
+		return
+	}
+	s.serveResult(w, res, "hit")
+}
+
+// artifactContentTypes maps artifact names to their media types.
+var artifactContentTypes = map[string]string{
+	artifactPerfetto:     "application/json",
+	artifactFlame:        "text/plain; charset=utf-8",
+	artifactSnapshot:     "text/plain; version=0.0.4; charset=utf-8",
+	artifactSnapshotJSON: "application/json",
+}
+
+// handleArtifact serves one rendered export artifact from the cache.
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.lookupDigest(r.PathValue("digest"))
+	if !ok {
+		http.Error(w, "unknown digest (result evicted or never analyzed)", http.StatusNotFound)
+		return
+	}
+	name := r.PathValue("artifact")
+	data, ok := res.artifacts[name]
+	if !ok {
+		http.Error(w, "no such artifact for this result", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentTypes[name])
+	w.Header().Set("X-Cache", "hit")
+	w.Write(data)
+}
+
+// handleStats serves the live counters.
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(s.Snapshot(), "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness, wired to the drain state and queue depth: a
+// draining or saturated instance answers 503 so load balancers stop
+// routing to it before the queue starts rejecting.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	depth := s.pool.depth.Load()
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case depth >= int64(s.cfg.QueueDepth):
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"queue_cap\":%d}\n",
+		status, depth, s.cfg.QueueDepth)
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"phasefold/internal/core"
+	"phasefold/internal/export"
+	"phasefold/internal/obs"
+	"phasefold/internal/runner"
+	"phasefold/internal/trace"
+)
+
+// errQueueFull is the backpressure signal: the bounded queue is at
+// capacity and the upload must be shed, not parked.
+var errQueueFull = errors.New("service: job queue full")
+
+// job is one admitted upload on its way through the queue. The handler
+// that created it (the flight leader) and every coalesced handler wait on
+// the flight; the worker publishes the result there.
+type job struct {
+	key    cacheKey
+	tenant string
+	path   string // spooled upload
+	text   bool
+	size   int64
+}
+
+// pool is the bounded job queue plus the analysis workers. Enqueue never
+// blocks: a full queue is an immediate, typed rejection, which the handler
+// turns into 503 + Retry-After. Workers pull jobs and run them under the
+// shared runner.Supervisor.
+type pool struct {
+	s       *Service
+	queue   chan *job
+	sup     *runner.Supervisor
+	workers int
+	wg      sync.WaitGroup
+	// depth counts queued + running jobs — the readiness signal.
+	depth atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(s *Service, queueDepth, workers int, ropt runner.Options) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{
+		s:       s,
+		queue:   make(chan *job, queueDepth),
+		sup:     runner.NewSupervisor(ropt),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// enqueue admits a job to the queue, or rejects it immediately when the
+// queue is full or the intake is closed (draining).
+func (p *pool) enqueue(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errQueueFull
+	}
+	select {
+	case p.queue <- j:
+		p.depth.Add(1)
+		p.s.reg.Gauge(obs.MetricQueueDepth, "Queued plus running analysis jobs.").
+			Set(float64(p.depth.Load()))
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// closeIntake stops further enqueues and lets the workers drain the queue.
+func (p *pool) closeIntake() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+}
+
+// wait blocks until every worker has exited (intake must be closed first).
+func (p *pool) wait() { p.wg.Wait() }
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if p.s.testJobGate != nil {
+			// Test hook: hold the worker here so tests can fill the queue
+			// and observe backpressure deterministically.
+			select {
+			case <-p.s.testJobGate:
+			case <-p.s.runCtx.Done():
+			}
+		}
+		p.run(j)
+		p.depth.Add(-1)
+		p.s.reg.Gauge(obs.MetricQueueDepth, "Queued plus running analysis jobs.").
+			Set(float64(p.depth.Load()))
+	}
+}
+
+// run executes one job under the supervisor and publishes its result to
+// the cache (when deterministic) and the flight (always — every waiter is
+// answered, whatever happened).
+func (p *pool) run(j *job) {
+	var (
+		view     *core.ExportView
+		app      string
+		clusters int
+		bursts   int
+		diags    []string
+	)
+	jr := p.sup.Do(p.s.runCtx, runner.Job{
+		Name: "sha256:" + shortDigest(j.key.Digest),
+		Run: func(ctx context.Context) (string, bool, error) {
+			f, err := os.Open(j.path)
+			if err != nil {
+				return "", false, runner.Transient(err)
+			}
+			defer f.Close()
+			var (
+				tr  *trace.Trace
+				rep *trace.SalvageReport
+			)
+			if j.text {
+				tr, rep, err = trace.DecodeText(ctx, f, p.s.cfg.Decode)
+			} else {
+				tr, rep, err = trace.Decode(ctx, f, p.s.cfg.Decode)
+			}
+			if err != nil {
+				return "", false, err
+			}
+			model, err := core.Analyze(ctx, tr, p.s.cfg.Analysis)
+			if err != nil {
+				return "", false, err
+			}
+			view = model.Export(tr)
+			app = model.App
+			clusters, bursts = model.NumClusters, model.NumBursts
+			diags = diags[:0]
+			for _, d := range model.Diagnostics {
+				diags = append(diags, d.String())
+			}
+			degraded := model.Degraded()
+			detail := fmt.Sprintf("%d clusters, %d bursts", clusters, bursts)
+			if rep != nil && !rep.Complete() {
+				degraded = true
+				detail += ", salvaged"
+			}
+			if len(diags) > 0 {
+				detail += fmt.Sprintf(", %d diagnostics", len(diags))
+			}
+			return detail, degraded, nil
+		},
+	})
+	os.Remove(j.path)
+	if jr.Outcome.Bad() {
+		view = nil // a failed attempt's partial view must not serve
+	}
+	res := buildResult(j, jr, view, app, clusters, bursts, diags)
+	p.s.recordOutcome(jr.Outcome.String())
+	if cacheable(jr.Outcome) {
+		p.s.cache.put(res)
+	}
+	p.s.fly.complete(j.key, res)
+}
+
+// shortDigest abbreviates a content digest for job names and log lines.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}
+
+// reportDoc is the JSON result document POST /v1/traces answers with; it
+// is rendered exactly once per analysis, so cache hits are byte-identical.
+type reportDoc struct {
+	Digest      string            `json:"digest"`
+	Outcome     string            `json:"outcome"`
+	Degraded    bool              `json:"degraded"`
+	Detail      string            `json:"detail,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Attempts    int               `json:"attempts"`
+	App         string            `json:"app,omitempty"`
+	Clusters    int               `json:"clusters,omitempty"`
+	Bursts      int               `json:"bursts,omitempty"`
+	Diagnostics []string          `json:"diagnostics,omitempty"`
+	Artifacts   map[string]string `json:"artifacts,omitempty"`
+}
+
+// Artifact names under /v1/results/{digest}/.
+const (
+	artifactPerfetto     = "perfetto.json"
+	artifactFlame        = "flame.folded"
+	artifactSnapshot     = "snapshot.prom"
+	artifactSnapshotJSON = "snapshot.json"
+)
+
+// buildResult renders the finished job into its servable form: the JSON
+// report plus, for usable results, every export artifact rendered to
+// bytes. Render errors degrade to a missing artifact, never a crash.
+func buildResult(j *job, jr runner.JobResult, view *core.ExportView,
+	app string, clusters, bursts int, diags []string) *result {
+	doc := reportDoc{
+		Digest:   j.key.Digest,
+		Outcome:  jr.Outcome.String(),
+		Degraded: jr.Outcome == runner.Degraded,
+		Detail:   jr.Detail,
+		Attempts: jr.Attempts,
+	}
+	if jr.Err != nil {
+		doc.Error = jr.Err.Error()
+	}
+	res := &result{
+		key:     j.key,
+		outcome: jr.Outcome.String(),
+		code:    statusFor(jr.Outcome, jr.Err),
+	}
+	if view != nil {
+		doc.App, doc.Clusters, doc.Bursts, doc.Diagnostics = app, clusters, bursts, diags
+		res.artifacts = renderArtifacts(view)
+		doc.Artifacts = make(map[string]string, len(res.artifacts))
+		for name := range res.artifacts {
+			doc.Artifacts[name] = "/v1/results/" + j.key.Digest + "/" + name
+		}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"digest":%q,"outcome":%q}`, j.key.Digest, doc.Outcome))
+	}
+	res.report = append(b, '\n')
+	res.weigh()
+	return res
+}
+
+// renderArtifacts renders every export format from the view. The export
+// layer guarantees deterministic byte-identical output for a given view.
+func renderArtifacts(view *core.ExportView) map[string][]byte {
+	arts := make(map[string][]byte, 4)
+	render := func(name string, write func(*bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := write(&buf); err == nil {
+			arts[name] = buf.Bytes()
+		}
+	}
+	render(artifactPerfetto, func(b *bytes.Buffer) error { return export.WritePerfetto(b, view) })
+	render(artifactFlame, func(b *bytes.Buffer) error { return export.WriteFlamegraph(b, view, "") })
+	render(artifactSnapshot, func(b *bytes.Buffer) error { return export.WriteOpenMetrics(b, view) })
+	render(artifactSnapshotJSON, func(b *bytes.Buffer) error { return export.WriteSnapshotJSON(b, view) })
+	return arts
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressConcurrentHostileUploads is the acceptance stress run: 64
+// concurrent uploads, roughly a third of them hostile (chopped, corrupted,
+// or outright garbage), against a small worker pool. Every request must
+// complete within bounded time with a defined status — no crash, no hang —
+// and the daemon must still be serving afterwards.
+func TestStressConcurrentHostileUploads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress run skipped in -short mode")
+	}
+	s, ts := newTestService(t, func(c *Config) {
+		c.Workers = 4
+		c.QueueDepth = 16
+		c.JobTimeout = 30 * time.Second
+	})
+
+	pristine := pristineTrace(t)
+	second := secondTrace(t)
+
+	// 64 uploads, ~35% hostile. Hostile inputs rotate through stream-level
+	// damage (chop, corrupt) and non-trace garbage; each gets a distinct
+	// seed so the damage (and therefore the digest) varies.
+	const total = 64
+	bodies := make([][]byte, total)
+	hostile := 0
+	for i := range bodies {
+		switch {
+		case i%3 == 1: // 1, 4, 7, ... ≈ 33%
+			hostile++
+			switch i % 9 {
+			case 1:
+				bodies[i] = faulted(t, pristine, "chop=0.5", uint64(i))
+			case 4:
+				bodies[i] = faulted(t, pristine, "corrupt=0.05", uint64(i))
+			default:
+				bodies[i] = []byte(fmt.Sprintf("garbage payload %d: definitely not a PFT trace", i))
+			}
+		case i%2 == 0:
+			bodies[i] = pristine
+		default:
+			bodies[i] = second
+		}
+	}
+	t.Logf("launching %d concurrent uploads, %d hostile", total, hostile)
+
+	type outcome struct {
+		status int
+		cache  string
+		err    error
+	}
+	results := make([]outcome, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/v1/traces", bytes.NewReader(bodies[i]))
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			req.Header.Set("X-Tenant", fmt.Sprintf("stress-%d", i%8))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			resp.Body.Close()
+			results[i] = outcome{status: resp.StatusCode, cache: resp.Header.Get("X-Cache")}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Every request completed with a defined status; tally them.
+	counts := map[int]int{}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("upload %d: transport error %v (daemon crashed?)", i, r.err)
+		}
+		switch r.status {
+		case http.StatusOK, http.StatusUnprocessableEntity,
+			http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		default:
+			t.Errorf("upload %d: undefined status %d", i, r.status)
+		}
+		counts[r.status]++
+	}
+	t.Logf("%d uploads in %v: %v", total, elapsed, counts)
+	if counts[http.StatusOK] == 0 {
+		t.Error("no upload succeeded under load")
+	}
+	if elapsed > 2*time.Minute {
+		t.Errorf("stress run took %v; backpressure should bound latency", elapsed)
+	}
+
+	// The daemon is still healthy and serving.
+	if r, err := http.Get(ts.URL + "/healthz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after stress: %v / %v", err, r)
+	}
+
+	// A pristine re-upload now is a cache hit, byte-identical to a second
+	// one right after.
+	resp1, body1 := upload(t, ts.URL, pristine, map[string]string{"X-Tenant": "after"})
+	resp2, body2 := upload(t, ts.URL, pristine, map[string]string{"X-Tenant": "after"})
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-stress re-uploads: %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("post-stress re-upload X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit is not byte-identical to the previous serve")
+	}
+	if st := s.Snapshot(); st.Outcomes["ok"] == 0 {
+		t.Errorf("no ok outcomes recorded: %+v", st.Outcomes)
+	}
+}
+
+// TestStressQuotaBurst429: a tenant hammering past its burst gets 429 with
+// a usable Retry-After while other tenants keep working.
+func TestStressQuotaBurst429(t *testing.T) {
+	_, ts := newTestService(t, func(c *Config) {
+		c.TenantRate = 1
+		c.TenantBurst = 4
+		c.Workers = 2
+	})
+	data := pristineTrace(t)
+
+	const burst = 24
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	retryAfters := make([]string, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := upload(t, ts.URL, data, map[string]string{"X-Tenant": "hammer"})
+			codes[i] = resp.StatusCode
+			retryAfters[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, limited int
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			limited++
+			if ra, err := strconv.Atoi(retryAfters[i]); err != nil || ra < 1 {
+				t.Errorf("429 with Retry-After %q, want integer >= 1", retryAfters[i])
+			}
+		default:
+			t.Errorf("burst upload %d: status %d", i, c)
+		}
+	}
+	if limited == 0 {
+		t.Errorf("burst of %d admitted everything (ok=%d); quota not enforced", burst, ok)
+	}
+	if ok == 0 {
+		t.Error("burst admitted nothing; burst allowance not honored")
+	}
+	// The polite tenant is unaffected.
+	if resp, _ := upload(t, ts.URL, data, map[string]string{"X-Tenant": "polite"}); resp.StatusCode != http.StatusOK {
+		t.Errorf("polite tenant during hammering: status %d", resp.StatusCode)
+	}
+}

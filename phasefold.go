@@ -40,6 +40,7 @@ import (
 	"phasefold/internal/faults"
 	"phasefold/internal/obs"
 	"phasefold/internal/query"
+	"phasefold/internal/service"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
 	"phasefold/internal/spectral"
@@ -571,3 +572,25 @@ func DecodeTraceText(r io.Reader) (*Trace, error) {
 	tr, _, err := DecodeText(context.Background(), r)
 	return tr, err
 }
+
+// Service re-exports: the multi-tenant analysis daemon behind
+// cmd/phasefoldd — HTTP trace uploads through admission control, a bounded
+// queue, the supervised pipeline, and a content-addressed result cache.
+type (
+	// AnalysisService is a running daemon instance: mount Handler (or call
+	// ListenAndServe) and stop with Drain.
+	AnalysisService = service.Service
+	// ServiceConfig sizes a daemon; start from DefaultServiceConfig.
+	ServiceConfig = service.Config
+	// ServiceStats is the daemon's live counter snapshot (/v1/stats).
+	ServiceStats = service.Stats
+)
+
+// DefaultServiceConfig returns the production-shaped daemon configuration:
+// salvage decoding, bounded queue/cache/admission, supervised jobs.
+func DefaultServiceConfig() ServiceConfig { return service.Defaults() }
+
+// NewAnalysisService builds a daemon from cfg; the worker pool starts
+// immediately, serving starts when its Handler is mounted (or via
+// ListenAndServe).
+func NewAnalysisService(cfg ServiceConfig) (*AnalysisService, error) { return service.New(cfg) }
