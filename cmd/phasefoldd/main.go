@@ -31,6 +31,15 @@
 // recovery); and identical uploads are served byte-identically from the
 // result cache without re-running analysis.
 //
+// With -state-dir the daemon is restart-proof: finished results persist on
+// disk (content-addressed, atomically written, TTL-bounded via -cache-ttl
+// and -cache-disk-bytes) and serve byte-identically after a restart, and a
+// write-ahead intake journal (-journal) records every accepted upload
+// before it is queued, so a crash — even kill -9 — loses no accepted work:
+// the next start re-enqueues journaled unfinished jobs and sweeps orphaned
+// spool files. Disk faults (EIO/ENOSPC/corruption) never fail a request;
+// the daemon degrades to memory-only caching and says so on /readyz.
+//
 // SIGTERM/SIGINT drain gracefully: admissions stop, in-flight jobs finish
 // (or are canceled at -drain-timeout), the manifest is sealed, and the
 // process exits 130 per the shared exit-code contract.
@@ -67,6 +76,10 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 256, "result-cache entry bound")
 		cacheBytes   = flag.Int64("cache-bytes", 512<<20, "result-cache byte bound")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM")
+		stateDir     = flag.String("state-dir", "", "durable state directory: results persist across restarts, accepted jobs recover after a crash (empty = memory-only)")
+		cacheTTL     = flag.Duration("cache-ttl", 24*time.Hour, "persisted-result time-to-live (with -state-dir)")
+		cacheDisk    = flag.Int64("cache-disk-bytes", 2<<30, "on-disk result-store byte bound (with -state-dir)")
+		journalOn    = flag.Bool("journal", true, "write-ahead intake journal for crash recovery (with -state-dir)")
 		spoolDir     = flag.String("spool", "", "upload spool directory (default: system temp)")
 		parallel     = flag.Int("parallel", 0, "per-analysis parallelism (0 = CPU count)")
 		maxRecords   = flag.Int("max-records", 0, "budget: max records analyzed per trace (0 = unlimited)")
@@ -101,7 +114,12 @@ func main() {
 	cfg.MaxTenants = *maxTenants
 	cfg.CacheEntries = *cacheEntries
 	cfg.CacheBytes = *cacheBytes
+	cfg.StateDir = *stateDir
+	cfg.CacheTTL = *cacheTTL
+	cfg.CacheDiskBytes = *cacheDisk
+	cfg.Journal = *journalOn
 	cfg.SpoolDir = *spoolDir
+	cfg.Logger = logger
 	cfg.Analysis.Parallelism = *parallel
 	cfg.Analysis.Budget = core.Budget{MaxRecords: *maxRecords, MaxRanks: *maxRanks}
 	cfg.Analysis.Strict = *strict

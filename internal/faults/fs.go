@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sync/atomic"
+)
+
+// FS is the filesystem seam durable layers write through. Production code
+// uses OSFS (a passthrough to the os package); tests wrap it in a FaultyFS
+// to inject the disk failures — EIO, ENOSPC, permission loss — that a
+// persistence layer must degrade under rather than crash or fail requests.
+// The surface is the minimal set of primitives an atomic write-rename store
+// and an append-only journal need, not a general VFS.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the writable-handle half of the seam: enough to write, fsync, and
+// close — what atomic persistence needs between create and rename.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (OSFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OSFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                   { return os.Remove(name) }
+func (OSFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+func (OSFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+// FaultyFS wraps an FS and injects a chosen error into matching operations —
+// the filesystem analogue of the trace injectors: deterministic, targeted
+// damage so degradation paths can be exercised instead of asserted.
+//
+// Operation names passed to Match: mkdirall, open, write, sync, readfile,
+// readdir, rename, remove, removeall, stat. The zero Match matches every
+// operation; After lets the first N matching operations succeed, so a test
+// can let a store come up healthy and then pull the disk out from under it.
+type FaultyFS struct {
+	// Inner is the wrapped filesystem; nil means OSFS.
+	Inner FS
+	// Err is the injected error (syscall.EIO, syscall.ENOSPC, ...). A nil
+	// Err disables injection entirely.
+	Err error
+	// Match selects the operations that fail; nil matches all.
+	Match func(op, path string) bool
+	// After is how many matching operations succeed before Err starts.
+	After int64
+
+	calls atomic.Int64
+}
+
+func (f *FaultyFS) inner() FS {
+	if f.Inner == nil {
+		return OSFS{}
+	}
+	return f.Inner
+}
+
+// fail reports whether this operation should be injected with Err.
+func (f *FaultyFS) fail(op, path string) bool {
+	if f.Err == nil {
+		return false
+	}
+	if f.Match != nil && !f.Match(op, path) {
+		return false
+	}
+	return f.calls.Add(1) > f.After
+}
+
+func (f *FaultyFS) MkdirAll(dir string, perm os.FileMode) error {
+	if f.fail("mkdirall", dir) {
+		return &os.PathError{Op: "mkdir", Path: dir, Err: f.Err}
+	}
+	return f.inner().MkdirAll(dir, perm)
+}
+
+func (f *FaultyFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f.fail("open", name) {
+		return nil, &os.PathError{Op: "open", Path: name, Err: f.Err}
+	}
+	file, err := f.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: file, fs: f}, nil
+}
+
+func (f *FaultyFS) ReadFile(name string) ([]byte, error) {
+	if f.fail("readfile", name) {
+		return nil, &os.PathError{Op: "read", Path: name, Err: f.Err}
+	}
+	return f.inner().ReadFile(name)
+}
+
+func (f *FaultyFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.fail("readdir", name) {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: f.Err}
+	}
+	return f.inner().ReadDir(name)
+}
+
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	if f.fail("rename", oldpath) {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: f.Err}
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FaultyFS) Remove(name string) error {
+	if f.fail("remove", name) {
+		return &os.PathError{Op: "remove", Path: name, Err: f.Err}
+	}
+	return f.inner().Remove(name)
+}
+
+func (f *FaultyFS) RemoveAll(path string) error {
+	if f.fail("removeall", path) {
+		return &os.PathError{Op: "removeall", Path: path, Err: f.Err}
+	}
+	return f.inner().RemoveAll(path)
+}
+
+func (f *FaultyFS) Stat(name string) (fs.FileInfo, error) {
+	if f.fail("stat", name) {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: f.Err}
+	}
+	return f.inner().Stat(name)
+}
+
+// faultyFile injects write/sync failures on an open handle — ENOSPC arrives
+// mid-write in the real world, not at open.
+type faultyFile struct {
+	File
+	fs *FaultyFS
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	if f.fs.fail("write", f.Name()) {
+		return 0, &os.PathError{Op: "write", Path: f.Name(), Err: f.fs.Err}
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultyFile) Sync() error {
+	if f.fs.fail("sync", f.Name()) {
+		return &os.PathError{Op: "sync", Path: f.Name(), Err: f.fs.Err}
+	}
+	return f.File.Sync()
+}

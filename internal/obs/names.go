@@ -40,12 +40,12 @@ const (
 	MetricModelNoise      = "phasefold_model_noise_bursts"        // gauge: unclustered bursts
 	MetricModelComputeSec = "phasefold_model_computation_seconds" // gauge: summed burst time
 	// Batch supervisor (internal/runner).
-	MetricJobs               = "phasefold_runner_jobs_total"               // counter{outcome}
-	MetricJobAttempts        = "phasefold_runner_attempts_total"           // counter
-	MetricJobRetries         = "phasefold_runner_retries_total"            // counter
-	MetricBreakerTrips       = "phasefold_runner_breaker_trips_total"      // counter
-	MetricBreakerTransitions = "phasefold_runner_breaker_state_total"      // counter{to}: closed|open|half-open
-	MetricJobDuration        = "phasefold_runner_job_duration_seconds"     // histogram{outcome}
+	MetricJobs               = "phasefold_runner_jobs_total"           // counter{outcome}
+	MetricJobAttempts        = "phasefold_runner_attempts_total"       // counter
+	MetricJobRetries         = "phasefold_runner_retries_total"        // counter
+	MetricBreakerTrips       = "phasefold_runner_breaker_trips_total"  // counter
+	MetricBreakerTransitions = "phasefold_runner_breaker_state_total"  // counter{to}: closed|open|half-open
+	MetricJobDuration        = "phasefold_runner_job_duration_seconds" // histogram{outcome}
 	// Analysis daemon (internal/service).
 	MetricHTTPRequests  = "phasefold_http_requests_total"        // counter{route,code}
 	MetricAdmitRejected = "phasefold_admission_rejected_total"   // counter{reason}: quota|queue_full|draining|body
@@ -54,4 +54,10 @@ const (
 	MetricCacheEntries  = "phasefold_service_cache_entries"      // gauge
 	MetricCacheBytes    = "phasefold_service_cache_bytes"        // gauge
 	MetricUploadBytes   = "phasefold_service_upload_bytes_total" // counter: accepted request-body bytes
+	MetricHTTPEvents    = "phasefold_http_events_total"          // counter{event}: abandoned
+	// Durability layer (internal/service store + journal).
+	MetricPersistEvents  = "phasefold_service_persist_events_total" // counter{event}: put|hit|expired|quarantined|evicted|error|degraded|recovered
+	MetricPersistEntries = "phasefold_service_persist_entries"      // gauge: results held on disk
+	MetricPersistBytes   = "phasefold_service_persist_bytes"        // gauge: bytes held on disk
+	MetricJournalEvents  = "phasefold_service_journal_events_total" // counter{event}: accept|done|recovered|lost|orphan_swept|torn|error
 )

@@ -97,7 +97,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	text := r.URL.Query().Get("format") == "text"
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	spool, err := os.CreateTemp(s.spoolDir(), "phasefoldd-upload-*")
+	spool, err := os.CreateTemp(s.spoolDir(), spoolPrefix+"*")
 	if err != nil {
 		s.reject(w, http.StatusInternalServerError, "spool", 0, "cannot spool upload: "+err.Error())
 		return
@@ -142,6 +142,16 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.serveResult(w, res, "hit")
 		return
 	}
+	if res := s.storeGet(key); res != nil {
+		// Read-through: the memory LRU evicted (or a restart cleared) it,
+		// but the durable store still has the bytes.
+		removeSpool()
+		s.nHits.Add(1)
+		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
+			obs.Label{K: "event", V: "hit"}).Inc()
+		s.serveResult(w, res, "hit")
+		return
+	}
 
 	fl, leader := s.fly.join(key)
 	if !leader {
@@ -155,8 +165,13 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{key: key, tenant: tenant, path: spoolPath, text: text, size: n}
+	// Journal the acceptance (fsynced) before the job can run: a crash from
+	// here on is recoverable — the spool file plus this record re-create
+	// the job at the next start.
+	s.wal.accept(j)
 	if err := s.pool.enqueue(j); err != nil {
 		removeSpool()
+		s.wal.done(key) // never ran; the spool is gone
 		s.fly.abort(key)
 		s.reject(w, http.StatusServiceUnavailable, "queue_full", 2, "analysis queue is full")
 		return
@@ -174,6 +189,11 @@ func (s *Service) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight
 	select {
 	case <-fl.done:
 	case <-r.Context().Done():
+		// The client hung up or timed out; the job keeps running. Counted
+		// so operators can tell retry storms from server faults.
+		s.nAbandoned.Add(1)
+		s.reg.Counter(obs.MetricHTTPEvents, "HTTP request-lifecycle events.",
+			obs.Label{K: "event", V: "abandoned"}).Inc()
 		return
 	}
 	if fl.res == nil {
@@ -199,12 +219,19 @@ func (s *Service) serveResult(w http.ResponseWriter, res *result, cacheState str
 
 // lookupDigest finds a cached result by digest under either input-format
 // fingerprint (the daemon's analysis options are fixed, so the digest is
-// unambiguous per format).
+// unambiguous per format), falling through to the durable store.
 func (s *Service) lookupDigest(digest string) (*result, bool) {
-	if res, ok := s.cache.get(cacheKey{Digest: digest, Fingerprint: s.fpBinary}); ok {
-		return res, true
+	for _, fp := range []string{s.fpBinary, s.fpText} {
+		if res, ok := s.cache.get(cacheKey{Digest: digest, Fingerprint: fp}); ok {
+			return res, true
+		}
 	}
-	return s.cache.get(cacheKey{Digest: digest, Fingerprint: s.fpText})
+	for _, fp := range []string{s.fpBinary, s.fpText} {
+		if res := s.storeGet(cacheKey{Digest: digest, Fingerprint: fp}); res != nil {
+			return res, true
+		}
+	}
+	return nil, false
 }
 
 // handleResult serves the stored report document for a digest.
@@ -257,7 +284,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is readiness, wired to the drain state and queue depth: a
 // draining or saturated instance answers 503 so load balancers stop
-// routing to it before the queue starts rejecting.
+// routing to it before the queue starts rejecting. A degraded persistence
+// layer is a health *note*, not unreadiness — the daemon still serves from
+// memory; operators see it here and in the persist metrics.
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	depth := s.pool.depth.Load()
 	status, code := "ready", http.StatusOK
@@ -269,6 +298,6 @@ func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"queue_cap\":%d}\n",
-		status, depth, s.cfg.QueueDepth)
+	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"queue_cap\":%d,\"persistence\":%q}\n",
+		status, depth, s.cfg.QueueDepth, s.persistenceState())
 }

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"log/slog"
+	"os"
+	"sync"
+
+	"phasefold/internal/faults"
+	"phasefold/internal/obs"
+)
+
+// journal is the write-ahead intake log at <state-dir>/journal.log: every
+// accepted upload is recorded — digest, spool path, tenant, fingerprint —
+// and fsynced *before* it enters the queue, and marked done when its job
+// finishes. After a crash, replaying the journal yields exactly the jobs
+// that were accepted but never completed; their spool files are still on
+// disk (completion is what deletes them), so recovery re-enqueues them and
+// the daemon finishes work it already said yes to.
+//
+// The format is JSON lines, append-only. A torn tail line — the crash
+// landed mid-append — is skipped, not fatal. The file compacts at open
+// (rewritten with only the pending records) and again online once enough
+// done markers accumulate. Journal I/O errors degrade the journal exactly
+// like store faults degrade the store: intake keeps working, it just stops
+// being crash-proof, and /readyz says so.
+type journal struct {
+	path string
+	fsys faults.FS
+	reg  *obs.Registry
+	log  *slog.Logger
+
+	mu       sync.Mutex
+	f        faults.File
+	pending  map[cacheKey]journalRecord
+	appended int // records since the last compaction
+	degraded bool
+	errs     int64
+}
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	Op          string `json:"op"` // accept | done
+	Digest      string `json:"digest"`
+	Fingerprint string `json:"fp"`
+	Spool       string `json:"spool,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	Text        bool   `json:"text,omitempty"`
+	Size        int64  `json:"size,omitempty"`
+}
+
+func (r journalRecord) key() cacheKey { return cacheKey{Digest: r.Digest, Fingerprint: r.Fingerprint} }
+
+// journalCompactEvery bounds file growth: once this many records have been
+// appended since the last rewrite and most of them are settled, compact.
+const journalCompactEvery = 4096
+
+// openJournal replays path, compacts it down to its pending records, and
+// returns the journal plus those pending records for recovery. A missing
+// file is an empty journal, not an error.
+func openJournal(path string, fsys faults.FS, reg *obs.Registry, log *slog.Logger) (*journal, []journalRecord, error) {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	w := &journal{
+		path:    path,
+		fsys:    fsys,
+		reg:     reg,
+		log:     log,
+		pending: make(map[cacheKey]journalRecord),
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil && !isNotExist(err) {
+		return nil, nil, err
+	}
+	var order []cacheKey // pending, in journal order
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn line: the crash landed mid-append. Everything before
+			// it already replayed; skip and count.
+			w.event("torn")
+			continue
+		}
+		switch rec.Op {
+		case "accept":
+			if _, ok := w.pending[rec.key()]; !ok {
+				order = append(order, rec.key())
+			}
+			w.pending[rec.key()] = rec
+		case "done":
+			delete(w.pending, rec.key())
+		}
+	}
+	if err := w.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	pending := make([]journalRecord, 0, len(w.pending))
+	for _, k := range order {
+		if rec, ok := w.pending[k]; ok {
+			pending = append(pending, rec)
+		}
+	}
+	return w, pending, nil
+}
+
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// accept journals an admitted job before it enters the queue: append one
+// line and fsync, so the acceptance survives a crash that happens the
+// instant after. Failures degrade the journal but never the request.
+func (w *journal) accept(j *job) {
+	if w == nil {
+		return
+	}
+	rec := journalRecord{
+		Op:          "accept",
+		Digest:      j.key.Digest,
+		Fingerprint: j.key.Fingerprint,
+		Spool:       j.path,
+		Tenant:      j.tenant,
+		Text:        j.text,
+		Size:        j.size,
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending[j.key] = rec
+	if w.degraded {
+		return
+	}
+	if err := w.appendLocked(rec, true); err != nil {
+		w.faultLocked(err)
+		return
+	}
+	w.event("accept")
+}
+
+// done marks a journaled job finished. No fsync: losing a done marker only
+// means the job re-runs after a restart, and re-running lands on the
+// durable store (content-addressed) and completes immediately.
+func (w *journal) done(k cacheKey) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.pending[k]; !ok {
+		return
+	}
+	delete(w.pending, k)
+	if w.degraded {
+		return
+	}
+	if err := w.appendLocked(journalRecord{Op: "done", Digest: k.Digest, Fingerprint: k.Fingerprint}, false); err != nil {
+		w.faultLocked(err)
+		return
+	}
+	w.event("done")
+	if w.appended >= journalCompactEvery && w.appended >= 4*len(w.pending) {
+		if err := w.compactLocked(); err != nil {
+			w.faultLocked(err)
+		}
+	}
+}
+
+// isPending reports whether k was journaled and not yet marked done.
+func (w *journal) isPending(k cacheKey) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.pending[k]
+	return ok
+}
+
+func (w *journal) pendingCount() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// appendLocked writes one record line, opening the append handle lazily.
+func (w *journal) appendLocked(rec journalRecord, sync bool) error {
+	if w.f == nil {
+		f, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		w.f = f
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	w.appended++
+	if sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal with only its pending records, via
+// temp file + fsync + rename so a crash mid-compaction keeps the old file.
+func (w *journal) compactLocked() error {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	tmp := w.path + ".tmp"
+	f, err := w.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range w.pending {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			_ = w.fsys.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = w.fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = w.fsys.Remove(tmp)
+		return err
+	}
+	if err := w.fsys.Rename(tmp, w.path); err != nil {
+		_ = w.fsys.Remove(tmp)
+		return err
+	}
+	w.appended = 0
+	return nil
+}
+
+func (w *journal) isDegraded() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
+}
+
+// close releases the append handle; called at the end of Drain.
+func (w *journal) close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+func (w *journal) faultLocked(err error) {
+	w.errs++
+	w.event("error")
+	if !w.degraded {
+		w.degraded = true
+		w.log.Warn("intake journal degraded, crash recovery disabled until restart", "cause", err)
+	}
+}
+
+func (w *journal) event(event string) {
+	w.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
+		obs.Label{K: "event", V: event}).Inc()
+}

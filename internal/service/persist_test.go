@@ -1,0 +1,309 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"phasefold/internal/faults"
+)
+
+// digestOf is the cache-key digest the daemon computes for an upload.
+func digestOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// drainNow drains a service with a live deadline (graceful, jobs finish).
+func drainNow(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestRestartServesDurableResultsByteIdentically(t *testing.T) {
+	state := t.TempDir()
+	data := pristineTrace(t)
+
+	s1, ts1 := newTestService(t, func(c *Config) { c.StateDir = state })
+	resp1, body1 := upload(t, ts1.URL, data, nil)
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first upload: status %d X-Cache %q", resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	digest := digestOf(data)
+	art1 := getBody(t, ts1.URL+"/v1/results/"+digest+"/"+artifactPerfetto)
+	drainNow(t, s1)
+	ts1.Close()
+
+	// A brand-new instance over the same state dir: cold memory, warm disk.
+	s2, ts2 := newTestService(t, func(c *Config) { c.StateDir = state })
+	resp2, body2 := upload(t, ts2.URL, data, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart upload: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("post-restart upload X-Cache = %q, want hit (durable store missed)", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("restart served a different result document for identical bytes")
+	}
+	if art2 := getBody(t, ts2.URL+"/v1/results/"+digest+"/"+artifactPerfetto); !bytes.Equal(art1, art2) {
+		t.Error("restart served a different artifact for identical bytes")
+	}
+	st := s2.Snapshot()
+	if st.Persistence != "ok" || st.PersistEntries < 1 || st.CacheHits < 1 {
+		t.Errorf("post-restart stats: persistence %q, %d persisted, %d hits",
+			st.Persistence, st.PersistEntries, st.CacheHits)
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, err := io.ReadAll(r.Body)
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, err %v", url, r.StatusCode, err)
+	}
+	return b
+}
+
+func TestDrainCanceledJobRecoversAfterRestart(t *testing.T) {
+	state, spool := t.TempDir(), t.TempDir()
+	data := secondTrace(t)
+	gate := make(chan struct{}) // never signaled: the job can only be canceled
+
+	s1, ts1 := newTestService(t, func(c *Config) {
+		c.StateDir, c.SpoolDir, c.Workers = state, spool, 1
+	})
+	s1.testJobGate = gate
+
+	replied := make(chan int, 1)
+	go func() {
+		resp, _ := upload(t, ts1.URL, data, nil)
+		replied <- resp.StatusCode
+	}()
+	waitCond(t, "job journaled and held", func() bool {
+		return s1.wal.pendingCount() == 1 && s1.pool.depth.Load() == 1
+	})
+
+	// Hard stop: an already-expired drain context cancels the held job
+	// immediately — the closest a test gets to kill -9 while still letting
+	// the waiter observe its 503.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s1.Drain(dead)
+	if code := <-replied; code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled waiter got %d, want 503", code)
+	}
+	ts1.Close()
+
+	// The journal entry and the spool file must have survived the drain.
+	if spools := spoolFiles(t, spool); len(spools) != 1 {
+		t.Fatalf("drain kept %d spool files, want 1 (the canceled job's)", len(spools))
+	}
+
+	// Restart: recovery re-enqueues the journaled job and finishes it.
+	s2, ts2 := newTestService(t, func(c *Config) {
+		c.StateDir, c.SpoolDir = state, spool
+	})
+	if got := s2.Snapshot().Recovered; got != 1 {
+		t.Fatalf("recovered = %d, want 1", got)
+	}
+	digest := digestOf(data)
+	waitCond(t, "recovered job completed", func() bool {
+		r, err := http.Get(ts2.URL + "/v1/results/" + digest)
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == http.StatusOK
+	})
+	// The finished recovery settles its journal entry and spool file.
+	waitCond(t, "journal settled", func() bool { return s2.wal.pendingCount() == 0 })
+	if spools := spoolFiles(t, spool); len(spools) != 0 {
+		t.Errorf("recovered job left %d spool files", len(spools))
+	}
+	// The client's retry is a hit — the daemon finished what it accepted.
+	resp, _ := upload(t, ts2.URL, data, nil)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("retry after recovery X-Cache = %q, want hit", got)
+	}
+}
+
+func spoolFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range entries {
+		if strings.HasPrefix(de.Name(), spoolPrefix) {
+			names = append(names, de.Name())
+		}
+	}
+	return names
+}
+
+func TestStartupRecoveryAndOrphanSpoolSweep(t *testing.T) {
+	state, spool := t.TempDir(), t.TempDir()
+	data := pristineTrace(t)
+	old := time.Now().Add(-time.Hour)
+
+	// The daemon's options fingerprint, from a throwaway twin: the journal
+	// record must carry the fingerprint the restarted daemon computes.
+	probeCfg := Defaults()
+	probeCfg.SpoolDir = t.TempDir()
+	probe, err := New(probeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := probe.fpBinary
+	drainNow(t, probe)
+
+	// Crash leftovers, planted by hand: a journaled job whose spool file
+	// survived, one stale unclaimed spool file, and one fresh one.
+	claimed := filepath.Join(spool, spoolPrefix+"claimed")
+	if err := os.WriteFile(claimed, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(spool, spoolPrefix+"stale")
+	if err := os.WriteFile(stale, []byte("leaked upload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{claimed, stale} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := filepath.Join(spool, spoolPrefix+"fresh")
+	if err := os.WriteFile(fresh, []byte("someone's live upload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := openJournal(filepath.Join(state, "journal.log"), faults.OSFS{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.accept(&job{
+		key:    cacheKey{Digest: digestOf(data), Fingerprint: fp},
+		tenant: "crashed-tenant",
+		path:   claimed,
+		size:   int64(len(data)),
+	})
+	w.close()
+
+	// Startup over the crash debris: the journaled job re-runs to
+	// completion; the stale orphan is swept; the fresh file is spared.
+	s, ts := newTestService(t, func(c *Config) {
+		c.StateDir, c.SpoolDir = state, spool
+	})
+	waitCond(t, "recovered job completed", func() bool {
+		r, err := http.Get(ts.URL + "/v1/results/" + digestOf(data))
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == http.StatusOK
+	})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale orphan spool file survived the startup sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh spool file was swept despite the age gate")
+	}
+	st := s.Snapshot()
+	if st.Recovered != 1 || st.OrphansSwept != 1 {
+		t.Errorf("recovered=%d orphans_swept=%d, want 1 and 1", st.Recovered, st.OrphansSwept)
+	}
+	// The re-upload of the recovered trace is a free hit.
+	resp, _ := upload(t, ts.URL, data, nil)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("upload after recovery X-Cache = %q, want hit", got)
+	}
+}
+
+func TestLostSpoolSettlesJournalEntry(t *testing.T) {
+	state := t.TempDir()
+	w, _, err := openJournal(filepath.Join(state, "journal.log"), faults.OSFS{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.accept(&job{
+		key:  cacheKey{Digest: digestOf([]byte("gone")), Fingerprint: "fp01"},
+		path: filepath.Join(state, "no-such-spool"),
+	})
+	w.close()
+
+	s, _ := newTestService(t, func(c *Config) { c.StateDir = state })
+	st := s.Snapshot()
+	if st.LostJobs != 1 || st.JournalPending != 0 || st.Recovered != 0 {
+		t.Errorf("lost=%d pending=%d recovered=%d, want 1/0/0 — a vanished spool must settle, not wedge",
+			st.LostJobs, st.JournalPending, st.Recovered)
+	}
+}
+
+func TestDiskFaultDegradesToMemoryOnlyAndHeals(t *testing.T) {
+	ffs := &faults.FaultyFS{
+		Err: syscall.EIO,
+		Match: func(op, path string) bool {
+			return (op == "write" || op == "sync") && strings.Contains(path, "results")
+		},
+	}
+	s, ts := newTestService(t, func(c *Config) {
+		c.StateDir = t.TempDir()
+		c.FS = ffs
+	})
+
+	// The disk is throwing EIO, but the client never sees it: analysis runs,
+	// the result serves, only persistence is lost.
+	resp, body := upload(t, ts.URL, pristineTrace(t), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload during disk fault: status %d, body %s", resp.StatusCode, body)
+	}
+	if st := s.Snapshot(); st.Persistence != "degraded" || st.PersistErrors == 0 {
+		t.Fatalf("stats: persistence %q errors %d, want degraded with errors counted",
+			st.Persistence, st.PersistErrors)
+	}
+	// /readyz stays ready — degraded persistence is a note, not an outage.
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(rb), `"persistence":"degraded"`) {
+		t.Errorf("readyz during disk fault: status %d body %s, want 200 with a degraded note", r.StatusCode, rb)
+	}
+	// Memory-only caching still works.
+	resp2, _ := upload(t, ts.URL, pristineTrace(t), nil)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("memory cache during disk fault X-Cache = %q, want hit", got)
+	}
+
+	// The disk heals; the sweep's probe notices and persistence resumes.
+	ffs.Err = nil
+	s.store.sweep()
+	if st := s.Snapshot(); st.Persistence != "ok" {
+		t.Fatalf("persistence = %q after heal, want ok", st.Persistence)
+	}
+	upload(t, ts.URL, secondTrace(t), nil)
+	if st := s.Snapshot(); st.PersistEntries != 1 {
+		t.Errorf("persisted entries after heal = %d, want 1", st.PersistEntries)
+	}
+}

@@ -171,7 +171,14 @@ func (p *pool) run(j *job) {
 			return detail, degraded, nil
 		},
 	})
-	os.Remove(j.path)
+	// A job canceled by drain keeps its spool and its journal entry: the
+	// next start re-enqueues it and finishes the work this instance
+	// accepted. Every other outcome is final — spool removed, journal
+	// marked done.
+	keepForRestart := jr.Outcome == runner.Canceled && p.s.wal.isPending(j.key)
+	if !keepForRestart {
+		os.Remove(j.path)
+	}
 	if jr.Outcome.Bad() {
 		view = nil // a failed attempt's partial view must not serve
 	}
@@ -179,6 +186,10 @@ func (p *pool) run(j *job) {
 	p.s.recordOutcome(jr.Outcome.String())
 	if cacheable(jr.Outcome) {
 		p.s.cache.put(res)
+		p.s.store.put(res)
+	}
+	if !keepForRestart {
+		p.s.wal.done(j.key)
 	}
 	p.s.fly.complete(j.key, res)
 }

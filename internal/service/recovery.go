@@ -1,0 +1,128 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"phasefold/internal/obs"
+)
+
+// Startup recovery: the daemon answers for everything it accepted before a
+// crash. Replaying the journal yields the jobs that were admitted but never
+// completed; each is settled one of three ways:
+//
+//	result already in the durable store  → mark done (it finished; only the
+//	                                       done marker was lost)
+//	spool file still on disk             → re-enqueue and run to completion
+//	spool file gone                      → mark done and count it lost (the
+//	                                       client will re-upload; nothing
+//	                                       can be recomputed from nothing)
+//
+// Then the spool directory is swept: a crash between os.CreateTemp and
+// enqueue leaks an upload temp file no journal entry claims, and without
+// this sweep it leaks forever. Only stale files are touched — the age gate
+// keeps a shared spool directory safe for other live instances.
+
+// spoolPrefix names upload temp files; the sweep only ever touches these.
+const spoolPrefix = "phasefoldd-upload-"
+
+// defaultSpoolSweepAge is how old an unclaimed spool file must be before
+// the startup sweep removes it.
+const defaultSpoolSweepAge = 15 * time.Minute
+
+// recoverState replays the journal's pending records and sweeps orphaned
+// spool files. It runs inside New, after the worker pool is up.
+func (s *Service) recoverState(pending []journalRecord) {
+	for _, rec := range pending {
+		k := rec.key()
+		if res := s.store.get(k); res != nil {
+			// The job finished and persisted; only its done marker was lost
+			// in the crash. Promote and settle.
+			s.cache.put(res)
+			s.wal.done(k)
+			continue
+		}
+		if _, err := os.Stat(rec.Spool); err != nil {
+			s.nLost.Add(1)
+			s.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
+				obs.Label{K: "event", V: "lost"}).Inc()
+			s.log.Warn("journaled job unrecoverable, spool file missing",
+				"digest", shortDigest(rec.Digest), "spool", rec.Spool)
+			s.wal.done(k)
+			continue
+		}
+		j := &job{key: k, tenant: rec.Tenant, path: rec.Spool, text: rec.Text, size: rec.Size}
+		if _, leader := s.fly.join(k); !leader {
+			continue // a duplicate record is already being re-run
+		}
+		s.nRecovered.Add(1)
+		s.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
+			obs.Label{K: "event", V: "recovered"}).Inc()
+		s.log.Info("re-enqueueing journaled job", "digest", shortDigest(rec.Digest),
+			"tenant", rec.Tenant, "bytes", rec.Size)
+		go s.enqueueRecovered(j)
+	}
+	s.sweepOrphanSpools(pending)
+}
+
+// enqueueRecovered admits a recovered job, waiting out a full queue instead
+// of shedding it — recovery has no client to answer 503 to, and startup
+// backlog drains quickly. If the service drains first, the flight is
+// aborted and the journal entry stays pending for the next start.
+func (s *Service) enqueueRecovered(j *job) {
+	for {
+		if err := s.pool.enqueue(j); err == nil {
+			return
+		}
+		if s.draining.Load() {
+			s.fly.abort(j.key)
+			return
+		}
+		select {
+		case <-s.runCtx.Done():
+			s.fly.abort(j.key)
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// sweepOrphanSpools removes stale upload temp files that no pending journal
+// record claims. The age gate protects live spools of other instances
+// sharing the directory (and of this one, though at startup none exist yet).
+func (s *Service) sweepOrphanSpools(pending []journalRecord) {
+	claimed := make(map[string]bool, len(pending))
+	for _, rec := range pending {
+		claimed[filepath.Clean(rec.Spool)] = true
+	}
+	entries, err := os.ReadDir(s.spoolDir())
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-s.spoolSweepAge)
+	swept := 0
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), spoolPrefix) {
+			continue
+		}
+		path := filepath.Join(s.spoolDir(), de.Name())
+		if claimed[filepath.Clean(path)] {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(path) == nil {
+			swept++
+			s.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
+				obs.Label{K: "event", V: "orphan_swept"}).Inc()
+		}
+	}
+	s.nOrphans.Add(int64(swept))
+	if swept > 0 {
+		s.log.Info("swept orphaned spool files", "count", swept, "dir", s.spoolDir())
+	}
+}

@@ -22,6 +22,19 @@
 //     snapshots are rendered once at job completion and served from the
 //     cache.
 //
+// With a StateDir configured the daemon is also restart-proof:
+//
+//   - Durable store: finished results persist on disk, content-addressed
+//     and atomically written (temp dir + fsync + rename), double-bounded
+//     with TTL expiry; the in-memory LRU becomes a read-through layer, so
+//     a restart serves yesterday's results byte-identically from disk.
+//   - Intake journal: accepted uploads are journaled (and fsynced) before
+//     they enter the queue; startup recovery re-enqueues journaled jobs a
+//     crash interrupted and sweeps orphaned spool files.
+//   - Disk-fault degradation: EIO/ENOSPC/corruption never fails a client
+//     request — the daemon falls back to memory-only caching, counts the
+//     faults, notes it on /readyz, and probes the disk until it heals.
+//
 // Health (/healthz) is liveness; readiness (/readyz) is wired to queue
 // depth and the drain state, so a load balancer stops routing before the
 // queue rejects. Drain stops admissions, lets in-flight jobs finish inside
@@ -32,14 +45,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"phasefold/internal/core"
+	"phasefold/internal/faults"
 	"phasefold/internal/obs"
 	"phasefold/internal/runner"
 	"phasefold/internal/trace"
@@ -68,11 +84,31 @@ type Config struct {
 	TenantBurst int
 	// MaxTenants bounds the admission table (hostile tenant-id churn).
 	MaxTenants int
-	// CacheEntries and CacheBytes bound the result cache.
+	// CacheEntries and CacheBytes bound the in-memory result cache.
 	CacheEntries int
 	CacheBytes   int64
+	// StateDir enables the durability layer: results persist under
+	// <StateDir>/results and survive restarts, and (with Journal) accepted
+	// uploads are journaled for crash recovery. "" disables persistence —
+	// the daemon is memory-only, exactly as before.
+	StateDir string
+	// CacheTTL bounds how long a persisted result may serve; <=0 means 24h.
+	CacheTTL time.Duration
+	// CacheDiskEntries and CacheDiskBytes bound the on-disk result store.
+	CacheDiskEntries int
+	CacheDiskBytes   int64
+	// Journal enables the write-ahead intake journal (needs StateDir):
+	// accepted uploads are journaled before enqueue and replayed after a
+	// crash.
+	Journal bool
+	// FS is the filesystem seam the durability layer writes through; nil
+	// means the real filesystem. Tests inject faults.FaultyFS here.
+	FS faults.FS
 	// SpoolDir receives upload temp files; "" means os.TempDir().
 	SpoolDir string
+	// Logger receives the daemon's structured events (recovery, sweeps,
+	// disk-fault degradation); nil disables.
+	Logger *slog.Logger
 	// Analysis and Decode are the fixed pipeline options every upload is
 	// analyzed under; they are part of the cache key fingerprint.
 	Analysis core.Options
@@ -90,19 +126,23 @@ type Config struct {
 func Defaults() Config {
 	opt := core.DefaultOptions()
 	return Config{
-		MaxBodyBytes:    256 << 20,
-		QueueDepth:      64,
-		Workers:         0,
-		JobTimeout:      2 * time.Minute,
-		Retries:         1,
-		BreakerCooldown: 30 * time.Second,
-		TenantRate:      4,
-		TenantBurst:     16,
-		MaxTenants:      1024,
-		CacheEntries:    256,
-		CacheBytes:      512 << 20,
-		Analysis:        opt,
-		Decode:          trace.DecodeOptions{Salvage: true},
+		MaxBodyBytes:     256 << 20,
+		QueueDepth:       64,
+		Workers:          0,
+		JobTimeout:       2 * time.Minute,
+		Retries:          1,
+		BreakerCooldown:  30 * time.Second,
+		TenantRate:       4,
+		TenantBurst:      16,
+		MaxTenants:       1024,
+		CacheEntries:     256,
+		CacheBytes:       512 << 20,
+		CacheTTL:         24 * time.Hour,
+		CacheDiskEntries: 4096,
+		CacheDiskBytes:   2 << 30,
+		Journal:          true,
+		Analysis:         opt,
+		Decode:           trace.DecodeOptions{Salvage: true},
 	}
 }
 
@@ -112,9 +152,19 @@ type Service struct {
 	cfg   Config
 	adm   *admission
 	cache *cache
+	store *store   // durable result store; nil when StateDir is unset
+	wal   *journal // write-ahead intake journal; nil when disabled
 	fly   *flightGroup
 	pool  *pool
 	reg   *obs.Registry
+	log   *slog.Logger
+
+	// spoolSweepAge gates the startup orphan-spool sweep (tests shrink it).
+	spoolSweepAge time.Duration
+
+	// sweepStop/sweepDone bracket the TTL sweeper goroutine's lifetime.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 
 	// fpBinary/fpText are the options fingerprints for the two input
 	// formats, computed once: the analysis options are fixed for the
@@ -140,6 +190,10 @@ type Service struct {
 	nHits      atomic.Int64
 	nCoalesced atomic.Int64
 	nMisses    atomic.Int64
+	nAbandoned atomic.Int64 // waiters that gave up before their job finished
+	nRecovered atomic.Int64 // journaled jobs re-enqueued at startup
+	nLost      atomic.Int64 // journaled jobs whose spool vanished
+	nOrphans   atomic.Int64 // unclaimed spool files swept at startup
 	outcomesMu sync.Mutex
 	outcomes   map[string]int64
 
@@ -160,16 +214,23 @@ func New(cfg Config) (*Service, error) {
 	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	runCtx = obs.WithTelemetry(runCtx, nil, cfg.Registry)
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	runCtx = obs.WithLogger(runCtx, log)
 	s := &Service{
-		cfg:       cfg,
-		adm:       newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants),
-		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Registry),
-		fly:       newFlightGroup(),
-		reg:       cfg.Registry,
-		runCtx:    runCtx,
-		cancelRun: cancel,
-		start:     time.Now(),
-		outcomes:  make(map[string]int64),
+		cfg:           cfg,
+		adm:           newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants),
+		cache:         newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Registry),
+		fly:           newFlightGroup(),
+		reg:           cfg.Registry,
+		log:           log,
+		spoolSweepAge: defaultSpoolSweepAge,
+		runCtx:        runCtx,
+		cancelRun:     cancel,
+		start:         time.Now(),
+		outcomes:      make(map[string]int64),
 	}
 	type fpInput struct {
 		Analysis core.Options
@@ -183,7 +244,93 @@ func New(cfg Config) (*Service, error) {
 		Retries:         cfg.Retries,
 		BreakerCooldown: cfg.BreakerCooldown,
 	})
+	if cfg.StateDir != "" {
+		fsys := cfg.FS
+		if fsys == nil {
+			fsys = faults.OSFS{}
+		}
+		st, err := newStore(cfg.StateDir, cfg.CacheTTL, cfg.CacheDiskEntries,
+			cfg.CacheDiskBytes, fsys, cfg.Registry, log)
+		if err != nil {
+			s.pool.closeIntake()
+			cancel()
+			return nil, fmt.Errorf("service: state dir: %w", err)
+		}
+		s.store = st
+		var pending []journalRecord
+		if cfg.Journal {
+			w, pend, err := openJournal(filepath.Join(cfg.StateDir, "journal.log"),
+				fsys, cfg.Registry, log)
+			if err != nil {
+				s.pool.closeIntake()
+				cancel()
+				return nil, fmt.Errorf("service: journal: %w", err)
+			}
+			s.wal, pending = w, pend
+		}
+		s.recoverState(pending)
+		s.startSweeper(sweepInterval(cfg.CacheTTL))
+	}
 	return s, nil
+}
+
+// sweepInterval paces the TTL sweeper: a quarter of the TTL, clamped to
+// [5s, 1m] — short TTLs expire promptly, long ones don't spin the disk.
+func sweepInterval(ttl time.Duration) time.Duration {
+	d := ttl / 4
+	if d < 5*time.Second {
+		d = 5 * time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// startSweeper runs the periodic TTL sweep (which doubles as the degraded-
+// disk probe) until Drain stops it.
+func (s *Service) startSweeper(every time.Duration) {
+	s.sweepStop = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	go func() {
+		defer close(s.sweepDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.store.sweep()
+			case <-s.sweepStop:
+				return
+			}
+		}
+	}()
+}
+
+// storeGet consults the durable store on a memory miss and promotes a hit
+// into the in-memory LRU — the read-through that keeps hits byte-identical
+// whether they come from RAM or disk.
+func (s *Service) storeGet(k cacheKey) *result {
+	if s.store == nil {
+		return nil
+	}
+	res := s.store.get(k)
+	if res != nil {
+		s.cache.put(res)
+	}
+	return res
+}
+
+// persistenceState summarizes the durability layer for /readyz and stats:
+// "off" (no StateDir), "ok", or "degraded" (disk faulted, memory-only).
+func (s *Service) persistenceState() string {
+	if s.store == nil {
+		return "off"
+	}
+	if s.store.isDegraded() || s.wal.isDegraded() {
+		return "degraded"
+	}
+	return "ok"
 }
 
 // ListenAndServe binds addr and serves until Drain; it returns the bound
@@ -229,6 +376,11 @@ func (s *Service) Drain(ctx context.Context) error {
 			<-finished
 		}
 		s.cancelRun()
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+			<-s.sweepDone
+		}
+		s.wal.close()
 		if s.httpSrv != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			_ = s.httpSrv.Shutdown(sctx)
@@ -264,21 +416,30 @@ func (s *Service) recordOutcome(outcome string) {
 // Stats is the /v1/stats document: a live snapshot of the daemon's
 // admission, queue, cache, and outcome counters.
 type Stats struct {
-	UptimeSec    float64          `json:"uptime_sec"`
-	Draining     bool             `json:"draining"`
-	QueueDepth   int64            `json:"queue_depth"`
-	QueueCap     int              `json:"queue_cap"`
-	Workers      int              `json:"workers"`
-	Tenants      int              `json:"tenants"`
-	Admitted     int64            `json:"admitted"`
-	Rejected     int64            `json:"rejected"`
-	CacheHits    int64            `json:"cache_hits"`
-	Coalesced    int64            `json:"coalesced"`
-	Misses       int64            `json:"misses"`
-	CacheEntries int              `json:"cache_entries"`
-	CacheBytes   int64            `json:"cache_bytes"`
-	Evictions    int64            `json:"cache_evictions"`
-	Outcomes     map[string]int64 `json:"outcomes,omitempty"`
+	UptimeSec      float64          `json:"uptime_sec"`
+	Draining       bool             `json:"draining"`
+	QueueDepth     int64            `json:"queue_depth"`
+	QueueCap       int              `json:"queue_cap"`
+	Workers        int              `json:"workers"`
+	Tenants        int              `json:"tenants"`
+	Admitted       int64            `json:"admitted"`
+	Rejected       int64            `json:"rejected"`
+	CacheHits      int64            `json:"cache_hits"`
+	Coalesced      int64            `json:"coalesced"`
+	Misses         int64            `json:"misses"`
+	CacheEntries   int              `json:"cache_entries"`
+	CacheBytes     int64            `json:"cache_bytes"`
+	Evictions      int64            `json:"cache_evictions"`
+	Abandoned      int64            `json:"abandoned"`
+	Persistence    string           `json:"persistence"` // off | ok | degraded
+	PersistEntries int              `json:"persist_entries,omitempty"`
+	PersistBytes   int64            `json:"persist_bytes,omitempty"`
+	PersistErrors  int64            `json:"persist_errors,omitempty"`
+	JournalPending int              `json:"journal_pending,omitempty"`
+	Recovered      int64            `json:"recovered,omitempty"`
+	LostJobs       int64            `json:"lost_jobs,omitempty"`
+	OrphansSwept   int64            `json:"orphans_swept,omitempty"`
+	Outcomes       map[string]int64 `json:"outcomes,omitempty"`
 }
 
 // Snapshot collects the current Stats.
@@ -299,7 +460,16 @@ func (s *Service) Snapshot() Stats {
 		CacheEntries: entries,
 		CacheBytes:   bytes,
 		Evictions:    evictions,
+		Abandoned:    s.nAbandoned.Load(),
+		Persistence:  s.persistenceState(),
+		Recovered:    s.nRecovered.Load(),
+		LostJobs:     s.nLost.Load(),
+		OrphansSwept: s.nOrphans.Load(),
 		Outcomes:     make(map[string]int64),
+	}
+	if s.store != nil {
+		st.PersistEntries, st.PersistBytes, st.PersistErrors, _ = s.store.stats()
+		st.JournalPending = s.wal.pendingCount()
 	}
 	s.outcomesMu.Lock()
 	for k, v := range s.outcomes {

@@ -406,6 +406,49 @@ func waitFlights(t *testing.T, s *Service) {
 	}
 }
 
+func TestAbandonedWaiterCountedJobStillFinishes(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestService(t, func(c *Config) { c.Workers = 1 })
+	s.testJobGate = gate
+	data := pristineTrace(t)
+
+	// A client uploads, then hangs up while the (gated) job is still
+	// running: the waiter abandons, the job does not.
+	ctx, cancel := context.WithCancel(context.Background())
+	gone := make(chan struct{})
+	go func() {
+		defer close(gone)
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/traces", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitCond(t, "worker holds the job", func() bool { return s.pool.depth.Load() == 1 })
+	cancel()
+	<-gone
+	waitCond(t, "abandonment counted", func() bool { return s.nAbandoned.Load() == 1 })
+	if st := s.Snapshot(); st.Abandoned != 1 {
+		t.Errorf("stats abandoned = %d, want 1", st.Abandoned)
+	}
+
+	// The job kept running; once it lands in the cache, the retry is free.
+	gate <- struct{}{}
+	close(gate)
+	waitCond(t, "abandoned job finished into the cache", func() bool {
+		_, ok := s.cache.get(cacheKey{Digest: digestOf(data), Fingerprint: s.fpBinary})
+		return ok
+	})
+	resp, _ := upload(t, ts.URL, data, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("retry after abandonment: status %d X-Cache %q, want 200 hit",
+			resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+}
+
 func TestHealthzReadyzAndStats(t *testing.T) {
 	_, ts := newTestService(t, nil)
 	if r, _ := http.Get(ts.URL + "/healthz"); r.StatusCode != http.StatusOK {

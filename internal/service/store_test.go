@@ -1,0 +1,286 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"phasefold/internal/faults"
+)
+
+// makeStoreResult builds a small servable result for store unit tests.
+func makeStoreResult(digest, fp string) *result {
+	res := &result{
+		key:     cacheKey{Digest: digest, Fingerprint: fp},
+		outcome: "ok",
+		code:    200,
+		report:  []byte(`{"digest":"` + digest + `","outcome":"ok"}` + "\n"),
+		artifacts: map[string][]byte{
+			artifactPerfetto: []byte("perfetto for " + digest),
+			artifactFlame:    []byte("flame for " + digest),
+		},
+	}
+	res.weigh()
+	return res
+}
+
+func newTestStore(t *testing.T, root string, ttl time.Duration, maxEntries int, maxBytes int64, fsys faults.FS) *store {
+	t.Helper()
+	if fsys == nil {
+		fsys = faults.OSFS{}
+	}
+	st, err := newStore(root, ttl, maxEntries, maxBytes, fsys, nil, nil)
+	if err != nil {
+		t.Fatalf("newStore: %v", err)
+	}
+	return st
+}
+
+// sameResult asserts a loaded result is byte-identical to the original.
+func sameResult(t *testing.T, got, want *result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("store.get returned nil, want a result")
+	}
+	if got.outcome != want.outcome || got.code != want.code {
+		t.Errorf("loaded outcome/code = %q/%d, want %q/%d", got.outcome, got.code, want.outcome, want.code)
+	}
+	if !bytes.Equal(got.report, want.report) {
+		t.Error("loaded report differs from the stored one")
+	}
+	if len(got.artifacts) != len(want.artifacts) {
+		t.Fatalf("loaded %d artifacts, want %d", len(got.artifacts), len(want.artifacts))
+	}
+	for name, data := range want.artifacts {
+		if !bytes.Equal(got.artifacts[name], data) {
+			t.Errorf("artifact %s differs after reload", name)
+		}
+	}
+}
+
+func TestStoreRoundTripAndRestartRescan(t *testing.T) {
+	root := t.TempDir()
+	st := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	res := makeStoreResult("aaaa11", "fp01")
+	st.put(res)
+	sameResult(t, st.get(res.key), res)
+
+	// A crash mid-put leaves only a .tmp- directory; the rescan removes it.
+	tmpLeft := filepath.Join(root, "results", storeTmpPrefix+"crashed-1")
+	if err := os.MkdirAll(tmpLeft, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same root (a restart) serves the same bytes.
+	st2 := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	sameResult(t, st2.get(res.key), res)
+	if _, err := os.Stat(tmpLeft); !os.IsNotExist(err) {
+		t.Error("startup rescan left the .tmp- directory behind")
+	}
+	entries, bytes, errs, degraded := st2.stats()
+	if entries != 1 || bytes <= 0 || errs != 0 || degraded {
+		t.Errorf("restarted store stats = (%d, %d, %d, %v), want (1, >0, 0, false)", entries, bytes, errs, degraded)
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	root := t.TempDir()
+	st := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	base := time.Now()
+	st.now = func() time.Time { return base }
+
+	res := makeStoreResult("bbbb22", "fp01")
+	st.put(res)
+	if st.get(res.key) == nil {
+		t.Fatal("fresh entry missed")
+	}
+
+	// Advance past the TTL: the lazy check on get expires the entry.
+	st.now = func() time.Time { return base.Add(2 * time.Hour) }
+	if got := st.get(res.key); got != nil {
+		t.Error("expired entry was served")
+	}
+	if entries, _, _, _ := st.stats(); entries != 0 {
+		t.Errorf("expired entry still indexed: %d entries", entries)
+	}
+	if _, err := os.Stat(filepath.Join(root, "results", entryName(res.key))); !os.IsNotExist(err) {
+		t.Error("expired entry directory survived")
+	}
+
+	// The periodic sweep expires entries nobody touches.
+	st.now = func() time.Time { return base }
+	res2 := makeStoreResult("cccc33", "fp01")
+	st.put(res2)
+	st.now = func() time.Time { return base.Add(2 * time.Hour) }
+	st.sweep()
+	if entries, _, _, _ := st.stats(); entries != 0 {
+		t.Errorf("sweep left %d expired entries indexed", entries)
+	}
+
+	// Expiry also applies at startup: persist, then reopen past the TTL.
+	st.now = func() time.Time { return base }
+	st.put(makeStoreResult("dddd44", "fp01"))
+	st3 := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	st3.now = func() time.Time { return base.Add(2 * time.Hour) }
+	// loadIndex already ran with the real clock (entry valid); the get-side
+	// lazy check still refuses to serve it once the injected clock passes.
+	if st3.get(cacheKey{Digest: "dddd44", Fingerprint: "fp01"}) != nil {
+		t.Error("restarted store served an entry past its TTL")
+	}
+}
+
+func TestStoreCorruptionQuarantines(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+	}{
+		{"garbage meta.json", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, storeMetaFile), []byte("not json {{{"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated report", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, storeReportFile), []byte("{"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing artifact", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, artifactFlame)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-rotted artifact", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, artifactPerfetto), []byte("flipped bits, same-ish"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			st := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+			res := makeStoreResult("eeee55", "fp01")
+			st.put(res)
+			dir := filepath.Join(root, "results", entryName(res.key))
+			tc.corrupt(t, dir)
+
+			if got := st.get(res.key); got != nil {
+				t.Fatal("corrupt entry was served")
+			}
+			// Corruption is the entry's fault, not the disk's: quarantined,
+			// never degraded, and a repeat get stays a clean miss.
+			if _, _, _, degraded := st.stats(); degraded {
+				t.Error("corruption degraded the store; only I/O faults should")
+			}
+			if st.get(res.key) != nil {
+				t.Error("quarantined entry served on the second get")
+			}
+			if _, err := os.Stat(dir); !os.IsNotExist(err) {
+				t.Error("corrupt entry still under results/ after quarantine")
+			}
+			quar, err := os.ReadDir(filepath.Join(root, "quarantine"))
+			if err != nil || len(quar) != 1 {
+				t.Errorf("quarantine holds %d entries (err %v), want 1", len(quar), err)
+			}
+		})
+	}
+}
+
+func TestStoreBadMetaQuarantinedAtStartup(t *testing.T) {
+	root := t.TempDir()
+	st := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	res := makeStoreResult("ffff66", "fp01")
+	st.put(res)
+	dir := filepath.Join(root, "results", entryName(res.key))
+	if err := os.WriteFile(filepath.Join(dir, storeMetaFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := newTestStore(t, root, time.Hour, 16, 1<<20, nil)
+	if st2.get(res.key) != nil {
+		t.Error("entry with garbage meta.json served after restart")
+	}
+	if entries, _, _, _ := st2.stats(); entries != 0 {
+		t.Errorf("startup indexed %d entries over a corrupt store", entries)
+	}
+}
+
+func TestStoreDoubleBoundEviction(t *testing.T) {
+	st := newTestStore(t, t.TempDir(), time.Hour, 2, 1<<20, nil)
+	base := time.Now()
+	seq := 0
+	st.now = func() time.Time { seq++; return base.Add(time.Duration(seq) * time.Second) }
+
+	first := makeStoreResult("a0a0a0", "fp01")
+	st.put(first)
+	st.put(makeStoreResult("b1b1b1", "fp01"))
+	st.put(makeStoreResult("c2c2c2", "fp01"))
+	if entries, _, _, _ := st.stats(); entries != 2 {
+		t.Fatalf("entry bound: %d entries, want 2", entries)
+	}
+	// Constant TTL makes soonest-expiry order insertion order: the first
+	// entry is the victim.
+	if st.get(first.key) != nil {
+		t.Error("oldest entry survived entry-bound eviction")
+	}
+
+	// Byte bound: a cap below two entries' weight keeps only the newest.
+	one := makeStoreResult("d3d3d3", "fp01")
+	stB := newTestStore(t, t.TempDir(), time.Hour, 16, one.size+one.size/2, nil)
+	stB.put(one)
+	newer := makeStoreResult("e4e4e4", "fp01")
+	stB.put(newer)
+	entries, held, _, _ := stB.stats()
+	if entries != 1 || held > one.size+one.size/2 {
+		t.Errorf("byte bound: %d entries / %d bytes, want 1 entry within bound", entries, held)
+	}
+
+	// A result bigger than the whole byte bound is refused outright.
+	huge := makeStoreResult("060606", "fp01")
+	huge.report = bytes.Repeat([]byte("x"), int(one.size*4))
+	huge.weigh()
+	stB.put(huge)
+	if stB.get(huge.key) != nil {
+		t.Error("result larger than the byte bound was persisted")
+	}
+}
+
+func TestStoreDiskFaultDegradesAndProbeHeals(t *testing.T) {
+	ffs := &faults.FaultyFS{
+		Err: syscall.EIO,
+		Match: func(op, path string) bool {
+			return (op == "write" || op == "sync") && strings.Contains(path, "results")
+		},
+	}
+	st := newTestStore(t, t.TempDir(), time.Hour, 16, 1<<20, ffs)
+
+	res := makeStoreResult("abad1d", "fp01")
+	st.put(res)
+	if st.get(res.key) != nil {
+		t.Error("a write that hit EIO still produced a servable entry")
+	}
+	_, _, errs, degraded := st.stats()
+	if !degraded || errs == 0 {
+		t.Fatalf("EIO on write: degraded=%v errs=%d, want degraded with errors counted", degraded, errs)
+	}
+
+	// While degraded, puts are skipped silently — no request ever fails.
+	st.put(makeStoreResult("abad2d", "fp01"))
+	if entries, _, _, _ := st.stats(); entries != 0 {
+		t.Error("degraded store accepted a put")
+	}
+
+	// The disk heals; the sweep's probe notices and persistence resumes.
+	ffs.Err = nil
+	st.sweep()
+	if _, _, _, degraded := st.stats(); degraded {
+		t.Fatal("probe did not clear the degraded flag after the disk healed")
+	}
+	res3 := makeStoreResult("abad3d", "fp01")
+	st.put(res3)
+	sameResult(t, st.get(res3.key), res3)
+}
