@@ -18,10 +18,22 @@
 //	GET  /v1/results/{digest}          the stored result document
 //	GET  /v1/results/{digest}/{name}   a rendered artifact: perfetto.json,
 //	                                   flame.folded, snapshot.prom, snapshot.json
+//	GET  /v1/jobs                      recent job lifecycles (?tenant=, ?outcome=, ?limit=)
+//	GET  /v1/jobs/{id}                 one job's full span tree, by trace ID
 //	GET  /v1/stats                     live admission/queue/cache counters
+//	GET  /dash/                        live ops dashboard (SSE-updated)
 //	GET  /healthz                      liveness
 //	GET  /readyz                       readiness (503 while draining or saturated)
 //	GET  /metrics, /debug/...          live Prometheus exposition, pprof, expvar
+//
+// Every accepted upload gets a trace ID — the client's X-Request-Id or
+// W3C traceparent when present, minted otherwise — echoed on the
+// X-Request-Id response header, stamped into the result document, and
+// browsable as a span tree at /v1/jobs/{id}. The ID is persisted in the
+// intake journal and the durable store, so a job interrupted by a crash
+// keeps its trace across the restart. Jobs slower than -slow-job log
+// their span tree; -slow-job-profile additionally captures a CPU profile
+// while such a job is still running.
 //
 // Robustness is the point: per-tenant token-bucket admission control sheds
 // excess load with 429 + Retry-After; the bounded job queue rejects on
@@ -88,6 +100,10 @@ func main() {
 		metricsPath  = flag.String("metrics", "", "write the daemon's metrics (Prometheus text format) at exit")
 		manifestPath = flag.String("manifest", "", "write the run manifest (JSON) at exit")
 		logLevel     = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
+		slowJob      = flag.Duration("slow-job", time.Minute, "end-to-end threshold past which a job logs its span tree as slow (0 disables)")
+		slowProfile  = flag.Bool("slow-job-profile", false, "capture a CPU profile while a job runs past -slow-job (one capture at a time)")
+		jobsHistory  = flag.Int("jobs-history", 256, "recent job traces kept for GET /v1/jobs and the dashboard")
+		profileDir   = flag.String("profile-dir", "", "where slow-job CPU profiles land (default: -state-dir, else system temp)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -124,10 +140,15 @@ func main() {
 	cfg.Analysis.Budget = core.Budget{MaxRecords: *maxRecords, MaxRanks: *maxRanks}
 	cfg.Analysis.Strict = *strict
 	cfg.Decode = trace.DecodeOptions{Salvage: !*strict, Parallelism: *parallel}
+	cfg.SlowJob = *slowJob
+	cfg.SlowJobProfile = *slowProfile
+	cfg.JobsHistory = *jobsHistory
+	cfg.ProfileDir = *profileDir
 
 	// The daemon's telemetry is always live (it backs /metrics); -metrics
 	// and -manifest additionally persist it at exit.
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	cfg.Registry = reg
 	cfg.Debug = obs.DebugMux(reg)
 

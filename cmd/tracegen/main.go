@@ -51,9 +51,10 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injectors")
 		listF     = flag.Bool("list-faults", false, "list available fault classes and exit")
 		list      = flag.Bool("list", false, "list available applications and exit")
-		logLevel  = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
-		manifest  = flag.String("manifest", "", "write the run manifest (JSON, with the generated trace indexed as an artifact) to this file at exit")
 	)
+	// The shared telemetry surface (-metrics, -manifest, -log-level,
+	// -pprof), identical across foldctl, phasereport, and tracegen.
+	cf := obs.RegisterTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -64,7 +65,7 @@ func main() {
 		fmt.Println(strings.Join(faults.Known(), "\n"))
 		return
 	}
-	lvl, err := obs.ParseLevel(*logLevel)
+	lvl, err := obs.ParseLevel(cf.LogLevel)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,7 +86,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ctx, tel, err = obs.Config{ManifestPath: *manifest, Tool: "tracegen"}.Init(ctx)
+	ctx, tel, err = cf.Config("tracegen").Init(ctx)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,126 @@
+package export
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDashboardSnapshotAndPage(t *testing.T) {
+	d := NewDashboard()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	defer d.Close()
+
+	// No snapshot yet: 404, not an empty 200 a scraper would trust.
+	r, err := http.Get(ts.URL + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("snapshot before publish: status %d, want 404", r.StatusCode)
+	}
+
+	d.Publish(map[string]any{"queue_depth": 3})
+	r, err = http.Get(ts.URL + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, r)
+	if r.StatusCode != http.StatusOK || !strings.Contains(body, `"queue_depth":3`) {
+		t.Errorf("snapshot: status %d body %s", r.StatusCode, body)
+	}
+
+	r, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := readAll(t, r)
+	if !strings.Contains(page, "phasefoldd") || !strings.Contains(page, "EventSource") {
+		t.Error("dashboard page is missing its live-update script")
+	}
+}
+
+func TestDashboardSSELatestOnlyAndShutdown(t *testing.T) {
+	d := NewDashboard()
+	d.Publish(map[string]int{"n": 1})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() (event, data string) {
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && event != "":
+				return event, data
+			}
+		}
+		return "", ""
+	}
+
+	// The pre-connection snapshot is replayed immediately.
+	if ev, data := readEvent(); ev != "snapshot" || !strings.Contains(data, `"n":1`) {
+		t.Fatalf("first event = %q %q, want the current snapshot", ev, data)
+	}
+	d.Publish(map[string]int{"n": 2})
+	if ev, data := readEvent(); ev != "snapshot" || !strings.Contains(data, `"n":2`) {
+		t.Fatalf("after publish: event = %q %q", ev, data)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if ev, _ := readEvent(); ev != "shutdown" {
+			t.Errorf("terminal event = %q, want shutdown", ev)
+		}
+	}()
+	d.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not end the SSE stream")
+	}
+
+	// Publishing after Close is a no-op, and a late subscriber still gets
+	// the last snapshot plus an immediate shutdown.
+	d.Publish(map[string]int{"n": 3})
+	r, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := readAll(t, r)
+	if !strings.Contains(late, `"n":2`) || !strings.Contains(late, "event: shutdown") {
+		t.Errorf("late subscriber stream:\n%s\nwant last snapshot then shutdown", late)
+	}
+	if strings.Contains(late, `"n":3`) {
+		t.Error("a publish after Close leaked into the stream")
+	}
+}
+
+func readAll(t *testing.T, r *http.Response) string {
+	t.Helper()
+	defer r.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildVersion is the release version stamped at link time:
+//
+//	go build -ldflags "-X phasefold/internal/obs.BuildVersion=v1.2.3"
+//
+// Builds without the stamp fall back to the VCS revision the toolchain
+// recorded, then to "dev".
+var BuildVersion = ""
+
+// Version returns the best available identity string for this binary: the
+// linker-stamped BuildVersion, else the module version or VCS revision
+// from runtime/debug.ReadBuildInfo (with a -dirty suffix for modified
+// trees), else "dev".
+func Version() string {
+	if BuildVersion != "" {
+		return BuildVersion
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo publishes the phasefold_build_info gauge on reg: a
+// constant 1 whose labels carry the build version and Go toolchain, the
+// standard pattern for telling fleet instances apart in a shared scrape.
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge(MetricBuildInfo, "Build identity; constant 1, the information is in the labels.",
+		Label{K: "version", V: Version()},
+		Label{K: "go", V: runtime.Version()}).Set(1)
+}

@@ -29,14 +29,23 @@ type CommonFlags struct {
 	Salvage  bool
 }
 
-// RegisterCommonFlags installs the shared flag set on fs and returns the
-// destination struct, read after fs.Parse.
-func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+// RegisterTelemetryFlags installs just the observability core — the flags
+// every command shares, including generators that have no damage policy or
+// report server to configure. Analysis commands layer the rest on via
+// RegisterCommonFlags.
+func RegisterTelemetryFlags(fs *flag.FlagSet) *CommonFlags {
 	cf := &CommonFlags{}
 	fs.StringVar(&cf.Metrics, "metrics", "", "write the run's metrics (Prometheus text format) to this file at exit")
 	fs.StringVar(&cf.Manifest, "manifest", "", "write the run manifest (JSON) to this file at exit")
 	fs.StringVar(&cf.LogLevel, "log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
 	fs.StringVar(&cf.Pprof, "pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
+	return cf
+}
+
+// RegisterCommonFlags installs the shared flag set on fs and returns the
+// destination struct, read after fs.Parse.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	cf := RegisterTelemetryFlags(fs)
 	fs.StringVar(&cf.Serve, "serve", "", "serve the interactive HTML report on this address until interrupted")
 	fs.BoolVar(&cf.Strict, "strict", false, "fail fast on any damage instead of repairing and reporting")
 	fs.BoolVar(&cf.Salvage, "salvage", false, "recover what a truncated or corrupt trace file still holds")

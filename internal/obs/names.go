@@ -60,4 +60,14 @@ const (
 	MetricPersistEntries = "phasefold_service_persist_entries"      // gauge: results held on disk
 	MetricPersistBytes   = "phasefold_service_persist_bytes"        // gauge: bytes held on disk
 	MetricJournalEvents  = "phasefold_service_journal_events_total" // counter{event}: accept|done|recovered|lost|orphan_swept|torn|error
+	// Job-lifecycle tracing (internal/service).
+	MetricJobStageSeconds = "phasefold_job_stage_seconds"          // histogram{stage,outcome}: wall time per lifecycle stage
+	MetricJobE2ESeconds   = "phasefold_job_e2e_seconds"            // histogram{outcome}: accept-to-publish end-to-end time
+	MetricTenantJobs      = "phasefold_tenant_jobs_total"          // counter{tenant,outcome}
+	MetricTenantE2E       = "phasefold_tenant_e2e_seconds"         // histogram{tenant}: per-tenant end-to-end time
+	MetricTenantQueueAge  = "phasefold_tenant_queue_age_seconds"   // histogram{tenant}: enqueue-to-dequeue wait
+	MetricTenantTTFB      = "phasefold_tenant_ttfb_seconds"        // histogram{tenant}: request arrival to first result byte
+	MetricSlowJobs        = "phasefold_slow_jobs_total"            // counter: jobs past the -slow-job threshold
+	// Process identity.
+	MetricBuildInfo = "phasefold_build_info" // gauge{version,go}: constant 1; identity lives in the labels
 )

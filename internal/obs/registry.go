@@ -145,6 +145,40 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (clamped to [0,1]) of the observed
+// distribution, interpolating linearly within the bucket the quantile
+// falls into — the same estimate Prometheus's histogram_quantile makes.
+// A quantile landing in the +Inf bucket reports the highest finite bound
+// (there is no upper edge to interpolate against); an empty histogram
+// reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 // BucketCounts returns the per-bucket (non-cumulative) counts; the final
 // entry is the +Inf bucket.
 func (h *Histogram) BucketCounts() []int64 {
@@ -203,7 +237,10 @@ type Registry struct {
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return &Registry{series: make(map[string]*series)} }
 
-func (r *Registry) lookup(name string, kind metricKind, help string, labels Labels) *series {
+// lookup returns the series for (name, labels), creating it — instrument
+// included — under the registry lock, so a concurrent exporter never
+// observes a series whose instrument is still being attached.
+func (r *Registry) lookup(name string, kind metricKind, help string, labels Labels, bounds []float64) *series {
 	key := name + "\x00" + labels.signature()
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -211,12 +248,28 @@ func (r *Registry) lookup(name string, kind metricKind, help string, labels Labe
 		if s.kind != kind {
 			// A kind collision is a programming error; keep the registry
 			// consistent by handing back a detached instrument.
-			return &series{name: name, kind: kind}
+			return newSeries(name, help, kind, labels, bounds)
 		}
 		return s
 	}
-	s := &series{name: name, help: help, kind: kind, labels: labels}
+	s := newSeries(name, help, kind, labels, bounds)
 	r.series[key] = s
+	return s
+}
+
+func newSeries(name, help string, kind metricKind, labels Labels, bounds []float64) *series {
+	s := &series{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		bs := make([]float64, len(bounds))
+		copy(bs, bounds)
+		sort.Float64s(bs)
+		s.h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	}
 	return s
 }
 
@@ -225,11 +278,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindCounter, help, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.lookup(name, kindCounter, help, labels, nil).c
 }
 
 // Gauge returns the named gauge, registering it on first use.
@@ -237,11 +286,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindGauge, help, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.lookup(name, kindGauge, help, labels, nil).g
 }
 
 // Histogram returns the named histogram, registering it with the given
@@ -250,14 +295,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindHistogram, help, labels)
-	if s.h == nil {
-		bs := make([]float64, len(bounds))
-		copy(bs, bounds)
-		sort.Float64s(bs)
-		s.h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
-	}
-	return s.h
+	return r.lookup(name, kindHistogram, help, labels, bounds).h
 }
 
 // snapshot returns the registered series sorted by name then label

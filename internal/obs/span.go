@@ -155,6 +155,37 @@ func (s *Span) Start() time.Time {
 	return s.start
 }
 
+// NewSpanAt returns a detached span starting at t. It is the building
+// block for lifecycle spans whose timing is known from persisted state
+// (journal replay after a crash) or that must outlive the goroutine that
+// opened them; attach it to a tree with Adopt and close it with End or
+// EndAt.
+func NewSpanAt(name string, t time.Time) *Span {
+	return &Span{name: name, start: t}
+}
+
+// EndAt stamps the span's end time at t. Like End, ending twice keeps the
+// first stamp.
+func (s *Span) EndAt(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = t
+	}
+}
+
+// Adopt attaches child under s. Both sides are nil-safe, so span-tree
+// assembly code never branches on whether telemetry is on.
+func (s *Span) Adopt(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.addChild(child)
+}
+
 func (s *Span) addChild(c *Span) {
 	s.mu.Lock()
 	s.children = append(s.children, c)

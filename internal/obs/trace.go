@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewTraceID mints a 128-bit random trace identifier, hex-encoded (the
+// W3C trace-id width). Collisions across a fleet are what the width is
+// for; within one process they are not a concern.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means a broken platform; degrade to a
+		// time-derived ID rather than returning an empty one.
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(b[8:], uint64(time.Now().UnixNano()>>1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestTraceID returns the trace identifier an inbound HTTP request
+// carries — an X-Request-Id header, or the trace-id field of a W3C
+// traceparent header — minting a fresh one when the request carries
+// neither or the value is unusable. The result is always non-empty and
+// safe to echo into logs, headers, and file names.
+func RequestTraceID(h http.Header) string {
+	if id := sanitizeTraceID(h.Get("X-Request-Id")); id != "" {
+		return id
+	}
+	// traceparent: version "-" trace-id "-" parent-id "-" flags; only the
+	// 32-hex trace-id field matters here, and the all-zero ID is the spec's
+	// "invalid" sentinel.
+	if tp := h.Get("Traceparent"); tp != "" {
+		parts := strings.Split(tp, "-")
+		if len(parts) >= 4 {
+			id := strings.ToLower(strings.TrimSpace(parts[1]))
+			if len(id) == 32 && isHex(id) && id != strings.Repeat("0", 32) {
+				return id
+			}
+		}
+	}
+	return NewTraceID()
+}
+
+// sanitizeTraceID accepts caller-supplied IDs only when they are bounded
+// and filesystem/log/header-safe; anything else is discarded so a hostile
+// header cannot smuggle control bytes into logs or paths.
+func sanitizeTraceID(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" || len(s) > 128 {
+		return ""
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ContextWithSpan returns a context whose current span is s, so that
+// StartSpan nests under a span the caller built by hand (a job lifecycle
+// root, a reconstructed recovery span). A nil s returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}

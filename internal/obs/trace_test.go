@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || !isHex(id) {
+			t.Fatalf("NewTraceID() = %q, want 32 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestTraceID(t *testing.T) {
+	hdr := func(k, v string) http.Header {
+		h := http.Header{}
+		h.Set(k, v)
+		return h
+	}
+	valid := "0af7651916cd43dd8448eb211c80319c"
+	tests := []struct {
+		name string
+		h    http.Header
+		want string // "" means: a fresh mint (32 hex)
+	}{
+		{"x-request-id", hdr("X-Request-Id", "req-42_a.b"), "req-42_a.b"},
+		{"x-request-id trimmed", hdr("X-Request-Id", "  abc  "), "abc"},
+		{"x-request-id hostile", hdr("X-Request-Id", "../../etc/passwd\n"), ""},
+		{"x-request-id too long", hdr("X-Request-Id", strings.Repeat("a", 129)), ""},
+		{"traceparent", hdr("Traceparent", "00-"+valid+"-b7ad6b7169203331-01"), valid},
+		{"traceparent zero id", hdr("Traceparent", "00-" + strings.Repeat("0", 32) + "-b7ad6b7169203331-01"), ""},
+		{"traceparent malformed", hdr("Traceparent", "not-a-traceparent"), ""},
+		{"nothing", http.Header{}, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RequestTraceID(tc.h)
+			if tc.want != "" {
+				if got != tc.want {
+					t.Errorf("RequestTraceID = %q, want %q", got, tc.want)
+				}
+				return
+			}
+			if len(got) != 32 || !isHex(got) {
+				t.Errorf("RequestTraceID = %q, want a freshly minted hex ID", got)
+			}
+		})
+	}
+	// X-Request-Id wins over traceparent when both are present.
+	h := hdr("X-Request-Id", "client-chosen")
+	h.Set("Traceparent", "00-"+valid+"-b7ad6b7169203331-01")
+	if got := RequestTraceID(h); got != "client-chosen" {
+		t.Errorf("with both headers RequestTraceID = %q, want the X-Request-Id", got)
+	}
+}
+
+func TestSpanAtAdoptAndEndAt(t *testing.T) {
+	t0 := time.Now().Add(-3 * time.Second)
+	root := NewSpanAt("job", t0)
+	child := NewSpanAt("stage", t0.Add(time.Second))
+	root.Adopt(child)
+	child.EndAt(t0.Add(2 * time.Second))
+	child.EndAt(t0.Add(10 * time.Second)) // second stamp must not win
+	root.EndAt(t0.Add(3 * time.Second))
+
+	if d := root.Duration(); d != 3*time.Second {
+		t.Errorf("root duration = %v, want 3s", d)
+	}
+	if d := child.Duration(); d != time.Second {
+		t.Errorf("child duration = %v, want 1s (EndAt must be first-stamp-wins)", d)
+	}
+	rep := SpanReport(root)
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "stage" {
+		t.Fatalf("SpanReport stages = %+v, want the adopted child", rep.Stages)
+	}
+	if rep.Stages[0].DurationNS != time.Second.Nanoseconds() {
+		t.Errorf("child report duration_ns = %d, want 1s", rep.Stages[0].DurationNS)
+	}
+
+	// Nil-receiver safety: the no-telemetry path calls these on nil.
+	var nilSpan *Span
+	nilSpan.EndAt(time.Now())
+	nilSpan.Adopt(child)
+	root.Adopt(nil)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test_seconds", "test", DurationBuckets())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want 0", got)
+	}
+	// 100 samples at ~2ms, 100 at ~200ms: the median straddles the two
+	// bands, p95 must land in the slow band.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+		h.Observe(0.2)
+	}
+	p50, p95 := h.Quantile(0.5), h.Quantile(0.95)
+	if p50 <= 0 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within the fast band (0, 0.1]", p50)
+	}
+	if p95 < 0.1 || p95 > 1 {
+		t.Errorf("p95 = %v, want within the slow band [0.1, 1]", p95)
+	}
+	if p95 <= p50 {
+		t.Errorf("p95 (%v) <= p50 (%v); quantiles must be monotone", p95, p50)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %v, want clamped", got)
+	}
+	if got := h.Quantile(2); got <= 0 {
+		t.Errorf("Quantile(2) = %v, want the top of the distribution", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, MetricBuildInfo) || !strings.Contains(out, `go="go`) {
+		t.Errorf("exposition missing build info gauge:\n%s", out)
+	}
+	if Version() == "" {
+		t.Error("Version() must never be empty")
+	}
+}

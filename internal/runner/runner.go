@@ -92,6 +92,11 @@ type Job struct {
 	// the summary table (e.g. "3 clusters, 2 diagnostics"); degraded marks a
 	// completed-but-degraded result.
 	Run func(ctx context.Context) (detail string, degraded bool, err error)
+	// Trace is the request/trace identifier of the lifecycle this job
+	// belongs to, when the caller has one. The supervisor stamps it on the
+	// job span and every log event it emits, so client-side and server-side
+	// records of the same request can be joined.
+	Trace string
 }
 
 // Options configures the supervisor. The zero value runs every job once,
@@ -539,6 +544,10 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 	res = JobResult{Name: job.Name}
 	ctx, span := obs.StartSpan(ctx, "job:"+job.Name)
 	log := obs.Logger(ctx)
+	if job.Trace != "" {
+		span.SetAttr("trace", job.Trace)
+		log = log.With(slog.String("trace", job.Trace))
+	}
 	reg := obs.Metrics(ctx)
 	start := time.Now()
 	defer func() {

@@ -26,6 +26,7 @@ type result struct {
 	key       cacheKey
 	outcome   string
 	code      int               // HTTP status the result serves with
+	trace     string            // trace ID of the lifecycle that produced it
 	report    []byte            // the JSON result document
 	artifacts map[string][]byte // name → rendered bytes (perfetto.json, ...)
 	size      int64             // report + artifacts, the cache weight

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"phasefold/internal/obs"
 )
@@ -20,14 +22,29 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/traces", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /v1/results/{digest}", s.instrument("result", s.handleResult))
 	mux.HandleFunc("GET /v1/results/{digest}/{artifact}", s.instrument("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.dash != nil {
+		mux.Handle("/dash/", http.StripPrefix("/dash", s.dash.Handler()))
+		mux.Handle("GET /dash", http.RedirectHandler("/dash/", http.StatusMovedPermanently))
+	}
 	if s.cfg.Debug != nil {
 		mux.Handle("/debug/", s.cfg.Debug)
 		mux.Handle("/metrics", s.cfg.Debug)
 	}
 	return mux
+}
+
+// reqIDKey carries the request's trace ID through the request context.
+type reqIDKey struct{}
+
+// reqID returns the trace ID instrument attached, or "".
+func reqID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 // statusWriter captures the response code for the request counter.
@@ -41,9 +58,15 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-route request counter.
+// instrument wraps a handler with the per-route request counter and the
+// request-ID contract: every /v1/* reply — success, 4xx, 5xx, cache hit —
+// carries X-Request-Id (the client's, when it sent a usable one), so
+// client logs and server traces join on one key.
 func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.RequestTraceID(r.Header)
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.reg.Counter(obs.MetricHTTPRequests, "HTTP requests, by route and status code.",
@@ -83,11 +106,12 @@ func tenantOf(r *http.Request) string {
 // full queue; each rejection point answers with the right status and a
 // Retry-After hint.
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
+	tenant := tenantOf(r)
 	if s.draining.Load() {
 		s.reject(w, http.StatusServiceUnavailable, "draining", 5, "service is draining")
 		return
 	}
-	tenant := tenantOf(r)
 	if ok, retry := s.adm.admit(tenant); !ok {
 		s.reject(w, http.StatusTooManyRequests, "quota",
 			retryAfterSeconds(retry), "tenant quota exhausted")
@@ -95,10 +119,19 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nAdmitted.Add(1)
 
+	// Admission passed: from here the request has a lifecycle trace. The
+	// root starts at arrival so the admission span's duration is honest.
+	jt := newJobTrace(reqID(r.Context()), tenant, arrived)
+	jt.stageAt(stageAdmission, arrived).End()
+	s.jobs.add(jt)
+
 	text := r.URL.Query().Get("format") == "text"
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spSpan := jt.stage(stageSpool)
 	spool, err := os.CreateTemp(s.spoolDir(), spoolPrefix+"*")
 	if err != nil {
+		spSpan.End()
+		s.finishTrace(jt, "rejected")
 		s.reject(w, http.StatusInternalServerError, "spool", 0, "cannot spool upload: "+err.Error())
 		return
 	}
@@ -110,8 +143,11 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	hash := sha256.New()
 	n, err := io.Copy(io.MultiWriter(hash, spool), body)
 	closeErr := spool.Close()
+	spSpan.SetAttr("bytes", n)
+	spSpan.End()
 	if err != nil {
 		removeSpool()
+		s.finishTrace(jt, "rejected")
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.reject(w, http.StatusRequestEntityTooLarge, "body",
@@ -123,85 +159,135 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if closeErr != nil {
 		removeSpool()
+		s.finishTrace(jt, "rejected")
 		s.reject(w, http.StatusInternalServerError, "spool", 0, "spooling upload: "+closeErr.Error())
 		return
 	}
 	if n == 0 {
 		removeSpool()
+		s.finishTrace(jt, "rejected")
 		s.reject(w, http.StatusBadRequest, "body", 0, "empty body")
 		return
 	}
 	s.reg.Counter(obs.MetricUploadBytes, "Accepted request-body bytes.").Add(n)
 
 	key := cacheKey{Digest: hex.EncodeToString(hash.Sum(nil)), Fingerprint: s.fingerprint(text)}
+	jt.setDigest(key.Digest, n)
+	cacheSpan := jt.stage(stageCache)
 	if res, ok := s.cache.get(key); ok {
+		cacheSpan.SetAttr("result", "hit")
+		cacheSpan.End()
 		removeSpool()
 		s.nHits.Add(1)
 		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
 			obs.Label{K: "event", V: "hit"}).Inc()
+		jt.setCache("hit")
+		// The lifecycle finishes with the cached result's outcome; the hit
+		// itself is already recorded as the cache disposition.
+		s.finishTrace(jt, res.outcome)
 		s.serveResult(w, res, "hit")
+		s.observeTTFB(tenant, arrived)
 		return
 	}
 	if res := s.storeGet(key); res != nil {
 		// Read-through: the memory LRU evicted (or a restart cleared) it,
 		// but the durable store still has the bytes.
+		cacheSpan.SetAttr("result", "store_hit")
+		cacheSpan.End()
 		removeSpool()
 		s.nHits.Add(1)
 		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
 			obs.Label{K: "event", V: "hit"}).Inc()
+		jt.setCache("hit")
+		s.finishTrace(jt, res.outcome)
 		s.serveResult(w, res, "hit")
+		s.observeTTFB(tenant, arrived)
 		return
 	}
+	cacheSpan.SetAttr("result", "miss")
+	cacheSpan.End()
 
 	fl, leader := s.fly.join(key)
 	if !leader {
-		// An identical upload is already in flight: coalesce onto it.
+		// An identical upload is already in flight: coalesce onto it. This
+		// request's trace ends when the leader's job does; the leader's
+		// trace owns the run itself.
 		removeSpool()
 		s.nCoalesced.Add(1)
 		s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
 			obs.Label{K: "event", V: "coalesced"}).Inc()
-		s.awaitFlight(w, r, fl, "coalesced")
+		jt.setCache("coalesced")
+		co := jt.stage(stageCoalesce)
+		s.awaitFlight(w, r, fl, "coalesced", jt, co, tenant, arrived)
 		return
 	}
 
-	j := &job{key: key, tenant: tenant, path: spoolPath, text: text, size: n}
+	jt.setCache("miss")
+	j := &job{key: key, tenant: tenant, path: spoolPath, text: text, size: n, jt: jt}
 	// Journal the acceptance (fsynced) before the job can run: a crash from
 	// here on is recoverable — the spool file plus this record re-create
-	// the job at the next start.
+	// the job (under the same trace ID) at the next start.
 	s.wal.accept(j)
-	if err := s.pool.enqueue(j); err != nil {
+	qSpan := jt.stage(stageQueue)
+	depth, err := s.pool.enqueue(j)
+	if err != nil {
+		qSpan.SetAttr("result", "rejected")
+		qSpan.End()
 		removeSpool()
 		s.wal.done(key) // never ran; the spool is gone
 		s.fly.abort(key)
+		s.finishTrace(jt, "rejected")
 		s.reject(w, http.StatusServiceUnavailable, "queue_full", 2, "analysis queue is full")
 		return
 	}
+	qSpan.SetAttr("depth", depth)
+	jt.holdQueueSpan(qSpan)
+	jt.setState("queued")
 	s.nMisses.Add(1)
 	s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
 		obs.Label{K: "event", V: "miss"}).Inc()
-	s.awaitFlight(w, r, fl, "miss")
+	s.awaitFlight(w, r, fl, "miss", jt, nil, tenant, arrived)
 }
 
 // awaitFlight waits for the in-flight analysis and serves its result. A
 // client that disconnects first stops waiting, but the job keeps running —
-// its result still lands in the cache for the retry.
-func (s *Service) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight, cacheState string) {
+// its result still lands in the cache for the retry. For a coalesced
+// request, coSpan is its waiting span and jt its own trace (the worker
+// owns the leader's); both are nil-safe.
+func (s *Service) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight,
+	cacheState string, jt *jobTrace, coSpan *obs.Span, tenant string, arrived time.Time) {
 	select {
 	case <-fl.done:
 	case <-r.Context().Done():
 		// The client hung up or timed out; the job keeps running. Counted
-		// so operators can tell retry storms from server faults.
+		// so operators can tell retry storms from server faults. Only a
+		// coalesced trace ends here — the leader's belongs to the job.
 		s.nAbandoned.Add(1)
 		s.reg.Counter(obs.MetricHTTPEvents, "HTTP request-lifecycle events.",
 			obs.Label{K: "event", V: "abandoned"}).Inc()
+		if coSpan != nil {
+			coSpan.SetAttr("result", "abandoned")
+			coSpan.End()
+			s.finishTrace(jt, "abandoned")
+		}
 		return
+	}
+	if coSpan != nil {
+		coSpan.End()
 	}
 	if fl.res == nil {
 		// The leader could not enqueue (queue full raced us here).
+		if coSpan != nil {
+			s.finishTrace(jt, "rejected")
+		}
 		s.reject(w, http.StatusServiceUnavailable, "queue_full", 2, "analysis queue is full")
 		return
 	}
+	if coSpan != nil {
+		s.finishTrace(jt, fl.res.outcome)
+	}
 	s.serveResult(w, fl.res, cacheState)
+	s.observeTTFB(tenant, arrived)
 }
 
 // serveResult writes a finished result: the stored JSON document, its
@@ -298,6 +384,7 @@ func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"queue_cap\":%d,\"persistence\":%q}\n",
-		status, depth, s.cfg.QueueDepth, s.persistenceState())
+	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"queue_cap\":%d,\"persistence\":%q,\"uptime_seconds\":%.3f,\"version\":%q}\n",
+		status, depth, s.cfg.QueueDepth, s.persistenceState(),
+		time.Since(s.start).Seconds(), obs.Version())
 }

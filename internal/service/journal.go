@@ -41,7 +41,10 @@ type journal struct {
 	errs     int64
 }
 
-// journalRecord is one journal line.
+// journalRecord is one journal line. Trace and AcceptedNS carry the
+// request's lifecycle identity across a crash: recovery rebuilds the job
+// under its original trace ID with the original acceptance time, so one
+// span tree tells the whole story.
 type journalRecord struct {
 	Op          string `json:"op"` // accept | done
 	Digest      string `json:"digest"`
@@ -50,6 +53,8 @@ type journalRecord struct {
 	Tenant      string `json:"tenant,omitempty"`
 	Text        bool   `json:"text,omitempty"`
 	Size        int64  `json:"size,omitempty"`
+	Trace       string `json:"trace,omitempty"`
+	AcceptedNS  int64  `json:"accepted_ns,omitempty"`
 }
 
 func (r journalRecord) key() cacheKey { return cacheKey{Digest: r.Digest, Fingerprint: r.Fingerprint} }
@@ -127,6 +132,10 @@ func (w *journal) accept(j *job) {
 		Tenant:      j.tenant,
 		Text:        j.text,
 		Size:        j.size,
+	}
+	if j.jt != nil {
+		rec.Trace = j.jt.id
+		rec.AcceptedNS = j.jt.accepted.UnixNano()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"phasefold/internal/faults"
+	"phasefold/internal/obs"
+)
+
+// parseExposition checks Prometheus text-format well-formedness and
+// returns every sample as name{labels} → value. A malformed line fails the
+// test immediately — a scrape that tears mid-write is exactly the bug this
+// file exists to catch.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		series := line[:sp]
+		if !strings.HasPrefix(series, "phasefold_") && !strings.HasPrefix(series, "go_") {
+			t.Fatalf("unexpected series name in %q", line)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	return parseExposition(t, body)
+}
+
+// checkMonotone asserts no counter or histogram series went backwards
+// between two scrapes.
+func checkMonotone(t *testing.T, before, after map[string]float64) {
+	t.Helper()
+	for series, v0 := range before {
+		if !strings.Contains(series, "_total") &&
+			!strings.Contains(series, "_bucket") &&
+			!strings.Contains(series, "_count") && !strings.Contains(series, "_sum") {
+			continue
+		}
+		if v1, ok := after[series]; ok && v1 < v0 {
+			t.Errorf("series %s went backwards: %v -> %v", series, v0, v1)
+		}
+	}
+}
+
+func TestConcurrentMetricsScrapesDuringDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	s, ts := newTestService(t, func(c *Config) {
+		c.Registry = reg
+		c.Debug = obs.DebugMux(reg)
+	})
+	// Put real traffic through so the scrape carries live series.
+	upload(t, ts.URL, pristineTrace(t), map[string]string{"X-Tenant": "scraper"})
+	upload(t, ts.URL, pristineTrace(t), map[string]string{"X-Tenant": "scraper"})
+	baseline := scrape(t, ts.URL)
+
+	// Hammer /metrics from many goroutines while the service drains
+	// underneath them; every response must stay well-formed.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					return // listener closing at the end of the test is fine
+				}
+				body := readBody(t, r)
+				for _, line := range strings.Split(body, "\n") {
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					if strings.LastIndexByte(line, ' ') < 0 {
+						select {
+						case errs <- "malformed line during drain: " + line:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel()
+	// The handler (and /metrics) still serves after drain; scrapes must
+	// parse and counters must not have moved backwards.
+	after := scrape(t, ts.URL)
+	checkMonotone(t, baseline, after)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if after[obs.MetricBuildInfo+buildInfoLabels(after)] != 1 {
+		t.Errorf("build info gauge missing or not 1 after drain")
+	}
+}
+
+// buildInfoLabels digs the build-info series key out of a scrape so the
+// assertion doesn't hard-code the toolchain version.
+func buildInfoLabels(samples map[string]float64) string {
+	for series := range samples {
+		if strings.HasPrefix(series, obs.MetricBuildInfo+"{") {
+			return strings.TrimPrefix(series, obs.MetricBuildInfo)
+		}
+	}
+	return ""
+}
+
+func TestMetricsScrapesDuringStoreDegradationAndHeal(t *testing.T) {
+	reg := obs.NewRegistry()
+	ffs := &faults.FaultyFS{
+		Err: syscall.EIO,
+		Match: func(op, path string) bool {
+			return (op == "write" || op == "sync") && strings.Contains(path, "results")
+		},
+	}
+	s, ts := newTestService(t, func(c *Config) {
+		c.StateDir = t.TempDir()
+		c.FS = ffs
+		c.Registry = reg
+		c.Debug = obs.DebugMux(reg)
+	})
+
+	// Scrapers run through the whole degrade → heal cycle.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					continue
+				}
+				readBody(t, r)
+			}
+		}()
+	}
+
+	upload(t, ts.URL, pristineTrace(t), nil) // persistence fails, request succeeds
+	if st := s.Snapshot(); st.Persistence != "degraded" {
+		t.Fatalf("persistence = %q, want degraded", st.Persistence)
+	}
+	deg := scrape(t, ts.URL)
+
+	ffs.Err = nil // the disk heals
+	s.store.sweep()
+	upload(t, ts.URL, secondTrace(t), nil)
+	if st := s.Snapshot(); st.Persistence != "ok" {
+		t.Fatalf("persistence = %q after heal, want ok", st.Persistence)
+	}
+	healed := scrape(t, ts.URL)
+	checkMonotone(t, deg, healed)
+
+	close(stop)
+	wg.Wait()
+	// The degradation itself is visible on the surface.
+	found := false
+	for series := range healed {
+		if strings.HasPrefix(series, obs.MetricPersistEvents) && strings.Contains(series, "error") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("store error events missing from the exposition")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phasefold/internal/core"
 	"phasefold/internal/export"
@@ -31,6 +32,7 @@ type job struct {
 	path   string // spooled upload
 	text   bool
 	size   int64
+	jt     *jobTrace // the lifecycle trace this job belongs to
 }
 
 // pool is the bounded job queue plus the analysis workers. Enqueue never
@@ -68,21 +70,22 @@ func newPool(s *Service, queueDepth, workers int, ropt runner.Options) *pool {
 }
 
 // enqueue admits a job to the queue, or rejects it immediately when the
-// queue is full or the intake is closed (draining).
-func (p *pool) enqueue(j *job) error {
+// queue is full or the intake is closed (draining). On success it returns
+// the queue depth the job landed at — a span attribute worth keeping.
+func (p *pool) enqueue(j *job) (int64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return errQueueFull
+		return 0, errQueueFull
 	}
 	select {
 	case p.queue <- j:
-		p.depth.Add(1)
+		d := p.depth.Add(1)
 		p.s.reg.Gauge(obs.MetricQueueDepth, "Queued plus running analysis jobs.").
-			Set(float64(p.depth.Load()))
-		return nil
+			Set(float64(d))
+		return d, nil
 	default:
-		return errQueueFull
+		return 0, errQueueFull
 	}
 }
 
@@ -119,8 +122,36 @@ func (p *pool) worker() {
 
 // run executes one job under the supervisor and publishes its result to
 // the cache (when deterministic) and the flight (always — every waiter is
-// answered, whatever happened).
+// answered, whatever happened). The job's lifecycle trace gets its queue
+// span closed here and run/export/publish spans opened around each phase;
+// the supervisor's own job span nests under "run" via the context.
 func (p *pool) run(j *job) {
+	s := p.s
+	jt := j.jt
+	if q := jt.takeQueueSpan(); q != nil {
+		q.End()
+		s.reg.Histogram(obs.MetricTenantQueueAge, "Enqueue-to-dequeue queue wait, per tenant.",
+			obs.DurationBuckets(), obs.Label{K: "tenant", V: jt.tenant}).
+			Observe(q.Duration().Seconds())
+	}
+	jt.setState("running")
+	if s.cfg.SlowJob > 0 && jt != nil {
+		watchdog := time.AfterFunc(s.cfg.SlowJob, func() { s.jobOverThreshold(jt) })
+		defer watchdog.Stop()
+	}
+	runSpan := jt.stage(stageRun)
+	runCtx := s.runCtx
+	var traceID string
+	if jt != nil {
+		traceID = jt.id
+		// Nest the supervisor's job span (and the analysis stage spans
+		// beneath it) under this lifecycle's run span, and scope every log
+		// event the job emits to its trace.
+		runCtx = obs.WithRecorder(runCtx, obs.NewRecorder())
+		runCtx = obs.ContextWithSpan(runCtx, runSpan)
+		runCtx = obs.WithLogger(runCtx, s.log.With(
+			"trace", jt.id, "digest", shortDigest(j.key.Digest), "tenant", j.tenant))
+	}
 	var (
 		view     *core.ExportView
 		app      string
@@ -128,8 +159,9 @@ func (p *pool) run(j *job) {
 		bursts   int
 		diags    []string
 	)
-	jr := p.sup.Do(p.s.runCtx, runner.Job{
-		Name: "sha256:" + shortDigest(j.key.Digest),
+	jr := p.sup.Do(runCtx, runner.Job{
+		Name:  "sha256:" + shortDigest(j.key.Digest),
+		Trace: traceID,
 		Run: func(ctx context.Context) (string, bool, error) {
 			f, err := os.Open(j.path)
 			if err != nil {
@@ -171,27 +203,36 @@ func (p *pool) run(j *job) {
 			return detail, degraded, nil
 		},
 	})
+	runSpan.SetAttr("outcome", jr.Outcome.String())
+	runSpan.SetAttr("attempts", jr.Attempts)
+	runSpan.End()
 	// A job canceled by drain keeps its spool and its journal entry: the
 	// next start re-enqueues it and finishes the work this instance
 	// accepted. Every other outcome is final — spool removed, journal
 	// marked done.
-	keepForRestart := jr.Outcome == runner.Canceled && p.s.wal.isPending(j.key)
+	keepForRestart := jr.Outcome == runner.Canceled && s.wal.isPending(j.key)
 	if !keepForRestart {
 		os.Remove(j.path)
 	}
 	if jr.Outcome.Bad() {
 		view = nil // a failed attempt's partial view must not serve
 	}
+	expSpan := jt.stage(stageExport)
 	res := buildResult(j, jr, view, app, clusters, bursts, diags)
-	p.s.recordOutcome(jr.Outcome.String())
+	expSpan.SetAttr("bytes", res.size)
+	expSpan.End()
+	pubSpan := jt.stage(stagePublish)
+	s.recordOutcome(jr.Outcome.String())
 	if cacheable(jr.Outcome) {
-		p.s.cache.put(res)
-		p.s.store.put(res)
+		s.cache.put(res)
+		s.store.put(res)
 	}
 	if !keepForRestart {
-		p.s.wal.done(j.key)
+		s.wal.done(j.key)
 	}
-	p.s.fly.complete(j.key, res)
+	pubSpan.End()
+	s.finishTrace(jt, jr.Outcome.String())
+	s.fly.complete(j.key, res)
 }
 
 // shortDigest abbreviates a content digest for job names and log lines.
@@ -206,6 +247,7 @@ func shortDigest(d string) string {
 // is rendered exactly once per analysis, so cache hits are byte-identical.
 type reportDoc struct {
 	Digest      string            `json:"digest"`
+	TraceID     string            `json:"trace_id,omitempty"`
 	Outcome     string            `json:"outcome"`
 	Degraded    bool              `json:"degraded"`
 	Detail      string            `json:"detail,omitempty"`
@@ -238,6 +280,9 @@ func buildResult(j *job, jr runner.JobResult, view *core.ExportView,
 		Detail:   jr.Detail,
 		Attempts: jr.Attempts,
 	}
+	if j.jt != nil {
+		doc.TraceID = j.jt.id
+	}
 	if jr.Err != nil {
 		doc.Error = jr.Err.Error()
 	}
@@ -245,6 +290,7 @@ func buildResult(j *job, jr runner.JobResult, view *core.ExportView,
 		key:     j.key,
 		outcome: jr.Outcome.String(),
 		code:    statusFor(jr.Outcome, jr.Err),
+		trace:   doc.TraceID,
 	}
 	if view != nil {
 		doc.App, doc.Clusters, doc.Bursts, doc.Diagnostics = app, clusters, bursts, diags

@@ -32,16 +32,51 @@ const spoolPrefix = "phasefoldd-upload-"
 // the startup sweep removes it.
 const defaultSpoolSweepAge = 15 * time.Minute
 
+// recoveredTrace rebuilds a journaled job's lifecycle trace under its
+// original identity: the root starts at the original acceptance time (so
+// the tree spans the crash), a closed "intake" span marks the pre-crash
+// acceptance, and an open "recovery" span covers the replay. Records from
+// journals written before trace persistence get a fresh ID.
+func (s *Service) recoveredTrace(rec journalRecord, now time.Time) (*jobTrace, *obs.Span) {
+	id := rec.Trace
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	accepted := now
+	if rec.AcceptedNS > 0 {
+		accepted = time.Unix(0, rec.AcceptedNS)
+	}
+	jt := newJobTrace(id, rec.Tenant, accepted)
+	jt.recovered = true
+	jt.root.SetAttr("recovered", true)
+	jt.setDigest(rec.Digest, rec.Size)
+	intake := jt.stageAt(stageIntake, accepted)
+	intake.SetAttr("pre_crash", true)
+	// The intake span runs from the original acceptance to the replay: it
+	// covers the crash and the downtime, which is exactly the story.
+	intake.EndAt(now)
+	recSpan := jt.stageAt(stageRecovery, now)
+	return jt, recSpan
+}
+
 // recoverState replays the journal's pending records and sweeps orphaned
 // spool files. It runs inside New, after the worker pool is up.
 func (s *Service) recoverState(pending []journalRecord) {
 	for _, rec := range pending {
 		k := rec.key()
+		now := time.Now()
 		if res := s.store.get(k); res != nil {
 			// The job finished and persisted; only its done marker was lost
 			// in the crash. Promote and settle.
+			jt, recSpan := s.recoveredTrace(rec, now)
+			recSpan.SetAttr("result", "settled")
+			recSpan.End()
+			jt.stage(stageSettle).End()
+			jt.setCache("hit")
+			s.jobs.add(jt)
 			s.cache.put(res)
 			s.wal.done(k)
+			s.finishTrace(jt, res.outcome)
 			continue
 		}
 		if _, err := os.Stat(rec.Spool); err != nil {
@@ -49,20 +84,28 @@ func (s *Service) recoverState(pending []journalRecord) {
 			s.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
 				obs.Label{K: "event", V: "lost"}).Inc()
 			s.log.Warn("journaled job unrecoverable, spool file missing",
-				"digest", shortDigest(rec.Digest), "spool", rec.Spool)
+				"trace", rec.Trace, "digest", shortDigest(rec.Digest), "spool", rec.Spool)
+			jt, recSpan := s.recoveredTrace(rec, now)
+			recSpan.SetAttr("result", "lost")
+			recSpan.End()
+			s.jobs.add(jt)
 			s.wal.done(k)
+			s.finishTrace(jt, "lost")
 			continue
 		}
-		j := &job{key: k, tenant: rec.Tenant, path: rec.Spool, text: rec.Text, size: rec.Size}
+		jt, recSpan := s.recoveredTrace(rec, now)
+		j := &job{key: k, tenant: rec.Tenant, path: rec.Spool, text: rec.Text,
+			size: rec.Size, jt: jt}
 		if _, leader := s.fly.join(k); !leader {
 			continue // a duplicate record is already being re-run
 		}
+		s.jobs.add(jt)
 		s.nRecovered.Add(1)
 		s.reg.Counter(obs.MetricJournalEvents, "Write-ahead intake-journal events.",
 			obs.Label{K: "event", V: "recovered"}).Inc()
-		s.log.Info("re-enqueueing journaled job", "digest", shortDigest(rec.Digest),
-			"tenant", rec.Tenant, "bytes", rec.Size)
-		go s.enqueueRecovered(j)
+		s.log.Info("re-enqueueing journaled job", "trace", jt.id,
+			"digest", shortDigest(rec.Digest), "tenant", rec.Tenant, "bytes", rec.Size)
+		go s.enqueueRecovered(j, recSpan)
 	}
 	s.sweepOrphanSpools(pending)
 }
@@ -70,19 +113,33 @@ func (s *Service) recoverState(pending []journalRecord) {
 // enqueueRecovered admits a recovered job, waiting out a full queue instead
 // of shedding it — recovery has no client to answer 503 to, and startup
 // backlog drains quickly. If the service drains first, the flight is
-// aborted and the journal entry stays pending for the next start.
-func (s *Service) enqueueRecovered(j *job) {
+// aborted and the journal entry stays pending for the next start. The
+// recovery span covers the wait for queue capacity; the queue span starts
+// once the job is actually enqueued.
+func (s *Service) enqueueRecovered(j *job, recSpan *obs.Span) {
 	for {
-		if err := s.pool.enqueue(j); err == nil {
+		if depth, err := s.pool.enqueue(j); err == nil {
+			recSpan.SetAttr("result", "enqueued")
+			recSpan.End()
+			q := j.jt.stage(stageQueue)
+			q.SetAttr("depth", depth)
+			j.jt.holdQueueSpan(q)
+			j.jt.setState("queued")
 			return
 		}
 		if s.draining.Load() {
+			recSpan.SetAttr("result", "drained")
+			recSpan.End()
 			s.fly.abort(j.key)
+			s.finishTrace(j.jt, "canceled")
 			return
 		}
 		select {
 		case <-s.runCtx.Done():
+			recSpan.SetAttr("result", "drained")
+			recSpan.End()
 			s.fly.abort(j.key)
+			s.finishTrace(j.jt, "canceled")
 			return
 		case <-time.After(25 * time.Millisecond):
 		}

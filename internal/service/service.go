@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"phasefold/internal/core"
+	"phasefold/internal/export"
 	"phasefold/internal/faults"
 	"phasefold/internal/obs"
 	"phasefold/internal/runner"
@@ -118,6 +119,19 @@ type Config struct {
 	// Debug, when non-nil, is mounted at /debug/ and /metrics (the obs
 	// debug mux: pprof, expvar, live exposition).
 	Debug http.Handler
+	// JobsHistory sizes the recent-jobs ring behind GET /v1/jobs; <=0
+	// means 256.
+	JobsHistory int
+	// SlowJob is the end-to-end duration past which a job is logged with
+	// its full span tree (and optionally CPU-profiled while still over the
+	// threshold); <=0 disables.
+	SlowJob time.Duration
+	// SlowJobProfile captures a CPU profile while a job runs past the
+	// SlowJob threshold (one capture at a time, bounded length).
+	SlowJobProfile bool
+	// ProfileDir receives slow-job CPU profiles; "" means StateDir, then
+	// the system temp dir.
+	ProfileDir string
 }
 
 // Defaults returns the production-shaped configuration: lenient salvage
@@ -141,6 +155,8 @@ func Defaults() Config {
 		CacheDiskEntries: 4096,
 		CacheDiskBytes:   2 << 30,
 		Journal:          true,
+		JobsHistory:      256,
+		SlowJob:          time.Minute,
 		Analysis:         opt,
 		Decode:           trace.DecodeOptions{Salvage: true},
 	}
@@ -158,6 +174,21 @@ type Service struct {
 	pool  *pool
 	reg   *obs.Registry
 	log   *slog.Logger
+
+	// jobs is the recent-lifecycle ring behind GET /v1/jobs.
+	jobs *jobLog
+
+	// dash is the live ops dashboard; dashStop/dashDone bracket its
+	// publisher goroutine.
+	dash     *export.Dashboard
+	dashStop chan struct{}
+	dashDone chan struct{}
+
+	// stageRings/depthRing hold the recent samples the dashboard
+	// sparklines draw from.
+	ringsMu    sync.Mutex
+	stageRings map[string]*ring
+	depthRing  *ring
 
 	// spoolSweepAge gates the startup orphan-spool sweep (tests shrink it).
 	spoolSweepAge time.Duration
@@ -219,6 +250,10 @@ func New(cfg Config) (*Service, error) {
 		log = obs.NopLogger()
 	}
 	runCtx = obs.WithLogger(runCtx, log)
+	jobsHistory := cfg.JobsHistory
+	if jobsHistory <= 0 {
+		jobsHistory = 256
+	}
 	s := &Service{
 		cfg:           cfg,
 		adm:           newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants),
@@ -226,6 +261,9 @@ func New(cfg Config) (*Service, error) {
 		fly:           newFlightGroup(),
 		reg:           cfg.Registry,
 		log:           log,
+		jobs:          newJobLog(jobsHistory),
+		stageRings:    make(map[string]*ring),
+		depthRing:     newRing(dashRingLen),
 		spoolSweepAge: defaultSpoolSweepAge,
 		runCtx:        runCtx,
 		cancelRun:     cancel,
@@ -271,6 +309,7 @@ func New(cfg Config) (*Service, error) {
 		s.recoverState(pending)
 		s.startSweeper(sweepInterval(cfg.CacheTTL))
 	}
+	s.startDashboard()
 	return s, nil
 }
 
@@ -380,6 +419,7 @@ func (s *Service) Drain(ctx context.Context) error {
 			close(s.sweepStop)
 			<-s.sweepDone
 		}
+		s.stopDashboard()
 		s.wal.close()
 		if s.httpSrv != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -416,7 +456,8 @@ func (s *Service) recordOutcome(outcome string) {
 // Stats is the /v1/stats document: a live snapshot of the daemon's
 // admission, queue, cache, and outcome counters.
 type Stats struct {
-	UptimeSec      float64          `json:"uptime_sec"`
+	Version        string           `json:"version"`
+	UptimeSec      float64          `json:"uptime_seconds"`
 	Draining       bool             `json:"draining"`
 	QueueDepth     int64            `json:"queue_depth"`
 	QueueCap       int              `json:"queue_cap"`
@@ -446,6 +487,7 @@ type Stats struct {
 func (s *Service) Snapshot() Stats {
 	entries, bytes, evictions := s.cache.stats()
 	st := Stats{
+		Version:      obs.Version(),
 		UptimeSec:    time.Since(s.start).Seconds(),
 		Draining:     s.draining.Load(),
 		QueueDepth:   s.pool.depth.Load(),

@@ -79,6 +79,7 @@ type storeMeta struct {
 	Fingerprint string             `json:"fingerprint"`
 	Outcome     string             `json:"outcome"`
 	Code        int                `json:"code"`
+	TraceID     string             `json:"trace_id,omitempty"`
 	ExpiryUnix  int64              `json:"expiry_unix"`
 	Report      fileSum            `json:"report"`
 	Artifacts   map[string]fileSum `json:"artifacts,omitempty"`
@@ -230,6 +231,7 @@ func (st *store) put(r *result) {
 		Fingerprint: r.key.Fingerprint,
 		Outcome:     r.outcome,
 		Code:        r.code,
+		TraceID:     r.trace,
 		ExpiryUnix:  st.now().Add(st.ttl).Unix(),
 		Report:      sumOf(r.report),
 	}
@@ -359,6 +361,7 @@ func (st *store) load(k cacheKey, dir string) (*result, error) {
 		key:     k,
 		outcome: meta.Outcome,
 		code:    meta.Code,
+		trace:   meta.TraceID,
 		report:  report,
 	}
 	if len(meta.Artifacts) > 0 {

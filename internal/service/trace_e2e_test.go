@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"phasefold/internal/obs"
+)
+
+// TestTraceSurvivesCrashAndRestart is the tracing acceptance test: a job
+// accepted under a client trace ID, interrupted by a hard stop mid-queue,
+// must reappear after a restart as ONE span tree under the ORIGINAL trace
+// ID — pre-crash intake plus post-restart recovery and analysis — with the
+// per-stage histograms live on the metrics surface.
+func TestTraceSurvivesCrashAndRestart(t *testing.T) {
+	state, spool := t.TempDir(), t.TempDir()
+	data := pristineTrace(t)
+	const traceID = "crash-trace-e2e-1"
+	gate := make(chan struct{}) // never signaled: the job is held until the crash
+
+	s1, ts1 := newTestService(t, func(c *Config) {
+		c.StateDir, c.SpoolDir, c.Workers = state, spool, 1
+	})
+	s1.testJobGate = gate
+
+	replied := make(chan int, 1)
+	go func() {
+		resp, _ := upload(t, ts1.URL, data, map[string]string{
+			"X-Request-Id": traceID, "X-Tenant": "crash-tenant"})
+		replied <- resp.StatusCode
+	}()
+	waitCond(t, "job journaled and held", func() bool {
+		return s1.wal.pendingCount() == 1 && s1.pool.depth.Load() == 1
+	})
+
+	// Mid-flight, the job is already introspectable as queued.
+	d, code := getJob(t, ts1.URL, traceID)
+	if code != http.StatusOK || d.State != "queued" {
+		t.Fatalf("held job: status %d state %q, want 200/queued", code, d.State)
+	}
+
+	// Hard stop: an expired drain context cancels the held job immediately —
+	// the closest a test gets to kill -9 while letting the waiter see a 503.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s1.Drain(dead)
+	if code := <-replied; code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled waiter got %d, want 503", code)
+	}
+	ts1.Close()
+
+	// Restart over the same state: recovery rebuilds the lifecycle under
+	// the original trace ID and runs the job to completion.
+	reg := obs.NewRegistry()
+	_, ts2 := newTestService(t, func(c *Config) {
+		c.StateDir, c.SpoolDir = state, spool
+		c.Registry = reg
+		c.Debug = obs.DebugMux(reg)
+	})
+	waitCond(t, "recovered job finished", func() bool {
+		d, code := getJob(t, ts2.URL, traceID)
+		return code == http.StatusOK && d.State == "ok"
+	})
+
+	d, _ = getJob(t, ts2.URL, traceID)
+	if d.ID != traceID {
+		t.Fatalf("recovered job id = %q, want the original trace ID", d.ID)
+	}
+	if !d.Recovered || d.Tenant != "crash-tenant" {
+		t.Errorf("recovered=%v tenant=%q, want true/crash-tenant", d.Recovered, d.Tenant)
+	}
+	if d.Spans.Name != "job" || d.Spans.DurationNS <= 0 {
+		t.Fatalf("span tree root %q duration %d, want a closed job root", d.Spans.Name, d.Spans.DurationNS)
+	}
+	stages := spanNames(d.Spans)
+	// One tree must tell the whole story: the pre-crash acceptance (intake,
+	// covering the downtime), the replay (recovery), and the post-restart
+	// analysis (queue/run/export/publish).
+	for _, want := range []string{"intake", "recovery", "queue", "run", "export", "publish"} {
+		st, ok := stages[want]
+		if !ok {
+			t.Errorf("recovered span tree missing %q (have %v)", want, keysOf(stages))
+			continue
+		}
+		if st.DurationNS <= 0 && want != "publish" {
+			t.Errorf("recovered stage %q duration %d, want > 0", want, st.DurationNS)
+		}
+	}
+	if st, ok := stages["intake"]; ok {
+		if pre, _ := st.Attrs["pre_crash"]; pre != true {
+			t.Errorf("intake span attrs %v, want pre_crash=true", st.Attrs)
+		}
+		// The intake span spans the crash: it must dominate the in-memory
+		// stages, which are microseconds apart.
+		if run, ok := stages["run"]; ok && st.DurationNS < run.DurationNS/1000 && st.DurationNS <= 0 {
+			t.Errorf("intake span (%dns) does not cover the downtime", st.DurationNS)
+		}
+	}
+
+	// The metrics surface carries the per-stage histograms for the
+	// recovered lifecycle.
+	r, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readBody(t, r)
+	for _, want := range []string{
+		obs.MetricJobStageSeconds + `_bucket{`,
+		`stage="run"`,
+		`stage="recovery"`,
+		obs.MetricJobE2ESeconds,
+		obs.MetricTenantJobs + `{outcome="ok",tenant="crash-tenant"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// The client's retry under a new trace is a plain hit — and its
+	// lifecycle is separate from the recovered one.
+	resp, _ := upload(t, ts2.URL, data, map[string]string{"X-Request-Id": "retry-after-crash"})
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("retry X-Cache = %q, want hit", got)
+	}
+	if d2, code := getJob(t, ts2.URL, "retry-after-crash"); code != http.StatusOK || d2.Cache != "hit" {
+		t.Errorf("retry lifecycle: status %d cache %q", code, d2.Cache)
+	}
+}
+
+// TestRecoveredStoreHitSettlesWithTrace covers the other recovery leg: the
+// result persisted before the crash, only the done marker was lost. The
+// rebuilt trace settles instantly with a settle span.
+func TestRecoveredStoreHitSettlesWithTrace(t *testing.T) {
+	state := t.TempDir()
+	data := pristineTrace(t)
+	const traceID = "settle-trace-1"
+
+	s1, ts1 := newTestService(t, func(c *Config) { c.StateDir = state })
+	resp, _ := upload(t, ts1.URL, data, map[string]string{"X-Request-Id": traceID})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	// Forge the crash window: re-journal the finished job as pending, as if
+	// the done marker never hit disk.
+	key := cacheKey{Digest: digestOf(data), Fingerprint: s1.fpBinary}
+	s1.wal.accept(&job{key: key, tenant: "settler", path: "unused", size: int64(len(data)),
+		jt: newJobTrace(traceID, "settler", s1.start)})
+	drainNow(t, s1)
+	ts1.Close()
+
+	s2, ts2 := newTestService(t, func(c *Config) { c.StateDir = state })
+	d, code := getJob(t, ts2.URL, traceID)
+	if code != http.StatusOK {
+		t.Fatalf("settled job not introspectable: status %d", code)
+	}
+	if d.State != "ok" || !d.Recovered || d.Cache != "hit" {
+		t.Errorf("settled job state=%q recovered=%v cache=%q, want ok/true/hit",
+			d.State, d.Recovered, d.Cache)
+	}
+	stages := spanNames(d.Spans)
+	if _, ok := stages["settle"]; !ok {
+		t.Errorf("settled trace missing the settle span (have %v)", keysOf(stages))
+	}
+	if _, ok := stages["run"]; ok {
+		t.Error("a store-settled recovery must not re-run analysis")
+	}
+	if s2.wal.pendingCount() != 0 {
+		t.Error("settled journal entry still pending")
+	}
+}
