@@ -66,6 +66,7 @@ import (
 	"phasefold/internal/counters"
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 	"phasefold/internal/runner"
 	"phasefold/internal/sim"
 	"phasefold/internal/trace"
@@ -131,6 +132,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foldctl:", err)
 		os.Exit(exitUsage)
+	}
+	if tel != nil {
+		exp, xerr := otlp.FromObs(cf.Config("foldctl"), tel.Registry, tel.Logger)
+		if xerr != nil {
+			fmt.Fprintln(os.Stderr, "foldctl:", xerr)
+			os.Exit(exitUsage)
+		}
+		if exp != nil {
+			// The run's spans ship at Finish (flush precedes the manifest
+			// seal); one runtime sample rides the final metrics snapshot.
+			tel.Exporter = exp
+			obs.NewRuntimeSampler(tel.Registry, 0).Sample()
+		}
 	}
 
 	opt := core.DefaultOptions()

@@ -62,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +71,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 	"phasefold/internal/service"
 	"phasefold/internal/trace"
 )
@@ -97,21 +100,23 @@ func main() {
 		maxRecords   = flag.Int("max-records", 0, "budget: max records analyzed per trace (0 = unlimited)")
 		maxRanks     = flag.Int("max-ranks", 0, "budget: max ranks analyzed per trace (0 = unlimited)")
 		strict       = flag.Bool("strict", false, "fail damaged uploads instead of salvaging to a degraded result")
-		metricsPath  = flag.String("metrics", "", "write the daemon's metrics (Prometheus text format) at exit")
-		manifestPath = flag.String("manifest", "", "write the run manifest (JSON) at exit")
-		logLevel     = flag.String("log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
 		slowJob      = flag.Duration("slow-job", time.Minute, "end-to-end threshold past which a job logs its span tree as slow (0 disables)")
 		slowProfile  = flag.Bool("slow-job-profile", false, "capture a CPU profile while a job runs past -slow-job (one capture at a time)")
 		jobsHistory  = flag.Int("jobs-history", 256, "recent job traces kept for GET /v1/jobs and the dashboard")
 		profileDir   = flag.String("profile-dir", "", "where slow-job CPU profiles land (default: -state-dir, else system temp)")
+		sampleEvery  = flag.Duration("runtime-sample", 10*time.Second, "runtime resource gauge period (goroutines, heap, GC pause; 0 disables)")
 	)
+	// The shared telemetry surface (-metrics, -manifest, -log-level,
+	// -pprof, -otlp-*) comes from obs, so the flags and their semantics
+	// stay identical across all four binaries.
+	cf := obs.RegisterTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "phasefoldd: unexpected arguments:", flag.Args())
 		flag.Usage()
 		os.Exit(obs.ExitUsage)
 	}
-	lvl, err := obs.ParseLevel(*logLevel)
+	lvl, err := obs.ParseLevel(cf.LogLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phasefoldd:", err)
 		os.Exit(obs.ExitUsage)
@@ -152,6 +157,35 @@ func main() {
 	cfg.Registry = reg
 	cfg.Debug = obs.DebugMux(reg)
 
+	// Runtime resource gauges are on by default in the daemon: a fleet
+	// operator reads goroutines/heap/GC pause next to the job metrics.
+	sampler := obs.NewRuntimeSampler(reg, *sampleEvery)
+	if *sampleEvery > 0 {
+		sampler.Start()
+	}
+
+	// OTLP export: spans and metric snapshots ship to -otlp-endpoint; nil
+	// exporter (no endpoint) keeps every hook inert.
+	exporter, err := otlp.FromObs(cf.Config("phasefoldd"), reg, logger)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasefoldd:", err)
+		os.Exit(obs.ExitUsage)
+	}
+	cfg.OTLP = exporter
+
+	// The daemon already serves pprof and /metrics on its main address;
+	// -pprof optionally mirrors that debug surface on a second listener
+	// (ops networks often split the service port from the debug port).
+	if cf.Pprof != "" {
+		ln, err := net.Listen("tcp", cf.Pprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phasefoldd: pprof:", err)
+			os.Exit(obs.ExitUsage)
+		}
+		logger.Info("debug server listening", "addr", ln.Addr().String())
+		go func() { _ = http.Serve(ln, obs.DebugMux(reg)) }()
+	}
+
 	report := obs.RunReport{Tool: "phasefoldd", Start: time.Now(),
 		OptionsFingerprint: obs.Fingerprint(cfg.Analysis)}
 
@@ -181,6 +215,18 @@ func main() {
 	drainErr := svc.Drain(dctx)
 	cancel()
 
+	// Drain already flushed the queued spans; Shutdown delivers the final
+	// metrics snapshot and stops the worker. The manifest seals after the
+	// flush, so it describes a run whose telemetry has left the process.
+	sampler.Stop()
+	if exporter != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := exporter.Shutdown(sctx); err != nil {
+			logger.Warn("otlp shutdown", "error", err)
+		}
+		scancel()
+	}
+
 	stats := svc.Snapshot()
 	outcome := "drained"
 	if drainErr != nil {
@@ -188,7 +234,7 @@ func main() {
 	}
 	report.Outcome = fmt.Sprintf("%s: %d admitted, %d rejected, %d cache hits, %d coalesced",
 		outcome, stats.Admitted, stats.Rejected, stats.CacheHits, stats.Coalesced)
-	seal(&report, reg, *metricsPath, *manifestPath)
+	seal(&report, reg, cf.Metrics, cf.Manifest)
 	logger.Info("drained", "outcome", report.Outcome)
 
 	// The shutdown was signal-initiated: ctx carries context.Canceled,

@@ -49,6 +49,7 @@ import (
 	"phasefold/internal/experiments"
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 	"phasefold/internal/trace"
 )
 
@@ -87,6 +88,16 @@ func main() {
 	ctx, tel, err = cf.Config("phasereport").Init(ctx)
 	if err != nil {
 		fatal(err)
+	}
+	if tel != nil {
+		exp, xerr := otlp.FromObs(cf.Config("phasereport"), tel.Registry, tel.Logger)
+		if xerr != nil {
+			fatal(xerr)
+		}
+		if exp != nil {
+			tel.Exporter = exp
+			obs.NewRuntimeSampler(tel.Registry, 0).Sample()
+		}
 	}
 
 	if *in != "" {

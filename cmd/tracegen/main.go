@@ -28,6 +28,7 @@ import (
 	"phasefold/internal/counters"
 	"phasefold/internal/faults"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
 	"phasefold/internal/trace"
@@ -89,6 +90,16 @@ func main() {
 	ctx, tel, err = cf.Config("tracegen").Init(ctx)
 	if err != nil {
 		fatal(err)
+	}
+	if tel != nil {
+		exp, xerr := otlp.FromObs(cf.Config("tracegen"), tel.Registry, tel.Logger)
+		if xerr != nil {
+			fatal(xerr)
+		}
+		if exp != nil {
+			tel.Exporter = exp
+			obs.NewRuntimeSampler(tel.Registry, 0).Sample()
+		}
 	}
 	opt := core.DefaultOptions()
 	opt.SamplingPeriod = sim.Duration(*period)

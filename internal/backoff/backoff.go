@@ -1,0 +1,76 @@
+// Package backoff holds the retry-delay primitives shared by every
+// subsystem that re-attempts failed work: the batch runner's job retries
+// and the OTLP exporter's delivery retries. One implementation keeps the
+// delay policy — full jitter over a clamped exponential ladder — identical
+// everywhere, so a fleet of retrying callers never synchronizes into a
+// thundering herd.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Delay returns the pre-retry delay for the given attempt (0-based):
+// uniformly random in [0, min(base·2ᵃᵗᵗᵉᵐᵖᵗ, max)]. Full jitter
+// decorrelates a batch of retrying callers completely (no thundering herd
+// against the filesystem or a recovering collector), and the clamp keeps a
+// long retry ladder from sleeping unboundedly. A nil jitter or
+// non-positive base yields 0.
+func Delay(base, max time.Duration, attempt int, jitter *Rand) time.Duration {
+	if jitter == nil {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+		if d <= 0 { // shift overflow: clamp
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(jitter.Int63n(int64(d) + 1))
+}
+
+// Sleep waits d or until ctx ends; it reports whether the full wait
+// elapsed. Cancellation never waits out a pending retry.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Rand is a mutex-guarded rand.Rand shared by concurrent retriers' jitter
+// draws. Seeding it explicitly makes delays deterministic for tests.
+type Rand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRand returns a locked jitter source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n returns a uniform random int64 in [0, n) under the lock.
+func (l *Rand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

@@ -1,0 +1,70 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayWithinEnvelope(t *testing.T) {
+	j := NewRand(1)
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		ceil := base << uint(attempt)
+		if ceil <= 0 || ceil > max {
+			ceil = max
+		}
+		for i := 0; i < 50; i++ {
+			d := Delay(base, max, attempt, j)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestDelayClampsOverflow(t *testing.T) {
+	j := NewRand(2)
+	// A huge attempt count would shift past int64 without the clamp.
+	d := Delay(time.Second, 30*time.Second, 500, j)
+	if d < 0 || d > 30*time.Second {
+		t.Fatalf("overflow clamp failed: %v", d)
+	}
+}
+
+func TestDelayDeterministicBySeed(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 20; i++ {
+		if da, db := Delay(time.Millisecond, time.Second, i, a), Delay(time.Millisecond, time.Second, i, b); da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", i, da, db)
+		}
+	}
+}
+
+func TestDelayNilJitter(t *testing.T) {
+	if d := Delay(time.Second, time.Minute, 3, nil); d != 0 {
+		t.Fatalf("nil jitter: got %v, want 0", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if Sleep(ctx, time.Minute) {
+		t.Fatal("Sleep reported full wait on canceled context")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("Sleep blocked %v on canceled context", el)
+	}
+}
+
+func TestSleepElapses(t *testing.T) {
+	if !Sleep(context.Background(), time.Millisecond) {
+		t.Fatal("Sleep reported cancellation on a background context")
+	}
+	// Zero delay still reports whether the context is live.
+	if !Sleep(context.Background(), 0) {
+		t.Fatal("zero-delay Sleep on live context reported false")
+	}
+}

@@ -320,6 +320,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 	bursts, err := extractAll(ectx, tr, opt, ds)
 	espan.SetAttr("ranks", int64(tr.NumRanks()))
 	espan.SetAttr("bursts", int64(len(bursts)))
+	recordStageThroughput(ctx, espan, spanExtract, int64(tr.NumEvents()+tr.NumSamples()))
 	endExtract()
 	if err != nil {
 		return nil, err
@@ -362,6 +363,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 		foldedPoints += int64(f.TotalPoints())
 	}
 	fdspan.SetAttr("folded_points", foldedPoints)
+	recordStageThroughput(ctx, fdspan, spanFold, foldedPoints)
 	endFold()
 	if err != nil {
 		return nil, err

@@ -34,3 +34,23 @@ func startStage(ctx context.Context, name string) (context.Context, *obs.Span, f
 	}
 	return sctx, span, end
 }
+
+// recordStageThroughput stamps records-per-second on a still-open stage span
+// and mirrors it to the stage-throughput gauge, where the OTLP exporter and
+// the Prometheus exposition both pick it up. Call it before the stage's end
+// closure so the attribute lands inside the span. Inert when the span is nil
+// or no measurable time has elapsed.
+func recordStageThroughput(ctx context.Context, span *obs.Span, stage string, records int64) {
+	if span == nil || records <= 0 {
+		return
+	}
+	sec := span.Duration().Seconds()
+	if sec <= 0 {
+		return
+	}
+	rps := float64(records) / sec
+	span.SetAttr("records_per_sec", rps)
+	obs.Metrics(ctx).Gauge(obs.MetricStageThroughput,
+		"Records processed per second by the last pass of each stage.",
+		obs.Label{K: "stage", V: stage}).Set(rps)
+}

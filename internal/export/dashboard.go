@@ -251,6 +251,12 @@ function render(s) {
   for (const k in (s.outcomes || {})) done += s.outcomes[k];
   cards += card("jobs done", done + (s.outcomes && s.outcomes.error ?
     " (" + s.outcomes.error + " err)" : ""), s.outcomes && s.outcomes.error ? "warn" : "");
+  if (s.otlp && s.otlp.enabled) {
+    const o = s.otlp;
+    cards += card("otlp export", o.exported + " sent · " + o.dropped + " dropped" +
+      (o.queue_len ? " · q " + o.queue_len + "/" + o.queue_cap : ""),
+      o.last_error ? "bad" : o.dropped > 0 ? "warn" : "ok");
+  }
   document.getElementById("cards").innerHTML = cards;
 
   document.querySelector("#stages tbody").innerHTML = (s.stages || []).map(st =>

@@ -27,6 +27,13 @@ type CommonFlags struct {
 	Serve    string
 	Strict   bool
 	Salvage  bool
+
+	// OTLP export surface (-otlp-*): where to ship spans and metric
+	// snapshots, and with what cadence and per-request budget.
+	OTLPEndpoint string
+	OTLPHeaders  string
+	OTLPInterval time.Duration
+	OTLPTimeout  time.Duration
 }
 
 // RegisterTelemetryFlags installs just the observability core — the flags
@@ -39,6 +46,10 @@ func RegisterTelemetryFlags(fs *flag.FlagSet) *CommonFlags {
 	fs.StringVar(&cf.Manifest, "manifest", "", "write the run manifest (JSON) to this file at exit")
 	fs.StringVar(&cf.LogLevel, "log-level", "", "structured event threshold: debug, info, warn, error (default: off)")
 	fs.StringVar(&cf.Pprof, "pprof", "", "serve /debug/pprof, /debug/vars, and live /metrics on this address")
+	fs.StringVar(&cf.OTLPEndpoint, "otlp-endpoint", "", "ship spans and metrics to this OTLP/HTTP collector base URL (e.g. http://localhost:4318)")
+	fs.StringVar(&cf.OTLPHeaders, "otlp-headers", "", "extra OTLP request headers, comma-separated key=value pairs")
+	fs.DurationVar(&cf.OTLPInterval, "otlp-interval", 10*time.Second, "period between OTLP metric snapshots")
+	fs.DurationVar(&cf.OTLPTimeout, "otlp-timeout", 5*time.Second, "per-request OTLP delivery timeout")
 	return cf
 }
 
@@ -67,6 +78,10 @@ func (cf *CommonFlags) Config(tool string) Config {
 		ManifestPath: cf.Manifest,
 		LogLevel:     cf.LogLevel,
 		PprofAddr:    cf.Pprof,
+		OTLPEndpoint: cf.OTLPEndpoint,
+		OTLPHeaders:  cf.OTLPHeaders,
+		OTLPInterval: cf.OTLPInterval,
+		OTLPTimeout:  cf.OTLPTimeout,
 		Tool:         tool,
 	}
 }
@@ -85,17 +100,40 @@ type Config struct {
 	// PprofAddr serves /debug/pprof, /debug/vars, and /metrics on this
 	// address for the duration of the run (long batches want it).
 	PprofAddr string
+	// OTLPEndpoint is the OTLP/HTTP collector base URL; empty disables the
+	// export. OTLPHeaders carries extra request headers as comma-separated
+	// key=value pairs; OTLPInterval paces metric snapshots; OTLPTimeout
+	// bounds one delivery attempt.
+	OTLPEndpoint string
+	OTLPHeaders  string
+	OTLPInterval time.Duration
+	OTLPTimeout  time.Duration
 	// Tool names the command in the manifest.
 	Tool string
 }
 
 // Enabled reports whether any observability surface was requested.
 func (c Config) Enabled() bool {
-	if c.MetricsPath != "" || c.ManifestPath != "" || c.PprofAddr != "" {
+	if c.MetricsPath != "" || c.ManifestPath != "" || c.PprofAddr != "" || c.OTLPEndpoint != "" {
 		return true
 	}
 	lvl, err := ParseLevel(c.LogLevel)
 	return err == nil && lvl < LevelOff
+}
+
+// SpanExporter ships finished span trees to an external telemetry
+// backend. The obs package defines only the seam — the OTLP implementation
+// lives in internal/obs/otlp, and command mains wire it in — so the core
+// telemetry layer stays free of wire-protocol concerns (and import
+// cycles).
+type SpanExporter interface {
+	// ExportSpanTree enqueues root (and its children) for delivery under
+	// the given trace ID; it must never block, reporting false when the
+	// batch was dropped instead.
+	ExportSpanTree(traceID string, root *Span) bool
+	// Shutdown flushes whatever is queued within ctx's budget and stops
+	// the exporter.
+	Shutdown(ctx context.Context) error
 }
 
 // Session is one CLI run's live telemetry: the registry and recorder
@@ -109,6 +147,14 @@ type Session struct {
 	// Report is the manifest under construction; the command fills App,
 	// Input, OptionsFingerprint, and Diagnostics as it learns them.
 	Report RunReport
+	// TraceID identifies this run's trace; all recorded root spans export
+	// under it, and the manifest records it so a run's files and its
+	// backend trace can be joined.
+	TraceID string
+	// Exporter, when set by the command main, receives the run's span
+	// trees at Finish (before the manifest seals) and is shut down with a
+	// bounded flush.
+	Exporter SpanExporter
 
 	cfg      Config
 	server   *http.Server
@@ -130,9 +176,10 @@ func (c Config) Init(ctx context.Context) (context.Context, *Session, error) {
 		Registry: NewRegistry(),
 		Recorder: NewRecorder(),
 		Logger:   NewLogger(os.Stderr, lvl),
-		Report:   RunReport{Tool: c.Tool, Start: time.Now()},
+		Report:   RunReport{Tool: c.Tool, Start: time.Now(), TraceID: NewTraceID()},
 		cfg:      c,
 	}
+	s.TraceID = s.Report.TraceID
 	ctx = WithTelemetry(ctx, s.Recorder, s.Registry)
 	ctx = WithLogger(ctx, s.Logger)
 	if c.PprofAddr != "" {
@@ -217,6 +264,19 @@ func (s *Session) Finish(outcome string) error {
 	}
 	s.Report.Outcome = outcome
 	s.Report.Finish(s.Recorder)
+	// Ship the run's spans before sealing any file: the manifest must
+	// describe a run whose telemetry has already left the process, so a
+	// crash after Finish can never strand exported-but-unrecorded state.
+	if s.Exporter != nil {
+		for _, root := range s.Recorder.Roots() {
+			s.Exporter.ExportSpanTree(s.TraceID, root)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Exporter.Shutdown(ctx); err != nil {
+			s.Logger.Warn("otlp flush failed", "error", err)
+		}
+		cancel()
+	}
 	var firstErr error
 	if s.cfg.MetricsPath != "" {
 		if err := writeFileWith(s.cfg.MetricsPath, s.Registry.WritePrometheus); err != nil {

@@ -70,6 +70,10 @@ type RunReport struct {
 	Start   time.Time `json:"start"`
 	WallNS  int64     `json:"wall_ns"`
 	WallSec float64   `json:"wall_sec"`
+	// TraceID identifies the run's trace; when spans are shipped to an
+	// external backend they carry this ID, so the manifest and the backend
+	// trace can be joined.
+	TraceID string `json:"trace_id,omitempty"`
 	// OptionsFingerprint is a stable hash of the effective pipeline
 	// options, so manifests from different configurations never compare as
 	// like-for-like.

@@ -61,13 +61,24 @@ const (
 	MetricPersistBytes   = "phasefold_service_persist_bytes"        // gauge: bytes held on disk
 	MetricJournalEvents  = "phasefold_service_journal_events_total" // counter{event}: accept|done|recovered|lost|orphan_swept|torn|error
 	// Job-lifecycle tracing (internal/service).
-	MetricJobStageSeconds = "phasefold_job_stage_seconds"          // histogram{stage,outcome}: wall time per lifecycle stage
-	MetricJobE2ESeconds   = "phasefold_job_e2e_seconds"            // histogram{outcome}: accept-to-publish end-to-end time
-	MetricTenantJobs      = "phasefold_tenant_jobs_total"          // counter{tenant,outcome}
-	MetricTenantE2E       = "phasefold_tenant_e2e_seconds"         // histogram{tenant}: per-tenant end-to-end time
-	MetricTenantQueueAge  = "phasefold_tenant_queue_age_seconds"   // histogram{tenant}: enqueue-to-dequeue wait
-	MetricTenantTTFB      = "phasefold_tenant_ttfb_seconds"        // histogram{tenant}: request arrival to first result byte
-	MetricSlowJobs        = "phasefold_slow_jobs_total"            // counter: jobs past the -slow-job threshold
+	MetricJobStageSeconds = "phasefold_job_stage_seconds"        // histogram{stage,outcome}: wall time per lifecycle stage
+	MetricJobE2ESeconds   = "phasefold_job_e2e_seconds"          // histogram{outcome}: accept-to-publish end-to-end time
+	MetricTenantJobs      = "phasefold_tenant_jobs_total"        // counter{tenant,outcome}
+	MetricTenantE2E       = "phasefold_tenant_e2e_seconds"       // histogram{tenant}: per-tenant end-to-end time
+	MetricTenantQueueAge  = "phasefold_tenant_queue_age_seconds" // histogram{tenant}: enqueue-to-dequeue wait
+	MetricTenantTTFB      = "phasefold_tenant_ttfb_seconds"      // histogram{tenant}: request arrival to first result byte
+	MetricSlowJobs        = "phasefold_slow_jobs_total"          // counter: jobs past the -slow-job threshold
+	// OTLP exporter (internal/obs/otlp).
+	MetricOTLPExported = "phasefold_otlp_exported_total" // counter{signal}: spans|metric batches delivered
+	MetricOTLPDropped  = "phasefold_otlp_dropped_total"  // counter{signal}: batches dropped (queue full or retries exhausted)
+	MetricOTLPRetries  = "phasefold_otlp_retries_total"  // counter: delivery retries scheduled
+	MetricOTLPFailures = "phasefold_otlp_failures_total" // counter{reason}: send|status failures
+	// Runtime resource sampler (internal/obs).
+	MetricGoGoroutines = "go_goroutines"       // gauge: live goroutines
+	MetricGoHeapAlloc  = "go_heap_alloc_bytes" // gauge: bytes of allocated heap objects
+	MetricGoGCPause    = "go_gc_pause_seconds" // gauge: most recent GC stop-the-world pause
+	// Stage throughput (internal/trace, internal/core).
+	MetricStageThroughput = "phasefold_stage_records_per_second" // gauge{stage}: latest per-stage record rate
 	// Process identity.
 	MetricBuildInfo = "phasefold_build_info" // gauge{version,go}: constant 1; identity lives in the labels
 )

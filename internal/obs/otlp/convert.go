@@ -1,0 +1,273 @@
+package otlp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"phasefold/internal/obs"
+)
+
+// The wire shapes below follow the OTLP/HTTP JSON encoding (the proto3
+// JSON mapping of opentelemetry-proto): 64-bit integers are decimal
+// strings, trace/span IDs are lowercase hex, and attribute values are
+// tagged one-of objects. Only the fields phasefold emits are modeled —
+// a collector tolerates absent optional fields.
+
+// anyValue is the OTLP one-of attribute value.
+type anyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+// keyValue is one OTLP attribute.
+type keyValue struct {
+	Key   string   `json:"key"`
+	Value anyValue `json:"value"`
+}
+
+func strVal(s string) anyValue  { return anyValue{StringValue: &s} }
+func intVal(i int64) anyValue   { v := strconv.FormatInt(i, 10); return anyValue{IntValue: &v} }
+func dblVal(f float64) anyValue { return anyValue{DoubleValue: &f} }
+func boolVal(b bool) anyValue   { return anyValue{BoolValue: &b} }
+
+// attrValue maps an obs attribute value onto the OTLP one-of. Durations
+// export as double seconds (the unit convention every other phasefold
+// surface uses); unknown types degrade to their string form.
+func attrValue(v any) anyValue {
+	switch x := v.(type) {
+	case string:
+		return strVal(x)
+	case int:
+		return intVal(int64(x))
+	case int64:
+		return intVal(x)
+	case uint64:
+		return intVal(int64(x))
+	case float64:
+		return dblVal(x)
+	case float32:
+		return dblVal(float64(x))
+	case bool:
+		return boolVal(x)
+	case time.Duration:
+		return dblVal(x.Seconds())
+	default:
+		return strVal(fmt.Sprint(x))
+	}
+}
+
+func attrKVs(attrs []obs.Attr) []keyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]keyValue, 0, len(attrs))
+	for _, a := range attrs {
+		out = append(out, keyValue{Key: a.Key, Value: attrValue(a.Value)})
+	}
+	return out
+}
+
+// otlpSpan is one span on the wire.
+type otlpSpan struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId,omitempty"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []keyValue `json:"attributes,omitempty"`
+}
+
+type scopeSpans struct {
+	Scope instrumentationScope `json:"scope"`
+	Spans []otlpSpan           `json:"spans"`
+}
+
+type resourceSpans struct {
+	Resource   resource     `json:"resource"`
+	ScopeSpans []scopeSpans `json:"scopeSpans"`
+}
+
+type tracePayload struct {
+	ResourceSpans []resourceSpans `json:"resourceSpans"`
+}
+
+type instrumentationScope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+type resource struct {
+	Attributes []keyValue `json:"attributes"`
+}
+
+// AttrParentSpan is the span attribute carrying an upstream W3C
+// traceparent parent-id; the converter lifts it onto the exported root's
+// parentSpanId so phasefoldd's trace joins the caller's.
+const AttrParentSpan = "parent_span"
+
+// unixNano renders t in the OTLP fixed64 string form; the zero time
+// renders as "0" rather than a negative epoch.
+func unixNano(t time.Time) string {
+	if t.IsZero() {
+		return "0"
+	}
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// flattenSpans converts one obs span tree into flat OTLP spans under
+// traceID, minting a random span ID per node and threading parent links.
+// The root's parentSpanId comes from its AttrParentSpan attribute when an
+// upstream trace context was propagated in.
+func flattenSpans(traceID string, root *obs.Span, out []otlpSpan) []otlpSpan {
+	parent := ""
+	if v, ok := root.Attr(AttrParentSpan); ok {
+		if s, ok := v.(string); ok {
+			parent = s
+		}
+	}
+	return appendSpan(traceID, parent, root, out)
+}
+
+func appendSpan(traceID, parentID string, s *obs.Span, out []otlpSpan) []otlpSpan {
+	if s == nil {
+		return out
+	}
+	id := obs.NewSpanID()
+	start := s.Start()
+	end := start.Add(s.Duration()) // an un-ended span exports elapsed-so-far
+	var attrs []keyValue
+	for _, a := range s.Attrs() {
+		if a.Key == AttrParentSpan {
+			continue // lifted onto parentSpanId, not an attribute
+		}
+		attrs = append(attrs, keyValue{Key: a.Key, Value: attrValue(a.Value)})
+	}
+	out = append(out, otlpSpan{
+		TraceID:           traceID,
+		SpanID:            id,
+		ParentSpanID:      parentID,
+		Name:              s.Name(),
+		Kind:              1, // SPAN_KIND_INTERNAL
+		StartTimeUnixNano: unixNano(start),
+		EndTimeUnixNano:   unixNano(end),
+		Attributes:        attrs,
+	})
+	for _, c := range s.Children() {
+		out = appendSpan(traceID, id, c, out)
+	}
+	return out
+}
+
+// --- metrics ---
+
+type numberDataPoint struct {
+	Attributes        []keyValue `json:"attributes,omitempty"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano,omitempty"`
+	TimeUnixNano      string     `json:"timeUnixNano"`
+	AsDouble          float64    `json:"asDouble"`
+}
+
+type histogramDataPoint struct {
+	Attributes        []keyValue `json:"attributes,omitempty"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano,omitempty"`
+	TimeUnixNano      string     `json:"timeUnixNano"`
+	Count             string     `json:"count"`
+	Sum               float64    `json:"sum"`
+	BucketCounts      []string   `json:"bucketCounts"`
+	ExplicitBounds    []float64  `json:"explicitBounds"`
+}
+
+type sum struct {
+	DataPoints             []numberDataPoint `json:"dataPoints"`
+	AggregationTemporality int               `json:"aggregationTemporality"` // 2 = cumulative
+	IsMonotonic            bool              `json:"isMonotonic"`
+}
+
+type gauge struct {
+	DataPoints []numberDataPoint `json:"dataPoints"`
+}
+
+type histogram struct {
+	DataPoints             []histogramDataPoint `json:"dataPoints"`
+	AggregationTemporality int                  `json:"aggregationTemporality"`
+}
+
+type otlpMetric struct {
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Sum         *sum       `json:"sum,omitempty"`
+	Gauge       *gauge     `json:"gauge,omitempty"`
+	Histogram   *histogram `json:"histogram,omitempty"`
+}
+
+type scopeMetrics struct {
+	Scope   instrumentationScope `json:"scope"`
+	Metrics []otlpMetric         `json:"metrics"`
+}
+
+type resourceMetrics struct {
+	Resource     resource       `json:"resource"`
+	ScopeMetrics []scopeMetrics `json:"scopeMetrics"`
+}
+
+type metricsPayload struct {
+	ResourceMetrics []resourceMetrics `json:"resourceMetrics"`
+}
+
+// convertMetrics maps a registry snapshot onto OTLP metrics: counters to
+// cumulative monotonic sums, gauges to gauges, histograms to cumulative
+// explicit-bounds histograms. Consecutive series sharing a name (the
+// snapshot is name-sorted) merge into one metric with multiple data
+// points — one per label set.
+func convertMetrics(views []obs.SeriesView, startNano string, now time.Time) []otlpMetric {
+	nowNano := unixNano(now)
+	var out []otlpMetric
+	for _, v := range views {
+		attrs := make([]keyValue, 0, len(v.Labels))
+		for _, l := range v.Labels {
+			attrs = append(attrs, keyValue{Key: l.K, Value: strVal(l.V)})
+		}
+		var m *otlpMetric
+		if n := len(out); n > 0 && out[n-1].Name == v.Name {
+			m = &out[n-1]
+		} else {
+			out = append(out, otlpMetric{Name: v.Name, Description: v.Help})
+			m = &out[len(out)-1]
+		}
+		switch v.Kind {
+		case "counter":
+			if m.Sum == nil {
+				m.Sum = &sum{AggregationTemporality: 2, IsMonotonic: true}
+			}
+			m.Sum.DataPoints = append(m.Sum.DataPoints, numberDataPoint{
+				Attributes: attrs, StartTimeUnixNano: startNano, TimeUnixNano: nowNano, AsDouble: v.Value,
+			})
+		case "gauge":
+			if m.Gauge == nil {
+				m.Gauge = &gauge{}
+			}
+			m.Gauge.DataPoints = append(m.Gauge.DataPoints, numberDataPoint{
+				Attributes: attrs, TimeUnixNano: nowNano, AsDouble: v.Value,
+			})
+		case "histogram":
+			if m.Histogram == nil {
+				m.Histogram = &histogram{AggregationTemporality: 2}
+			}
+			buckets := make([]string, len(v.Buckets))
+			for i, c := range v.Buckets {
+				buckets[i] = strconv.FormatInt(c, 10)
+			}
+			m.Histogram.DataPoints = append(m.Histogram.DataPoints, histogramDataPoint{
+				Attributes: attrs, StartTimeUnixNano: startNano, TimeUnixNano: nowNano,
+				Count: strconv.FormatInt(v.Count, 10), Sum: v.Sum,
+				BucketCounts: buckets, ExplicitBounds: v.Bounds,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,489 @@
+// Package otlp ships phasefold's telemetry — finished obs.Span trees and
+// periodic obs.Registry snapshots — to an OpenTelemetry collector over
+// OTLP/HTTP with JSON encoding, using only the standard library.
+//
+// The exporter is built for a hot path that must never stall on a slow or
+// absent collector: span batches enter a bounded queue with drop-not-block
+// semantics (drops are observable via phasefold_otlp_dropped_total), a
+// single worker goroutine owns all network I/O, and delivery retries use
+// the shared full-jitter backoff with Retry-After honoring. Flush drains
+// the queue within a caller-bounded deadline so daemons can ship the last
+// spans during Drain and CLI runs before their manifest seals.
+package otlp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasefold/internal/backoff"
+	"phasefold/internal/obs"
+)
+
+// Config parameterizes an Exporter. Endpoint is the only required field.
+type Config struct {
+	// Endpoint is the collector base URL (e.g. http://localhost:4318);
+	// the exporter POSTs to <Endpoint>/v1/traces and <Endpoint>/v1/metrics.
+	Endpoint string
+	// Headers are extra request headers (authentication, tenancy).
+	Headers map[string]string
+	// Service names this process in the resource (service.name).
+	Service string
+	// Interval paces metric snapshots; <=0 defaults to 10s.
+	Interval time.Duration
+	// Timeout bounds one delivery attempt; <=0 defaults to 5s.
+	Timeout time.Duration
+	// Registry is snapshotted for /v1/metrics and also receives the
+	// exporter's own counters. Nil disables the metrics signal.
+	Registry *obs.Registry
+	// Logger receives delivery warnings; nil discards them.
+	Logger *slog.Logger
+	// QueueSize bounds the span-batch queue; <=0 defaults to 256.
+	QueueSize int
+	// MaxRetries is the number of re-deliveries after a retryable
+	// failure; 0 defaults to 4, negative disables retries. 429 and 5xx
+	// statuses and transport errors retry; other statuses drop
+	// immediately.
+	MaxRetries int
+	// RetryBase/RetryMax shape the full-jitter backoff ladder; defaults
+	// 250ms / 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes the retry jitter deterministic for tests; 0 seeds from
+	// the clock.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 4
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.Service == "" {
+		c.Service = "phasefold"
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// spanBatch is one queued span tree awaiting delivery.
+type spanBatch struct {
+	traceID string
+	root    *obs.Span
+}
+
+// Exporter is the OTLP/HTTP shipper. A nil *Exporter is valid and inert,
+// so call sites need no telemetry guards. It satisfies obs.SpanExporter.
+type Exporter struct {
+	cfg        Config
+	client     *http.Client
+	tracesURL  string
+	metricsURL string
+	res        resource
+	scope      instrumentationScope
+	startNano  string
+	jitter     *backoff.Rand
+
+	queue   chan spanBatch
+	flushCh chan chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	ctx     context.Context // canceled at shutdown to release retry sleeps
+	cancel  context.CancelFunc
+	stopped sync.Once
+
+	exported atomic.Int64
+	dropped  atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+
+	mu         sync.Mutex
+	lastErr    string
+	lastExport time.Time
+}
+
+// New builds and starts an exporter. The worker goroutine runs until
+// Shutdown.
+func New(cfg Config) (*Exporter, error) {
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("otlp: endpoint required")
+	}
+	cfg = cfg.withDefaults()
+	base := strings.TrimRight(cfg.Endpoint, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("otlp: endpoint %q must be an http(s) URL", cfg.Endpoint)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Exporter{
+		cfg:        cfg,
+		client:     &http.Client{Timeout: cfg.Timeout},
+		tracesURL:  base + "/v1/traces",
+		metricsURL: base + "/v1/metrics",
+		res: resource{Attributes: []keyValue{
+			{Key: "service.name", Value: strVal(cfg.Service)},
+			{Key: "service.version", Value: strVal(obs.Version())},
+			{Key: "service.instance.id", Value: strVal(obs.NewSpanID())},
+		}},
+		scope:     instrumentationScope{Name: "phasefold/internal/obs", Version: obs.Version()},
+		startNano: unixNano(time.Now()),
+		jitter:    backoff.NewRand(cfg.Seed),
+		queue:     make(chan spanBatch, cfg.QueueSize),
+		flushCh:   make(chan chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	go e.run()
+	return e, nil
+}
+
+// FromObs builds an exporter from the shared telemetry flags; a config
+// with no OTLP endpoint returns (nil, nil), which stays inert everywhere.
+func FromObs(c obs.Config, reg *obs.Registry, log *slog.Logger) (*Exporter, error) {
+	if c.OTLPEndpoint == "" {
+		return nil, nil
+	}
+	hdrs, err := ParseHeaders(c.OTLPHeaders)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{
+		Endpoint: c.OTLPEndpoint,
+		Headers:  hdrs,
+		Service:  c.Tool,
+		Interval: c.OTLPInterval,
+		Timeout:  c.OTLPTimeout,
+		Registry: reg,
+		Logger:   log,
+	})
+}
+
+// ParseHeaders parses the -otlp-headers syntax: comma-separated key=value
+// pairs, e.g. "authorization=Bearer tok,x-tenant=acme".
+func ParseHeaders(s string) (map[string]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("otlp: malformed header pair %q (want key=value)", pair)
+		}
+		out[k] = strings.TrimSpace(v)
+	}
+	return out, nil
+}
+
+// ExportSpanTree enqueues one finished span tree for delivery under
+// traceID (canonicalized to the 128-bit wire form). It never blocks: a
+// full queue drops the batch, counts it, and returns false.
+func (e *Exporter) ExportSpanTree(traceID string, root *obs.Span) bool {
+	if e == nil || root == nil {
+		return false
+	}
+	select {
+	case e.queue <- spanBatch{traceID: obs.CanonicalTraceID(traceID), root: root}:
+		return true
+	default:
+		e.countDrop("spans", "queue full")
+		return false
+	}
+}
+
+// Flush delivers everything queued plus one final metrics snapshot,
+// bounded by ctx. It is what Drain and CLI exits call so the last spans
+// of a run reach the collector before the process's manifest seals.
+func (e *Exporter) Flush(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	ack := make(chan struct{})
+	select {
+	case e.flushCh <- ack:
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown flushes within ctx's budget, then stops the worker. Safe to
+// call more than once and on a nil exporter.
+func (e *Exporter) Shutdown(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	err := e.Flush(ctx)
+	e.stopped.Do(func() {
+		close(e.stop)
+		e.cancel()
+	})
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Stats is a point-in-time view of exporter health for dashboards and
+// stats endpoints.
+type Stats struct {
+	Enabled    bool      `json:"enabled"`
+	Endpoint   string    `json:"endpoint,omitempty"`
+	Exported   int64     `json:"exported"`
+	Dropped    int64     `json:"dropped"`
+	Retries    int64     `json:"retries"`
+	Failures   int64     `json:"failures"`
+	QueueLen   int       `json:"queue_len"`
+	QueueCap   int       `json:"queue_cap"`
+	LastError  string    `json:"last_error,omitempty"`
+	LastExport time.Time `json:"last_export,omitempty"`
+}
+
+// StatsSnapshot reports the exporter's delivery health; a nil exporter
+// reports Enabled=false.
+func (e *Exporter) StatsSnapshot() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	e.mu.Lock()
+	lastErr, lastExport := e.lastErr, e.lastExport
+	e.mu.Unlock()
+	return Stats{
+		Enabled:    true,
+		Endpoint:   e.cfg.Endpoint,
+		Exported:   e.exported.Load(),
+		Dropped:    e.dropped.Load(),
+		Retries:    e.retries.Load(),
+		Failures:   e.failures.Load(),
+		QueueLen:   len(e.queue),
+		QueueCap:   cap(e.queue),
+		LastError:  lastErr,
+		LastExport: lastExport,
+	}
+}
+
+// run is the worker loop: it owns every network call, so the producers'
+// only synchronization with the collector is the bounded queue.
+func (e *Exporter) run() {
+	defer close(e.done)
+	tick := time.NewTicker(e.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case b := <-e.queue:
+			e.sendSpans(b)
+		case <-tick.C:
+			e.sendMetrics()
+		case ack := <-e.flushCh:
+			e.drain()
+			e.sendMetrics()
+			close(ack)
+		}
+	}
+}
+
+// drain delivers whatever is queued right now without blocking on new
+// producers.
+func (e *Exporter) drain() {
+	for {
+		select {
+		case b := <-e.queue:
+			e.sendSpans(b)
+		default:
+			return
+		}
+	}
+}
+
+func (e *Exporter) sendSpans(b spanBatch) {
+	spans := flattenSpans(b.traceID, b.root, nil)
+	if len(spans) == 0 {
+		return
+	}
+	payload := tracePayload{ResourceSpans: []resourceSpans{{
+		Resource:   e.res,
+		ScopeSpans: []scopeSpans{{Scope: e.scope, Spans: spans}},
+	}}}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		e.countDrop("spans", "encode: "+err.Error())
+		return
+	}
+	e.deliver(e.tracesURL, body, "spans")
+}
+
+func (e *Exporter) sendMetrics() {
+	if e.cfg.Registry == nil {
+		return
+	}
+	metrics := convertMetrics(e.cfg.Registry.Snapshot(), e.startNano, time.Now())
+	if len(metrics) == 0 {
+		return
+	}
+	payload := metricsPayload{ResourceMetrics: []resourceMetrics{{
+		Resource:     e.res,
+		ScopeMetrics: []scopeMetrics{{Scope: e.scope, Metrics: metrics}},
+	}}}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		e.countDrop("metrics", "encode: "+err.Error())
+		return
+	}
+	e.deliver(e.metricsURL, body, "metrics")
+}
+
+// deliver POSTs body with retry: transport errors, 429, and 5xx retry on
+// the full-jitter ladder (a Retry-After header, seconds or HTTP-date,
+// overrides the drawn delay, capped at 30s); other statuses and exhausted
+// retries drop the batch and count it.
+func (e *Exporter) deliver(url string, body []byte, signal string) bool {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := e.post(url, body)
+		if err == nil && status >= 200 && status < 300 {
+			e.exported.Add(1)
+			e.cfg.Registry.Counter(obs.MetricOTLPExported,
+				"OTLP batches delivered, by signal.", obs.Label{K: "signal", V: signal}).Inc()
+			e.mu.Lock()
+			e.lastExport = time.Now()
+			e.lastErr = ""
+			e.mu.Unlock()
+			return true
+		}
+		reason, detail := "status", fmt.Sprintf("status %d", status)
+		retryable := status == 429 || status >= 500
+		if err != nil {
+			reason, detail = "send", err.Error()
+			retryable = true
+		}
+		e.failures.Add(1)
+		e.cfg.Registry.Counter(obs.MetricOTLPFailures,
+			"OTLP delivery failures, by reason.", obs.Label{K: "reason", V: reason}).Inc()
+		e.mu.Lock()
+		e.lastErr = detail
+		e.mu.Unlock()
+		if !retryable || attempt >= e.cfg.MaxRetries {
+			e.countDrop(signal, detail)
+			return false
+		}
+		e.retries.Add(1)
+		e.cfg.Registry.Counter(obs.MetricOTLPRetries, "OTLP delivery retries scheduled.").Inc()
+		d := backoff.Delay(e.cfg.RetryBase, e.cfg.RetryMax, attempt, e.jitter)
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if !backoff.Sleep(e.ctx, d) {
+			e.countDrop(signal, "shutdown during retry")
+			return false
+		}
+	}
+}
+
+func (e *Exporter) post(url string, body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(e.ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range e.cfg.Headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Drain so the transport can reuse the connection.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
+}
+
+// retryAfterCap bounds how long a collector can push back one retry; a
+// misconfigured Retry-After must not park the worker for minutes.
+const retryAfterCap = 30 * time.Second
+
+// parseRetryAfter reads the two RFC 9110 forms — delay seconds and
+// HTTP-date — returning 0 for anything unusable.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d := time.Duration(secs) * time.Second
+		if d > retryAfterCap {
+			d = retryAfterCap
+		}
+		return d
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d <= 0 {
+			return 0
+		}
+		if d > retryAfterCap {
+			d = retryAfterCap
+		}
+		return d
+	}
+	return 0
+}
+
+func (e *Exporter) countDrop(signal, detail string) {
+	e.dropped.Add(1)
+	e.cfg.Registry.Counter(obs.MetricOTLPDropped,
+		"OTLP batches dropped (queue full or delivery exhausted), by signal.",
+		obs.Label{K: "signal", V: signal}).Inc()
+	e.cfg.Logger.Warn("otlp batch dropped", "signal", signal, "detail", detail)
+}

@@ -1,0 +1,522 @@
+package otlp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"phasefold/internal/obs"
+)
+
+// collector is a mock OTLP/HTTP endpoint recording every received
+// payload, with a per-request response script.
+type collector struct {
+	mu      sync.Mutex
+	traces  []tracePayload
+	metrics []metricsPayload
+	// respond, when non-nil, decides each request's response; return
+	// (0, "") for a plain 200.
+	respond func(n int) (status int, retryAfter string)
+	calls   int
+}
+
+func (c *collector) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("collector read: %v", err)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		c.mu.Lock()
+		n := c.calls
+		c.calls++
+		c.mu.Unlock()
+		if c.respond != nil {
+			if status, ra := c.respond(n); status != 0 {
+				if ra != "" {
+					w.Header().Set("Retry-After", ra)
+				}
+				w.WriteHeader(status)
+				return
+			}
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch r.URL.Path {
+		case "/v1/traces":
+			var p tracePayload
+			if err := json.Unmarshal(body, &p); err != nil {
+				t.Errorf("traces payload not valid JSON: %v", err)
+			}
+			c.traces = append(c.traces, p)
+		case "/v1/metrics":
+			var p metricsPayload
+			if err := json.Unmarshal(body, &p); err != nil {
+				t.Errorf("metrics payload not valid JSON: %v", err)
+			}
+			c.metrics = append(c.metrics, p)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	})
+}
+
+func (c *collector) spanCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.traces {
+		for _, rs := range p.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				n += len(ss.Spans)
+			}
+		}
+	}
+	return n
+}
+
+func (c *collector) allSpans() []otlpSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []otlpSpan
+	for _, p := range c.traces {
+		for _, rs := range p.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				out = append(out, ss.Spans...)
+			}
+		}
+	}
+	return out
+}
+
+func newExporter(t *testing.T, url string, mutate func(*Config)) (*Exporter, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Endpoint:  url,
+		Service:   "otlp-test",
+		Registry:  reg,
+		Interval:  time.Hour, // metric ticks only via Flush in tests
+		Timeout:   2 * time.Second,
+		RetryBase: time.Millisecond,
+		RetryMax:  5 * time.Millisecond,
+		Seed:      1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	return e, reg
+}
+
+// testTree builds a three-node finished span tree resembling a job
+// lifecycle fragment.
+func testTree() *obs.Span {
+	start := time.Now().Add(-100 * time.Millisecond)
+	root := obs.NewSpanAt("job", start)
+	root.SetAttr("tenant", "acme")
+	root.SetAttr("size", int64(1234))
+	root.SetAttr("hit", false)
+	child := obs.NewSpanAt("run", start.Add(10*time.Millisecond))
+	child.SetAttr("records_per_sec", 123.5)
+	child.EndAt(start.Add(60 * time.Millisecond))
+	root.Adopt(child)
+	leaf := obs.NewSpanAt("publish", start.Add(60*time.Millisecond))
+	leaf.EndAt(start.Add(70 * time.Millisecond))
+	root.Adopt(leaf)
+	root.EndAt(start.Add(80 * time.Millisecond))
+	return root
+}
+
+func TestExportSpanTreeSchema(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, _ := newExporter(t, srv.URL, nil)
+
+	traceID := "00112233445566778899aabbccddeeff"
+	root := testTree()
+	root.SetAttr(AttrParentSpan, "1122334455667788")
+	if !e.ExportSpanTree(traceID, root) {
+		t.Fatal("ExportSpanTree reported drop on empty queue")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	spans := col.allSpans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]otlpSpan{}
+	ids := map[string]bool{}
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			t.Errorf("span %s traceId = %q, want %q", s.Name, s.TraceID, traceID)
+		}
+		if len(s.SpanID) != 16 {
+			t.Errorf("span %s spanId %q not 16 hex", s.Name, s.SpanID)
+		}
+		if ids[s.SpanID] {
+			t.Errorf("duplicate span id %s", s.SpanID)
+		}
+		ids[s.SpanID] = true
+		start, _ := strconv.ParseInt(s.StartTimeUnixNano, 10, 64)
+		end, _ := strconv.ParseInt(s.EndTimeUnixNano, 10, 64)
+		if end <= start {
+			t.Errorf("span %s has non-positive duration (%d..%d)", s.Name, start, end)
+		}
+		byName[s.Name] = s
+	}
+	rootSpan, ok := byName["job"]
+	if !ok {
+		t.Fatal("root span 'job' missing")
+	}
+	if rootSpan.ParentSpanID != "1122334455667788" {
+		t.Errorf("root parentSpanId = %q, want upstream parent", rootSpan.ParentSpanID)
+	}
+	for _, name := range []string{"run", "publish"} {
+		if byName[name].ParentSpanID != rootSpan.SpanID {
+			t.Errorf("%s parentSpanId = %q, want root %q", name, byName[name].ParentSpanID, rootSpan.SpanID)
+		}
+	}
+	// Attribute typing survived: int as string intValue, float as double,
+	// bool as bool; the parent_span attr was lifted, not exported.
+	attrs := map[string]anyValue{}
+	for _, kv := range rootSpan.Attributes {
+		attrs[kv.Key] = kv.Value
+	}
+	if _, ok := attrs[AttrParentSpan]; ok {
+		t.Error("parent_span exported as attribute; want lifted onto parentSpanId")
+	}
+	if v := attrs["size"]; v.IntValue == nil || *v.IntValue != "1234" {
+		t.Errorf("size attr = %+v, want intValue 1234", v)
+	}
+	if v := attrs["tenant"]; v.StringValue == nil || *v.StringValue != "acme" {
+		t.Errorf("tenant attr = %+v, want stringValue acme", v)
+	}
+	if v := attrs["hit"]; v.BoolValue == nil || *v.BoolValue != false {
+		t.Errorf("hit attr = %+v, want boolValue false", v)
+	}
+}
+
+func TestExportCanonicalizesTraceID(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, _ := newExporter(t, srv.URL, nil)
+
+	e.ExportSpanTree("my-request-42", testTree())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = e.Flush(ctx)
+	spans := col.allSpans()
+	if len(spans) == 0 {
+		t.Fatal("no spans arrived")
+	}
+	want := obs.CanonicalTraceID("my-request-42")
+	if spans[0].TraceID != want {
+		t.Errorf("traceId = %q, want canonical %q", spans[0].TraceID, want)
+	}
+	if len(spans[0].TraceID) != 32 {
+		t.Errorf("traceId %q not 32 hex", spans[0].TraceID)
+	}
+}
+
+func TestMetricsSnapshotSchema(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, reg := newExporter(t, srv.URL, nil)
+
+	reg.Counter("phasefold_test_total", "A counter.", obs.Label{K: "kind", V: "a"}).Add(3)
+	reg.Counter("phasefold_test_total", "A counter.", obs.Label{K: "kind", V: "b"}).Add(5)
+	reg.Gauge("phasefold_test_gauge", "A gauge.").Set(2.5)
+	h := reg.Histogram("phasefold_test_seconds", "A histogram.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.metrics) == 0 {
+		t.Fatal("no metrics payload arrived")
+	}
+	p := col.metrics[len(col.metrics)-1]
+	if len(p.ResourceMetrics) != 1 {
+		t.Fatalf("resourceMetrics count = %d", len(p.ResourceMetrics))
+	}
+	resAttrs := map[string]anyValue{}
+	for _, kv := range p.ResourceMetrics[0].Resource.Attributes {
+		resAttrs[kv.Key] = kv.Value
+	}
+	if v := resAttrs["service.name"]; v.StringValue == nil || *v.StringValue != "otlp-test" {
+		t.Errorf("service.name = %+v", v)
+	}
+	if _, ok := resAttrs["service.instance.id"]; !ok {
+		t.Error("service.instance.id missing from resource")
+	}
+	byName := map[string]otlpMetric{}
+	for _, m := range p.ResourceMetrics[0].ScopeMetrics[0].Metrics {
+		byName[m.Name] = m
+	}
+	c, ok := byName["phasefold_test_total"]
+	if !ok || c.Sum == nil {
+		t.Fatalf("counter metric missing or not a sum: %+v", c)
+	}
+	if !c.Sum.IsMonotonic || c.Sum.AggregationTemporality != 2 {
+		t.Errorf("counter sum flags = %+v, want monotonic cumulative", c.Sum)
+	}
+	if len(c.Sum.DataPoints) != 2 {
+		t.Errorf("counter data points = %d, want 2 (one per label set)", len(c.Sum.DataPoints))
+	}
+	g, ok := byName["phasefold_test_gauge"]
+	if !ok || g.Gauge == nil || len(g.Gauge.DataPoints) != 1 || g.Gauge.DataPoints[0].AsDouble != 2.5 {
+		t.Errorf("gauge metric wrong: %+v", g)
+	}
+	hm, ok := byName["phasefold_test_seconds"]
+	if !ok || hm.Histogram == nil || len(hm.Histogram.DataPoints) != 1 {
+		t.Fatalf("histogram metric wrong: %+v", hm)
+	}
+	dp := hm.Histogram.DataPoints[0]
+	if dp.Count != "2" {
+		t.Errorf("histogram count = %q, want \"2\"", dp.Count)
+	}
+	if len(dp.ExplicitBounds) != 3 || len(dp.BucketCounts) != 4 {
+		t.Errorf("bounds/buckets = %d/%d, want 3/4", len(dp.ExplicitBounds), len(dp.BucketCounts))
+	}
+	if dp.Sum != 5.05 {
+		t.Errorf("histogram sum = %v, want 5.05", dp.Sum)
+	}
+}
+
+func TestRetryOn503HonorsRetryAfter(t *testing.T) {
+	col := &collector{}
+	col.respond = func(n int) (int, string) {
+		if n == 0 {
+			return 503, "1"
+		}
+		return 0, ""
+	}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, reg := newExporter(t, srv.URL, nil)
+
+	start := time.Now()
+	e.ExportSpanTree(obs.NewTraceID(), testTree())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := col.spanCount(); got != 3 {
+		t.Fatalf("spans delivered after retry = %d, want 3", got)
+	}
+	if el := time.Since(start); el < 900*time.Millisecond {
+		t.Errorf("delivery took %v; Retry-After: 1 not honored", el)
+	}
+	if st := e.StatsSnapshot(); st.Retries == 0 || st.Failures == 0 {
+		t.Errorf("stats after 503 = %+v, want retries and failures > 0", st)
+	}
+	if got := counterValue(t, reg, obs.MetricOTLPRetries); got == 0 {
+		t.Error("retry counter did not increment")
+	}
+}
+
+func TestDropCounterUnderOutage(t *testing.T) {
+	col := &collector{}
+	col.respond = func(int) (int, string) { return 500, "" }
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, reg := newExporter(t, srv.URL, func(c *Config) { c.MaxRetries = -1 })
+
+	for i := 0; i < 3; i++ {
+		e.ExportSpanTree(obs.NewTraceID(), testTree())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = e.Flush(ctx)
+	// 3 span batches + the flush metrics snapshot all fail.
+	if got := counterValue(t, reg, obs.MetricOTLPDropped); got < 3 {
+		t.Errorf("%s = %d, want >= 3", obs.MetricOTLPDropped, got)
+	}
+	if st := e.StatsSnapshot(); st.Exported != 0 || st.LastError == "" {
+		t.Errorf("stats under outage = %+v, want zero exported with last error", st)
+	}
+}
+
+func TestQueueFullDropsNotBlocks(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // park the worker so the queue backs up
+	}))
+	defer srv.Close()
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+	e, reg := newExporter(t, srv.URL, func(c *Config) {
+		c.QueueSize = 2
+		c.MaxRetries = -1
+	})
+
+	// First export occupies the worker; the next two fill the queue; all
+	// further exports must return false immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	dropped := 0
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		ok := e.ExportSpanTree(obs.NewTraceID(), testTree())
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("export %d blocked %v; want non-blocking", i, el)
+		}
+		if !ok {
+			dropped++
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("test overran")
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no exports dropped with a full queue and parked worker")
+	}
+	if got := counterValue(t, reg, obs.MetricOTLPDropped); got < int64(dropped) {
+		t.Errorf("%s = %d, want >= %d", obs.MetricOTLPDropped, got, dropped)
+	}
+	once.Do(func() { close(release) })
+}
+
+func TestFlushOnShutdownDeliversFinalBatch(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, _ := newExporter(t, srv.URL, nil)
+
+	e.ExportSpanTree(obs.NewTraceID(), testTree())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := col.spanCount(); got != 3 {
+		t.Errorf("spans delivered by shutdown flush = %d, want 3", got)
+	}
+	// Shutdown twice is fine; so is exporting after shutdown (dropped).
+	if err := e.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestConcurrentExportRace exercises the queue from many producers with
+// concurrent flushes; run under -race it proves the hot path is clean.
+func TestConcurrentExportRace(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler(t))
+	defer srv.Close()
+	e, _ := newExporter(t, srv.URL, func(c *Config) { c.QueueSize = 8 })
+
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				e.ExportSpanTree(obs.NewTraceID(), testTree())
+				_ = e.StatsSnapshot()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = e.Flush(ctx)
+			cancel()
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNilExporterInert(t *testing.T) {
+	var e *Exporter
+	if e.ExportSpanTree("id", testTree()) {
+		t.Error("nil exporter accepted a batch")
+	}
+	if err := e.Flush(context.Background()); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+	if st := e.StatsSnapshot(); st.Enabled {
+		t.Error("nil exporter reports enabled")
+	}
+}
+
+func TestParseHeaders(t *testing.T) {
+	got, err := ParseHeaders("authorization=Bearer tok, x-tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["authorization"] != "Bearer tok" || got["x-tenant"] != "acme" {
+		t.Errorf("ParseHeaders = %v", got)
+	}
+	if m, err := ParseHeaders(""); err != nil || m != nil {
+		t.Errorf("empty headers = %v, %v", m, err)
+	}
+	if _, err := ParseHeaders("no-equals"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("2"); d != 2*time.Second {
+		t.Errorf("seconds form = %v", d)
+	}
+	if d := parseRetryAfter("999999"); d != retryAfterCap {
+		t.Errorf("cap = %v, want %v", d, retryAfterCap)
+	}
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 3*time.Second {
+		t.Errorf("HTTP-date form = %v", d)
+	}
+	for _, bad := range []string{"", "soon", "-5"} {
+		if d := parseRetryAfter(bad); d != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, want 0", bad, d)
+		}
+	}
+}
+
+// counterValue sums a counter metric across label sets.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	var total int64
+	for _, v := range reg.Snapshot() {
+		if v.Name == name && v.Kind == "counter" {
+			total += int64(v.Value)
+		}
+	}
+	return total
+}

@@ -316,6 +316,52 @@ func (r *Registry) snapshot() []*series {
 	return out
 }
 
+// SeriesView is one registered series frozen for export: identity, kind,
+// and the value fields the kind uses (Value for counters and gauges;
+// Count/Sum/Bounds/Buckets for histograms). The slices are copies — safe
+// to retain past the next registry mutation.
+type SeriesView struct {
+	Name   string
+	Help   string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Labels Labels
+	// Value is the current counter or gauge value (counters as float).
+	Value float64
+	// Count, Sum, Bounds, Buckets describe a histogram: Bounds are the
+	// finite upper bounds, Buckets the per-bucket (non-cumulative) counts
+	// with the +Inf bucket last, so len(Buckets) == len(Bounds)+1.
+	Count   int64
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// Snapshot freezes every registered series for export, sorted by name then
+// label signature — the stable order every exporter (Prometheus text,
+// JSON, OTLP) shares. A nil registry snapshots to nil.
+func (r *Registry) Snapshot() []SeriesView {
+	if r == nil {
+		return nil
+	}
+	raw := r.snapshot()
+	out := make([]SeriesView, 0, len(raw))
+	for _, s := range raw {
+		v := SeriesView{Name: s.name, Help: s.help, Kind: kindNames[s.kind], Labels: append(Labels(nil), s.labels...)}
+		switch s.kind {
+		case kindCounter:
+			v.Value = float64(s.c.Value())
+		case kindGauge:
+			v.Value = s.g.Value()
+		case kindHistogram:
+			v.Count, v.Sum = s.h.Count(), s.h.Sum()
+			v.Bounds = append([]float64(nil), s.h.bounds...)
+			v.Buckets = s.h.BucketCounts()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // formatValue renders a float in exposition syntax (integers stay bare).
 func formatValue(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler periodically snapshots the Go runtime — goroutine count,
+// heap allocation, and the latest GC pause — into registry gauges, so both
+// the Prometheus exposition and the OTLP export carry process-resource
+// telemetry alongside the application metrics. A nil sampler is inert.
+type RuntimeSampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRuntimeSampler builds a sampler over reg; interval <= 0 defaults to
+// 10s. Call Start to begin sampling.
+func NewRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &RuntimeSampler{reg: reg, interval: interval}
+}
+
+// Start begins periodic sampling (and takes one sample immediately, so the
+// gauges exist before the first tick). Idempotent while running.
+func (s *RuntimeSampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.Sample()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+// Stop ends sampling and waits for the loop to exit. Safe on a sampler
+// that never started, and idempotent.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *RuntimeSampler) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Sample takes one snapshot immediately. Exported so one-shot CLI runs can
+// record the gauges without running the loop.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	sampleRuntime(s.reg)
+}
+
+func sampleRuntime(reg *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(MetricGoGoroutines, "Live goroutines.").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge(MetricGoHeapAlloc, "Bytes of allocated heap objects.").Set(float64(ms.HeapAlloc))
+	var pause float64
+	if ms.NumGC > 0 {
+		pause = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	reg.Gauge(MetricGoGCPause, "Most recent GC stop-the-world pause in seconds.").Set(pause)
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"net/http"
@@ -74,6 +75,64 @@ func isHex(s string) bool {
 		}
 	}
 	return true
+}
+
+// NewSpanID mints a 64-bit random span identifier, hex-encoded (the W3C
+// parent-id width).
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// CanonicalTraceID maps a request/trace identifier onto the 128-bit hex
+// form wire protocols (W3C traceparent, OTLP) require. IDs already in
+// canonical form pass through unchanged — that is what keeps phasefoldd's
+// job trace IDs identical in /v1/jobs/{id} and in the external backend —
+// and anything else (an arbitrary X-Request-Id, an empty string) maps
+// deterministically via SHA-256, so the same request ID always lands on
+// the same wire trace ID.
+func CanonicalTraceID(id string) string {
+	if len(id) == 32 && isHex(id) && id != strings.Repeat("0", 32) {
+		return id
+	}
+	sum := sha256.Sum256([]byte(id))
+	out := hex.EncodeToString(sum[:16])
+	if out == strings.Repeat("0", 32) { // unreachable in practice; spec sentinel
+		out = "00000000000000000000000000000001"
+	}
+	return out
+}
+
+// ParentSpanID returns the parent-id field of an inbound W3C traceparent
+// header, or "" when the header is absent or malformed. Callers stamp it
+// on the lifecycle root so exported spans join the upstream trace.
+func ParentSpanID(h http.Header) string {
+	tp := h.Get("Traceparent")
+	if tp == "" {
+		return ""
+	}
+	parts := strings.Split(tp, "-")
+	if len(parts) < 4 {
+		return ""
+	}
+	id := strings.ToLower(strings.TrimSpace(parts[2]))
+	if len(id) == 16 && isHex(id) && id != strings.Repeat("0", 16) {
+		return id
+	}
+	return ""
+}
+
+// Traceparent renders a W3C traceparent header value (version 00, sampled)
+// for the given trace, canonicalizing the trace ID and minting a fresh
+// span ID when the caller has none.
+func Traceparent(traceID, spanID string) string {
+	if len(spanID) != 16 || !isHex(spanID) {
+		spanID = NewSpanID()
+	}
+	return "00-" + CanonicalTraceID(traceID) + "-" + spanID + "-01"
 }
 
 // ContextWithSpan returns a context whose current span is s, so that

@@ -38,7 +38,7 @@ func TestRequestTraceID(t *testing.T) {
 		{"x-request-id hostile", hdr("X-Request-Id", "../../etc/passwd\n"), ""},
 		{"x-request-id too long", hdr("X-Request-Id", strings.Repeat("a", 129)), ""},
 		{"traceparent", hdr("Traceparent", "00-"+valid+"-b7ad6b7169203331-01"), valid},
-		{"traceparent zero id", hdr("Traceparent", "00-" + strings.Repeat("0", 32) + "-b7ad6b7169203331-01"), ""},
+		{"traceparent zero id", hdr("Traceparent", "00-"+strings.Repeat("0", 32)+"-b7ad6b7169203331-01"), ""},
 		{"traceparent malformed", hdr("Traceparent", "not-a-traceparent"), ""},
 		{"nothing", http.Header{}, ""},
 	}
@@ -139,4 +139,101 @@ func TestRegisterBuildInfo(t *testing.T) {
 	if Version() == "" {
 		t.Error("Version() must never be empty")
 	}
+}
+
+func TestCanonicalTraceID(t *testing.T) {
+	valid := "0af7651916cd43dd8448eb211c80319c"
+	if got := CanonicalTraceID(valid); got != valid {
+		t.Errorf("canonical ID rewritten: %q -> %q", valid, got)
+	}
+	for _, in := range []string{"my-request-42", "", "ABCDEF0123456789ABCDEF0123456789", strings.Repeat("0", 32)} {
+		got := CanonicalTraceID(in)
+		if len(got) != 32 || !isHex(got) || got == strings.Repeat("0", 32) {
+			t.Errorf("CanonicalTraceID(%q) = %q, want 32 lowercase hex, nonzero", in, got)
+		}
+		if again := CanonicalTraceID(in); again != got {
+			t.Errorf("CanonicalTraceID(%q) not deterministic: %q vs %q", in, got, again)
+		}
+	}
+	if CanonicalTraceID("a") == CanonicalTraceID("b") {
+		t.Error("distinct inputs collided")
+	}
+}
+
+func TestNewSpanID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewSpanID()
+		if len(id) != 16 || !isHex(id) {
+			t.Fatalf("NewSpanID() = %q, want 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewSpanID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParentSpanID(t *testing.T) {
+	hdr := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Traceparent", v)
+		}
+		return h
+	}
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if got := ParentSpanID(hdr(valid)); got != "b7ad6b7169203331" {
+		t.Errorf("ParentSpanID(valid) = %q", got)
+	}
+	for _, bad := range []string{"", "garbage", "00-abc-def-01",
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01"} {
+		if got := ParentSpanID(hdr(bad)); got != "" {
+			t.Errorf("ParentSpanID(%q) = %q, want empty", bad, got)
+		}
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	tp := Traceparent("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	if tp != "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" {
+		t.Errorf("Traceparent = %q", tp)
+	}
+	// Non-canonical trace IDs canonicalize; missing span IDs are minted.
+	tp = Traceparent("my-request", "")
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 || parts[0] != "00" || parts[3] != "01" ||
+		len(parts[1]) != 32 || len(parts[2]) != 16 || !isHex(parts[1]) || !isHex(parts[2]) {
+		t.Errorf("Traceparent minted malformed header %q", tp)
+	}
+	if parts[1] != CanonicalTraceID("my-request") {
+		t.Errorf("trace-id field %q, want canonical form", parts[1])
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg, time.Hour)
+	s.Start()
+	defer s.Stop()
+	vals := map[string]float64{}
+	for _, v := range reg.Snapshot() {
+		if v.Kind == "gauge" {
+			vals[v.Name] = v.Value
+		}
+	}
+	if vals[MetricGoGoroutines] < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoGoroutines, vals[MetricGoGoroutines])
+	}
+	if vals[MetricGoHeapAlloc] <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricGoHeapAlloc, vals[MetricGoHeapAlloc])
+	}
+	if _, ok := vals[MetricGoGCPause]; !ok {
+		t.Errorf("%s not registered", MetricGoGCPause)
+	}
+	s.Stop() // idempotent
+	var nilS *RuntimeSampler
+	nilS.Start()
+	nilS.Stop()
+	nilS.Sample()
 }

@@ -3,10 +3,10 @@ package runner
 import (
 	"context"
 	"errors"
-	"math/rand"
 	"testing"
 	"time"
 
+	"phasefold/internal/backoff"
 	"phasefold/internal/obs"
 )
 
@@ -207,11 +207,11 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 // whatever the attempt number (including shift-overflow territory), and
 // full jitter spans down to zero.
 func TestBackoffClamp(t *testing.T) {
-	jit := &lockedRand{r: rand.New(rand.NewSource(7))}
+	jit := backoff.NewRand(7)
 	max := 50 * time.Millisecond
 	sawLow := false
 	for attempt := 0; attempt < 80; attempt++ {
-		d := backoff(time.Millisecond, max, attempt, jit)
+		d := backoff.Delay(time.Millisecond, max, attempt, jit)
 		if d < 0 || d > max {
 			t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, max)
 		}

@@ -16,12 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"phasefold/internal/backoff"
 	"phasefold/internal/obs"
 	"phasefold/internal/report"
 )
@@ -472,7 +472,7 @@ func (b *breaker) state(name string) BreakerState {
 type Supervisor struct {
 	opt    Options
 	br     *breaker
-	jitter *lockedRand
+	jitter *backoff.Rand
 }
 
 // NewSupervisor returns a persistent supervisor with opt's guards.
@@ -481,7 +481,7 @@ func NewSupervisor(opt Options) *Supervisor {
 	return &Supervisor{
 		opt:    opt,
 		br:     newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
-		jitter: &lockedRand{r: rand.New(rand.NewSource(opt.Seed))},
+		jitter: backoff.NewRand(opt.Seed),
 	}
 }
 
@@ -540,7 +540,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) *Summary {
 // return so the deferred Duration stamp applies to the value actually
 // returned; the same defer lands the job's span, outcome counter, and
 // duration histogram on whatever telemetry the batch context carries.
-func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *lockedRand) (res JobResult) {
+func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *backoff.Rand) (res JobResult) {
 	res = JobResult{Name: job.Name}
 	ctx, span := obs.StartSpan(ctx, "job:"+job.Name)
 	log := obs.Logger(ctx)
@@ -633,7 +633,7 @@ func supervise(ctx context.Context, job Job, opt Options, br *breaker, jitter *l
 		log.LogAttrs(context.Background(), slog.LevelWarn, "retrying job",
 			slog.String("job", job.Name), slog.Int("attempt", res.Attempts),
 			slog.String("error", err.Error()))
-		if !sleep(ctx, backoff(opt.Backoff, opt.MaxBackoff, attempt, jitter)) {
+		if !backoff.Sleep(ctx, backoff.Delay(opt.Backoff, opt.MaxBackoff, attempt, jitter)) {
 			res.Outcome, res.Err = Canceled, ctx.Err()
 			return res
 		}
@@ -665,51 +665,4 @@ func attempt1(ctx context.Context, job Job, timeout time.Duration) (detail strin
 		err = fmt.Errorf("%v: %w", err, context.DeadlineExceeded)
 	}
 	return detail, degraded, err, panicked
-}
-
-// backoff returns the pre-retry delay: uniformly random in
-// [0, min(base·2ᵃᵗᵗᵉᵐᵖᵗ, max)]. Full jitter decorrelates a batch of
-// retrying jobs completely (no thundering herd against the filesystem),
-// and the clamp keeps a long retry ladder from sleeping unboundedly.
-func backoff(base, max time.Duration, attempt int, jitter *lockedRand) time.Duration {
-	d := base
-	for i := 0; i < attempt && d < max; i++ {
-		d <<= 1
-		if d <= 0 { // shift overflow: clamp
-			d = max
-			break
-		}
-	}
-	if d > max {
-		d = max
-	}
-	if d <= 0 {
-		return 0
-	}
-	return time.Duration(jitter.Int63n(int64(d) + 1))
-}
-
-// sleep waits d or until ctx ends; it reports whether the full wait elapsed.
-func sleep(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
-}
-
-// lockedRand is a mutex-guarded rand.Rand shared by the workers' backoff
-// jitter.
-type lockedRand struct {
-	mu sync.Mutex
-	r  *rand.Rand
-}
-
-func (l *lockedRand) Int63n(n int64) int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.r.Int63n(n)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 )
 
 // Handler returns the daemon's routing table.
@@ -60,12 +61,15 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument wraps a handler with the per-route request counter and the
 // request-ID contract: every /v1/* reply — success, 4xx, 5xx, cache hit —
-// carries X-Request-Id (the client's, when it sent a usable one), so
-// client logs and server traces join on one key.
+// carries X-Request-Id (the client's, when it sent a usable one) and a
+// W3C traceparent whose trace-id is the request ID's canonical wire form,
+// so client logs, server traces, and an external tracing backend all join
+// on one key.
 func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rid := obs.RequestTraceID(r.Header)
 		w.Header().Set("X-Request-Id", rid)
+		w.Header().Set("Traceparent", obs.Traceparent(rid, ""))
 		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
@@ -122,6 +126,11 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// Admission passed: from here the request has a lifecycle trace. The
 	// root starts at arrival so the admission span's duration is honest.
 	jt := newJobTrace(reqID(r.Context()), tenant, arrived)
+	// An inbound traceparent makes this job part of the caller's
+	// distributed trace: its parent-id becomes the exported root's parent.
+	if ps := obs.ParentSpanID(r.Header); ps != "" {
+		jt.root.SetAttr(otlp.AttrParentSpan, ps)
+	}
 	jt.stageAt(stageAdmission, arrived).End()
 	s.jobs.add(jt)
 

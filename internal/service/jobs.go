@@ -14,6 +14,7 @@ import (
 
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 )
 
 // Job-lifecycle tracing: every accepted upload gets a trace ID (the
@@ -361,6 +362,10 @@ func (s *Service) finishTrace(jt *jobTrace, outcome string) {
 			"outcome", outcome, "e2e", e2e.String(),
 			"threshold", s.cfg.SlowJob.String(), "spans", string(spans))
 	}
+	// The tree is sealed (root ended, every stage closed): ship it. The
+	// exporter keeps the job's trace ID, so an external backend shows the
+	// same admission→publish tree as GET /v1/jobs/{id}.
+	s.cfg.OTLP.ExportSpanTree(jt.id, jt.root)
 	s.publishDash()
 }
 
@@ -501,6 +506,7 @@ type dashSnapshot struct {
 	E2EP50         float64          `json:"e2e_p50"`
 	E2EP95         float64          `json:"e2e_p95"`
 	Outcomes       map[string]int64 `json:"outcomes,omitempty"`
+	OTLP           *otlp.Stats      `json:"otlp,omitempty"`
 	Stages         []dashStage      `json:"stages"`
 	Jobs           []jobSummary     `json:"jobs"`
 }
@@ -560,6 +566,7 @@ func (s *Service) publishDash() {
 		Workers:        st.Workers,
 		QueueHistory:   s.depthRing.values(),
 		Outcomes:       st.Outcomes,
+		OTLP:           st.OTLP,
 	}
 	okE2E := s.reg.Histogram(obs.MetricJobE2ESeconds, "Accept-to-publish end-to-end time in seconds.",
 		obs.DurationBuckets(), obs.Label{K: "outcome", V: "ok"})

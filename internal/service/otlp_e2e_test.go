@@ -1,0 +1,216 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
+)
+
+// otlpCapture is a mock collector recording the spans of every /v1/traces
+// POST, decoded through the generic OTLP JSON shape (the test deliberately
+// re-declares the wire format instead of importing the exporter's types).
+type otlpCapture struct {
+	mu    sync.Mutex
+	spans []capturedSpan
+}
+
+type capturedSpan struct {
+	TraceID           string `json:"traceId"`
+	SpanID            string `json:"spanId"`
+	ParentSpanID      string `json:"parentSpanId"`
+	Name              string `json:"name"`
+	StartTimeUnixNano string `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string `json:"endTimeUnixNano"`
+}
+
+func (c *otlpCapture) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.URL.Path != "/v1/traces" {
+			return
+		}
+		var payload struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []capturedSpan `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			return
+		}
+		c.mu.Lock()
+		for _, rs := range payload.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				c.spans = append(c.spans, ss.Spans...)
+			}
+		}
+		c.mu.Unlock()
+	})
+}
+
+func (c *otlpCapture) byTrace(traceID string) map[string]capturedSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]capturedSpan{}
+	for _, s := range c.spans {
+		if s.TraceID == traceID {
+			out[s.Name] = s
+		}
+	}
+	return out
+}
+
+// newOTLPService builds a test service whose finished job traces ship to
+// endpoint; mutate tweaks the exporter config.
+func newOTLPService(t *testing.T, endpoint string, mutate func(*otlp.Config)) (*Service, *httptest.Server, *otlp.Exporter) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := otlp.Config{
+		Endpoint:  endpoint,
+		Service:   "phasefoldd-test",
+		Registry:  reg,
+		Interval:  time.Hour,
+		Timeout:   2 * time.Second,
+		RetryBase: time.Millisecond,
+		RetryMax:  5 * time.Millisecond,
+		Seed:      1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	exp, err := otlp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestService(t, func(c *Config) {
+		c.Registry = reg
+		c.OTLP = exp
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = exp.Shutdown(ctx)
+	})
+	return s, ts, exp
+}
+
+// TestOTLPExportE2E is the tentpole acceptance test at the package level:
+// one job lifecycle arrives at a mock collector as one trace whose ID
+// matches GET /v1/jobs/{id}, with every stage present and timed, joined to
+// the caller's upstream trace via traceparent.
+func TestOTLPExportE2E(t *testing.T) {
+	col := &otlpCapture{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+	_, ts, _ := newOTLPService(t, srv.URL, nil)
+
+	const traceID = "0123456789abcdef0123456789abcdef" // canonical: survives to the wire verbatim
+	const parentID = "00f067aa0ba902b7"
+	resp, body := upload(t, ts.URL, pristineTrace(t), map[string]string{
+		"X-Request-Id": traceID,
+		"Traceparent":  "00-" + traceID + "-" + parentID + "-01",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	// Satellite: every /v1/* response announces its trace context.
+	tp := resp.Header.Get("Traceparent")
+	if len(tp) != 55 {
+		t.Fatalf("response Traceparent = %q, want 55-char W3C header", tp)
+	}
+	if got := tp[3:35]; got != traceID {
+		t.Errorf("response traceparent trace-id = %q, want %q", got, traceID)
+	}
+
+	// The job is introspectable under the same ID the wire trace carries.
+	d, code := getJob(t, ts.URL, traceID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: %d", traceID, code)
+	}
+	if d.ID != traceID {
+		t.Fatalf("job id = %q, want %q", d.ID, traceID)
+	}
+
+	waitCond(t, "trace arrived at collector", func() bool {
+		return len(col.byTrace(traceID)) > 0
+	})
+	spans := col.byTrace(traceID)
+	root, ok := spans["job"]
+	if !ok {
+		t.Fatalf("no root 'job' span in capture: %v", spanKeys(spans))
+	}
+	if root.ParentSpanID != parentID {
+		t.Errorf("root parentSpanId = %q, want upstream %q", root.ParentSpanID, parentID)
+	}
+	for _, stage := range []string{"admission", "spool", "cache", "queue", "run", "export", "publish"} {
+		sp, ok := spans[stage]
+		if !ok {
+			t.Errorf("stage %q missing from exported trace (have %v)", stage, spanKeys(spans))
+			continue
+		}
+		if sp.ParentSpanID != root.SpanID {
+			t.Errorf("stage %q parent = %q, want root %q", stage, sp.ParentSpanID, root.SpanID)
+		}
+		start, _ := strconv.ParseInt(sp.StartTimeUnixNano, 10, 64)
+		end, _ := strconv.ParseInt(sp.EndTimeUnixNano, 10, 64)
+		if stage != "publish" && end-start <= 0 {
+			t.Errorf("stage %q duration %dns, want > 0", stage, end-start)
+		}
+	}
+}
+
+// TestOTLPCollectorDownUploadUnaffected: with no collector listening, the
+// upload path stays fast and healthy, and the loss is observable through
+// phasefold_otlp_dropped_total and /v1/stats.
+func TestOTLPCollectorDownUploadUnaffected(t *testing.T) {
+	// A dead endpoint: connection refused immediately.
+	s, ts, _ := newOTLPService(t, "http://127.0.0.1:1", func(c *otlp.Config) {
+		c.MaxRetries = -1
+		c.QueueSize = 2
+	})
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		resp, body := upload(t, ts.URL, pristineTrace(t), map[string]string{
+			"X-Request-Id": "dead-collector-" + strconv.Itoa(i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload %d with collector down: %d %s", i, resp.StatusCode, body)
+		}
+		if el := time.Since(start); el > 15*time.Second {
+			t.Fatalf("upload %d took %v with collector down; export must not stall the path", i, el)
+		}
+	}
+	waitCond(t, "drops counted", func() bool {
+		for _, v := range s.reg.Snapshot() {
+			if v.Name == obs.MetricOTLPDropped && v.Value > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	st := s.Snapshot()
+	if st.OTLP == nil || !st.OTLP.Enabled {
+		t.Fatal("stats missing OTLP health")
+	}
+	if st.OTLP.Exported != 0 {
+		t.Errorf("exported = %d with no collector, want 0", st.OTLP.Exported)
+	}
+}
+
+func spanKeys(m map[string]capturedSpan) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

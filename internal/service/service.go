@@ -58,6 +58,7 @@ import (
 	"phasefold/internal/export"
 	"phasefold/internal/faults"
 	"phasefold/internal/obs"
+	"phasefold/internal/obs/otlp"
 	"phasefold/internal/runner"
 	"phasefold/internal/trace"
 )
@@ -132,6 +133,10 @@ type Config struct {
 	// ProfileDir receives slow-job CPU profiles; "" means StateDir, then
 	// the system temp dir.
 	ProfileDir string
+	// OTLP, when non-nil, receives every finished job span tree and is
+	// flushed during Drain; the owning main shuts it down after Drain.
+	// Nil disables export (all hooks are nil-safe).
+	OTLP *otlp.Exporter
 }
 
 // Defaults returns the production-shaped configuration: lenient salvage
@@ -421,6 +426,14 @@ func (s *Service) Drain(ctx context.Context) error {
 		}
 		s.stopDashboard()
 		s.wal.close()
+		// Ship the drained jobs' spans before the listener closes. The
+		// drain context may already be spent on the deadline-forced path,
+		// so the flush gets its own bounded budget.
+		if s.cfg.OTLP != nil {
+			fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = s.cfg.OTLP.Flush(fctx)
+			cancel()
+		}
 		if s.httpSrv != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			_ = s.httpSrv.Shutdown(sctx)
@@ -481,6 +494,7 @@ type Stats struct {
 	LostJobs       int64            `json:"lost_jobs,omitempty"`
 	OrphansSwept   int64            `json:"orphans_swept,omitempty"`
 	Outcomes       map[string]int64 `json:"outcomes,omitempty"`
+	OTLP           *otlp.Stats      `json:"otlp,omitempty"`
 }
 
 // Snapshot collects the current Stats.
@@ -512,6 +526,10 @@ func (s *Service) Snapshot() Stats {
 	if s.store != nil {
 		st.PersistEntries, st.PersistBytes, st.PersistErrors, _ = s.store.stats()
 		st.JournalPending = s.wal.pendingCount()
+	}
+	if s.cfg.OTLP != nil {
+		ot := s.cfg.OTLP.StatsSnapshot()
+		st.OTLP = &ot
 	}
 	s.outcomesMu.Lock()
 	for k, v := range s.outcomes {

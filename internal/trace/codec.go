@@ -385,8 +385,9 @@ func Decode(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *Salv
 	}
 	ctx, span := obs.StartSpan(ctx, "decode")
 	defer span.End()
-	finish := startDecodePass(ctx, span, "binary", opt)
-	r := &reader{r: bufio.NewReaderSize(rd, 1<<16), ctx: ctx}
+	cr := &countingReader{r: rd}
+	finish := startDecodePass(ctx, span, "binary", opt, cr)
+	r := &reader{r: bufio.NewReaderSize(cr, 1<<16), ctx: ctx}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(r.r, magic); err != nil {
 		return nil, nil, fmt.Errorf("reading magic: %w", classifyRead(err))
@@ -674,12 +675,26 @@ func sealDecode(t *Trace, decodeErr error, danglingStacks int, opt DecodeOptions
 	return t, report, nil
 }
 
+// countingReader counts the bytes pulled through an io.Reader so the decode
+// span can report throughput. Single-goroutine by construction: both decoders
+// read sequentially from the wrapped source.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // startDecodePass counts one decoder invocation and returns the closure a
 // successful decode calls to land its volume on the caller's telemetry —
-// record counts as span attributes and run-wide counters, plus the decode
-// latency histogram. All of it is inert when the context carries no
-// telemetry.
-func startDecodePass(ctx context.Context, span *obs.Span, format string, opt DecodeOptions) func(*Trace, *SalvageReport) {
+// record counts and throughput as span attributes and run-wide series, plus
+// the decode latency histogram. cr may be nil (no byte accounting). All of
+// it is inert when the context carries no telemetry.
+func startDecodePass(ctx context.Context, span *obs.Span, format string, opt DecodeOptions, cr *countingReader) func(*Trace, *SalvageReport) {
 	mode := "strict"
 	if opt.Salvage {
 		mode = "salvage"
@@ -691,9 +706,10 @@ func startDecodePass(ctx context.Context, span *obs.Span, format string, opt Dec
 		obs.Label{K: "format", V: format}, obs.Label{K: "mode", V: mode}).Inc()
 	start := time.Now()
 	return func(t *Trace, report *SalvageReport) {
+		elapsed := time.Since(start)
 		reg.Histogram(obs.MetricDecodeDuration, "Trace decode duration in seconds.",
 			obs.DurationBuckets(), obs.Label{K: "format", V: format}).
-			Observe(time.Since(start).Seconds())
+			Observe(elapsed.Seconds())
 		events, samples := 0, 0
 		for _, rd := range t.Ranks {
 			events += len(rd.Events)
@@ -702,6 +718,17 @@ func startDecodePass(ctx context.Context, span *obs.Span, format string, opt Dec
 		span.SetAttr("ranks", len(t.Ranks))
 		span.SetAttr("events", events)
 		span.SetAttr("samples", samples)
+		if sec := elapsed.Seconds(); sec > 0 {
+			rps := float64(events+samples) / sec
+			span.SetAttr("records_per_sec", rps)
+			reg.Gauge(obs.MetricStageThroughput,
+				"Records processed per second by the last pass of each stage.",
+				obs.Label{K: "stage", V: "decode"}).Set(rps)
+			if cr != nil && cr.n > 0 {
+				span.SetAttr("bytes", cr.n)
+				span.SetAttr("bytes_per_sec", float64(cr.n)/sec)
+			}
+		}
 		reg.Counter(obs.MetricRecordsDecoded, "Trace records (events and samples) decoded.").
 			Add(int64(events + samples))
 		if report == nil {

@@ -126,8 +126,9 @@ func DecodeText(ctx context.Context, rd io.Reader, opt DecodeOptions) (*Trace, *
 	}
 	ctx, span := obs.StartSpan(ctx, "decode")
 	defer span.End()
-	finish := startDecodePass(ctx, span, "text", opt)
-	sc := bufio.NewScanner(rd)
+	cr := &countingReader{r: rd}
+	finish := startDecodePass(ctx, span, "text", opt, cr)
+	sc := bufio.NewScanner(cr)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() {
 		return nil, nil, fmt.Errorf("%w: empty text trace", ErrTruncated)
