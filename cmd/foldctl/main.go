@@ -64,6 +64,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
+	"phasefold/internal/exec"
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
 	"phasefold/internal/obs/otlp"
@@ -160,7 +161,7 @@ func main() {
 	if tel != nil {
 		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
 	}
-	dopt := trace.DecodeOptions{Salvage: cf.Salvage, Parallelism: *parallel}
+	dopt := trace.DecodeOptions{Salvage: cf.Salvage, Exec: exec.Exec{Parallelism: *parallel}}
 	isText := func(path string) bool {
 		return *format == "text" || (*format == "" && strings.HasSuffix(path, ".pftxt"))
 	}

@@ -50,6 +50,7 @@ import (
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
 	"phasefold/internal/obs/otlp"
+	"phasefold/internal/stream"
 	"phasefold/internal/trace"
 )
 
@@ -246,7 +247,21 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exp
 	if tel != nil {
 		tel.Report.OptionsFingerprint = obs.Fingerprint(opt)
 	}
-	model, err := core.Analyze(ctx, tr, opt)
+	// With -serve the report server comes up before the analysis and pushes
+	// the phases forming over SSE while the model is computed; the streaming
+	// session is the same engine batch Analyze drives, so the final model is
+	// identical either way.
+	var srv *export.Server
+	if exp.serve != "" {
+		srv = export.NewServer()
+		srv.MountDebug(tel.DebugMux())
+		addr, err := srv.ListenAndServe(exp.serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phasereport: report server listening on http://%s (interrupt to stop)\n", addr)
+	}
+	model, err := analyzeTrace(ctx, tr, opt, srv)
 	if err != nil {
 		if canceled(err) {
 			fmt.Fprintln(os.Stderr, "phasereport: interrupted during analysis; no partial model available")
@@ -285,15 +300,8 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exp
 			return write(w, getView())
 		})
 	}
-	if exp.serve != "" {
-		srv := export.NewServer()
+	if srv != nil {
 		srv.SetView(getView())
-		srv.MountDebug(tel.DebugMux())
-		addr, err := srv.ListenAndServe(exp.serve)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "phasereport: report server listening on http://%s (interrupt to stop)\n", addr)
 		<-ctx.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(sctx)
@@ -301,6 +309,50 @@ func reportTrace(ctx context.Context, path string, strict, salvage bool, exp exp
 		finishTel("ok")
 		os.Exit(exitSignal)
 	}
+}
+
+// analyzeTrace analyzes tr. Without a server it is plain batch Analyze;
+// with one it drives the streaming session over the same engine while a
+// poller publishes the forming phases to SSE subscribers — the model comes
+// out identical either way (the equivalence the stream tests pin).
+func analyzeTrace(ctx context.Context, tr *trace.Trace, opt core.Options, srv *export.Server) (*core.Model, error) {
+	if srv == nil {
+		return core.Analyze(ctx, tr, opt)
+	}
+	sess, err := stream.New(ctx, stream.Header{
+		App: tr.AppName, NumRanks: tr.NumRanks(), Symbols: tr.Symbols, Stacks: tr.Stacks,
+	}, stream.Options{Core: opt})
+	if err != nil {
+		return nil, err
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		var last *stream.Snapshot
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if snap := sess.Snapshot(); snap != last {
+					last = snap
+					srv.PublishPhases(snap)
+				}
+			}
+		}
+	}()
+	feedErr := sess.FeedTrace(tr)
+	close(stop)
+	<-done
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	// Always push the final formed state: a small trace can finish inside
+	// one ticker period, and late SSE joiners replay history.
+	srv.PublishPhases(sess.Snapshot())
+	return sess.Done()
 }
 
 // writeExport writes one export artifact, records it in the run manifest,

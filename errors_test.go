@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -84,56 +85,39 @@ func TestErrorSentinelsEndToEnd(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersStayFaithful checks the pre-redesign names still
-// work and agree with the canonical entry points they forward to.
-func TestDeprecatedWrappersStayFaithful(t *testing.T) {
+// TestStreamSessionMatchesAnalyze checks the facade's streaming session
+// produces the same model as batch Analyze over the same records.
+func TestStreamSessionMatchesAnalyze(t *testing.T) {
 	app, err := phasefold.NewApp("multiphase")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := phasefold.DefaultConfig()
 	cfg.Iterations = 40
-
-	want, _, err := phasefold.AnalyzeApp(context.Background(), app, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, _, err := phasefold.AnalyzeAppContext(context.Background(), app, cfg, phasefold.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.NumClusters != want.NumClusters || got.NumBursts != want.NumBursts {
-		t.Fatalf("deprecated AnalyzeAppContext diverges: %d/%d vs %d/%d",
-			got.NumClusters, got.NumBursts, want.NumClusters, want.NumBursts)
-	}
-
 	run, err := phasefold.RunApp(app, cfg, phasefold.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	var bin bytes.Buffer
-	if err := phasefold.EncodeTrace(&bin, run.Trace); err != nil {
-		t.Fatal(err)
-	}
-	raw := bin.Bytes()
-	trOld, err := phasefold.DecodeTrace(bytes.NewReader(raw))
+	want, err := phasefold.Analyze(context.Background(), run.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trNew, _, err := phasefold.Decode(context.Background(), bytes.NewReader(raw))
+	sess, err := phasefold.Stream(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if trOld.NumEvents() != trNew.NumEvents() || trOld.NumSamples() != trNew.NumSamples() {
-		t.Fatal("deprecated DecodeTrace diverges from Decode")
+	if err := sess.FeedTrace(run.Trace); err != nil {
+		t.Fatal(err)
 	}
-
-	m, err := phasefold.AnalyzeContext(context.Background(), run.Trace, phasefold.DefaultOptions())
+	got, err := sess.Done()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.NumClusters != want.NumClusters {
-		t.Fatal("deprecated AnalyzeContext diverges from Analyze")
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("streamed model diverges from batch Analyze")
+	}
+	if _, err := sess.Done(); !errors.Is(err, phasefold.ErrSessionDone) {
+		t.Fatalf("second Done: got %v, want ErrSessionDone", err)
 	}
 }
 

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"phasefold/internal/trace"
+)
+
+// Assignor classifies bursts against a frozen structure model — the online
+// clustering mode of the streaming session. A full DBSCAN pass needs the
+// whole burst population, so a live stream instead trains the model once on
+// a prefix (TrainAssignor) and then labels each arriving burst by
+// nearest-neighbour assignment in the frozen normalized feature space:
+// a burst within Eps of a labelled reference point inherits that label,
+// anything farther is Noise. Snapshots use these provisional labels; the
+// final Done result always re-clusters the complete population, so frozen-
+// model drift never reaches the batch-identical end state.
+type Assignor struct {
+	feats       []Feature
+	mins, spans []float64
+	refs        []Point // normalized non-noise training points
+	labels      []int   // refs[i]'s cluster label
+	eps2        float64 // squared assignment radius
+	trainedOn   int     // bursts the model was trained on
+	numClusters int
+}
+
+// TrainAssignor clusters the prefix bursts with DBSCAN over feats and
+// freezes the result as an assignment model: the prefix's normalization
+// (mins and floored spans) and its labelled points. The prefix bursts' own
+// Cluster fields are written, exactly as ClusterBurstsContext would.
+func TrainAssignor(ctx context.Context, bursts []trace.Burst, feats []Feature, opt DBSCANOptions) (*Assignor, error) {
+	if len(bursts) == 0 {
+		return nil, fmt.Errorf("cluster: cannot train an assignor on zero bursts")
+	}
+	pts, valid := Extract(bursts, feats)
+	mins, maxs := Normalize(pts, valid, MinSpans(feats))
+	idx := make([]int, 0, len(bursts))
+	sub := make([]Point, 0, len(bursts))
+	for i := range pts {
+		if valid[i] {
+			idx = append(idx, i)
+			sub = append(sub, pts[i])
+		}
+	}
+	subLabels, err := DBSCANContext(ctx, sub, opt)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(bursts))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	for k, i := range idx {
+		labels[i] = subLabels[k]
+	}
+	ApplyLabels(bursts, labels)
+
+	a := &Assignor{
+		feats:     feats,
+		mins:      mins,
+		eps2:      opt.Eps * opt.Eps,
+		trainedOn: len(bursts),
+	}
+	minSpans := MinSpans(feats)
+	a.spans = make([]float64, len(mins))
+	for j := range a.spans {
+		a.spans[j] = maxs[j] - mins[j]
+		if j < len(minSpans) && a.spans[j] < minSpans[j] {
+			a.spans[j] = minSpans[j]
+		}
+	}
+	for k, p := range sub {
+		if subLabels[k] == Noise {
+			continue
+		}
+		a.refs = append(a.refs, p)
+		a.labels = append(a.labels, subLabels[k])
+	}
+	a.numClusters = NumClusters(subLabels)
+	return a, nil
+}
+
+// Assign labels one burst against the frozen model, returning Noise for
+// bursts missing a required counter or farther than Eps from every labelled
+// reference. The burst's Cluster field is not written.
+func (a *Assignor) Assign(b *trace.Burst) int {
+	p := make(Point, len(a.feats))
+	for j, f := range a.feats {
+		v, ok := featureOf(b, f)
+		if !ok {
+			return Noise
+		}
+		if a.spans[j] > 0 {
+			p[j] = (v - a.mins[j]) / a.spans[j]
+		}
+	}
+	best, label := a.eps2, Noise
+	for i, r := range a.refs {
+		if d := dist2(p, r); d <= best {
+			best, label = d, a.labels[i]
+		}
+	}
+	return label
+}
+
+// NumClusters returns the cluster count of the frozen model.
+func (a *Assignor) NumClusters() int { return a.numClusters }
+
+// TrainedOn returns how many bursts the model was trained on.
+func (a *Assignor) TrainedOn() int { return a.trainedOn }

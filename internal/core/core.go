@@ -15,6 +15,7 @@ import (
 	"phasefold/internal/callstack"
 	"phasefold/internal/cluster"
 	"phasefold/internal/counters"
+	"phasefold/internal/exec"
 	"phasefold/internal/folding"
 	"phasefold/internal/instr"
 	"phasefold/internal/metrics"
@@ -71,20 +72,14 @@ type Options struct {
 	// reports everything it absorbed as Model.Diagnostics and per-cluster
 	// Quality grades.
 	Strict bool
-	// Budget bounds what the analysis may consume (records, ranks, resident
-	// bytes, per-stage wall-clock). The zero value imposes no limits. An
-	// exceeded budget degrades the analysis in lenient mode and aborts it
-	// (wrapping ErrBudget) in strict mode.
-	Budget Budget
-	// Parallelism caps the worker goroutines of every parallel stage —
-	// per-rank burst extraction, per-cluster folding, per-cluster PWL
-	// fitting (and, plumbed through to the decoder, per-rank section
-	// decode). Zero or negative means runtime.GOMAXPROCS(0). The analysis
-	// result is identical at any setting: parallel stages write into
-	// pre-assigned slots and every merge point iterates them in fixed
-	// order, so Parallelism trades wall-clock only, never output. With
-	// Parallelism 1 the stages run inline on the calling goroutine.
-	Parallelism int
+	// Exec composes the execution knobs shared with decoding and the
+	// streaming session: Parallelism (worker cap of every parallel stage;
+	// the result is identical at any setting) and Budget (records, ranks,
+	// resident bytes, per-stage wall-clock; exceeded budgets degrade the
+	// analysis in lenient mode and abort wrapping ErrBudget in strict
+	// mode). The fields are promoted, so opt.Parallelism and opt.Budget
+	// remain the supported access paths.
+	exec.Exec
 }
 
 // DefaultOptions returns the configuration used throughout the experiments:
@@ -296,7 +291,9 @@ func Analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 	return m, err
 }
 
-// analyze is the AnalyzeContext body, under the run's "analyze" span.
+// analyze is the Analyze body, under the run's "analyze" span: the
+// trace-resident front half (prepare, health checks, budget, extraction)
+// followed by the burst-level tail shared with the streaming session.
 func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) {
 	ds := newDiagSink(ctx)
 	if opt.Strict {
@@ -325,6 +322,99 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 	if err != nil {
 		return nil, err
 	}
+	return analyzeTail(ctx, tailInput{
+		app:     tr.AppName,
+		nRanks:  tr.NumRanks(),
+		syms:    tr.Symbols,
+		stacks:  tr.Stacks,
+		bursts:  bursts,
+		project: folding.TraceProjector(tr),
+	}, opt, ds)
+}
+
+// tailInput is everything the burst-level pipeline tail needs; nothing in it
+// requires a resident trace. The batch path fills it from the trace it holds
+// (with a lazy TraceProjector); the streaming session fills it from the
+// state it accumulated as chunks arrived.
+type tailInput struct {
+	app          string
+	nRanks       int
+	syms         *callstack.SymbolTable
+	stacks       *callstack.Interner
+	bursts       []trace.Burst
+	project      folding.Projector
+	totalRecords int64 // decoded record count for throughput attrs; 0 = unknown
+}
+
+// BurstsInput is the input to AnalyzeBursts — the hand-off point where the
+// streaming session joins the batch pipeline. Bursts carry extraction output
+// (sample links resolved, clusters unassigned or pre-assigned); Project
+// supplies the folded observations of each burst (see folding.Projector).
+// Prior diagnostics, produced by the caller's own prepare/health/budget/
+// extract equivalents, are prepended to the model's diagnostics so the
+// combined list reads in batch stage order.
+type BurstsInput struct {
+	// App names the analyzed application.
+	App string
+	// NumRanks is the rank count of the originating trace.
+	NumRanks int
+	// Symbols and Stacks are the trace's resolution tables, used by phase
+	// attribution.
+	Symbols *callstack.SymbolTable
+	Stacks  *callstack.Interner
+	// Bursts are the extracted computation bursts, in any order.
+	Bursts []trace.Burst
+	// Project supplies each burst's folded observations.
+	Project folding.Projector
+	// Prior carries diagnostics recorded before the hand-off.
+	Prior []Diagnostic
+}
+
+// AnalyzeBursts runs the pipeline tail — structure detection, folding,
+// piece-wise linear fitting, grading — over already-extracted bursts. It is
+// the entry point the streaming session's Done uses; given the bursts,
+// projections, and diagnostics a batch run would have produced, the model is
+// byte-identical to Analyze's. Strictness, budget stage timeouts,
+// parallelism, and cancellation behave exactly as in Analyze.
+func AnalyzeBursts(ctx context.Context, in BurstsInput, opt Options) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, aspan := obs.StartSpan(ctx, spanAnalyze)
+	ds := newDiagSink(ctx)
+	ds.diags = append(ds.diags, in.Prior...)
+	m, err := analyzeTail(ctx, tailInput{
+		app:     in.App,
+		nRanks:  in.NumRanks,
+		syms:    in.Symbols,
+		stacks:  in.Stacks,
+		bursts:  in.Bursts,
+		project: in.Project,
+	}, opt, ds)
+	outcome := "ok"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case m.Degraded():
+		outcome = "degraded"
+	}
+	aspan.SetAttr("outcome", outcome)
+	aspan.End()
+	obs.Metrics(ctx).Counter(obs.MetricAnalyses, "Analyses run, by outcome.",
+		obs.Label{K: "outcome", V: outcome}).Inc()
+	if m != nil {
+		obs.Logger(ctx).Info("analysis complete",
+			"app", m.App, "outcome", outcome,
+			"bursts", m.NumBursts, "clusters", m.NumClusters,
+			"diagnostics", len(m.Diagnostics))
+	}
+	return m, err
+}
+
+// analyzeTail is the shared back half of the pipeline, from burst sorting
+// through the finished model.
+func analyzeTail(ctx context.Context, in tailInput, opt Options, ds *diagSink) (*Model, error) {
+	bursts := in.bursts
 	if len(bursts) == 0 {
 		// Total data loss is not absorbable even in lenient mode; tag the
 		// failure so callers can match it with errors.Is.
@@ -341,14 +431,14 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 		return nil, err
 	}
 	model := &Model{
-		App:              tr.AppName,
+		App:              in.app,
 		NumBursts:        len(bursts),
 		NumClusters:      cluster.NumClusters(labels),
 		TotalComputation: trace.TotalComputation(bursts),
 		Bursts:           bursts,
 	}
 	_, model.NoiseBursts = cluster.Sizes(labels)
-	model.SPMDScore = spmdScore(tr.NumRanks(), bursts)
+	model.SPMDScore = spmdScore(in.nRanks, bursts)
 	cspan.SetAttr("clusters", int64(model.NumClusters))
 	cspan.SetAttr("noise_bursts", int64(model.NoiseBursts))
 	obs.Metrics(ctx).Counter(obs.MetricClustersFound, "Clusters detected.").Add(int64(model.NumClusters))
@@ -356,7 +446,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 
 	stats := cluster.Stats(bursts)
 	fdctx, fdspan, endFold := startStage(ctx, spanFold)
-	foldByLabel, err := foldAll(fdctx, tr, bursts, stats, opt, ds)
+	foldByLabel, err := foldAll(fdctx, in.project, bursts, stats, opt, ds)
 	fdspan.SetAttr("clusters_folded", int64(len(foldByLabel)))
 	var foldedPoints int64
 	for _, f := range foldByLabel {
@@ -397,7 +487,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opt Options) (*Model, error) 
 			if testHookFit != nil {
 				testHookFit(ca.Label)
 			}
-			return fitCluster(clctx, tr, ca, opt)
+			return fitCluster(clctx, in.syms, in.stacks, ca, opt)
 		})
 		fitSpan.AddInt("clusters_fit", 1)
 	})
@@ -580,7 +670,7 @@ type clusterFold struct {
 // clusters; unfolded clusters grade Rejected downstream. The first cluster
 // is always folded, even under an already-expired budget, mirroring
 // extraction's at-least-one-rank rule.
-func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
+func foldAll(ctx context.Context, project folding.Projector, bursts []trace.Burst, stats []cluster.Stat, opt Options, ds *diagSink) (map[int]*folding.Folded, error) {
 	sctx, cancel := stageContext(ctx, opt.Budget)
 	defer cancel()
 	byLabel := make(map[int]*folding.Folded, len(stats))
@@ -599,7 +689,7 @@ func foldAll(ctx context.Context, tr *trace.Trace, bursts []trace.Burst, stats [
 		st := stats[i]
 		perCluster[i].err = capture(fmt.Sprintf("fold cluster %d", st.Label), func() error {
 			var e error
-			perCluster[i].folded, e = folding.Fold(tr, bursts, st.Label, opt.Folding)
+			perCluster[i].folded, e = folding.FoldWith(project, bursts, st.Label, opt.Folding)
 			return e
 		})
 		wspans[worker].AddInt("clusters", 1)
@@ -776,8 +866,9 @@ func spmdScore(nRanks int, bursts []trace.Burst) float64 {
 
 // fitCluster fits the PWL models and assembles the phase list of one
 // cluster. The DP inside pwl polls ctx; the secondary-counter refits check
-// it between counters.
-func fitCluster(ctx context.Context, tr *trace.Trace, ca *ClusterAnalysis, opt Options) error {
+// it between counters. It needs only the trace's resolution tables, not its
+// records — the folded cloud carries everything else.
+func fitCluster(ctx context.Context, syms *callstack.SymbolTable, stacks *callstack.Interner, ca *ClusterAnalysis, opt Options) error {
 	f := ca.Folded
 	xs, ys := pointsOf(f, counters.Instructions)
 	if len(xs) < opt.MinFoldedPoints {
@@ -823,11 +914,11 @@ func fitCluster(ctx context.Context, tr *trace.Trace, ca *ClusterAnalysis, opt O
 			ph.RatesOK[id] = true
 		}
 		ph.Metrics, ph.MetricsOK = metrics.MetricsFromRates(ph.Rates, ph.RatesOK)
-		if attr, ok := folding.Attribute(f, tr.Stacks, seg.X0, seg.X1); ok {
+		if attr, ok := folding.Attribute(f, stacks, seg.X0, seg.X1); ok {
 			ph.Attribution = attr
 			ph.Attributed = true
-			ph.Source = tr.Symbols.FormatFrame(callstack.Frame{Routine: attr.Routine, Line: attr.Line})
-			ph.Profile = folding.Profile(f, tr.Stacks, seg.X0, seg.X1)
+			ph.Source = syms.FormatFrame(callstack.Frame{Routine: attr.Routine, Line: attr.Line})
+			ph.Profile = folding.Profile(f, stacks, seg.X0, seg.X1)
 			if len(ph.Profile) > 5 {
 				ph.Profile = ph.Profile[:5]
 			}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
-	"sort"
 
 	"phasefold/internal/obs"
 	"phasefold/internal/sim"
@@ -164,20 +163,23 @@ var severityLevels = [...]slog.Level{
 }
 
 func (ds *diagSink) add(stage, kind string, sev Severity, rank, cluster int, format string, args ...any) {
-	d := Diagnostic{
+	ds.record(Diagnostic{
 		Stage: stage, Kind: kind, Severity: sev, Rank: rank, Cluster: cluster,
 		Message: fmt.Sprintf(format, args...),
-	}
+	})
+}
+
+func (ds *diagSink) record(d Diagnostic) {
 	ds.diags = append(ds.diags, d)
 	if ds.log != nil {
-		ds.log.LogAttrs(context.Background(), severityLevels[sev], "diagnostic",
+		ds.log.LogAttrs(context.Background(), severityLevels[d.Severity], "diagnostic",
 			slog.String("kind", d.Kind), slog.String("stage", d.Stage),
 			slog.Int("rank", d.Rank), slog.Int("cluster", d.Cluster),
 			slog.String("detail", d.Message))
 	}
 	ds.reg.Counter(obs.MetricDiagnostics,
 		"Degraded-mode diagnostics recorded, by kind.",
-		obs.Label{K: "kind", V: kind}).Inc()
+		obs.Label{K: "kind", V: d.Kind}).Inc()
 }
 
 // fromProblems converts trace.Sanitize repairs into diagnostics.
@@ -201,115 +203,11 @@ const (
 
 // runHealthChecks inspects a (sanitized) trace for damage signatures that
 // leave the container invariants intact: missing samples, empty or
-// early-ending ranks, cross-rank clock skew.
+// early-ending ranks, cross-rank clock skew. It runs on the same incremental
+// HealthObserver the streaming session feeds chunk by chunk, so batch and
+// streamed analyses raise identical health diagnostics.
 func runHealthChecks(tr *trace.Trace, ds *diagSink) {
-	end := tr.EndTime()
-	for r, rd := range tr.Ranks {
-		if len(rd.Events) == 0 && len(rd.Samples) == 0 {
-			ds.add("health", KindRankEmpty, SeverityWarn, r, -1, "rank carries no records (process lost or stream dropped)")
-			continue
-		}
-		if rankEnd := rankEndTime(rd); end > 0 && float64(rankEnd) < healthEarlyEndFrac*float64(end) {
-			ds.add("health", KindRankTruncated, SeverityWarn, r, -1,
-				"rank ends at %s, %.0f%% into the trace (stream truncated?)",
-				rankEnd, 100*float64(rankEnd)/float64(end))
-		}
-		if missing, expected := estimateSampleLoss(rd.Samples); missing >= healthLossMin &&
-			float64(missing) >= healthLossFrac*float64(expected) {
-			ds.add("health", KindSampleLoss, SeverityWarn, r, -1,
-				"~%d of ~%d expected samples missing (sampling stream lossy?)", missing, expected)
-		}
-	}
-	checkClockSkew(tr, ds)
-}
-
-func rankEndTime(rd *trace.RankData) sim.Time {
-	var end sim.Time
-	if n := len(rd.Events); n > 0 {
-		end = rd.Events[n-1].Time
-	}
-	if n := len(rd.Samples); n > 0 && rd.Samples[n-1].Time > end {
-		end = rd.Samples[n-1].Time
-	}
-	return end
-}
-
-// estimateSampleLoss compares the sample count of one rank against the
-// count its own median sampling period predicts for its time span. The
-// median is robust to the loss itself (each dropped sample inflates only
-// one gap), so moderate loss rates remain visible.
-func estimateSampleLoss(samples []trace.Sample) (missing, expected int) {
-	n := len(samples)
-	if n < healthMinSamples {
-		return 0, n
-	}
-	gaps := make([]float64, 0, n-1)
-	for i := 1; i < n; i++ {
-		gaps = append(gaps, float64(samples[i].Time-samples[i-1].Time))
-	}
-	med := sim.Median(gaps)
-	if med <= 0 {
-		return 0, n
-	}
-	span := float64(samples[n-1].Time - samples[0].Time)
-	expected = int(span/med) + 1
-	if expected <= n {
-		return 0, expected
-	}
-	return expected - n, expected
-}
-
-// checkClockSkew compares the per-rank time of the earliest shared
-// iteration marker; ranks of an SPMD program reach it nearly together, so a
-// large spread means the per-rank clocks disagree.
-func checkClockSkew(tr *trace.Trace, ds *diagSink) {
-	type mark struct {
-		rank int
-		t    sim.Time
-	}
-	var (
-		marks    []mark
-		iterDurs []float64
-	)
-	for r, rd := range tr.Ranks {
-		var first sim.Time = -1
-		var prev sim.Time = -1
-		for _, e := range rd.Events {
-			if e.Type != trace.IterBegin {
-				continue
-			}
-			if first < 0 {
-				first = e.Time
-			}
-			if prev >= 0 {
-				iterDurs = append(iterDurs, float64(e.Time-prev))
-			}
-			prev = e.Time
-		}
-		if first >= 0 {
-			marks = append(marks, mark{rank: r, t: first})
-		}
-	}
-	if len(marks) < 2 {
-		return
-	}
-	threshold := float64(healthSkewFloor)
-	if len(iterDurs) > 0 {
-		if t := healthSkewOfIterFrac * sim.Median(iterDurs); t > threshold {
-			threshold = t
-		}
-	}
-	times := make([]float64, len(marks))
-	for i, m := range marks {
-		times[i] = float64(m.t)
-	}
-	ref := sim.Median(times)
-	sort.Slice(marks, func(i, j int) bool { return marks[i].rank < marks[j].rank })
-	for _, m := range marks {
-		if off := float64(m.t) - ref; off > threshold || off < -threshold {
-			ds.add("health", KindClockSkew, SeverityWarn, m.rank, -1,
-				"first iteration marker offset by %s from the median rank (clock skew?)",
-				sim.Duration(off).String())
-		}
-	}
+	h := NewHealthObserver(tr.NumRanks())
+	h.ObserveTrace(tr)
+	h.report(ds)
 }

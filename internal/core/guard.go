@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
+	"phasefold/internal/exec"
 	"phasefold/internal/trace"
 )
 
@@ -20,32 +20,15 @@ var ErrBudget = errors.New("core: resource budget exceeded")
 // an error wrapping this sentinel.
 var ErrPanic = errors.New("core: panic during analysis")
 
-// Budget bounds what one analysis may consume. The zero value imposes no
-// limits. When a limit is exceeded, lenient mode downgrades to the degraded-
-// mode machinery — the analysis continues on the share of the input that
-// fits, every downgrade is recorded as a "budget" Diagnostic with a
-// budget_exceeded:<stage> message, and affected clusters are graded below
-// QualityOK — while Strict mode fails fast with an error wrapping ErrBudget.
-type Budget struct {
-	// MaxRecords caps the total events+samples analyzed. Lenient mode keeps
-	// a prefix of whole ranks whose records fit (at least one rank).
-	MaxRecords int
-	// MaxRanks caps the ranks analyzed; lenient mode keeps the first MaxRanks.
-	MaxRanks int
-	// MaxBytes caps the estimated resident size of the analyzed records
-	// (trace.EstimateBytes); enforced like MaxRecords, at rank granularity.
-	MaxBytes int64
-	// StageTimeout is the wall-clock allowance of each pipeline stage
-	// (extraction, structure detection, folding, fitting). A stage that
-	// exceeds it is interrupted through its context: lenient mode keeps the
-	// partial result and records what was cut short, strict mode fails.
-	StageTimeout time.Duration
-}
-
-// Unlimited reports whether the budget imposes no limits.
-func (b Budget) Unlimited() bool {
-	return b.MaxRecords <= 0 && b.MaxRanks <= 0 && b.MaxBytes <= 0 && b.StageTimeout <= 0
-}
+// Budget bounds what one analysis may consume; it is the shared exec.Budget,
+// aliased here so existing core.Budget references keep working. The zero
+// value imposes no limits. When a limit is exceeded, lenient mode downgrades
+// to the degraded-mode machinery — the analysis continues on the share of
+// the input that fits, every downgrade is recorded as a "budget" Diagnostic
+// with a budget_exceeded:<stage> message, and affected clusters are graded
+// below QualityOK — while Strict mode fails fast with an error wrapping
+// ErrBudget.
+type Budget = exec.Budget
 
 // stageContext bounds ctx by the per-stage wall-clock budget. The returned
 // cancel must always be called.
@@ -143,6 +126,99 @@ func applyBudget(tr *trace.Trace, b Budget, ds *diagSink) *trace.Trace {
 		"budget_exceeded:%s: analyzing first %d of %d ranks (%d records kept)",
 		stage, keep, tr.NumRanks(), records)
 	return out
+}
+
+// StreamCounts is the per-rank record tally a streaming session accumulates
+// in place of a resident trace; index r holds rank r's counts.
+type StreamCounts struct {
+	Events  []int
+	Samples []int
+}
+
+// Records returns the total record count.
+func (c StreamCounts) Records() int {
+	n := 0
+	for i := range c.Events {
+		n += c.Events[i] + c.Samples[i]
+	}
+	return n
+}
+
+// Bytes returns the resident-byte estimate a trace holding these records
+// would report (trace.EstimateBytes).
+func (c StreamCounts) Bytes() int64 {
+	var total int64
+	for i := range c.Events {
+		total += int64(c.Events[i])*trace.EventBytes + int64(c.Samples[i])*trace.SampleBytes
+	}
+	return total
+}
+
+func (c StreamCounts) rankBytes(r int) int64 {
+	return int64(c.Events[r])*trace.EventBytes + int64(c.Samples[r])*trace.SampleBytes
+}
+
+// StreamBudget evaluates the static budget limits against streamed per-rank
+// record counts — the session-side equivalent of checkBudget (strict) and
+// applyBudget (lenient), applied at Done when the counts are final. Strict
+// mode returns an error wrapping ErrBudget with the batch messages. Lenient
+// mode returns how many leading ranks the analysis keeps and, when that
+// trims anything, the budget diagnostic applyBudget would have recorded;
+// keep == len(c.Events) and a nil diagnostic mean no trim.
+func StreamBudget(c StreamCounts, b Budget, strict bool) (keep int, diag *Diagnostic, err error) {
+	nRanks := len(c.Events)
+	if strict {
+		if b.MaxRanks > 0 && nRanks > b.MaxRanks {
+			return 0, nil, fmt.Errorf("%w: trace has %d ranks, budget allows %d", ErrBudget, nRanks, b.MaxRanks)
+		}
+		if records := c.Records(); b.MaxRecords > 0 && records > b.MaxRecords {
+			return 0, nil, fmt.Errorf("%w: trace has %d records, budget allows %d", ErrBudget, records, b.MaxRecords)
+		}
+		if est := c.Bytes(); b.MaxBytes > 0 && est > b.MaxBytes {
+			return 0, nil, fmt.Errorf("%w: trace holds ~%d resident bytes, budget allows %d", ErrBudget, est, b.MaxBytes)
+		}
+		return nRanks, nil, nil
+	}
+	if b.MaxRecords <= 0 && b.MaxRanks <= 0 && b.MaxBytes <= 0 {
+		return nRanks, nil, nil
+	}
+	limit := nRanks
+	if b.MaxRanks > 0 && b.MaxRanks < limit {
+		limit = b.MaxRanks
+	}
+	records := 0
+	var bytes int64
+	for r := 0; r < limit; r++ {
+		n := c.Events[r] + c.Samples[r]
+		rb := c.rankBytes(r)
+		if keep > 0 {
+			if b.MaxRecords > 0 && records+n > b.MaxRecords {
+				break
+			}
+			if b.MaxBytes > 0 && bytes+rb > b.MaxBytes {
+				break
+			}
+		}
+		records += n
+		bytes += rb
+		keep++
+	}
+	if keep >= nRanks {
+		return nRanks, nil, nil
+	}
+	stage := "ranks"
+	switch {
+	case b.MaxRanks > 0 && keep == b.MaxRanks:
+	case b.MaxRecords > 0 && records <= b.MaxRecords:
+		stage = "records"
+	default:
+		stage = "memory"
+	}
+	return keep, &Diagnostic{
+		Stage: "budget", Kind: KindBudgetExceeded, Severity: SeverityWarn, Rank: -1, Cluster: -1,
+		Message: fmt.Sprintf("budget_exceeded:%s: analyzing first %d of %d ranks (%d records kept)",
+			stage, keep, nRanks, records),
+	}, nil
 }
 
 // capture runs fn, converting a panic into an error wrapping ErrPanic so one

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"phasefold/internal/sim"
+	"phasefold/internal/trace"
+)
+
+// healthRank accumulates one rank's health statistics from its record
+// stream. Everything the checks need reduces to per-rank scalars plus the
+// sample-gap and iteration-duration lists, so the observer never retains
+// records — the property that lets the streaming session run the batch
+// health checks without a resident trace.
+type healthRank struct {
+	records int
+	end     sim.Time
+
+	samples           int
+	firstSmp, lastSmp sim.Time
+	gaps              []float64
+
+	firstIter, prevIter sim.Time
+	iterDurs            []float64
+}
+
+// HealthObserver is the incremental form of the prepare-stage health checks:
+// feed it every record (in per-rank time order, any interleaving across
+// ranks) and Report renders exactly the diagnostics runHealthChecks derives
+// from a resident trace — empty ranks, early-ending ranks, lossy sampling
+// streams, cross-rank clock skew. The batch path itself runs on this
+// observer, so the two cannot drift.
+type HealthObserver struct {
+	ranks []healthRank
+}
+
+// NewHealthObserver returns an observer for a trace of nRanks ranks.
+func NewHealthObserver(nRanks int) *HealthObserver {
+	h := &HealthObserver{ranks: make([]healthRank, nRanks)}
+	for i := range h.ranks {
+		h.ranks[i].firstIter = -1
+		h.ranks[i].prevIter = -1
+	}
+	return h
+}
+
+// Event feeds one event of rank's stream.
+func (h *HealthObserver) Event(rank int, e trace.Event) {
+	hr := &h.ranks[rank]
+	hr.records++
+	if e.Time > hr.end {
+		hr.end = e.Time
+	}
+	if e.Type == trace.IterBegin {
+		if hr.firstIter < 0 {
+			hr.firstIter = e.Time
+		}
+		if hr.prevIter >= 0 {
+			hr.iterDurs = append(hr.iterDurs, float64(e.Time-hr.prevIter))
+		}
+		hr.prevIter = e.Time
+	}
+}
+
+// Sample feeds one sample of rank's stream.
+func (h *HealthObserver) Sample(rank int, s trace.Sample) {
+	hr := &h.ranks[rank]
+	hr.records++
+	if s.Time > hr.end {
+		hr.end = s.Time
+	}
+	if hr.samples > 0 {
+		hr.gaps = append(hr.gaps, float64(s.Time-hr.lastSmp))
+	} else {
+		hr.firstSmp = s.Time
+	}
+	hr.lastSmp = s.Time
+	hr.samples++
+}
+
+// Reset forgets everything observed for rank. The streaming session calls
+// it when lenient validation drops a rank mid-stream, so the health report
+// sees the rank exactly as batch prepare leaves it: empty.
+func (h *HealthObserver) Reset(rank int) {
+	h.ranks[rank] = healthRank{firstIter: -1, prevIter: -1}
+}
+
+// ObserveTrace feeds every record of tr — the batch path.
+func (h *HealthObserver) ObserveTrace(tr *trace.Trace) {
+	for r, rd := range tr.Ranks {
+		for _, e := range rd.Events {
+			h.Event(r, e)
+		}
+		for i := range rd.Samples {
+			h.Sample(r, rd.Samples[i])
+		}
+	}
+}
+
+// Report renders the accumulated statistics as diagnostics on rec, in the
+// batch stage's order: per-rank checks in rank order, then clock skew.
+func (h *HealthObserver) Report(rec *Recorder) {
+	h.report(rec.ds)
+}
+
+func (h *HealthObserver) report(ds *diagSink) {
+	var end sim.Time
+	for i := range h.ranks {
+		if h.ranks[i].end > end {
+			end = h.ranks[i].end
+		}
+	}
+	for r := range h.ranks {
+		hr := &h.ranks[r]
+		if hr.records == 0 {
+			ds.add("health", KindRankEmpty, SeverityWarn, r, -1, "rank carries no records (process lost or stream dropped)")
+			continue
+		}
+		if end > 0 && float64(hr.end) < healthEarlyEndFrac*float64(end) {
+			ds.add("health", KindRankTruncated, SeverityWarn, r, -1,
+				"rank ends at %s, %.0f%% into the trace (stream truncated?)",
+				hr.end, 100*float64(hr.end)/float64(end))
+		}
+		if missing, expected := hr.sampleLoss(); missing >= healthLossMin &&
+			float64(missing) >= healthLossFrac*float64(expected) {
+			ds.add("health", KindSampleLoss, SeverityWarn, r, -1,
+				"~%d of ~%d expected samples missing (sampling stream lossy?)", missing, expected)
+		}
+	}
+	h.clockSkew(ds)
+}
+
+// sampleLoss compares the rank's sample count against the count its own
+// median sampling period predicts for its time span. The median is robust to
+// the loss itself (each dropped sample inflates only one gap), so moderate
+// loss rates remain visible.
+func (hr *healthRank) sampleLoss() (missing, expected int) {
+	if hr.samples < healthMinSamples {
+		return 0, hr.samples
+	}
+	med := sim.Median(hr.gaps)
+	if med <= 0 {
+		return 0, hr.samples
+	}
+	span := float64(hr.lastSmp - hr.firstSmp)
+	expected = int(span/med) + 1
+	if expected <= hr.samples {
+		return 0, expected
+	}
+	return expected - hr.samples, expected
+}
+
+// clockSkew compares the per-rank time of the earliest shared iteration
+// marker; ranks of an SPMD program reach it nearly together, so a large
+// spread means the per-rank clocks disagree.
+func (h *HealthObserver) clockSkew(ds *diagSink) {
+	type mark struct {
+		rank int
+		t    sim.Time
+	}
+	var (
+		marks    []mark
+		iterDurs []float64
+	)
+	for r := range h.ranks {
+		hr := &h.ranks[r]
+		iterDurs = append(iterDurs, hr.iterDurs...)
+		if hr.firstIter >= 0 {
+			marks = append(marks, mark{rank: r, t: hr.firstIter})
+		}
+	}
+	if len(marks) < 2 {
+		return
+	}
+	threshold := float64(healthSkewFloor)
+	if len(iterDurs) > 0 {
+		if t := healthSkewOfIterFrac * sim.Median(iterDurs); t > threshold {
+			threshold = t
+		}
+	}
+	times := make([]float64, len(marks))
+	for i, m := range marks {
+		times[i] = float64(m.t)
+	}
+	ref := sim.Median(times)
+	sort.Slice(marks, func(i, j int) bool { return marks[i].rank < marks[j].rank })
+	for _, m := range marks {
+		if off := float64(m.t) - ref; off > threshold || off < -threshold {
+			ds.add("health", KindClockSkew, SeverityWarn, m.rank, -1,
+				"first iteration marker offset by %s from the median rank (clock skew?)",
+				sim.Duration(off).String())
+		}
+	}
+}
+
+// A Recorder accumulates diagnostics raised outside core's own stages; the
+// streaming session uses one so its prepare/health/budget diagnostics are
+// logged and counted identically to the batch stages', then hands the list
+// to AnalyzeBursts as BurstsInput.Prior.
+type Recorder struct{ ds *diagSink }
+
+// NewRecorder returns a recorder logging and counting on ctx's telemetry.
+func NewRecorder(ctx context.Context) *Recorder {
+	return &Recorder{ds: newDiagSink(ctx)}
+}
+
+// Add records d, emitting the structured log event and metric increment.
+func (rec *Recorder) Add(d Diagnostic) { rec.ds.record(d) }
+
+// Addf formats and records a diagnostic (rank and cluster use -1 for "not
+// applicable").
+func (rec *Recorder) Addf(stage, kind string, sev Severity, rank, cluster int, format string, args ...any) {
+	rec.ds.add(stage, kind, sev, rank, cluster, format, args...)
+}
+
+// Diagnostics returns the recorded list in order.
+func (rec *Recorder) Diagnostics() []Diagnostic { return rec.ds.diags }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"phasefold/internal/exec"
 	"phasefold/internal/simapp"
 	"phasefold/internal/trace"
 )
@@ -85,12 +86,12 @@ func TestDecodeParallelSalvageIdenticalToSerial(t *testing.T) {
 	cut := raw[:len(raw)*4/5] // tail truncation damages the last section
 
 	ser, _, err := trace.Decode(context.Background(), bytes.NewReader(cut),
-		trace.DecodeOptions{Salvage: true, Parallelism: 1})
+		trace.DecodeOptions{Salvage: true, Exec: exec.Exec{Parallelism: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	par, _, err := trace.Decode(context.Background(), bytes.NewReader(cut),
-		trace.DecodeOptions{Salvage: true, Parallelism: 8})
+		trace.DecodeOptions{Salvage: true, Exec: exec.Exec{Parallelism: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}

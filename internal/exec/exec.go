@@ -1,0 +1,62 @@
+// Package exec holds the execution knobs shared by every stage of the
+// pipeline — batch analysis, trace decoding, and the streaming session.
+// Historically Parallelism and the resource budget were declared separately
+// on core.Options and trace.DecodeOptions; Exec is the one composed struct
+// both embed, so the knobs are defined once and promoted field paths
+// (opt.Parallelism, opt.Budget) keep working everywhere.
+//
+// The package is a leaf: it may be imported by trace, core, stream, and the
+// facade without cycles.
+package exec
+
+import "time"
+
+// Budget bounds what one analysis may consume. The zero value imposes no
+// limits. When a limit is exceeded, lenient mode downgrades to the degraded-
+// mode machinery — the analysis continues on the share of the input that
+// fits, every downgrade is recorded as a "budget" Diagnostic with a
+// budget_exceeded:<stage> message, and affected clusters are graded below
+// QualityOK — while Strict mode fails fast with an error wrapping
+// core.ErrBudget.
+type Budget struct {
+	// MaxRecords caps the total events+samples analyzed. Lenient mode keeps
+	// a prefix of whole ranks whose records fit (at least one rank).
+	MaxRecords int
+	// MaxRanks caps the ranks analyzed; lenient mode keeps the first MaxRanks.
+	MaxRanks int
+	// MaxBytes caps the estimated resident size of the analyzed records
+	// (trace.EstimateBytes); enforced like MaxRecords, at rank granularity.
+	MaxBytes int64
+	// StageTimeout is the wall-clock allowance of each pipeline stage
+	// (extraction, structure detection, folding, fitting). A stage that
+	// exceeds it is interrupted through its context: lenient mode keeps the
+	// partial result and records what was cut short, strict mode fails.
+	StageTimeout time.Duration
+}
+
+// Unlimited reports whether the budget imposes no limits.
+func (b Budget) Unlimited() bool {
+	return b.MaxRecords <= 0 && b.MaxRanks <= 0 && b.MaxBytes <= 0 && b.StageTimeout <= 0
+}
+
+// Exec is the composed execution configuration embedded by core.Options,
+// trace.DecodeOptions, and stream.Config. Embedding promotes the fields, so
+// the pre-unification paths (Options.Parallelism, DecodeOptions.Parallelism,
+// Options.Budget) remain valid selector expressions; only composite literals
+// naming the fields directly need the Exec wrapper.
+type Exec struct {
+	// Parallelism caps the worker goroutines of every parallel stage —
+	// per-rank section decode, per-rank burst extraction, per-cluster
+	// folding, per-cluster PWL fitting. Zero or negative means
+	// runtime.GOMAXPROCS(0). Results are identical at any setting: parallel
+	// stages write into pre-assigned slots and every merge point iterates
+	// them in fixed order, so Parallelism trades wall-clock only, never
+	// output. With Parallelism 1 the stages run inline on the calling
+	// goroutine.
+	Parallelism int
+	// Budget bounds what the run may consume (records, ranks, resident
+	// bytes, per-stage wall-clock). The analysis stages and the streaming
+	// session enforce it; the decoder carries it through for callers that
+	// reuse one struct but does not itself enforce the record limits.
+	Budget Budget
+}

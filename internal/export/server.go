@@ -13,6 +13,7 @@ import (
 
 	"phasefold/internal/core"
 	"phasefold/internal/runner"
+	"phasefold/internal/stream"
 )
 
 // Server is the embedded HTML report server: an interactive phase timeline
@@ -85,6 +86,18 @@ func (s *Server) PublishJob(ev runner.Event) {
 	s.mu.Unlock()
 	data, _ := json.Marshal(st)
 	s.broker.publish(fmt.Sprintf("event: %s\ndata: %s\n\n", sse, data))
+}
+
+// PublishPhases pushes a live streaming-analysis snapshot to every SSE
+// subscriber as a `phases` event, so a connected page watches phases form
+// while the trace is still being fed. A nil snapshot is ignored. Safe for
+// concurrent use.
+func (s *Server) PublishPhases(snap *stream.Snapshot) {
+	if snap == nil {
+		return
+	}
+	data, _ := json.Marshal(snap)
+	s.broker.publish(fmt.Sprintf("event: phases\ndata: %s\n\n", data))
 }
 
 // Handler returns the server's routing table.

@@ -3,6 +3,7 @@ package export
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"phasefold/internal/obs"
 	"phasefold/internal/runner"
+	"phasefold/internal/stream"
 )
 
 func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
@@ -201,6 +203,56 @@ func TestServerBatchSSE(t *testing.T) {
 		if !strings.Contains(body, "<td>"+name+"</td>") {
 			t.Errorf("index job table missing job %q", name)
 		}
+	}
+}
+
+// TestServerPhasesSSE: PublishPhases pushes live streaming-analysis
+// snapshots as `phases` SSE events (replayed from history for late
+// joiners), so a connected page watches phases form while the trace is
+// still being analyzed. A nil snapshot publishes nothing.
+func TestServerPhasesSSE(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.PublishPhases(nil) // ignored
+	srv.PublishPhases(&stream.Snapshot{
+		Bursts: 12, Trained: true, TrainedOn: 8, Clusters: 2,
+		States: []stream.ClusterState{
+			{Label: 0, Bursts: 7, Fitted: true, Phases: []stream.PhasePreview{{X0: 0, X1: 0.5, Slope: 1.5}}},
+			{Label: 1, Bursts: 5},
+		},
+	})
+
+	resp, err := ts.Client().Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: phases" {
+			if !sc.Scan() {
+				t.Fatal("phases event without a data line")
+			}
+			data = strings.TrimPrefix(sc.Text(), "data: ")
+			break
+		}
+	}
+	if data == "" {
+		t.Fatalf("no phases event on /events (scanner err %v)", sc.Err())
+	}
+	var snap stream.Snapshot
+	if err := json.Unmarshal([]byte(data), &snap); err != nil {
+		t.Fatalf("phases data is not a Snapshot: %v\n%s", err, data)
+	}
+	if snap.Bursts != 12 || snap.Clusters != 2 || len(snap.States) != 2 {
+		t.Errorf("replayed snapshot = %+v, want 12 bursts / 2 clusters / 2 states", snap)
+	}
+	if !snap.States[0].Fitted || len(snap.States[0].Phases) != 1 || snap.States[0].Phases[0].Slope != 1.5 {
+		t.Errorf("cluster state 0 lost its preview fit: %+v", snap.States[0])
 	}
 }
 

@@ -135,10 +135,31 @@ func (f *Folded) RateScale(id counters.ID) (float64, bool) {
 	return float64(total) / f.RepDuration.Seconds(), true
 }
 
+// Projector appends one burst's folded observations (normalized points and
+// stack samples) to f. It is the seam between the folding algebra — median
+// durations, outlier pruning, delta medians, final sorts — and the source of
+// the per-sample projections: the batch path projects lazily out of a
+// resident trace (TraceProjector), the streaming path replays clouds built
+// eagerly as samples arrived (CloudProjector). Both append identical values
+// in identical order, which keeps the two paths byte-identical through the
+// unstable final sort.
+type Projector func(f *Folded, b *trace.Burst)
+
+// TraceProjector projects burst samples directly out of the resident trace —
+// the batch path.
+func TraceProjector(tr *trace.Trace) Projector {
+	return func(f *Folded, b *trace.Burst) { foldBurst(f, tr, b) }
+}
+
 // Fold projects the samples of all bursts labelled label onto the synthetic
 // burst. bursts must carry cluster labels and sample links (ExtractBursts
 // output after clustering).
 func Fold(tr *trace.Trace, bursts []trace.Burst, label int, opt Options) (*Folded, error) {
+	return FoldWith(TraceProjector(tr), bursts, label, opt)
+}
+
+// FoldWith is Fold with an explicit projection source; see Projector.
+func FoldWith(project Projector, bursts []trace.Burst, label int, opt Options) (*Folded, error) {
 	if label < 0 {
 		return nil, fmt.Errorf("folding: cannot fold noise label %d", label)
 	}
@@ -183,7 +204,7 @@ func Fold(tr *trace.Trace, bursts []trace.Burst, label int, opt Options) (*Folde
 				deltas[id] = append(deltas[id], float64(v))
 			}
 		}
-		foldBurst(f, tr, b)
+		project(f, b)
 	}
 	if f.UsedBursts == 0 && opt.DurationBand > 0 {
 		// A bimodal cluster (structure detection merged two behaviours) can
@@ -192,7 +213,7 @@ func Fold(tr *trace.Trace, bursts []trace.Burst, label int, opt Options) (*Folde
 		// so retry without the band.
 		relaxed := opt
 		relaxed.DurationBand = 0
-		return Fold(tr, bursts, label, relaxed)
+		return FoldWith(project, bursts, label, relaxed)
 	}
 	if f.UsedBursts == 0 {
 		return nil, fmt.Errorf("folding: cluster %d: all %d bursts pruned", label, len(members))
@@ -246,6 +267,11 @@ func foldBurst(f *Folded, tr *trace.Trace, b *trace.Burst) {
 // FoldAll folds every non-noise cluster present in bursts, returning results
 // keyed by label in ascending label order.
 func FoldAll(tr *trace.Trace, bursts []trace.Burst, opt Options) ([]*Folded, error) {
+	return FoldAllWith(TraceProjector(tr), bursts, opt)
+}
+
+// FoldAllWith is FoldAll with an explicit projection source; see Projector.
+func FoldAllWith(project Projector, bursts []trace.Burst, opt Options) ([]*Folded, error) {
 	seen := make(map[int]bool)
 	var labels []int
 	for i := range bursts {
@@ -257,7 +283,7 @@ func FoldAll(tr *trace.Trace, bursts []trace.Burst, opt Options) ([]*Folded, err
 	sort.Ints(labels)
 	out := make([]*Folded, 0, len(labels))
 	for _, l := range labels {
-		f, err := Fold(tr, bursts, l, opt)
+		f, err := FoldWith(project, bursts, l, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,11 @@ import (
 // duration, attributes, and nested stages.
 type StageReport struct {
 	Name string `json:"name"`
+	// StartNS is the stage's start offset in nanoseconds relative to the
+	// reported root span (0 for the root itself) — with DurationNS it
+	// makes concurrent stages, like a streamed upload's overlapping
+	// spool/stream pair, provable from the report alone.
+	StartNS int64 `json:"start_ns"`
 	// DurationNS is the stage wall-clock time in nanoseconds (JSON-stable;
 	// DurationSec is the same figure in seconds for human readers).
 	DurationNS  int64          `json:"duration_ns"`
@@ -22,9 +27,16 @@ type StageReport struct {
 
 // SpanReport converts one span tree into its manifest form.
 func SpanReport(s *Span) StageReport {
+	return spanReportAt(s, s.Start())
+}
+
+// spanReportAt renders one span with start offsets relative to base (the
+// reported root's start).
+func spanReportAt(s *Span, base time.Time) StageReport {
 	d := s.Duration()
 	r := StageReport{
 		Name:        s.Name(),
+		StartNS:     s.Start().Sub(base).Nanoseconds(),
 		DurationNS:  d.Nanoseconds(),
 		DurationSec: d.Seconds(),
 	}
@@ -35,7 +47,7 @@ func SpanReport(s *Span) StageReport {
 		}
 	}
 	for _, c := range s.Children() {
-		r.Stages = append(r.Stages, SpanReport(c))
+		r.Stages = append(r.Stages, spanReportAt(c, base))
 	}
 	return r
 }

@@ -47,14 +47,15 @@ const (
 	MetricBreakerTransitions = "phasefold_runner_breaker_state_total"  // counter{to}: closed|open|half-open
 	MetricJobDuration        = "phasefold_runner_job_duration_seconds" // histogram{outcome}
 	// Analysis daemon (internal/service).
-	MetricHTTPRequests  = "phasefold_http_requests_total"        // counter{route,code}
-	MetricAdmitRejected = "phasefold_admission_rejected_total"   // counter{reason}: quota|queue_full|draining|body
-	MetricQueueDepth    = "phasefold_service_queue_depth"        // gauge: queued + running jobs
-	MetricCacheEvents   = "phasefold_service_cache_events_total" // counter{event}: hit|miss|coalesced|evicted
-	MetricCacheEntries  = "phasefold_service_cache_entries"      // gauge
-	MetricCacheBytes    = "phasefold_service_cache_bytes"        // gauge
-	MetricUploadBytes   = "phasefold_service_upload_bytes_total" // counter: accepted request-body bytes
-	MetricHTTPEvents    = "phasefold_http_events_total"          // counter{event}: abandoned
+	MetricHTTPRequests  = "phasefold_http_requests_total"          // counter{route,code}
+	MetricAdmitRejected = "phasefold_admission_rejected_total"     // counter{reason}: quota|queue_full|draining|body
+	MetricQueueDepth    = "phasefold_service_queue_depth"          // gauge: queued + running jobs
+	MetricCacheEvents   = "phasefold_service_cache_events_total"   // counter{event}: hit|miss|coalesced|evicted
+	MetricCacheEntries  = "phasefold_service_cache_entries"        // gauge
+	MetricCacheBytes    = "phasefold_service_cache_bytes"          // gauge
+	MetricUploadBytes   = "phasefold_service_upload_bytes_total"   // counter: accepted request-body bytes
+	MetricHTTPEvents    = "phasefold_http_events_total"            // counter{event}: abandoned
+	MetricStreamUploads = "phasefold_service_stream_uploads_total" // counter{result}: pristine|fallback
 	// Durability layer (internal/service store + journal).
 	MetricPersistEvents  = "phasefold_service_persist_events_total" // counter{event}: put|hit|expired|quarantined|evicted|error|degraded|recovered
 	MetricPersistEntries = "phasefold_service_persist_entries"      // gauge: results held on disk

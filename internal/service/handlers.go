@@ -150,10 +150,24 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	removeSpool := func() { os.Remove(spoolPath) }
 
 	hash := sha256.New()
-	n, err := io.Copy(io.MultiWriter(hash, spool), body)
+	sink := io.Writer(io.MultiWriter(hash, spool))
+	// A chunked binary body can be analyzed while it arrives: tee the spool
+	// copy into an incremental session (the job's `stream` span runs
+	// concurrently with `spool`). The tee never gates the upload — the spool
+	// stays authoritative and complete for the fallback path.
+	var att *streamAttempt
+	if s.cfg.StreamUploads && !text && r.ContentLength < 0 {
+		var tee io.Writer
+		att, tee = s.beginStreamAttempt(jt)
+		sink = io.MultiWriter(hash, spool, tee)
+	}
+	n, err := io.Copy(sink, body)
 	closeErr := spool.Close()
 	spSpan.SetAttr("bytes", n)
 	spSpan.End()
+	if att != nil {
+		att.seal(err)
+	}
 	if err != nil {
 		removeSpool()
 		s.finishTrace(jt, "rejected")
@@ -233,6 +247,33 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	jt.setCache("miss")
 	j := &job{key: key, tenant: tenant, path: spoolPath, text: text, size: n, jt: jt}
+	if att != nil {
+		if res := att.streamedResult(j); res != nil {
+			// The streamed analysis finished with a pristine result while the
+			// body was arriving: publish it directly, skipping the queue. No
+			// journal entry is needed — the work is already done, exactly like
+			// a cache hit.
+			s.nStreamed.Add(1)
+			s.nMisses.Add(1)
+			s.reg.Counter(obs.MetricCacheEvents, "Result-cache events.",
+				obs.Label{K: "event", V: "miss"}).Inc()
+			s.reg.Counter(obs.MetricStreamUploads, "Chunked uploads analyzed while arriving, by result.",
+				obs.Label{K: "result", V: "pristine"}).Inc()
+			pubSpan := jt.stage(stagePublish)
+			s.recordOutcome(res.outcome)
+			s.cache.put(res)
+			s.store.put(res)
+			pubSpan.End()
+			removeSpool()
+			s.finishTrace(jt, res.outcome)
+			s.fly.complete(j.key, res)
+			s.serveResult(w, res, "stream")
+			s.observeTTFB(tenant, arrived)
+			return
+		}
+		s.reg.Counter(obs.MetricStreamUploads, "Chunked uploads analyzed while arriving, by result.",
+			obs.Label{K: "result", V: "fallback"}).Inc()
+	}
 	// Journal the acceptance (fsynced) before the job can run: a crash from
 	// here on is recoverable — the spool file plus this record re-create
 	// the job (under the same trace ID) at the next start.

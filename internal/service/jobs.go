@@ -15,6 +15,7 @@ import (
 	"phasefold/internal/export"
 	"phasefold/internal/obs"
 	"phasefold/internal/obs/otlp"
+	"phasefold/internal/stream"
 )
 
 // Job-lifecycle tracing: every accepted upload gets a trace ID (the
@@ -32,6 +33,7 @@ import (
 const (
 	stageAdmission = "admission" // draining check + tenant token bucket
 	stageSpool     = "spool"     // body → temp file while SHA-256 hashing
+	stageStream    = "stream"    // incremental analysis racing the spool (StreamUploads)
 	stageCache     = "cache"     // memory LRU + durable-store read-through
 	stageCoalesce  = "coalesce"  // waiting on an identical in-flight job
 	stageQueue     = "queue"     // enqueue → worker pickup
@@ -507,8 +509,11 @@ type dashSnapshot struct {
 	E2EP95         float64          `json:"e2e_p95"`
 	Outcomes       map[string]int64 `json:"outcomes,omitempty"`
 	OTLP           *otlp.Stats      `json:"otlp,omitempty"`
-	Stages         []dashStage      `json:"stages"`
-	Jobs           []jobSummary     `json:"jobs"`
+	// Phases is the phases-forming-live view of the streamed upload in
+	// flight, when there is one.
+	Phases *stream.Snapshot `json:"phases,omitempty"`
+	Stages []dashStage      `json:"stages"`
+	Jobs   []jobSummary     `json:"jobs"`
 }
 
 // dashboardInterval paces the background publisher; job completions also
@@ -567,6 +572,7 @@ func (s *Service) publishDash() {
 		QueueHistory:   s.depthRing.values(),
 		Outcomes:       st.Outcomes,
 		OTLP:           st.OTLP,
+		Phases:         s.livePhases.Load(),
 	}
 	okE2E := s.reg.Histogram(obs.MetricJobE2ESeconds, "Accept-to-publish end-to-end time in seconds.",
 		obs.DurationBuckets(), obs.Label{K: "outcome", V: "ok"})

@@ -60,6 +60,7 @@ import (
 	"phasefold/internal/obs"
 	"phasefold/internal/obs/otlp"
 	"phasefold/internal/runner"
+	"phasefold/internal/stream"
 	"phasefold/internal/trace"
 )
 
@@ -108,6 +109,13 @@ type Config struct {
 	FS faults.FS
 	// SpoolDir receives upload temp files; "" means os.TempDir().
 	SpoolDir string
+	// StreamUploads analyzes chunked (unknown-length) binary uploads while
+	// the body is still arriving: the spool tee feeds an incremental
+	// stream.Session, and a pristine streamed result — clean decode, zero
+	// diagnostics, not degraded — is published without ever entering the
+	// queue. Declared-length bodies, text uploads, and anything needing
+	// repair fall back to the classic spool-then-queue path unchanged.
+	StreamUploads bool
 	// Logger receives the daemon's structured events (recovery, sweeps,
 	// disk-fault degradation); nil disables.
 	Logger *slog.Logger
@@ -160,6 +168,7 @@ func Defaults() Config {
 		CacheDiskEntries: 4096,
 		CacheDiskBytes:   2 << 30,
 		Journal:          true,
+		StreamUploads:    true,
 		JobsHistory:      256,
 		SlowJob:          time.Minute,
 		Analysis:         opt,
@@ -230,8 +239,13 @@ type Service struct {
 	nRecovered atomic.Int64 // journaled jobs re-enqueued at startup
 	nLost      atomic.Int64 // journaled jobs whose spool vanished
 	nOrphans   atomic.Int64 // unclaimed spool files swept at startup
+	nStreamed  atomic.Int64 // uploads served by the streamed fast path
 	outcomesMu sync.Mutex
 	outcomes   map[string]int64
+
+	// livePhases is the latest streaming-session snapshot, shown on the
+	// dashboard while a streamed upload is in flight (nil between them).
+	livePhases atomic.Pointer[stream.Snapshot]
 
 	// testJobGate, when non-nil (tests only), makes every worker wait for
 	// one receive before running its next job — a deterministic way to
@@ -481,6 +495,7 @@ type Stats struct {
 	CacheHits      int64            `json:"cache_hits"`
 	Coalesced      int64            `json:"coalesced"`
 	Misses         int64            `json:"misses"`
+	Streamed       int64            `json:"streamed,omitempty"`
 	CacheEntries   int              `json:"cache_entries"`
 	CacheBytes     int64            `json:"cache_bytes"`
 	Evictions      int64            `json:"cache_evictions"`
@@ -513,6 +528,7 @@ func (s *Service) Snapshot() Stats {
 		CacheHits:    s.nHits.Load(),
 		Coalesced:    s.nCoalesced.Load(),
 		Misses:       s.nMisses.Load(),
+		Streamed:     s.nStreamed.Load(),
 		CacheEntries: entries,
 		CacheBytes:   bytes,
 		Evictions:    evictions,

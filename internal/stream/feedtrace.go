@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"fmt"
+
+	"phasefold/internal/core"
+	"phasefold/internal/trace"
+)
+
+// FeedTrace streams a resident trace through the session — the batch driver
+// over the incremental engine, and the equivalence bridge the tests pin:
+// FeedTrace + Done over any trace produces the byte-identical model batch
+// core.Analyze produces.
+//
+// The session's incremental validator drops a whole rank on the first bad
+// record, but batch lenient analysis first repairs what trace.Sanitize can
+// (then drops only the still-invalid ranks). A resident trace allows the
+// same repair, so FeedTrace replays batch prepare verbatim — validate,
+// clone + sanitize, re-validate per rank — and feeds the repaired records,
+// carrying the sanitize diagnostics into the session so Done reports them
+// in batch order. It must be the session's only input: mixing it with Feed
+// would interleave records the repair pass never saw.
+func (s *Session) FeedTrace(tr *trace.Trace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return ErrFinished
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	for r := range s.ranks {
+		if rs := &s.ranks[r]; rs.events+rs.samples > 0 || rs.dropped {
+			return fmt.Errorf("stream: FeedTrace on a session already fed")
+		}
+	}
+	if tr.NumRanks() != len(s.ranks) {
+		return fmt.Errorf("stream: trace has %d ranks, session header declares %d (%w)",
+			tr.NumRanks(), len(s.ranks), trace.ErrInvalid)
+	}
+	work := tr
+	if err := tr.Validate(); err != nil {
+		if s.opt.Core.Strict {
+			s.failed = fmt.Errorf("core: validating trace: %w", err)
+			return s.failed
+		}
+		work = tr.Clone()
+		for _, p := range work.Sanitize() {
+			s.preDiags = append(s.preDiags, core.Diagnostic{
+				Stage: "sanitize", Kind: core.KindRepair, Severity: core.SeverityWarn,
+				Rank: p.Rank, Cluster: -1,
+				Message: fmt.Sprintf("%s: %d records (%s)", p.Kind, p.Count, p.Detail),
+			})
+		}
+		for r := range work.Ranks {
+			if err := work.ValidateRank(r); err != nil {
+				work.Ranks[r].Events = nil
+				work.Ranks[r].Samples = nil
+				s.ranks[r].dropped = true
+				s.ranks[r].dropErr = err
+			}
+		}
+	}
+	for r := 0; r < work.NumRanks(); r++ {
+		rd := work.Ranks[r]
+		if rd == nil || s.ranks[r].dropped {
+			continue
+		}
+		if err := s.feedLocked(trace.Chunk{Rank: r, Events: rd.Events, Samples: rd.Samples}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/core"
+	"phasefold/internal/faults"
+	"phasefold/internal/sim"
+	"phasefold/internal/simapp"
+	"phasefold/internal/trace"
+)
+
+// genTrace runs a simulated workload and returns its trace.
+func genTrace(t *testing.T, name string, iters int, seed uint64) *trace.Trace {
+	t.Helper()
+	app, err := simapp.NewApp(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simapp.Config{Ranks: 4, Iterations: iters, Seed: seed, FreqGHz: 2}
+	run, err := core.RunApp(app, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Trace
+}
+
+// sessionFor opens a session bound to tr's header.
+func sessionFor(t *testing.T, ctx context.Context, tr *trace.Trace, opt Options) *Session {
+	t.Helper()
+	s, err := New(ctx, Header{App: tr.AppName, NumRanks: tr.NumRanks(), Symbols: tr.Symbols, Stacks: tr.Stacks}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustEqualModels asserts the streamed model is byte-identical to the batch
+// one — reflect.DeepEqual over the full model graph.
+func mustEqualModels(t *testing.T, batch, streamed *core.Model) {
+	t.Helper()
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Fatalf("streamed model differs from batch:\nbatch:    %+v\nstreamed: %+v", batch, streamed)
+	}
+}
+
+func TestFeedTraceMatchesBatch(t *testing.T) {
+	tr := genTrace(t, "multiphase", 200, 42)
+	opt := core.DefaultOptions()
+	batch, err := core.Analyze(context.Background(), tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sessionFor(t, context.Background(), tr, Options{Core: opt})
+	if err := s.FeedTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := s.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualModels(t, batch, streamed)
+}
+
+func TestConsumeMatchesBatch(t *testing.T) {
+	tr := genTrace(t, "cg", 150, 11)
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	// The batch reference consumes the same bytes the session does: the
+	// container codec canonicalizes the stack table (duplicate-content
+	// stacks collapse to one ID), so the byte-identity contract is between
+	// the two consumers of a stream, not across an encode round-trip.
+	dec, _, err := trace.Decode(context.Background(), bytes.NewReader(buf.Bytes()), trace.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.Analyze(context.Background(), dec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 64, 1 << 20} {
+		cr, err := trace.NewChunkReader(context.Background(), bytes.NewReader(buf.Bytes()), trace.DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(context.Background(), Header{App: cr.App(), NumRanks: cr.NumRanks(), Symbols: cr.Symbols(), Stacks: cr.Stacks()}, Options{Core: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Consume(cr, limit); err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := s.Done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualModels(t, batch, streamed)
+	}
+}
+
+func TestFeedTraceFaultedMatchesBatch(t *testing.T) {
+	// Trace-level faults drive the trace through sanitize and rank-drop
+	// repair; FeedTrace must replay the exact batch repair path.
+	for _, spec := range []string{"wrap=40", "dup=0.05", "zero=0.02", "drop=0.2,skew=50us"} {
+		tr := genTrace(t, "multiphase", 150, 7)
+		chain, err := faults.Parse(spec, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain.ApplyTrace(tr)
+		opt := core.DefaultOptions()
+		batch, err := core.Analyze(context.Background(), tr, opt)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", spec, err)
+		}
+		s := sessionFor(t, context.Background(), tr, Options{Core: opt})
+		if err := s.FeedTrace(tr); err != nil {
+			t.Fatalf("%s: feed: %v", spec, err)
+		}
+		streamed, err := s.Done()
+		if err != nil {
+			t.Fatalf("%s: done: %v", spec, err)
+		}
+		mustEqualModels(t, batch, streamed)
+	}
+}
+
+func TestSnapshotsDoNotPerturbResult(t *testing.T) {
+	tr := genTrace(t, "multiphase", 200, 42)
+	opt := core.DefaultOptions()
+	batch, err := core.Analyze(context.Background(), tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sessionFor(t, context.Background(), tr, Options{Core: opt, TrainAfter: 64, SnapshotEvery: 32})
+	// Feed rank by rank, snapshotting between feeds so provisional labels
+	// are written mid-stream.
+	var lastSnap *Snapshot
+	for r := 0; r < tr.NumRanks(); r++ {
+		rd := tr.Ranks[r]
+		if err := s.Feed(trace.Chunk{Rank: r, Events: rd.Events, Samples: rd.Samples}); err != nil {
+			t.Fatal(err)
+		}
+		lastSnap = s.Snapshot()
+	}
+	if lastSnap == nil || !lastSnap.Trained {
+		t.Fatalf("expected a trained snapshot, got %+v", lastSnap)
+	}
+	if lastSnap.Clusters == 0 || len(lastSnap.States) == 0 {
+		t.Fatalf("snapshot carries no provisional clusters: %+v", lastSnap)
+	}
+	streamed, err := s.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualModels(t, batch, streamed)
+}
+
+func TestWindowBound(t *testing.T) {
+	s, err := New(context.Background(), Header{App: "x", NumRanks: 1}, Options{Core: core.DefaultOptions(), Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples with no burst to attach to pend; exceeding the window fails.
+	var smps []trace.Sample
+	for i := 0; i < 8; i++ {
+		smps = append(smps, trace.Sample{Time: sim.Time(1000 + 10*i), Stack: callstack.NoStack})
+	}
+	err = s.Feed(trace.Chunk{Rank: 0, Samples: smps})
+	if !errors.Is(err, ErrWindow) {
+		t.Fatalf("got %v, want ErrWindow", err)
+	}
+	if s.PeakBufferedRecords() <= 4 {
+		t.Fatalf("peak %d, want > window", s.PeakBufferedRecords())
+	}
+}
+
+func TestSessionCancellation(t *testing.T) {
+	tr := genTrace(t, "multiphase", 50, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := sessionFor(t, ctx, tr, Options{Core: core.DefaultOptions()})
+	cancel()
+	if err := s.Feed(trace.Chunk{Rank: 0, Events: tr.Ranks[0].Events}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Feed after cancel: got %v", err)
+	}
+}

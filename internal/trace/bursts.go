@@ -62,101 +62,168 @@ type openBurst struct {
 	iterNum int64
 }
 
+// Extractor derives computation bursts from one rank's event stream
+// incrementally: Push events in time order as they arrive, Drain completed
+// bursts whenever convenient, and Finish at end of stream. The batch path
+// (ExtractRankBursts) drives the same state machine over a whole stream in
+// one shot, so a chunked feed yields bit-identical bursts to a batch
+// extraction at any chunking.
+type Extractor struct {
+	rank      int32
+	opt       BurstOptions
+	bursts    []Burst
+	open      openBurst
+	regions   []int64 // stack of active region ids
+	commDepth int
+	iterNum   int64
+	idx       int // events pushed so far (error-message event index)
+	err       error
+}
+
+// NewExtractor returns an extractor for one rank's stream.
+func NewExtractor(rank int32, opt BurstOptions) *Extractor {
+	return &Extractor{rank: rank, opt: opt, iterNum: -1}
+}
+
+func (x *Extractor) begin(e Event) {
+	region := int64(-1)
+	if n := len(x.regions); n > 0 {
+		region = x.regions[n-1]
+	}
+	x.open = openBurst{start: e.Time, ctr: e, active: true, region: region, iterNum: x.iterNum}
+}
+
+func (x *Extractor) end(e Event) {
+	if !x.open.active {
+		return
+	}
+	x.open.active = false
+	if x.opt.RequireRegion && x.open.region < 0 {
+		return
+	}
+	dur := e.Time - x.open.start
+	if dur <= 0 || dur < x.opt.MinDuration {
+		return
+	}
+	x.bursts = append(x.bursts, Burst{
+		Rank:     x.rank,
+		Region:   x.open.region,
+		Start:    x.open.start,
+		End:      e.Time,
+		Iter:     x.open.iterNum,
+		StartCtr: x.open.ctr.Counters,
+		Delta:    e.Counters.Sub(x.open.ctr.Counters),
+		Group:    e.Group,
+		Cluster:  ClusterNone,
+		FirstSmp: -1,
+	})
+}
+
+// Push feeds the next event of the stream. A malformed stream (unbalanced
+// region or communication nesting) returns an error; the error is sticky and
+// subsequent pushes return it unchanged.
+func (x *Extractor) Push(e Event) error {
+	if x.err != nil {
+		return x.err
+	}
+	i := x.idx
+	x.idx++
+	switch e.Type {
+	case IterBegin:
+		x.iterNum = e.Value
+		if x.commDepth == 0 {
+			x.end(e)
+			x.begin(e)
+		}
+	case IterEnd:
+		if x.commDepth == 0 {
+			x.end(e)
+		}
+	case RegionEnter:
+		if x.commDepth == 0 {
+			x.end(e) // close the burst outside the region, if any
+		}
+		x.regions = append(x.regions, e.Value)
+		if x.commDepth == 0 {
+			x.begin(e)
+		}
+	case RegionExit:
+		if len(x.regions) == 0 {
+			x.err = fmt.Errorf("trace: rank %d event %d: region exit without enter", x.rank, i)
+			return x.err
+		}
+		if x.regions[len(x.regions)-1] != e.Value {
+			x.err = fmt.Errorf("trace: rank %d event %d: region exit %d does not match open region %d",
+				x.rank, i, e.Value, x.regions[len(x.regions)-1])
+			return x.err
+		}
+		x.regions = x.regions[:len(x.regions)-1]
+		if x.commDepth == 0 {
+			x.end(e)
+			x.begin(e)
+		}
+	case CommEnter:
+		if x.commDepth == 0 {
+			x.end(e)
+		}
+		x.commDepth++
+	case CommExit:
+		x.commDepth--
+		if x.commDepth < 0 {
+			x.err = fmt.Errorf("trace: rank %d event %d: comm exit without enter", x.rank, i)
+			return x.err
+		}
+		if x.commDepth == 0 {
+			x.begin(e)
+		}
+	}
+	return nil
+}
+
+// OpenStart returns the start time of the currently open burst; ok is false
+// when no burst is open. The streaming sample linker uses it as the horizon
+// below which a pending sample can no longer belong to any future burst.
+func (x *Extractor) OpenStart() (sim.Time, bool) {
+	return x.open.start, x.open.active
+}
+
+// Drain returns the bursts completed since the last Drain, in start order.
+// The returned slice is owned by the caller.
+func (x *Extractor) Drain() []Burst {
+	out := x.bursts
+	x.bursts = nil
+	return out
+}
+
+// Finish checks the end-of-stream invariants (no open communications or
+// regions). Any final open burst has no closing probe and is discarded, as
+// in batch extraction.
+func (x *Extractor) Finish() error {
+	if x.err != nil {
+		return x.err
+	}
+	if x.commDepth != 0 {
+		x.err = fmt.Errorf("trace: rank %d ends with %d open communications", x.rank, x.commDepth)
+		return x.err
+	}
+	if len(x.regions) != 0 {
+		x.err = fmt.Errorf("trace: rank %d ends with %d open regions", x.rank, len(x.regions))
+		return x.err
+	}
+	return nil
+}
+
 func extractRank(rd *RankData, opt BurstOptions) ([]Burst, error) {
-	var (
-		bursts    []Burst
-		open      openBurst
-		regions   []int64 // stack of active region ids
-		commDepth int
-		iterNum   int64 = -1
-	)
-	begin := func(e Event) {
-		region := int64(-1)
-		if n := len(regions); n > 0 {
-			region = regions[n-1]
-		}
-		open = openBurst{start: e.Time, ctr: e, active: true, region: region, iterNum: iterNum}
-	}
-	end := func(e Event) {
-		if !open.active {
-			return
-		}
-		open.active = false
-		if opt.RequireRegion && open.region < 0 {
-			return
-		}
-		dur := e.Time - open.start
-		if dur <= 0 || dur < opt.MinDuration {
-			return
-		}
-		bursts = append(bursts, Burst{
-			Rank:     rd.Rank,
-			Region:   open.region,
-			Start:    open.start,
-			End:      e.Time,
-			Iter:     open.iterNum,
-			StartCtr: open.ctr.Counters,
-			Delta:    e.Counters.Sub(open.ctr.Counters),
-			Group:    e.Group,
-			Cluster:  ClusterNone,
-			FirstSmp: -1,
-		})
-	}
-	for i, e := range rd.Events {
-		switch e.Type {
-		case IterBegin:
-			iterNum = e.Value
-			if commDepth == 0 {
-				end(e)
-				begin(e)
-			}
-		case IterEnd:
-			if commDepth == 0 {
-				end(e)
-			}
-		case RegionEnter:
-			if commDepth == 0 {
-				end(e) // close the burst outside the region, if any
-			}
-			regions = append(regions, e.Value)
-			if commDepth == 0 {
-				begin(e)
-			}
-		case RegionExit:
-			if len(regions) == 0 {
-				return nil, fmt.Errorf("trace: rank %d event %d: region exit without enter", rd.Rank, i)
-			}
-			if regions[len(regions)-1] != e.Value {
-				return nil, fmt.Errorf("trace: rank %d event %d: region exit %d does not match open region %d",
-					rd.Rank, i, e.Value, regions[len(regions)-1])
-			}
-			regions = regions[:len(regions)-1]
-			if commDepth == 0 {
-				end(e)
-				begin(e)
-			}
-		case CommEnter:
-			if commDepth == 0 {
-				end(e)
-			}
-			commDepth++
-		case CommExit:
-			commDepth--
-			if commDepth < 0 {
-				return nil, fmt.Errorf("trace: rank %d event %d: comm exit without enter", rd.Rank, i)
-			}
-			if commDepth == 0 {
-				begin(e)
-			}
+	x := NewExtractor(rd.Rank, opt)
+	for _, e := range rd.Events {
+		if err := x.Push(e); err != nil {
+			return nil, err
 		}
 	}
-	if commDepth != 0 {
-		return nil, fmt.Errorf("trace: rank %d ends with %d open communications", rd.Rank, commDepth)
+	if err := x.Finish(); err != nil {
+		return nil, err
 	}
-	if len(regions) != 0 {
-		return nil, fmt.Errorf("trace: rank %d ends with %d open regions", rd.Rank, len(regions))
-	}
-	return bursts, nil
+	return x.Drain(), nil
 }
 
 // attachSamples links each burst to the contiguous run of samples whose

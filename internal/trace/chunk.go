@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"phasefold/internal/callstack"
+	"phasefold/internal/sim"
+)
+
+// Chunk is a batch of decoded records from a single rank, in stream order.
+// The streaming session consumes chunks; a chunk never spans ranks, so the
+// per-rank time order the analysis depends on is preserved by construction.
+type Chunk struct {
+	Rank    int
+	Events  []Event
+	Samples []Sample
+}
+
+// Records returns the record count of the chunk.
+func (c *Chunk) Records() int { return len(c.Events) + len(c.Samples) }
+
+// ChunkReader decodes a binary trace stream ("PFT2" or legacy "PFT1")
+// incrementally: the header (app name, symbol and stack tables, rank count)
+// is decoded eagerly by NewChunkReader, and Next then yields bounded record
+// chunks without ever materializing a whole rank section as records. Only
+// the current section's undecoded bytes are buffered, so memory stays
+// bounded by the chunk limit plus the codec's I/O buffers — this is the
+// reader behind Stream sessions analyzing traces larger than memory.
+//
+// The records produced are bit-identical to Decode's: both paths share the
+// per-record decoders. Salvage mode keeps every record decoded before a
+// damage point; in the sectioned "PFT2" container a damaged section is
+// skipped via its length prefix and later ranks still decode, matching the
+// batch decoder's per-section isolation. Unlike Decode, salvage here does
+// NOT run Sanitize over the recovered records (there is no resident trace
+// to repair); the streaming session's own per-rank validation takes that
+// role. Header damage is never salvageable.
+type ChunkReader struct {
+	ctx      context.Context
+	opt      DecodeOptions
+	outer    *bufio.Reader
+	app      string
+	syms     *callstack.SymbolTable
+	stacks   *callstack.Interner
+	stackIDs []callstack.StackID
+	nRanks   int
+
+	sectioned bool
+	section   *io.LimitedReader
+	secBuf    *bufio.Reader
+	rr        *reader // record-level reader for the current source
+
+	rank    int // current rank being decoded; nRanks when exhausted
+	started bool
+	phase   int // 0 = section start, 1 = events, 2 = samples
+	left    int // records left in the current phase
+	prev    sim.Time
+
+	events, samples int
+	emitted         []bool // per rank: any records yielded
+	dangling        int
+	damage          error // first suppressed damage (salvage mode)
+	done            bool
+}
+
+// NewChunkReader reads the stream header from r and returns a reader
+// positioned at the first rank's records. Errors wrap the package sentinels
+// exactly as Decode's do.
+func NewChunkReader(ctx context.Context, rd io.Reader, opt DecodeOptions) (*ChunkReader, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	outer := bufio.NewReaderSize(rd, 1<<16)
+	hr := &reader{r: outer, ctx: ctx}
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(hr.r, magic); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", classifyRead(err))
+	}
+	var sectioned bool
+	switch string(magic) {
+	case binaryMagic:
+	case binaryMagicV2:
+		sectioned = true
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
+	}
+	app, syms, stacks, stackIDs, nRanks, err := decodeHeader(hr)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChunkReader{
+		ctx: ctx, opt: opt, outer: outer,
+		app: app, syms: syms, stacks: stacks, stackIDs: stackIDs, nRanks: nRanks,
+		sectioned: sectioned,
+		emitted:   make([]bool, nRanks),
+	}
+	if sectioned {
+		cr.section = &io.LimitedReader{R: outer}
+		cr.secBuf = bufio.NewReaderSize(nil, 1<<12)
+	} else {
+		cr.rr = hr
+	}
+	return cr, nil
+}
+
+// App returns the application name from the header.
+func (cr *ChunkReader) App() string { return cr.app }
+
+// NumRanks returns the rank count from the header.
+func (cr *ChunkReader) NumRanks() int { return cr.nRanks }
+
+// Symbols returns the decoded symbol table.
+func (cr *ChunkReader) Symbols() *callstack.SymbolTable { return cr.syms }
+
+// Stacks returns the decoded stack interner.
+func (cr *ChunkReader) Stacks() *callstack.Interner { return cr.stacks }
+
+// Skeleton returns a record-free trace carrying the header (app name, rank
+// count, symbol tables) — the shape Model.Export needs to render a streamed
+// analysis identically to a batch one.
+func (cr *ChunkReader) Skeleton() (*Trace, error) {
+	return NewChecked(cr.app, cr.nRanks, cr.syms, cr.stacks)
+}
+
+// Report describes what a salvage-mode read recovered; it is meaningful
+// once Next has returned io.EOF and nil before that (and always nil in
+// strict mode, mirroring Decode). Problems stays empty: ChunkReader streams
+// records through without retaining a trace to sanitize.
+func (cr *ChunkReader) Report() *SalvageReport {
+	if !cr.opt.Salvage || !cr.done {
+		return nil
+	}
+	rep := &SalvageReport{Err: cr.damage, Events: cr.events, Samples: cr.samples}
+	if cr.dangling > 0 {
+		rep.Problems = append(rep.Problems, Problem{
+			Rank: -1, Kind: ProblemDanglingStack, Count: cr.dangling,
+			Detail: "samples referencing undefined stacks cleared",
+		})
+	}
+	if rep.Err != nil {
+		for _, ok := range cr.emitted {
+			if !ok {
+				rep.RanksLost++
+			}
+		}
+	}
+	return rep
+}
+
+// fail finishes the stream on damage: strict mode (or cancellation, never
+// absorbed) returns the classified error; salvage mode records the first
+// damage and, in the sectioned container, skips to the next rank section.
+func (cr *ChunkReader) fail(err error) error {
+	err = classifyRead(err)
+	if !cr.opt.Salvage || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		cr.done = true
+		return err
+	}
+	if cr.damage == nil {
+		cr.damage = err
+	}
+	if cr.sectioned && cr.started {
+		// The section length prefix bounds the damage: drain the rest of
+		// this rank's section and move on, like the batch decoder's
+		// per-section isolation.
+		if _, derr := io.Copy(io.Discard, cr.secBuf); derr == nil && cr.section.N == 0 {
+			cr.rank++
+			cr.started = false
+			return nil
+		}
+	}
+	// Unframed ("PFT1") damage, a short section, or a stream-level error:
+	// nothing after this point is decodable.
+	cr.done = true
+	return nil
+}
+
+// startRank prepares decoding of the current rank: for the sectioned
+// container it reads the length prefix and bounds the section reader.
+func (cr *ChunkReader) startRank() error {
+	if cr.sectioned {
+		hr := &reader{r: cr.outer, ctx: cr.ctx}
+		n := hr.uvarint()
+		if hr.err != nil {
+			return cr.fail(hr.err)
+		}
+		if n > maxSectionBytes {
+			return cr.fail(fmt.Errorf("%w: rank %d section claims %d bytes, exceeds sanity limit %d",
+				ErrCorrupt, cr.rank, n, uint64(maxSectionBytes)))
+		}
+		cr.section.N = int64(n)
+		cr.secBuf.Reset(cr.section)
+		cr.rr = &reader{r: cr.secBuf, ctx: cr.ctx}
+	}
+	cr.started = true
+	cr.phase = 0
+	return nil
+}
+
+// endRank verifies the section framing after the last sample: leftover bytes
+// mean the length prefix and the content disagree.
+func (cr *ChunkReader) endRank() error {
+	if cr.sectioned {
+		if rest := int64(cr.secBuf.Buffered()) + cr.section.N; rest > 0 {
+			return cr.fail(fmt.Errorf("%w: rank %d section carries %d trailing bytes", ErrCorrupt, cr.rank, rest))
+		}
+	}
+	cr.rank++
+	cr.started = false
+	return nil
+}
+
+// Next decodes up to limit records (limit <= 0 means 4096) of the current
+// rank and returns them. A chunk never mixes ranks; empty ranks are skipped.
+// The end of the stream returns io.EOF. In salvage mode damage is absorbed
+// (inspect Report after EOF); cancellation is never absorbed.
+func (cr *ChunkReader) Next(limit int) (Chunk, error) {
+	if limit <= 0 {
+		limit = 4096
+	}
+	for {
+		if cr.done || cr.rank >= cr.nRanks {
+			cr.done = true
+			if cr.damage != nil && cr.events == 0 && cr.samples == 0 {
+				return Chunk{}, fmt.Errorf("nothing salvageable: %w", cr.damage)
+			}
+			return Chunk{}, io.EOF
+		}
+		if !cr.started {
+			if err := cr.startRank(); err != nil {
+				return Chunk{}, err
+			}
+			continue
+		}
+		c := Chunk{Rank: cr.rank}
+		if err := cr.decodeInto(&c, limit); err != nil {
+			return Chunk{}, err
+		}
+		if c.Records() > 0 {
+			cr.emitted[c.Rank] = true
+			cr.events += len(c.Events)
+			cr.samples += len(c.Samples)
+			return c, nil
+		}
+		// The rank carried no records, or damage ate the remainder; advance.
+	}
+}
+
+// decodeInto fills c with up to limit records of the current rank, advancing
+// the phase machine. It stops early at the rank boundary.
+func (cr *ChunkReader) decodeInto(c *Chunk, limit int) error {
+	r := cr.rr
+	for limit > 0 {
+		switch cr.phase {
+		case 0: // event count
+			cr.left = r.count("event", maxDecodeCount)
+			if r.err != nil {
+				return cr.fail(r.err)
+			}
+			cr.prev = 0
+			cr.phase = 1
+		case 1: // events
+			for cr.left > 0 && limit > 0 {
+				if !r.poll() {
+					return cr.fail(r.err)
+				}
+				e, ok := decodeEvent(r, int32(cr.rank), &cr.prev)
+				if !ok {
+					return cr.fail(r.err)
+				}
+				c.Events = append(c.Events, e)
+				cr.left--
+				limit--
+			}
+			if cr.left > 0 {
+				return nil // chunk full
+			}
+			cr.left = r.count("sample", maxDecodeCount)
+			if r.err != nil {
+				return cr.fail(r.err)
+			}
+			cr.prev = 0
+			cr.phase = 2
+		case 2: // samples
+			for cr.left > 0 && limit > 0 {
+				if !r.poll() {
+					return cr.fail(r.err)
+				}
+				s, ok := decodeSample(r, int32(cr.rank), &cr.prev, cr.stackIDs, cr.opt.Salvage, &cr.dangling)
+				if !ok {
+					return cr.fail(r.err)
+				}
+				c.Samples = append(c.Samples, s)
+				cr.left--
+				limit--
+			}
+			if cr.left > 0 {
+				return nil // chunk full
+			}
+			return cr.endRank()
+		}
+	}
+	return nil
+}

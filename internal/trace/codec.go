@@ -14,6 +14,7 @@ import (
 
 	"phasefold/internal/callstack"
 	"phasefold/internal/counters"
+	"phasefold/internal/exec"
 	"phasefold/internal/obs"
 	"phasefold/internal/par"
 	"phasefold/internal/sim"
@@ -324,12 +325,16 @@ type DecodeOptions struct {
 	// in the SalvageReport. The header (magic, symbol and stack tables)
 	// must still decode — without it the records are uninterpretable.
 	Salvage bool
-	// Parallelism caps the goroutines decoding per-rank sections of the
-	// current ("PFT2") container; zero or negative means
-	// runtime.GOMAXPROCS(0). Legacy single-stream ("PFT1") input decodes
-	// on one goroutine regardless. The decoded trace — and in salvage
-	// mode the report — is identical at any setting.
-	Parallelism int
+	// Exec composes the execution knobs shared with the analysis stages.
+	// The decoder consumes Parallelism — the goroutine cap for per-rank
+	// sections of the current ("PFT2") container; zero or negative means
+	// runtime.GOMAXPROCS(0), legacy single-stream ("PFT1") input decodes on
+	// one goroutine regardless, and the decoded trace (and in salvage mode
+	// the report) is identical at any setting. Budget rides along for
+	// callers composing one struct; the decoder does not enforce it. The
+	// fields are promoted, so opt.Parallelism keeps working; only composite
+	// literals need the Exec wrapper.
+	exec.Exec
 }
 
 // SalvageReport describes what a lenient decode recovered.
@@ -474,6 +479,49 @@ func decodeHeader(r *reader) (app string, syms *callstack.SymbolTable, stacks *c
 	return app, syms, stacks, stackIDs, nRanks, nil
 }
 
+// decodeEvent reads one event record. ok is false on a reader error; the
+// partially-read record must then be discarded by the caller.
+func decodeEvent(r *reader, rank int32, prev *sim.Time) (Event, bool) {
+	*prev += sim.Time(r.uvarint())
+	e := Event{
+		Time:     *prev,
+		Rank:     rank,
+		Type:     EventType(r.uvarint()),
+		Value:    r.varint(),
+		Group:    uint8(r.uvarint()),
+		Counters: r.counterSet(),
+	}
+	return e, r.err == nil
+}
+
+// decodeSample reads one sample record, mapping its stack reference through
+// stackIDs. A dangling reference is an error in strict mode and is cleared
+// (counted via dangling) in salvage mode. ok is false on a reader error.
+func decodeSample(r *reader, rank int32, prev *sim.Time, stackIDs []callstack.StackID, salvage bool, dangling *int) (Sample, bool) {
+	*prev += sim.Time(r.uvarint())
+	sid := callstack.StackID(r.varint())
+	if sid != callstack.NoStack && r.err == nil {
+		if sid < 0 || int(sid) >= len(stackIDs) {
+			if !salvage {
+				r.err = fmt.Errorf("%w: sample references stack %d of %d", ErrCorrupt, sid, len(stackIDs))
+				return Sample{}, false
+			}
+			*dangling++
+			sid = callstack.NoStack
+		} else {
+			sid = stackIDs[sid]
+		}
+	}
+	s := Sample{
+		Time:     *prev,
+		Rank:     rank,
+		Stack:    sid,
+		Group:    uint8(r.uvarint()),
+		Counters: r.counterSet(),
+	}
+	return s, r.err == nil
+}
+
 // decodeRankBody decodes one rank's events and samples from r into rd and
 // returns how many dangling stack references it cleared (salvage mode only;
 // strict mode records them as r.err instead). On error the records decoded
@@ -483,16 +531,8 @@ func decodeRankBody(r *reader, rd *RankData, rank int, stackIDs []callstack.Stac
 	rd.Events = make([]Event, 0, min(nev, 1<<20))
 	var prev sim.Time
 	for i := 0; i < nev && r.poll(); i++ {
-		prev += sim.Time(r.uvarint())
-		e := Event{
-			Time:     prev,
-			Rank:     int32(rank),
-			Type:     EventType(r.uvarint()),
-			Value:    r.varint(),
-			Group:    uint8(r.uvarint()),
-			Counters: r.counterSet(),
-		}
-		if r.err != nil {
+		e, ok := decodeEvent(r, int32(rank), &prev)
+		if !ok {
 			break // discard the partially-read record
 		}
 		rd.Events = append(rd.Events, e)
@@ -501,28 +541,8 @@ func decodeRankBody(r *reader, rd *RankData, rank int, stackIDs []callstack.Stac
 	rd.Samples = make([]Sample, 0, min(nsmp, 1<<20))
 	prev = 0
 	for i := 0; i < nsmp && r.poll(); i++ {
-		prev += sim.Time(r.uvarint())
-		sid := callstack.StackID(r.varint())
-		if sid != callstack.NoStack && r.err == nil {
-			if sid < 0 || int(sid) >= len(stackIDs) {
-				if !opt.Salvage {
-					r.err = fmt.Errorf("%w: sample references stack %d of %d", ErrCorrupt, sid, len(stackIDs))
-					break
-				}
-				danglingStacks++
-				sid = callstack.NoStack
-			} else {
-				sid = stackIDs[sid]
-			}
-		}
-		s := Sample{
-			Time:     prev,
-			Rank:     int32(rank),
-			Stack:    sid,
-			Group:    uint8(r.uvarint()),
-			Counters: r.counterSet(),
-		}
-		if r.err != nil {
+		s, ok := decodeSample(r, int32(rank), &prev, stackIDs, opt.Salvage, &danglingStacks)
+		if !ok {
 			break
 		}
 		rd.Samples = append(rd.Samples, s)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"phasefold/internal/exec"
 )
 
 // These tests pin the "PFT2" sectioned container: parallel decode must be
@@ -39,7 +41,7 @@ func TestDecodeParallelMatchesSerial(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	for _, workers := range []int{1, 2, 3, 8} {
-		got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: workers})
+		got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Exec: exec.Exec{Parallelism: workers}})
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", workers, err)
 		}
@@ -50,7 +52,7 @@ func TestDecodeParallelMatchesSerial(t *testing.T) {
 func TestDecodeLegacyV1(t *testing.T) {
 	tr := randomTrace(t, 11, 3, 20)
 	raw := encodeV1(t, tr)
-	got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: 4})
+	got, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Exec: exec.Exec{Parallelism: 4}})
 	if err != nil {
 		t.Fatalf("legacy decode: %v", err)
 	}
@@ -77,14 +79,14 @@ func TestSectionDamageIsolatedPerRank(t *testing.T) {
 	sec0End := len(raw) - l1 - prefix1
 	raw[sec0End-1] = 0xFF
 
-	if _, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Parallelism: 4}); err == nil {
+	if _, _, err := Decode(context.Background(), bytes.NewReader(raw), DecodeOptions{Exec: exec.Exec{Parallelism: 4}}); err == nil {
 		t.Fatal("strict decode accepted a damaged section")
 	} else if !errors.Is(err, ErrFormat) {
 		t.Fatalf("damage error %v does not match ErrFormat", err)
 	}
 
 	got, rep, err := Decode(context.Background(), bytes.NewReader(raw),
-		DecodeOptions{Salvage: true, Parallelism: 4})
+		DecodeOptions{Salvage: true, Exec: exec.Exec{Parallelism: 4}})
 	if err != nil {
 		t.Fatalf("salvage: %v", err)
 	}
@@ -114,11 +116,11 @@ func TestSectionTruncationSalvage(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	cut := raw[:len(raw)*2/3]
-	if _, _, err := Decode(context.Background(), bytes.NewReader(cut), DecodeOptions{Parallelism: 4}); !errors.Is(err, ErrTruncated) {
+	if _, _, err := Decode(context.Background(), bytes.NewReader(cut), DecodeOptions{Exec: exec.Exec{Parallelism: 4}}); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("truncated stream: got %v, want ErrTruncated", err)
 	}
 	got, rep, err := Decode(context.Background(), bytes.NewReader(cut),
-		DecodeOptions{Salvage: true, Parallelism: 4})
+		DecodeOptions{Salvage: true, Exec: exec.Exec{Parallelism: 4}})
 	if err != nil {
 		t.Fatalf("salvage of truncated stream: %v", err)
 	}

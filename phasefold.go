@@ -20,9 +20,19 @@
 //	// model.Clusters[0].Phases now lists the detected phases with their
 //	// MIPS/IPC/miss-rate profile and source attribution.
 //
+// For data that arrives over time — a socket, a growing file, a live
+// acquisition — Stream opens an incremental session over the same engine:
+//
+//	sess, _ := phasefold.Stream(ctx)
+//	go func() { _ = sess.Consume(conn) }() // analyze while bytes arrive
+//	snap := sess.Snapshot()                // provisional phases, any time
+//	model, err := sess.Done()              // byte-identical to batch Analyze
+//
 // Every entry point is context-first and takes functional options
-// (WithStrict, WithSalvage, WithBudget, WithParallelism, WithTelemetry,
-// WithLogger); the pre-redesign names remain as thin deprecated wrappers.
+// (WithStrict, WithSalvage, WithBudget, WithParallelism, WithWindow,
+// WithSnapshotEvery, WithTelemetry, WithLogger). The pre-redesign
+// deprecated wrapper names (AnalyzeContext, DecodeTrace, ...) have been
+// removed; their functionality lives in the canonical context-first names.
 //
 // The package is a facade over the internal packages; everything needed to
 // acquire traces from the bundled simulated applications, analyze them, and
@@ -31,9 +41,12 @@ package phasefold
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
+	"sync"
 
+	"phasefold/internal/callstack"
 	"phasefold/internal/core"
 	"phasefold/internal/counters"
 	"phasefold/internal/export"
@@ -44,6 +57,7 @@ import (
 	"phasefold/internal/sim"
 	"phasefold/internal/simapp"
 	"phasefold/internal/spectral"
+	"phasefold/internal/stream"
 	"phasefold/internal/trace"
 )
 
@@ -166,12 +180,15 @@ func RunApp(app App, cfg Config, opt Options) (*RunResult, error) {
 type Option func(*settings)
 
 // settings is the resolved form of an Option list: the analysis Options,
-// the decoder DecodeOptions, and any context attachments, kept in one place
-// so every entry point interprets the same options the same way.
+// the decoder DecodeOptions, the streaming knobs, and any context
+// attachments, kept in one place so every entry point interprets the same
+// options the same way.
 type settings struct {
-	opt    Options
-	decode DecodeOptions
-	ctx    []func(context.Context) context.Context
+	opt           Options
+	decode        DecodeOptions
+	window        int
+	snapshotEvery int
+	ctx           []func(context.Context) context.Context
 }
 
 func newSettings(opts []Option) *settings {
@@ -227,6 +244,23 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithWindow caps how many records a streaming Session may buffer — the
+// samples that cannot attach to a computation burst yet. A Feed that would
+// exceed the window fails with ErrWindow, bounding the session's memory on
+// pathological streams. Zero (the default) uses the engine's default
+// window. Batch entry points ignore it.
+func WithWindow(records int) Option {
+	return func(s *settings) { s.window = records }
+}
+
+// WithSnapshotEvery sets the streaming Session's snapshot recompute cadence
+// in bursts: Session.Snapshot returns the cached view until at least this
+// many new bursts completed. Zero (the default) uses the engine's default
+// cadence. Batch entry points ignore it.
+func WithSnapshotEvery(bursts int) Option {
+	return func(s *settings) { s.snapshotEvery = bursts }
+}
+
 // WithTelemetry attaches a span recorder and a metrics registry to the
 // call's context; either may be nil to enable only the other.
 func WithTelemetry(rec *SpanRecorder, reg *MetricsRegistry) Option {
@@ -262,21 +296,6 @@ func Analyze(ctx context.Context, tr *Trace, opts ...Option) (*Model, error) {
 func AnalyzeApp(ctx context.Context, app App, cfg Config, opts ...Option) (*Model, *RunResult, error) {
 	s := newSettings(opts)
 	return core.AnalyzeApp(s.context(ctx), app, cfg, s.opt)
-}
-
-// AnalyzeContext runs the pipeline with an explicit Options struct.
-//
-// Deprecated: use Analyze(ctx, tr, WithOptions(opt)).
-func AnalyzeContext(ctx context.Context, tr *Trace, opt Options) (*Model, error) {
-	return Analyze(ctx, tr, WithOptions(opt))
-}
-
-// AnalyzeAppContext runs and analyzes a simulated application with an
-// explicit Options struct.
-//
-// Deprecated: use AnalyzeApp(ctx, app, cfg, WithOptions(opt)).
-func AnalyzeAppContext(ctx context.Context, app App, cfg Config, opt Options) (*Model, *RunResult, error) {
-	return AnalyzeApp(ctx, app, cfg, WithOptions(opt))
 }
 
 // Spectral-analysis re-exports: markerless analysis of sampling-only
@@ -407,32 +426,218 @@ func DecodeText(ctx context.Context, r io.Reader, opts ...Option) (*Trace, *Salv
 	return trace.DecodeText(s.context(ctx), r, s.decode)
 }
 
-// DecodeTraceWith reads a binary-format trace under explicit options.
-//
-// Deprecated: use Decode(ctx, r, WithSalvage()...).
-func DecodeTraceWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.Decode(context.Background(), r, opt)
+// Streaming re-exports: the incremental analysis engine behind Stream.
+type (
+	// StreamSnapshot is a point-in-time view of the phases forming inside a
+	// streaming session; see Session.Snapshot.
+	StreamSnapshot = stream.Snapshot
+	// StreamClusterState is one provisional cluster within a StreamSnapshot.
+	StreamClusterState = stream.ClusterState
+	// StreamPhasePreview is one provisional phase of a forming cluster.
+	StreamPhasePreview = stream.PhasePreview
+	// StreamHeader describes a stream before its records arrive; see
+	// Session.Open.
+	StreamHeader = stream.Header
+	// Chunk is one batch of records for a single rank, fed via Session.Feed.
+	Chunk = trace.Chunk
+	// Event is one instrumentation event record.
+	Event = trace.Event
+	// Sample is one periodic counter sample record.
+	Sample = trace.Sample
+	// StackID references an interned call stack in a stream's header.
+	StackID = callstack.StackID
+)
+
+// NoStack marks a sample that carries no call-stack reference.
+const NoStack = callstack.NoStack
+
+// Streaming failure sentinels.
+var (
+	// ErrWindow tags feeds that would exceed the session's bounded record
+	// window (see WithWindow).
+	ErrWindow = stream.ErrWindow
+	// ErrSessionDone tags operations on a session whose Done already ran.
+	ErrSessionDone = stream.ErrFinished
+)
+
+// Session is an incremental analysis in progress, produced by Stream. Feed
+// it exactly one input — Consume for a binary container arriving over a
+// reader, FeedTrace for a resident trace, or Open followed by Feed for
+// caller-produced record chunks — then Snapshot at will and Done once.
+// Methods are safe for concurrent use.
+type Session struct {
+	ctx      context.Context
+	settings *settings
+	mu       sync.Mutex
+	inner    *stream.Session
+	report   *SalvageReport
 }
 
-// DecodeTraceContext reads a binary-format trace under explicit options.
-//
-// Deprecated: use Decode.
-func DecodeTraceContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.Decode(ctx, r, opt)
+// Stream opens an incremental analysis session: the streaming counterpart
+// of Analyze, accepting the same functional options plus the streaming
+// knobs (WithWindow, WithSnapshotEvery). Records are analyzed as they
+// arrive — bursts extract, clouds fold, and provisional clusters form
+// online — holding only a bounded window of unattached records; Done runs
+// the final clustering and regression and returns a model byte-identical
+// to batch Analyze over the same records. Cancelling ctx interrupts the
+// session promptly.
+func Stream(ctx context.Context, opts ...Option) (*Session, error) {
+	s := newSettings(opts)
+	return &Session{ctx: s.context(ctx), settings: s}, nil
 }
 
-// DecodeTraceTextContext reads a text-format trace under explicit options.
-//
-// Deprecated: use DecodeText.
-func DecodeTraceTextContext(ctx context.Context, r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeText(ctx, r, opt)
+// bind creates the inner session once the stream's header is known.
+func (s *Session) bind(hdr stream.Header) error {
+	if s.inner != nil {
+		return fmt.Errorf("phasefold: session already bound to an input")
+	}
+	inner, err := stream.New(s.ctx, hdr, stream.Options{
+		Core:          s.settings.opt,
+		Window:        s.settings.window,
+		SnapshotEvery: s.settings.snapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	s.inner = inner
+	return nil
 }
 
-// DecodeTraceTextWith reads a text-format trace under explicit options.
-//
-// Deprecated: use DecodeText(ctx, r, WithSalvage()...).
-func DecodeTraceTextWith(r io.Reader, opt DecodeOptions) (*Trace, *SalvageReport, error) {
-	return trace.DecodeText(context.Background(), r, opt)
+// Open binds the session to a stream described by hdr, for callers that
+// produce record chunks themselves (see Feed) rather than a container
+// (Consume) or a resident trace (FeedTrace). A session accepts exactly one
+// input; Open after any of the three fails.
+func (s *Session) Open(hdr StreamHeader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bind(hdr)
+}
+
+// Feed hands the session one batch of records for a single rank. The session
+// must have been bound with Open first. Records are analyzed immediately;
+// only samples that may still attach to an unfinished burst stay buffered,
+// and exceeding the configured window fails the session with ErrWindow.
+func (s *Session) Feed(c Chunk) error {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return fmt.Errorf("phasefold: session not bound; call Open before Feed (%w)", trace.ErrNoRanks)
+	}
+	return inner.Feed(c)
+}
+
+// Consume streams a binary-format container ("PFT2" or legacy "PFT1") from
+// r, analyzing records chunk by chunk while bytes arrive — never holding
+// the decoded trace in memory. Under WithSalvage a damaged stream yields
+// what was recovered (see SalvageReport); otherwise the first damage fails
+// the session. Consume returns when the stream ends or the session fails.
+func (s *Session) Consume(r io.Reader) error {
+	cr, err := trace.NewChunkReader(s.ctx, r, s.settings.decode)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if err := s.bind(stream.Header{
+		App: cr.App(), NumRanks: cr.NumRanks(), Symbols: cr.Symbols(), Stacks: cr.Stacks(),
+	}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	inner := s.inner
+	s.mu.Unlock()
+	if err := inner.Consume(cr, streamChunkRecords); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.report = inner.SalvageReport()
+	s.mu.Unlock()
+	return nil
+}
+
+// streamChunkRecords is the record granularity Consume hands the session:
+// small enough to keep snapshots fresh, large enough to amortize decode
+// state transitions.
+const streamChunkRecords = 4096
+
+// FeedTrace streams a resident trace through the session — the in-memory
+// driver over the same engine, mostly useful to reuse streaming snapshots
+// on already-decoded data. Done afterwards returns exactly what batch
+// Analyze over tr returns.
+func (s *Session) FeedTrace(tr *Trace) error {
+	s.mu.Lock()
+	if s.inner == nil {
+		if err := s.bind(stream.Header{
+			App: tr.AppName, NumRanks: tr.NumRanks(), Symbols: tr.Symbols, Stacks: tr.Stacks,
+		}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	inner := s.inner
+	s.mu.Unlock()
+	return inner.FeedTrace(tr)
+}
+
+// Snapshot returns a point-in-time view of the analysis forming inside the
+// session: burst and buffer counts, and — once enough bursts completed to
+// train the provisional clustering model — the live clusters with preview
+// phase boundaries. Labels are provisional; Done's full re-clustering is
+// authoritative. Returns nil before any input is bound.
+func (s *Session) Snapshot() *StreamSnapshot {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return nil
+	}
+	return inner.Snapshot()
+}
+
+// Done ends the stream and runs the final clustering, folding, and
+// regression over everything the session accumulated. The model is
+// byte-identical to batch Analyze over the same records. The session
+// cannot be fed afterwards; calling Done again returns ErrSessionDone.
+func (s *Session) Done() (*Model, error) {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return nil, fmt.Errorf("phasefold: session was never fed (%w)", trace.ErrNoRanks)
+	}
+	return inner.Done()
+}
+
+// SalvageReport returns what a salvaging Consume recovered, nil otherwise
+// (including before Consume finished).
+func (s *Session) SalvageReport() *SalvageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// BufferedRecords returns the records the session currently buffers — the
+// samples that may still attach to an unfinished burst.
+func (s *Session) BufferedRecords() int {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return 0
+	}
+	return inner.BufferedRecords()
+}
+
+// PeakBufferedRecords returns the high-water mark of BufferedRecords — the
+// bounded-memory figure WithWindow caps.
+func (s *Session) PeakBufferedRecords() int {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return 0
+	}
+	return inner.PeakBufferedRecords()
 }
 
 // Observability re-exports: stage spans, the metrics registry, structured
@@ -554,24 +759,8 @@ func KnownFaults() []string { return faults.Known() }
 // "PFT2", encoded rank-parallel).
 func EncodeTrace(w io.Writer, tr *Trace) error { return trace.Encode(w, tr) }
 
-// DecodeTrace reads a binary-format trace.
-//
-// Deprecated: use Decode(ctx, r).
-func DecodeTrace(r io.Reader) (*Trace, error) {
-	tr, _, err := Decode(context.Background(), r)
-	return tr, err
-}
-
 // EncodeTraceText writes a trace in the human-readable text format.
 func EncodeTraceText(w io.Writer, tr *Trace) error { return trace.EncodeText(w, tr) }
-
-// DecodeTraceText reads a text-format trace.
-//
-// Deprecated: use DecodeText(ctx, r).
-func DecodeTraceText(r io.Reader) (*Trace, error) {
-	tr, _, err := DecodeText(context.Background(), r)
-	return tr, err
-}
 
 // Service re-exports: the multi-tenant analysis daemon behind
 // cmd/phasefoldd — HTTP trace uploads through admission control, a bounded

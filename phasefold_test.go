@@ -64,11 +64,11 @@ func TestPublicAPITraceRoundtrip(t *testing.T) {
 	if err := phasefold.EncodeTraceText(&txt, run.Trace); err != nil {
 		t.Fatal(err)
 	}
-	fromBin, err := phasefold.DecodeTrace(&bin)
+	fromBin, _, err := phasefold.Decode(context.Background(), &bin)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromTxt, err := phasefold.DecodeTraceText(&txt)
+	fromTxt, _, err := phasefold.DecodeText(context.Background(), &txt)
 	if err != nil {
 		t.Fatal(err)
 	}
